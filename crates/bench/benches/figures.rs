@@ -1,0 +1,241 @@
+//! Criterion benches, one group per reconstructed figure/table (E1–E12).
+//!
+//! Each group measures the hot path behind the corresponding experiment at
+//! a reduced, fixed scale; the `experiments` binary produces the full
+//! tables recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sequin_bench::prelude::{run, run_with, sorted_stream};
+use sequin_bench::{experiments, Scale};
+use sequin_engine::{EmissionPolicy, EngineConfig, Strategy, WatermarkSource};
+use sequin_netsim::{delay_shuffle, punctuate};
+use sequin_runtime::purge::PurgePolicy;
+use sequin_types::Duration;
+use sequin_workload::{Synthetic, SyntheticConfig};
+
+const EVENTS: usize = 20_000;
+const SEED: u64 = 42;
+const K: u64 = 200;
+const W: u64 = 400;
+const DELAY: u64 = 200;
+
+fn workload(num_types: usize) -> Synthetic {
+    Synthetic::new(SyntheticConfig {
+        num_types,
+        tag_cardinality: 50,
+        value_range: 100,
+        mean_gap: 20,
+    })
+}
+
+fn small(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn fig_e1(c: &mut Criterion) {
+    // E1 is a correctness sweep; benchmark the in-order engine's ingest
+    // cost on ordered vs disordered input (the work it wastes).
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let q = w.partitioned_query(2, W);
+    let ordered = sorted_stream(&events);
+    let shuffled = delay_shuffle(&events, 0.3, DELAY, SEED);
+    let mut g = small(c).benchmark_group("fig_e1_inorder_quality");
+    g.bench_function("inorder_ordered", |b| {
+        b.iter(|| run(Strategy::InOrder, &q, 0, &ordered))
+    });
+    g.bench_function("inorder_30pct_ooo", |b| {
+        b.iter(|| run(Strategy::InOrder, &q, 0, &shuffled))
+    });
+    g.finish();
+}
+
+fn fig_e2(c: &mut Criterion) {
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let q = w.partitioned_query(3, W);
+    let mut cfg = EngineConfig::with_k(Duration::new(K));
+    cfg.partitioned = false;
+    let mut g = c.benchmark_group("fig_e2_throughput_vs_ooo");
+    for pct in [0u32, 20, 40] {
+        let stream = delay_shuffle(&events, pct as f64 / 100.0, DELAY, SEED);
+        for strat in [Strategy::Buffered, Strategy::Native] {
+            g.bench_with_input(
+                BenchmarkId::new(strat.to_string(), pct),
+                &stream,
+                |b, stream| b.iter(|| run_with(strat, &q, cfg, stream)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fig_e3_e4(c: &mut Criterion) {
+    // latency/memory vs K share a bench: the cost driver is the K sweep
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let q = w.partitioned_query(2, W);
+    let mut g = c.benchmark_group("fig_e3_e4_k_sweep");
+    for k in [50u64, 200, 800] {
+        let stream = delay_shuffle(&events, 0.1, k, SEED);
+        g.bench_with_input(BenchmarkId::new("buffered", k), &stream, |b, s| {
+            b.iter(|| run(Strategy::Buffered, &q, k, s))
+        });
+        g.bench_with_input(BenchmarkId::new("native", k), &stream, |b, s| {
+            b.iter(|| run(Strategy::Native, &q, k, s))
+        });
+    }
+    g.finish();
+}
+
+fn fig_e5(c: &mut Criterion) {
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+    let mut g = c.benchmark_group("fig_e5_window_sweep");
+    for window in [100u64, 400, 1600] {
+        let q = w.partitioned_query(3, window);
+        g.bench_with_input(BenchmarkId::new("native", window), &stream, |b, s| {
+            b.iter(|| run(Strategy::Native, &q, K, s))
+        });
+    }
+    g.finish();
+}
+
+fn fig_e6(c: &mut Criterion) {
+    let w = workload(6);
+    let events = w.generate(EVENTS, SEED);
+    let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+    let mut g = c.benchmark_group("fig_e6_pattern_length");
+    for len in [2usize, 4, 6] {
+        let q = w.partitioned_query(len, W);
+        g.bench_with_input(BenchmarkId::new("native", len), &stream, |b, s| {
+            b.iter(|| run(Strategy::Native, &q, K, s))
+        });
+    }
+    g.finish();
+}
+
+fn fig_e7(c: &mut Criterion) {
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+    let q = w.partitioned_query(3, W);
+    let mut g = c.benchmark_group("fig_e7_purge_ablation");
+    for (name, policy) in [
+        ("never", PurgePolicy::NEVER),
+        ("eager", PurgePolicy::EAGER),
+        ("batch64", PurgePolicy::batched(64)),
+    ] {
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.purge = policy;
+        cfg.partitioned = false;
+        g.bench_function(name, |b| b.iter(|| run_with(Strategy::Native, &q, cfg, &stream)));
+    }
+    g.finish();
+}
+
+fn fig_e8(c: &mut Criterion) {
+    let w = workload(4);
+    let events = w.generate(EVENTS / 2, SEED);
+    let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+    let q = w.negation_query(W);
+    let mut g = c.benchmark_group("fig_e8_negation_policies");
+    for (name, policy) in
+        [("conservative", EmissionPolicy::Conservative), ("aggressive", EmissionPolicy::Aggressive)]
+    {
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.emission = policy;
+        g.bench_function(name, |b| b.iter(|| run_with(Strategy::Native, &q, cfg, &stream)));
+    }
+    g.finish();
+}
+
+fn fig_e9(c: &mut Criterion) {
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+    let mut g = c.benchmark_group("fig_e9_selectivity");
+    for threshold in [10i64, 50, 100] {
+        let q = w.selective_query(3, W, threshold);
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.partitioned = false;
+        g.bench_with_input(BenchmarkId::new("native", threshold), &stream, |b, s| {
+            b.iter(|| run_with(Strategy::Native, &q, cfg, s))
+        });
+    }
+    g.finish();
+}
+
+fn fig_e10(c: &mut Criterion) {
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+    let q = w.partitioned_query(3, W);
+    let mut g = c.benchmark_group("fig_e10_cutoff_ablation");
+    for (name, cutoff) in [("cutoff_on", true), ("cutoff_off", false)] {
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.partitioned = false;
+        cfg.construct.window_cutoff = cutoff;
+        g.bench_function(name, |b| b.iter(|| run_with(Strategy::Native, &q, cfg, &stream)));
+    }
+    g.finish();
+}
+
+fn fig_e11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_e11_partitioning");
+    for tags in [10i64, 1000] {
+        let w = Synthetic::new(SyntheticConfig {
+            num_types: 4,
+            tag_cardinality: tags,
+            value_range: 100,
+            mean_gap: 20,
+        });
+        let events = w.generate(EVENTS, SEED);
+        let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+        let q = w.partitioned_query(3, W);
+        for (name, partitioned) in [("flat", false), ("partitioned", true)] {
+            let mut cfg = EngineConfig::with_k(Duration::new(K));
+            cfg.partitioned = partitioned;
+            g.bench_with_input(BenchmarkId::new(name, tags), &stream, |b, s| {
+                b.iter(|| run_with(Strategy::Native, &q, cfg, s))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig_e12(c: &mut Criterion) {
+    let w = workload(4);
+    let events = w.generate(EVENTS, SEED);
+    let q = w.partitioned_query(2, W);
+    let stream = delay_shuffle(&events, 0.2, DELAY, SEED);
+    let punctuated = punctuate(&stream, 100);
+    let mut g = c.benchmark_group("fig_e12_watermarks");
+    g.bench_function("k_slack", |b| b.iter(|| run(Strategy::Native, &q, K, &stream)));
+    g.bench_function("punctuated", |b| {
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.watermark = WatermarkSource::Both;
+        b.iter(|| run_with(Strategy::Native, &q, cfg, &punctuated))
+    });
+    g.finish();
+}
+
+fn full_tables_smoke(c: &mut Criterion) {
+    // one tiny end-to-end pass over the table generators themselves
+    c.bench_function("experiment_tables_ci_e1", |b| {
+        b.iter(|| experiments::e1(Scale { events: 1000, seed: 7 }))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = fig_e1, fig_e2, fig_e3_e4, fig_e5, fig_e6, fig_e7, fig_e8,
+              fig_e9, fig_e10, fig_e11, fig_e12, full_tables_smoke
+}
+criterion_main!(figures);

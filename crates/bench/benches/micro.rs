@@ -1,0 +1,140 @@
+//! Operator micro-benchmarks: stack insertion (in-order vs late), purge,
+//! construction DFS, K-slack buffer churn, and query parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sequin_engine::KSlackBuffer;
+use sequin_query::parse;
+use sequin_runtime::{AisStack, ConstructOpts, Constructor, RuntimeStats};
+use sequin_types::{ArrivalSeq, Event, EventId, EventRef, Timestamp};
+use sequin_workload::{Synthetic, SyntheticConfig};
+use std::sync::Arc;
+
+fn ev(id: u64, ts: u64) -> EventRef {
+    Arc::new(
+        Event::builder(sequin_types::EventTypeId::from_index(0), Timestamp::new(ts))
+            .id(EventId::new(id))
+            .build(),
+    )
+}
+
+fn stack_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_insert");
+    g.bench_function("in_order_10k", |b| {
+        b.iter(|| {
+            let mut s = AisStack::new();
+            for i in 0..10_000u64 {
+                s.insert(ev(i, i));
+            }
+            s.len()
+        })
+    });
+    g.bench_function("fully_reversed_10k", |b| {
+        b.iter(|| {
+            let mut s = AisStack::new();
+            for i in 0..10_000u64 {
+                s.insert(ev(i, 10_000 - i));
+            }
+            s.len()
+        })
+    });
+    g.bench_function("late_every_8th_10k", |b| {
+        b.iter(|| {
+            let mut s = AisStack::new();
+            for i in 0..10_000u64 {
+                let ts = if i % 8 == 0 { i.saturating_sub(50) } else { i };
+                s.insert(ev(i, ts));
+            }
+            s.len()
+        })
+    });
+    g.finish();
+}
+
+fn stack_purge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_purge");
+    for batch in [1u64, 64, 1024] {
+        g.bench_with_input(BenchmarkId::new("cadence", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut s = AisStack::new();
+                let mut purged = 0usize;
+                for i in 0..10_000u64 {
+                    s.insert(ev(i, i));
+                    if i % batch == 0 {
+                        purged += s.purge_before(Timestamp::new(i.saturating_sub(100)));
+                    }
+                }
+                purged
+            })
+        });
+    }
+    g.finish();
+}
+
+fn construction_dfs(c: &mut Criterion) {
+    let w = Synthetic::new(SyntheticConfig {
+        num_types: 3,
+        tag_cardinality: 10,
+        value_range: 100,
+        mean_gap: 5,
+    });
+    let q = w.partitioned_query(3, 200);
+    let events = w.generate(3_000, 1);
+    let mut stacks = vec![AisStack::new(); 3];
+    for e in &events {
+        for slot in q.slots_for_type(e.event_type()) {
+            stacks[slot].insert(Arc::clone(e));
+        }
+    }
+    let anchors: Vec<EventRef> = stacks[2].events().iter().take(100).cloned().collect();
+    let mut g = c.benchmark_group("construction_dfs");
+    for (name, cutoff) in [("cutoff_on", true), ("cutoff_off", false)] {
+        let ctor = Constructor::new(Arc::clone(&q), ConstructOpts { window_cutoff: cutoff });
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut stats = RuntimeStats::default();
+                let mut out = Vec::new();
+                for a in &anchors {
+                    ctor.matches_with(&stacks, 2, a, &mut stats, &mut out);
+                }
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn kslack_buffer(c: &mut Criterion) {
+    c.bench_function("kslack_buffer_churn_10k", |b| {
+        b.iter(|| {
+            let mut buf = KSlackBuffer::new();
+            let mut released = 0usize;
+            for i in 0..10_000u64 {
+                let ts = if i % 5 == 0 { i.saturating_sub(40) } else { i };
+                buf.push(ev(i, ts), ArrivalSeq::new(i));
+                released += buf.release(Timestamp::new(i.saturating_sub(64))).len();
+            }
+            released
+        })
+    });
+}
+
+fn query_parse(c: &mut Criterion) {
+    let w = Synthetic::new(SyntheticConfig { num_types: 6, ..Default::default() });
+    let text = "PATTERN SEQ(T0 a, !T1 n, T2 c, T3 d) \
+                WHERE a.tag == c.tag AND c.tag == d.tag AND a.x + 2 < d.x \
+                WITHIN 500 RETURN a.tag, d.x";
+    c.bench_function("query_parse_and_analyze", |b| {
+        b.iter(|| parse(text, w.registry()).unwrap())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = micro;
+    config = config();
+    targets = stack_insert, stack_purge, construction_dfs, kslack_buffer, query_parse
+}
+criterion_main!(micro);

@@ -1,0 +1,59 @@
+//! Prints the paper-style experiment tables.
+//!
+//! ```text
+//! experiments            # run everything at full scale
+//! experiments e3 e4      # run selected experiments
+//! experiments --ci all   # reduced scale (fast sanity run)
+//! ```
+
+use sequin_bench::{experiments, Scale};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if let Some(pos) = args.iter().position(|a| a == "--ci") {
+        args.remove(pos);
+        Scale::ci()
+    } else {
+        Scale::full()
+    };
+    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+
+    let known: Vec<&str> =
+        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
+    let selected: Vec<&str> = if run_all {
+        known.clone()
+    } else {
+        let bad: Vec<&String> =
+            args.iter().filter(|a| !known.contains(&a.as_str())).collect();
+        if !bad.is_empty() {
+            eprintln!("unknown experiment(s): {bad:?}; known: {known:?}");
+            std::process::exit(2);
+        }
+        args.iter().map(|a| known[known.iter().position(|k| k == a).unwrap()]).collect()
+    };
+
+    println!(
+        "sequin experiment harness — {} events per run (seed {})\n",
+        scale.events, scale.seed
+    );
+    for id in selected {
+        let rendered = match id {
+            "e1" => experiments::e1(scale),
+            "e2" => experiments::e2(scale),
+            "e3" => experiments::e3(scale),
+            "e4" => experiments::e4(scale),
+            "e5" => experiments::e5(scale),
+            "e6" => experiments::e6(scale),
+            "e7" => experiments::e7(scale),
+            "e8" => experiments::e8(scale),
+            "e9" => experiments::e9(scale),
+            "e10" => experiments::e10(scale),
+            "e11" => experiments::e11(scale),
+            "e12" => experiments::e12(scale),
+            "e13" => experiments::e13(scale),
+            _ => unreachable!("validated above"),
+        };
+        println!("{}", "=".repeat(72));
+        println!("{rendered}");
+    }
+}

@@ -1,0 +1,552 @@
+//! The reconstructed evaluation, one function per experiment (`E1`–`E12`).
+//!
+//! See `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded results and shape claims. Workload parameters are chosen so
+//! match density stays moderate (the correlated `tag` chain bounds output
+//! size) and sweeps finish in seconds at [`crate::Scale::full`].
+
+use sequin_engine::{EmissionPolicy, EngineConfig, OutputKind, Strategy, WatermarkSource};
+use sequin_metrics::{compare_outputs, Table};
+use sequin_netsim::{
+    delay_shuffle, measure_disorder, punctuate, DelayModel, Network, Outage, Source,
+};
+use sequin_runtime::purge::PurgePolicy;
+use sequin_types::{Duration, Timestamp};
+use sequin_workload::{Synthetic, SyntheticConfig};
+
+use crate::prelude::{f2, keps, run, run_with, sorted_stream};
+use crate::Scale;
+
+fn workload(num_types: usize) -> Synthetic {
+    Synthetic::new(SyntheticConfig {
+        num_types,
+        tag_cardinality: 50,
+        value_range: 100,
+        mean_gap: 20,
+    })
+}
+
+const OOO_DELAY: u64 = 200;
+const K: u64 = 200;
+const W: u64 = 400;
+
+/// E1 — correctness failure of the state of the art: precision/recall of
+/// the in-order engine as disorder grows.
+pub fn e1(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events / 2, scale.seed);
+    let q = w.partitioned_query(2, W);
+    let oracle = run(Strategy::InOrder, &q, 0, &sorted_stream(&events));
+    let mut t = Table::new(&["ooo %", "oracle", "observed", "phantoms", "missed", "precision", "recall"]);
+    // lateness up to 2W: late events genuinely cross window boundaries
+    let delay = 2 * W;
+    for pct in [0, 10, 20, 30, 40, 50] {
+        let stream = delay_shuffle(&events, pct as f64 / 100.0, delay, scale.seed);
+        let observed = run(Strategy::InOrder, &q, 0, &stream);
+        let acc = compare_outputs(&observed.outputs, &oracle.outputs);
+        t.row(&[
+            pct.to_string(),
+            oracle.net_matches().to_string(),
+            observed.net_matches().to_string(),
+            acc.false_positives.to_string(),
+            acc.false_negatives.to_string(),
+            f2(acc.precision()),
+            f2(acc.recall()),
+        ]);
+    }
+    format!(
+        "E1  in-order (classic SASE) output quality vs. out-of-order rate\n\
+         query: SEQ(T0,T1) tag-correlated, W={W}, delay <= {delay}\n\n{t}\n\
+         shape: recall degrades steeply with disorder; phantoms appear\n\
+         because the stack discipline implies rather than checks order.\n"
+    )
+}
+
+/// E2 — throughput vs. out-of-order rate, all three strategies.
+pub fn e2(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events, scale.seed);
+    let q = w.partitioned_query(3, W);
+    let mut cfg = EngineConfig::with_k(Duration::new(K));
+    cfg.partitioned = false; // isolate disorder handling from partitioning
+    let mut t = Table::new(&["ooo %", "in-order*", "k-slack-buffer", "native-ooo"]);
+    for pct in [0, 10, 20, 30, 40, 50] {
+        let stream = delay_shuffle(&events, pct as f64 / 100.0, OOO_DELAY, scale.seed);
+        let io = run_with(Strategy::InOrder, &q, cfg, &stream);
+        let kb = run_with(Strategy::Buffered, &q, cfg, &stream);
+        let no = run_with(Strategy::Native, &q, cfg, &stream);
+        t.row(&[pct.to_string(), keps(&io), keps(&kb), keps(&no)]);
+    }
+    format!(
+        "E2  throughput (events/s) vs. out-of-order rate\n\
+         query: SEQ(T0,T1,T2) tag-correlated, W={W}, K={K}\n\n{t}\n\
+         (*) in-order is fast but WRONG under disorder (see E1).\n\
+         shape: both correct strategies stay within ~20% of the (wrong)\n\
+         in-order engine at this window; the buffer's real tax is latency\n\
+         and memory (E3/E4), and it falls behind as W grows (E5).\n"
+    )
+}
+
+/// E3 — result latency vs. the disorder bound K (buffered vs. native).
+pub fn e3(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events / 2, scale.seed);
+    let q = w.partitioned_query(2, W);
+    let mut t = Table::new(&[
+        "K",
+        "kb mean(arr)",
+        "kb p99(arr)",
+        "kb mean(ticks)",
+        "no mean(arr)",
+        "no p99(arr)",
+        "no mean(ticks)",
+    ]);
+    for k in [50u64, 100, 200, 400, 800] {
+        let stream = delay_shuffle(&events, 0.1, k, scale.seed);
+        let mut kb = run(Strategy::Buffered, &q, k, &stream);
+        let mut no = run(Strategy::Native, &q, k, &stream);
+        t.row(&[
+            k.to_string(),
+            f2(kb.arrival_latency.mean()),
+            kb.arrival_latency.p99().to_string(),
+            f2(kb.event_time_latency.mean()),
+            f2(no.arrival_latency.mean()),
+            no.arrival_latency.p99().to_string(),
+            f2(no.event_time_latency.mean()),
+        ]);
+    }
+    format!(
+        "E3  output latency vs. disorder bound K (10% late, delay <= K)\n\
+         arr = latency in arrivals; ticks = event-time latency\n\n{t}\n\
+         shape: buffered latency grows linearly with K (every result\n\
+         waits out the slack); native emits at completion regardless of K.\n"
+    )
+}
+
+/// E4 — engine state (memory) vs. K (buffered vs. native).
+pub fn e4(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events / 2, scale.seed);
+    let q = w.partitioned_query(2, W);
+    let mut t = Table::new(&["K", "kb peak", "kb mean", "no peak", "no mean"]);
+    for k in [50u64, 100, 200, 400, 800] {
+        let stream = delay_shuffle(&events, 0.1, k, scale.seed);
+        let kb = run(Strategy::Buffered, &q, k, &stream);
+        let no = run(Strategy::Native, &q, k, &stream);
+        t.row(&[
+            k.to_string(),
+            kb.peak_state.to_string(),
+            f2(kb.mean_state),
+            no.peak_state.to_string(),
+            f2(no.mean_state),
+        ]);
+    }
+    format!(
+        "E4  buffered events / stack instances vs. K (10% late)\n\n{t}\n\
+         shape: the reorder buffer holds the whole K-wide tail and grows\n\
+         with K; native state is bounded by window purge and grows only\n\
+         mildly (final-stack retention is K-dependent).\n"
+    )
+}
+
+/// E5 — throughput vs. window size.
+pub fn e5(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events, scale.seed);
+    let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
+    let mut t = Table::new(&["W", "k-slack-buffer", "native-ooo", "no peak state"]);
+    for window in [100u64, 200, 400, 800, 1600] {
+        let q = w.partitioned_query(3, window);
+        let kb = run(Strategy::Buffered, &q, K, &stream);
+        let no = run(Strategy::Native, &q, K, &stream);
+        t.row(&[window.to_string(), keps(&kb), keps(&no), no.peak_state.to_string()]);
+    }
+    format!(
+        "E5  throughput vs. window W (20% late, delay <= {OOO_DELAY}, K={K})\n\n{t}\n\
+         shape: both engines slow as W grows (more live state, more\n\
+         construction work); native keeps its lead throughout.\n"
+    )
+}
+
+/// E6 — throughput vs. pattern length.
+pub fn e6(scale: Scale) -> String {
+    let w = workload(6);
+    let events = w.generate(scale.events, scale.seed);
+    let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
+    let mut t = Table::new(&["len", "k-slack-buffer", "native-ooo"]);
+    for len in 2..=6usize {
+        let q = w.partitioned_query(len, W);
+        let kb = run(Strategy::Buffered, &q, K, &stream);
+        let no = run(Strategy::Native, &q, K, &stream);
+        t.row(&[len.to_string(), keps(&kb), keps(&no)]);
+    }
+    format!(
+        "E6  throughput vs. pattern length (20% late, W={W}, K={K})\n\n{t}\n\
+         shape: cost grows with length for both (deeper DFS, more\n\
+         stacks); the native advantage persists across lengths.\n"
+    )
+}
+
+/// E7 — purge ablation: memory and throughput under different cadences.
+pub fn e7(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events, scale.seed);
+    let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
+    let q = w.partitioned_query(3, W);
+    let mut t = Table::new(&["purge", "throughput", "peak state", "mean state", "purge runs"]);
+    for (name, policy) in [
+        ("never", PurgePolicy::NEVER),
+        ("eager (1)", PurgePolicy::EAGER),
+        ("batch 64", PurgePolicy::batched(64)),
+        ("batch 1024", PurgePolicy::batched(1024)),
+    ] {
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.purge = policy;
+        cfg.partitioned = false;
+        let r = run_with(Strategy::Native, &q, cfg, &stream);
+        t.row(&[
+            name.to_owned(),
+            keps(&r),
+            r.peak_state.to_string(),
+            f2(r.mean_state),
+            r.stats.purge_runs.to_string(),
+        ]);
+    }
+    format!(
+        "E7  state-purge ablation (native engine, 20% late, W={W}, K={K})\n\n{t}\n\
+         shape: no purge -> state grows with the stream (and construction\n\
+         slows on the bloated stacks); eager purge pays a pass per event;\n\
+         batching gets the memory bound at amortized cost.\n"
+    )
+}
+
+/// E8 — negation under disorder: conservative vs. aggressive emission.
+pub fn e8(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events / 2, scale.seed);
+    let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
+    let q = w.negation_query(W);
+    let mut t = Table::new(&[
+        "policy",
+        "inserts",
+        "retracts",
+        "net",
+        "mean arr lat",
+        "p99 arr lat",
+    ]);
+    let mut nets = Vec::new();
+    for (name, policy) in
+        [("conservative", EmissionPolicy::Conservative), ("aggressive", EmissionPolicy::Aggressive)]
+    {
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.emission = policy;
+        let mut r = run_with(Strategy::Native, &q, cfg, &stream);
+        let inserts = r.outputs.iter().filter(|o| o.kind == OutputKind::Insert).count();
+        let retracts = r.outputs.len() - inserts;
+        nets.push(r.net_matches());
+        t.row(&[
+            name.to_owned(),
+            inserts.to_string(),
+            retracts.to_string(),
+            r.net_matches().to_string(),
+            f2(r.arrival_latency.mean()),
+            r.arrival_latency.p99().to_string(),
+        ]);
+    }
+    let agree = if nets.windows(2).all(|p| p[0] == p[1]) { "yes" } else { "NO (BUG)" };
+    format!(
+        "E8  negation under disorder: SEQ(T0, !T1, T2), 20% late, W={W}, K={K}\n\n{t}\n\
+         net outputs agree: {agree}\n\
+         shape: conservative pays seal latency on every result;\n\
+         aggressive emits immediately and repairs with retractions.\n"
+    )
+}
+
+/// E9 — SS vs. SC cost split as predicate selectivity varies.
+pub fn e9(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events, scale.seed);
+    let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
+    let mut t = Table::new(&[
+        "sel %",
+        "insertions (SS)",
+        "dfs steps (SC)",
+        "pred evals",
+        "matches",
+        "throughput",
+    ]);
+    for threshold in [10i64, 25, 50, 75, 100] {
+        let q = w.selective_query(3, W, threshold);
+        let mut cfg = EngineConfig::with_k(Duration::new(K));
+        cfg.partitioned = false;
+        let r = run_with(Strategy::Native, &q, cfg, &stream);
+        t.row(&[
+            threshold.to_string(),
+            r.stats.insertions.to_string(),
+            r.stats.dfs_steps.to_string(),
+            r.stats.predicate_evals.to_string(),
+            r.stats.matches_constructed.to_string(),
+            keps(&r),
+        ]);
+    }
+    format!(
+        "E9  operator cost split vs. local-predicate selectivity\n\
+         query: SEQ(T0,T1,T2) with v.x < threshold on each component\n\n{t}\n\
+         shape: the insertion-time pre-filter keeps SS cost linear in\n\
+         selectivity while SC (DFS) cost grows combinatorially, so at\n\
+         high selectivity construction dominates CPU.\n"
+    )
+}
+
+/// E10 — the paper's CPU optimizations, ablated.
+pub fn e10(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events, scale.seed);
+    let q = w.partitioned_query(3, W);
+
+    // (a) pointer maintenance vs positional RIP on *ordered* input
+    let ordered = sorted_stream(&events);
+    let mut cfg = EngineConfig::with_k(Duration::new(K));
+    cfg.partitioned = false;
+    let classic = run_with(Strategy::InOrder, &q, cfg, &ordered);
+    let native = run_with(Strategy::Native, &q, cfg, &ordered);
+
+    // (b) construction window cut-off on/off under disorder
+    let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
+    let mut on_cfg = cfg;
+    on_cfg.construct.window_cutoff = true;
+    let mut off_cfg = cfg;
+    off_cfg.construct.window_cutoff = false;
+    let on = run_with(Strategy::Native, &q, on_cfg, &stream);
+    let off = run_with(Strategy::Native, &q, off_cfg, &stream);
+
+    let mut ta = Table::new(&["engine (ordered input)", "throughput", "matches"]);
+    ta.row(&["classic rip-pointers".into(), keps(&classic), classic.net_matches().to_string()]);
+    ta.row(&["native positional-rip".into(), keps(&native), native.net_matches().to_string()]);
+    let mut tb = Table::new(&["cut-off", "dfs steps", "throughput", "matches"]);
+    tb.row(&["on".into(), on.stats.dfs_steps.to_string(), keps(&on), on.net_matches().to_string()]);
+    tb.row(&[
+        "off".into(),
+        off.stats.dfs_steps.to_string(),
+        keps(&off),
+        off.net_matches().to_string(),
+    ]);
+    format!(
+        "E10a  pointered vs. positional stacks, ordered input (same output)\n\n{ta}\n\
+         E10b  SC early window cut-off ablation (20% late)\n\n{tb}\n\
+         shape: order-insensitivity costs a modest constant factor on\n\
+         perfectly ordered input (sorted-insert path + arrival-driven\n\
+         anchoring at every slot) and in exchange stays exact under any\n\
+         disorder; the cut-off removes a ~5x DFS blow-up.\n"
+    )
+}
+
+/// E11 — hash-partitioned stacks vs. flat stacks as key cardinality grows.
+pub fn e11(scale: Scale) -> String {
+    let mut t = Table::new(&["tags", "flat", "partitioned", "speedup"]);
+    for tags in [1i64, 10, 100, 1000] {
+        let w = Synthetic::new(SyntheticConfig {
+            num_types: 4,
+            tag_cardinality: tags,
+            value_range: 100,
+            mean_gap: 20,
+        });
+        let events = w.generate(scale.events, scale.seed);
+        let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
+        let q = w.partitioned_query(3, W);
+        let mut flat_cfg = EngineConfig::with_k(Duration::new(K));
+        flat_cfg.partitioned = false;
+        let mut part_cfg = flat_cfg;
+        part_cfg.partitioned = true;
+        let flat = run_with(Strategy::Native, &q, flat_cfg, &stream);
+        let part = run_with(Strategy::Native, &q, part_cfg, &stream);
+        assert_eq!(flat.net_matches(), part.net_matches(), "partitioning must not change output");
+        t.row(&[
+            tags.to_string(),
+            keps(&flat),
+            keps(&part),
+            f2(part.throughput_eps / flat.throughput_eps),
+        ]);
+    }
+    format!(
+        "E11  partitioned vs. flat state, SEQ(T0,T1,T2) tag-correlated\n\
+         (20% late, W={W}, K={K})\n\n{t}\n\
+         shape: at cardinality 1 partitioning is pure overhead; as\n\
+         cardinality grows, per-shard stacks shrink and the DFS stops\n\
+         wading through other keys' instances — throughput climbs.\n"
+    )
+}
+
+/// E12 — punctuation-driven vs. K-slack-driven purge under failure bursts.
+pub fn e12(scale: Scale) -> String {
+    let w = workload(4);
+    let n = scale.events;
+    let half = w.generate(n / 2, scale.seed);
+    // second source: same workload shape, shifted ids/timestamps
+    let other = {
+        
+        w.generate(n / 2, scale.seed + 1)
+    };
+    let horizon = half.last().map(|e| e.ts().ticks()).unwrap_or(1000);
+    let outage = Outage {
+        from: Timestamp::new(horizon / 3),
+        until: Timestamp::new(horizon / 3 + horizon / 10),
+    };
+    let net = Network::new(
+        vec![
+            Source::new(half, DelayModel::Uniform { lo: 0, hi: 40 }).with_outage(outage),
+            Source::new(other, DelayModel::Uniform { lo: 0, hi: 40 }),
+        ],
+        scale.seed,
+    );
+    let stream = net.deliver();
+    let report = measure_disorder(&stream);
+    let k_needed = report.max_lateness.ticks().max(1);
+    let q = w.partitioned_query(2, W);
+
+    // K-slack sized to the worst burst
+    let kslack_cfg = EngineConfig::with_k(Duration::new(k_needed));
+    let ks = run_with(Strategy::Native, &q, kslack_cfg, &stream);
+
+    // punctuated stream with omniscient source watermark
+    let punctuated = punctuate(&stream, 100);
+    let mut punct_cfg = EngineConfig::with_k(Duration::new(k_needed));
+    punct_cfg.watermark = WatermarkSource::Both;
+    let pu = run_with(Strategy::Native, &q, punct_cfg, &punctuated);
+
+    let mut t = Table::new(&["watermark", "peak state", "mean state", "matches"]);
+    t.row(&[
+        format!("k-slack (K={k_needed})"),
+        ks.peak_state.to_string(),
+        f2(ks.mean_state),
+        ks.net_matches().to_string(),
+    ]);
+    t.row(&[
+        "k-slack + punctuation".into(),
+        pu.peak_state.to_string(),
+        f2(pu.mean_state),
+        pu.net_matches().to_string(),
+    ]);
+    let agree = if ks.net_matches() == pu.net_matches() { "yes" } else { "NO (BUG)" };
+    format!(
+        "E12  failure-burst disorder: K-slack vs. punctuation watermarks\n\
+         two sources, uniform delay <= 40, one outage with retransmission\n\
+         burst; measured disorder: {:.1}% late, max lateness {}\n\n{t}\n\
+         outputs agree: {agree}\n\
+         shape: a K sized for the worst burst over-retains state the whole\n\
+         run; punctuations advance the watermark between bursts and purge\n\
+         earlier at equal correctness.\n",
+        report.late_fraction * 100.0,
+        report.max_lateness,
+    )
+}
+
+/// E13 (extension) — adaptive disorder-bound estimation vs. fixed K under
+/// heavy-tailed (Pareto) delays where the true bound is unknown a priori.
+pub fn e13(scale: Scale) -> String {
+    let w = workload(4);
+    let events = w.generate(scale.events / 2, scale.seed);
+    let net = Network::new(
+        vec![Source::new(events.clone(), DelayModel::Pareto { scale: 5.0, shape: 1.1 })],
+        scale.seed,
+    );
+    let stream = net.deliver();
+    let report = measure_disorder(&stream);
+    let true_k = report.max_lateness.ticks().max(1);
+    let q = w.partitioned_query(2, W);
+
+    // ground truth: fixed K equal to the true bound
+    let oracle = run(Strategy::Native, &q, true_k, &stream);
+
+    let mut t = Table::new(&["bound", "k final", "recall", "mean state", "beyond-k arrivals"]);
+    let mut row = |name: String, r: &sequin_metrics::RunReport, k_final: String| {
+        let acc = compare_outputs(&r.outputs, &oracle.outputs);
+        t.row(&[
+            name,
+            k_final,
+            f2(acc.recall()),
+            f2(r.mean_state),
+            r.stats.late_drops.to_string(),
+        ]);
+    };
+    row("fixed K = true max".into(), &oracle, true_k.to_string());
+
+    let small_k = (report.mean_lateness * 3.0).ceil() as u64 + 1;
+    let under = run(Strategy::Native, &q, small_k, &stream);
+    row(format!("fixed K = 3x mean ({small_k})"), &under, small_k.to_string());
+
+    for safety in [1.0f64, 2.0] {
+        let cfg = EngineConfig::with_adaptive_k(Duration::new(small_k), safety);
+        let mut engine = sequin_engine::NativeEngine::new(std::sync::Arc::clone(&q), cfg);
+        let r = sequin_metrics::run_engine(&mut engine, &stream, 64);
+        row(
+            format!("adaptive (floor {small_k}, safety {safety})"),
+            &r,
+            engine.k_hat().ticks().to_string(),
+        );
+    }
+    format!(
+        "E13  adaptive K̂ vs. fixed K under Pareto delays (extension)\n\
+         measured disorder: {:.1}% late, mean lateness {:.1}, max {}\n\n{t}\n\
+         shape: an underestimated fixed K silently loses matches forever;\n\
+         the adaptive bound converges to the observed tail (losing only\n\
+         what arrived before the estimate caught up) at a fraction of the\n\
+         worst-case bound's state cost when safety is moderate.\n",
+        report.late_fraction * 100.0,
+        report.mean_lateness,
+        report.max_lateness,
+    )
+}
+
+/// Runs every experiment at `scale`, returning `(id, rendered)` pairs.
+pub fn all(scale: Scale) -> Vec<(&'static str, String)> {
+    vec![
+        ("e1", e1(scale)),
+        ("e2", e2(scale)),
+        ("e3", e3(scale)),
+        ("e4", e4(scale)),
+        ("e5", e5(scale)),
+        ("e6", e6(scale)),
+        ("e7", e7(scale)),
+        ("e8", e8(scale)),
+        ("e9", e9(scale)),
+        ("e10", e10(scale)),
+        ("e11", e11(scale)),
+        ("e12", e12(scale)),
+        ("e13", e13(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { events: 2_000, seed: 7 }
+    }
+
+    #[test]
+    fn e1_reports_degrading_recall() {
+        let s = e1(tiny());
+        assert!(s.contains("recall"));
+    }
+
+    #[test]
+    fn e8_policies_agree() {
+        let s = e8(tiny());
+        assert!(s.contains("net outputs agree: yes"), "{s}");
+    }
+
+    #[test]
+    fn e11_partitioning_preserves_output() {
+        // the assert inside e11 is the real test
+        let s = e11(Scale { events: 1_000, seed: 7 });
+        assert!(s.contains("speedup"));
+    }
+
+    #[test]
+    fn e12_watermarks_agree() {
+        let s = e12(tiny());
+        assert!(s.contains("outputs agree: yes"), "{s}");
+    }
+}

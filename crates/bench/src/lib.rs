@@ -1,0 +1,39 @@
+//! # sequin-bench
+//!
+//! The evaluation harness: one function per reconstructed experiment
+//! (`E1`–`E12`, see `DESIGN.md` for the index), each returning the rendered
+//! paper-style table. The `experiments` binary prints them; the criterion
+//! benches (`benches/figures.rs`, `benches/micro.rs`) measure the same
+//! code paths at a calibrated scale.
+//!
+//! Every experiment is deterministic (seeded workloads, seeded disorder);
+//! throughput numbers vary with the host, but the *shape* claims recorded
+//! in `EXPERIMENTS.md` (who wins, trends, crossovers) are stable.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod prelude;
+
+/// How big the experiment runs are. `Scale::full()` is what
+/// `EXPERIMENTS.md` reports; `Scale::ci()` keeps the harness's own tests
+/// and criterion iterations fast.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Events per run.
+    pub events: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The scale used for the recorded results.
+    pub fn full() -> Scale {
+        Scale { events: 200_000, seed: 42 }
+    }
+
+    /// A small scale for tests and criterion inner loops.
+    pub fn ci() -> Scale {
+        Scale { events: 10_000, seed: 42 }
+    }
+}

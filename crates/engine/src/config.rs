@@ -1,0 +1,143 @@
+//! Engine configuration.
+
+use sequin_runtime::purge::PurgePolicy;
+use sequin_runtime::ConstructOpts;
+use sequin_types::Duration;
+
+/// How matches involving negation leave the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmissionPolicy {
+    /// Hold a match until all of its negation regions are **sealed** by the
+    /// watermark, re-validate, then emit. Output is exactly the correct
+    /// match set, at the cost of up to `K + region` latency.
+    #[default]
+    Conservative,
+    /// Emit immediately (validated against the negatives seen so far) and
+    /// issue a [`crate::OutputKind::Retract`] if a late negative
+    /// invalidates an already-emitted match. Minimal latency; consumers
+    /// must handle retractions. (The direction the authors' follow-up
+    /// ICDE'09 work formalized as the *aggressive* strategy.)
+    Aggressive,
+}
+
+/// Where the stream's low-watermark comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WatermarkSource {
+    /// `watermark = clock − K` under an a-priori disorder bound `K`.
+    #[default]
+    KSlack,
+    /// Advance only on explicit [`sequin_types::StreamItem::Punctuation`]
+    /// items (source-asserted low-watermarks).
+    Punctuation,
+    /// `max` of both mechanisms.
+    Both,
+}
+
+/// Adaptive disorder-bound estimation (extension; the direction later
+/// formalized by quality-driven K-slack work). Instead of trusting an
+/// a-priori `K`, the engine tracks the maximum lateness observed so far
+/// and uses `K̂ = max(floor, ceil(observed_max · safety))`.
+///
+/// The watermark stays **monotone** (it never retreats when `K̂` grows),
+/// so already-purged state and already-sealed regions remain valid; the
+/// price is that events later than the current estimate may be lost
+/// (counted in [`sequin_runtime::RuntimeStats::late_drops`]). A `safety`
+/// factor above 1 buys headroom against that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveK {
+    /// Multiplier applied to the observed maximum lateness.
+    pub safety: f64,
+}
+
+impl Default for AdaptiveK {
+    fn default() -> Self {
+        AdaptiveK { safety: 2.0 }
+    }
+}
+
+/// Tunables shared by every strategy.
+///
+/// The defaults are the paper's recommended configuration: K-slack
+/// watermarking, batched purge, early window cut-off, conservative
+/// negation, partitioning enabled when the query allows it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// The disorder bound `K`: no event arrives more than `K` ticks behind
+    /// the maximum timestamp seen. With [`EngineConfig::adaptive_k`] set,
+    /// this is the *floor* of the adaptive estimate instead.
+    pub k_slack: Duration,
+    /// Estimate `K` from observed disorder instead of trusting `k_slack`.
+    pub adaptive_k: Option<AdaptiveK>,
+    /// Purge cadence.
+    pub purge: PurgePolicy,
+    /// Construction optimizations.
+    pub construct: ConstructOpts,
+    /// Negation emission policy.
+    pub emission: EmissionPolicy,
+    /// Watermark mechanism.
+    pub watermark: WatermarkSource,
+    /// Shard state by the query's partition scheme when one exists.
+    pub partitioned: bool,
+}
+
+impl EngineConfig {
+    /// Configuration with a specific disorder bound and defaults elsewhere.
+    pub fn with_k(k: Duration) -> EngineConfig {
+        EngineConfig { k_slack: k, ..EngineConfig::default() }
+    }
+
+    /// Configuration with adaptive disorder-bound estimation: `floor` is
+    /// the minimum `K̂`, `safety` the multiplier on observed lateness.
+    pub fn with_adaptive_k(floor: Duration, safety: f64) -> EngineConfig {
+        EngineConfig {
+            k_slack: floor,
+            adaptive_k: Some(AdaptiveK { safety }),
+            ..EngineConfig::default()
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            k_slack: Duration::new(100),
+            adaptive_k: None,
+            purge: PurgePolicy::default(),
+            construct: ConstructOpts::default(),
+            emission: EmissionPolicy::Conservative,
+            watermark: WatermarkSource::KSlack,
+            partitioned: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_recommended() {
+        let c = EngineConfig::default();
+        assert_eq!(c.emission, EmissionPolicy::Conservative);
+        assert_eq!(c.watermark, WatermarkSource::KSlack);
+        assert!(c.partitioned);
+        assert!(c.construct.window_cutoff);
+        assert!(c.purge.every_n.is_some());
+    }
+
+    #[test]
+    fn adaptive_config() {
+        let c = EngineConfig::with_adaptive_k(Duration::new(5), 1.5);
+        assert_eq!(c.k_slack, Duration::new(5));
+        assert_eq!(c.adaptive_k, Some(AdaptiveK { safety: 1.5 }));
+        assert_eq!(EngineConfig::default().adaptive_k, None);
+        assert_eq!(AdaptiveK::default().safety, 2.0);
+    }
+
+    #[test]
+    fn with_k_overrides_only_k() {
+        let c = EngineConfig::with_k(Duration::new(7));
+        assert_eq!(c.k_slack, Duration::new(7));
+        assert_eq!(c.emission, EngineConfig::default().emission);
+    }
+}

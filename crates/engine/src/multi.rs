@@ -1,0 +1,221 @@
+//! Evaluating several queries over one shared arrival stream.
+
+use std::sync::Arc;
+
+use sequin_query::Query;
+use sequin_runtime::RuntimeStats;
+use sequin_types::StreamItem;
+
+use crate::config::EngineConfig;
+use crate::output::OutputItem;
+use crate::traits::{Engine, Strategy};
+
+/// A registered query's handle within a [`MultiEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(usize);
+
+impl QueryId {
+    /// The dense registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Fans one arrival stream out to many queries, each evaluated by its own
+/// engine, and tags outputs with the originating [`QueryId`].
+///
+/// Monitoring deployments routinely run dozens of patterns over one feed;
+/// this wrapper gives them a single ingestion point with per-query
+/// configuration (different strategies, bounds, or emission policies may
+/// be mixed freely).
+///
+/// ```
+/// use sequin_engine::{EngineConfig, MultiEngine, Strategy};
+/// use sequin_query::parse;
+/// use sequin_types::{TypeRegistry, ValueKind};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut reg = TypeRegistry::new();
+/// reg.declare("A", &[("x", ValueKind::Int)])?;
+/// reg.declare("B", &[("x", ValueKind::Int)])?;
+/// let mut multi = MultiEngine::new();
+/// let q1 = multi.register(
+///     parse("PATTERN SEQ(A a, B b) WITHIN 10", &reg)?,
+///     Strategy::Native,
+///     EngineConfig::default(),
+/// );
+/// let q2 = multi.register(
+///     parse("PATTERN SEQ(B b, A a) WITHIN 10", &reg)?,
+///     Strategy::Native,
+///     EngineConfig::default(),
+/// );
+/// assert_ne!(q1, q2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct MultiEngine {
+    engines: Vec<Box<dyn Engine>>,
+}
+
+impl std::fmt::Debug for MultiEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiEngine").field("queries", &self.engines.len()).finish()
+    }
+}
+
+impl MultiEngine {
+    /// Creates an empty multi-query engine.
+    pub fn new() -> MultiEngine {
+        MultiEngine::default()
+    }
+
+    /// Registers a query with its own strategy and configuration.
+    pub fn register(
+        &mut self,
+        query: Arc<Query>,
+        strategy: Strategy,
+        config: EngineConfig,
+    ) -> QueryId {
+        self.engines.push(crate::make_engine(strategy, query, config));
+        QueryId(self.engines.len() - 1)
+    }
+
+    /// Registers a pre-built engine.
+    pub fn register_engine(&mut self, engine: Box<dyn Engine>) -> QueryId {
+        self.engines.push(engine);
+        QueryId(self.engines.len() - 1)
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Ingests one arrival into every registered engine; outputs are
+    /// tagged with the query that produced them, in registration order.
+    pub fn ingest(&mut self, item: &StreamItem) -> Vec<(QueryId, OutputItem)> {
+        let mut out = Vec::new();
+        for (ix, engine) in self.engines.iter_mut().enumerate() {
+            for o in engine.ingest(item) {
+                out.push((QueryId(ix), o));
+            }
+        }
+        out
+    }
+
+    /// Finishes every engine (see [`Engine::finish`]).
+    pub fn finish(&mut self) -> Vec<(QueryId, OutputItem)> {
+        let mut out = Vec::new();
+        for (ix, engine) in self.engines.iter_mut().enumerate() {
+            for o in engine.finish() {
+                out.push((QueryId(ix), o));
+            }
+        }
+        out
+    }
+
+    /// Per-query operator statistics, in registration order.
+    pub fn stats(&self) -> Vec<RuntimeStats> {
+        self.engines.iter().map(|e| e.stats()).collect()
+    }
+
+    /// Total state held across all queries.
+    pub fn state_size(&self) -> usize {
+        self.engines.iter().map(|e| e.state_size()).sum()
+    }
+
+    /// The engine evaluating `id`, for per-query inspection.
+    pub fn engine(&self, id: QueryId) -> &dyn Engine {
+        self.engines[id.0].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_query::parse;
+    use sequin_types::{Duration, Event, EventId, Timestamp, TypeRegistry, Value, ValueKind};
+
+    fn setup() -> (TypeRegistry, MultiEngine, QueryId, QueryId) {
+        let mut reg = TypeRegistry::new();
+        for name in ["A", "B"] {
+            reg.declare(name, &[("x", ValueKind::Int)]).unwrap();
+        }
+        let mut multi = MultiEngine::new();
+        let cfg = EngineConfig::with_k(Duration::new(50));
+        let ab = multi.register(
+            parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap(),
+            Strategy::Native,
+            cfg,
+        );
+        let ba = multi.register(
+            parse("PATTERN SEQ(B b, A a) WITHIN 100", &reg).unwrap(),
+            Strategy::Native,
+            cfg,
+        );
+        (reg, multi, ab, ba)
+    }
+
+    fn item(reg: &TypeRegistry, ty: &str, id: u64, ts: u64) -> StreamItem {
+        StreamItem::Event(Arc::new(
+            Event::builder(reg.lookup(ty).unwrap(), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .attr(Value::Int(0))
+                .build(),
+        ))
+    }
+
+    #[test]
+    fn outputs_are_tagged_per_query() {
+        let (reg, mut multi, ab, ba) = setup();
+        let mut out = Vec::new();
+        // A@10, B@20 matches q_ab; B@20, A@30 matches q_ba
+        out.extend(multi.ingest(&item(&reg, "A", 1, 10)));
+        out.extend(multi.ingest(&item(&reg, "B", 2, 20)));
+        out.extend(multi.ingest(&item(&reg, "A", 3, 30)));
+        out.extend(multi.finish());
+        let for_ab: Vec<_> = out.iter().filter(|(q, _)| *q == ab).collect();
+        let for_ba: Vec<_> = out.iter().filter(|(q, _)| *q == ba).collect();
+        assert_eq!(for_ab.len(), 1);
+        assert_eq!(for_ba.len(), 1);
+        assert_eq!(multi.len(), 2);
+        assert!(!multi.is_empty());
+    }
+
+    #[test]
+    fn per_query_stats_and_state() {
+        let (reg, mut multi, ab, _) = setup();
+        multi.ingest(&item(&reg, "A", 1, 10));
+        let stats = multi.stats();
+        assert_eq!(stats.len(), 2);
+        assert!(multi.state_size() >= 2, "the A enters both queries' stacks");
+        assert_eq!(multi.engine(ab).query().positive_len(), 2);
+    }
+
+    #[test]
+    fn register_engine_accepts_prebuilt_engines() {
+        let (reg, mut multi, _, _) = setup();
+        let q = parse("PATTERN SEQ(A a) WITHIN 5", &reg).unwrap();
+        let id = multi.register_engine(crate::make_engine(
+            Strategy::InOrder,
+            q,
+            EngineConfig::default(),
+        ));
+        assert_eq!(id.index(), 2);
+        let out = multi.ingest(&item(&reg, "A", 9, 5));
+        assert!(out.iter().any(|(qid, _)| *qid == id));
+    }
+
+    #[test]
+    fn empty_multi_engine_is_harmless() {
+        let mut multi = MultiEngine::new();
+        assert!(multi.is_empty());
+        assert!(multi.finish().is_empty());
+        assert_eq!(multi.state_size(), 0);
+    }
+}

@@ -1,0 +1,716 @@
+//! Strategy 3: the paper's native out-of-order engine.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use sequin_query::{PartitionScheme, Query};
+use sequin_runtime::{
+    purge, regions, seal_deadline, AisStack, Constructor, Match, NegationIndex, PartitionKey,
+    PartitionMap, RuntimeStats,
+};
+use sequin_types::{ArrivalSeq, EventRef, StreamItem, Timestamp};
+
+use crate::config::{EmissionPolicy, EngineConfig};
+use crate::output::{OutputItem, OutputKind};
+use crate::traits::Engine;
+use crate::watermark::WatermarkTracker;
+
+/// A constructed match waiting for its negation regions to seal
+/// (conservative emission).
+#[derive(Debug, Clone)]
+struct Pending {
+    deadline: Timestamp,
+    events: Vec<EventRef>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.deadline
+            .cmp(&other.deadline)
+            .then_with(|| {
+                let a = self.events.iter().map(|e| e.id());
+                let b = other.events.iter().map(|e| e.id());
+                a.cmp(b)
+            })
+    }
+}
+
+/// A match already emitted whose negation regions were not yet sealed
+/// (aggressive emission): a late negative may still retract it.
+#[derive(Debug, Clone)]
+struct EmittedUnsealed {
+    deadline: Timestamp,
+    events: Vec<EventRef>,
+}
+
+/// Per-partition positive state: one [`AisStack`] per positive slot.
+#[derive(Debug, Clone)]
+struct Shard {
+    stacks: Vec<AisStack>,
+}
+
+impl Shard {
+    fn new(m: usize) -> Shard {
+        Shard { stacks: vec![AisStack::new(); m] }
+    }
+
+    fn len(&self) -> usize {
+        self.stacks.iter().map(AisStack::len).sum()
+    }
+}
+
+#[derive(Debug)]
+enum ShardSet {
+    Single(Shard),
+    Partitioned { scheme: PartitionScheme, map: PartitionMap<Shard> },
+}
+
+/// The paper's engine: order-insensitive active instance stacks,
+/// arrival-driven construction with out-of-order compensation, and
+/// watermark-safe purge.
+///
+/// * Negation-free matches are emitted the instant their last-arriving
+///   constituent is ingested (zero arrival latency, exactly once).
+/// * Negation is handled per [`EmissionPolicy`]: conservatively (held
+///   until the negation regions seal, then re-validated) or aggressively
+///   (emitted immediately, retracted if a late negative lands).
+/// * State is purged against the watermark (`clock − K`, punctuation, or
+///   both) using the thresholds derived in [`sequin_runtime::purge`].
+/// * With [`EngineConfig::partitioned`] and a query-level equality chain,
+///   positive stacks are sharded by the join key; the negative index stays
+///   global (negatives filter by predicate at check time).
+#[derive(Debug)]
+pub struct NativeEngine {
+    query: Arc<Query>,
+    config: EngineConfig,
+    ctor: Constructor,
+    shards: ShardSet,
+    negatives: NegationIndex,
+    pending: BinaryHeap<Reverse<Pending>>,
+    emitted_unsealed: Vec<EmittedUnsealed>,
+    wm: WatermarkTracker,
+    next_seq: ArrivalSeq,
+    stats: RuntimeStats,
+    scratch: Vec<Vec<EventRef>>,
+}
+
+impl NativeEngine {
+    /// Creates the engine.
+    pub fn new(query: Arc<Query>, config: EngineConfig) -> NativeEngine {
+        let m = query.positive_len();
+        let shards = match (config.partitioned, query.partition()) {
+            (true, Some(scheme)) => {
+                ShardSet::Partitioned { scheme: scheme.clone(), map: PartitionMap::new() }
+            }
+            _ => ShardSet::Single(Shard::new(m)),
+        };
+        NativeEngine {
+            ctor: Constructor::new(Arc::clone(&query), config.construct),
+            negatives: NegationIndex::new(Arc::clone(&query)),
+            shards,
+            wm: WatermarkTracker::new(&config),
+            query,
+            config,
+            pending: BinaryHeap::new(),
+            emitted_unsealed: Vec::new(),
+            next_seq: ArrivalSeq::default(),
+            stats: RuntimeStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The current (monotone) low-watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.wm.current()
+    }
+
+    /// The current disorder-bound estimate (`K`, or the adaptive `K̂`).
+    pub fn k_hat(&self) -> sequin_types::Duration {
+        self.wm.k_hat()
+    }
+
+    fn emit(&self, events: Vec<EventRef>, out: &mut Vec<OutputItem>, kind: OutputKind) {
+        out.push(OutputItem {
+            kind,
+            m: Match::new(&self.query, events),
+            emit_seq: self.next_seq,
+            emit_clock: self.wm.clock(),
+        });
+    }
+
+    fn process_event(&mut self, event: &EventRef, out: &mut Vec<OutputItem>) {
+        if self.wm.observe_event(event.ts()) {
+            // disorder bound violated: state this event needed may already
+            // be purged; process best-effort and record the violation
+            self.stats.late_drops += 1;
+        }
+
+        // negatives first: a negative at the same timestamp as a positive
+        // arrival must be visible to validation in this call
+        let is_negated_type =
+            self.query.negations().iter().any(|n| n.matches_type(event.event_type()));
+        if is_negated_type {
+            self.negatives.offer(event, &mut self.stats);
+            if self.config.emission == EmissionPolicy::Aggressive {
+                self.retract_invalidated(event, out);
+            }
+        }
+
+        // positive slots: pre-filter, insert, compensate-construct
+        let slots = self.query.slots_for_type(event.event_type());
+        for slot in slots {
+            if !self.passes_local(slot, event) {
+                continue;
+            }
+            let mut raw = std::mem::take(&mut self.scratch);
+            raw.clear();
+            match &mut self.shards {
+                ShardSet::Single(shard) => {
+                    Self::insert_and_construct(
+                        &self.ctor,
+                        shard,
+                        slot,
+                        event,
+                        &mut self.stats,
+                        &mut raw,
+                    );
+                }
+                ShardSet::Partitioned { scheme, map } => {
+                    let m = self.query.positive_len();
+                    if let Some(key) = event
+                        .field(scheme.fields[slot])
+                        .and_then(PartitionKey::from_value)
+                    {
+                        let shard = map.shard_mut(key, || Shard::new(m));
+                        Self::insert_and_construct(
+                            &self.ctor,
+                            shard,
+                            slot,
+                            event,
+                            &mut self.stats,
+                            &mut raw,
+                        );
+                    }
+                }
+            }
+            for events in raw.drain(..) {
+                self.route_match(events, out);
+            }
+            self.scratch = raw;
+        }
+    }
+
+    fn insert_and_construct(
+        ctor: &Constructor,
+        shard: &mut Shard,
+        slot: usize,
+        event: &EventRef,
+        stats: &mut RuntimeStats,
+        raw: &mut Vec<Vec<EventRef>>,
+    ) {
+        let pos = match shard.stacks[slot].insert(Arc::clone(event)) {
+            Some(pos) => pos,
+            None => return, // duplicate delivery
+        };
+        stats.insertions += 1;
+        if pos + 1 != shard.stacks[slot].len() {
+            stats.ooo_insertions += 1;
+        }
+        ctor.matches_with(&shard.stacks, slot, event, stats, raw);
+    }
+
+    fn passes_local(&mut self, slot: usize, event: &EventRef) -> bool {
+        let mut binding: Vec<Option<&EventRef>> = vec![None; self.query.components().len()];
+        binding[self.query.positive_comp(slot)] = Some(event);
+        for pred in self.query.local_predicates(slot) {
+            self.stats.predicate_evals += 1;
+            if pred.eval(&binding) != Some(true) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Decides what to do with a freshly constructed match.
+    fn route_match(&mut self, events: Vec<EventRef>, out: &mut Vec<OutputItem>) {
+        if !self.query.has_negation() {
+            self.emit(events, out, OutputKind::Insert);
+            return;
+        }
+        let deadline = seal_deadline(&self.query, &events).expect("query has negation");
+        let watermark = self.watermark();
+        match self.config.emission {
+            EmissionPolicy::Conservative => {
+                if deadline <= watermark {
+                    if !self.negatives.violates(&events, &mut self.stats) {
+                        self.emit(events, out, OutputKind::Insert);
+                    }
+                } else {
+                    self.pending.push(Reverse(Pending { deadline, events }));
+                }
+            }
+            EmissionPolicy::Aggressive => {
+                if self.negatives.violates(&events, &mut self.stats) {
+                    return;
+                }
+                if deadline > watermark {
+                    self.emitted_unsealed
+                        .push(EmittedUnsealed { deadline, events: events.clone() });
+                }
+                self.emit(events, out, OutputKind::Insert);
+            }
+        }
+    }
+
+    /// Aggressive mode: a just-arrived negative retracts any emitted,
+    /// still-unsealed match it invalidates.
+    fn retract_invalidated(&mut self, negative: &EventRef, out: &mut Vec<OutputItem>) {
+        let query = Arc::clone(&self.query);
+        let mut retracted: Vec<Vec<EventRef>> = Vec::new();
+        self.emitted_unsealed.retain(|rec| {
+            let rs = regions(&query, &rec.events);
+            for (ix, neg) in query.negations().iter().enumerate() {
+                if !neg.matches_type(negative.event_type()) {
+                    continue;
+                }
+                let region = rs[ix];
+                if region.is_empty()
+                    || negative.ts() < region.start
+                    || negative.ts() >= region.end
+                {
+                    continue;
+                }
+                let mut binding = query.binding_from_positives(&rec.events);
+                binding[neg.comp] = Some(negative);
+                if neg.predicates.iter().all(|p| p.eval(&binding) == Some(true)) {
+                    retracted.push(rec.events.clone());
+                    return false;
+                }
+            }
+            true
+        });
+        for events in retracted {
+            self.stats.negated_matches += 1;
+            self.emit(events, out, OutputKind::Retract);
+        }
+    }
+
+    /// Emits pending matches whose regions sealed, and forgets sealed
+    /// aggressive records.
+    fn drain_sealed(&mut self, out: &mut Vec<OutputItem>) {
+        let watermark = self.watermark();
+        while let Some(Reverse(top)) = self.pending.peek() {
+            if top.deadline > watermark {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked");
+            if !self.negatives.violates(&p.events, &mut self.stats) {
+                self.emit(p.events, out, OutputKind::Insert);
+            }
+        }
+        self.emitted_unsealed.retain(|rec| rec.deadline > watermark);
+    }
+
+    fn run_purge(&mut self) {
+        self.stats.purge_runs += 1;
+        let watermark = self.watermark();
+        let window = self.query.window();
+        let prefix = purge::prefix_threshold(watermark, window);
+        let fin = purge::final_threshold(watermark);
+        let mut purged = 0u64;
+        let purge_shard = |shard: &mut Shard, purged: &mut u64| {
+            let m = shard.stacks.len();
+            for (slot, stack) in shard.stacks.iter_mut().enumerate() {
+                let threshold = if slot + 1 == m { fin } else { prefix };
+                *purged += stack.purge_before(threshold) as u64;
+            }
+        };
+        match &mut self.shards {
+            ShardSet::Single(shard) => purge_shard(shard, &mut purged),
+            ShardSet::Partitioned { map, .. } => {
+                for (_, shard) in map.iter_mut() {
+                    purge_shard(shard, &mut purged);
+                }
+                map.retain_live(|shard| shard.len() == 0);
+            }
+        }
+        self.stats.purged += purged;
+        self.negatives
+            .purge_before(purge::negative_threshold(watermark, window), &mut self.stats);
+    }
+}
+
+impl Engine for NativeEngine {
+    fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem> {
+        let mut out = Vec::new();
+        match item {
+            StreamItem::Event(event) => {
+                self.next_seq = self.next_seq.next();
+                let stamped = Arc::new(event.as_ref().clone().with_arrival(self.next_seq));
+                self.process_event(&stamped, &mut out);
+            }
+            StreamItem::Punctuation(t) => {
+                self.wm.observe_punctuation(*t);
+            }
+        }
+        self.drain_sealed(&mut out);
+        if self.config.purge.due(self.next_seq.get()) {
+            self.run_purge();
+        }
+        out
+    }
+
+    fn finish(&mut self) -> Vec<OutputItem> {
+        let mut out = Vec::new();
+        // end-of-stream seals every region
+        self.wm.seal();
+        self.drain_sealed(&mut out);
+        out
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    fn state_size(&self) -> usize {
+        let stacks = match &self.shards {
+            ShardSet::Single(shard) => shard.len(),
+            ShardSet::Partitioned { map, .. } => map.iter().map(|(_, s)| s.len()).sum(),
+        };
+        stacks + self.negatives.len() + self.pending.len() + self.emitted_unsealed.len()
+    }
+
+    fn query(&self) -> &Arc<Query> {
+        &self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WatermarkSource;
+    use crate::traits::run_to_end;
+    use sequin_query::parse;
+    use sequin_runtime::purge::PurgePolicy;
+    use sequin_types::{Duration, Event, EventId, TypeRegistry, Value, ValueKind};
+
+    fn registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        for name in ["A", "B", "C", "N"] {
+            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Int)]).unwrap();
+        }
+        reg
+    }
+
+    fn item(reg: &TypeRegistry, ty: &str, id: u64, ts: u64, x: i64) -> StreamItem {
+        StreamItem::Event(Arc::new(
+            Event::builder(reg.lookup(ty).unwrap(), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .attr(Value::Int(x))
+                .attr(Value::Int(x))
+                .build(),
+        ))
+    }
+
+    fn keys(out: &[OutputItem]) -> Vec<(bool, Vec<u64>)> {
+        let mut v: Vec<(bool, Vec<u64>)> = out
+            .iter()
+            .map(|o| {
+                (
+                    o.kind == OutputKind::Insert,
+                    o.m.events().iter().map(|e| e.id().get()).collect(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn out_of_order_match_recovered_immediately() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, EngineConfig::default());
+        let mut out = Vec::new();
+        out.extend(eng.ingest(&item(&reg, "B", 1, 20, 0)));
+        assert!(out.is_empty());
+        out.extend(eng.ingest(&item(&reg, "A", 2, 10, 0)));
+        assert_eq!(out.len(), 1, "compensation fired on the late A");
+        assert_eq!(out[0].arrival_latency(), 0);
+    }
+
+    #[test]
+    fn exactly_once_under_shuffle() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b, C c) WITHIN 100", &reg).unwrap();
+        let items = [
+            item(&reg, "C", 5, 50, 0),
+            item(&reg, "A", 1, 10, 0),
+            item(&reg, "B", 3, 30, 0),
+            item(&reg, "A", 2, 20, 0),
+            item(&reg, "C", 6, 60, 0),
+        ];
+        let mut eng = NativeEngine::new(q, EngineConfig::default());
+        let out = run_to_end(&mut eng, &items);
+        assert_eq!(
+            keys(&out),
+            vec![
+                (true, vec![1, 3, 5]),
+                (true, vec![1, 3, 6]),
+                (true, vec![2, 3, 5]),
+                (true, vec![2, 3, 6]),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, EngineConfig::default());
+        let a = item(&reg, "A", 1, 10, 0);
+        let b = item(&reg, "B", 2, 20, 0);
+        let mut out = Vec::new();
+        out.extend(eng.ingest(&a));
+        out.extend(eng.ingest(&b));
+        out.extend(eng.ingest(&b));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn conservative_negation_waits_for_seal() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut cfg = EngineConfig::with_k(Duration::new(10));
+        cfg.emission = EmissionPolicy::Conservative;
+        let mut eng = NativeEngine::new(q, cfg);
+        let mut out = Vec::new();
+        out.extend(eng.ingest(&item(&reg, "A", 1, 10, 0)));
+        out.extend(eng.ingest(&item(&reg, "B", 2, 20, 0)));
+        // match constructed but region (10,20) not sealed: watermark = 10
+        assert!(out.is_empty());
+        // late negative inside the region arrives
+        out.extend(eng.ingest(&item(&reg, "N", 3, 15, 0)));
+        assert!(out.is_empty());
+        // advance watermark past 20: the match is (correctly) suppressed
+        out.extend(eng.ingest(&item(&reg, "A", 4, 40, 0)));
+        assert!(out.is_empty());
+        assert!(eng.stats().negated_matches >= 1);
+    }
+
+    #[test]
+    fn conservative_negation_emits_clean_match_after_seal() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, EngineConfig::with_k(Duration::new(10)));
+        let mut out = Vec::new();
+        out.extend(eng.ingest(&item(&reg, "A", 1, 10, 0)));
+        out.extend(eng.ingest(&item(&reg, "B", 2, 20, 0)));
+        assert!(out.is_empty());
+        out.extend(eng.ingest(&item(&reg, "A", 4, 40, 0))); // watermark 30 >= 20
+        assert_eq!(keys(&out), vec![(true, vec![1, 2])]);
+    }
+
+    #[test]
+    fn aggressive_negation_emits_then_retracts() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut cfg = EngineConfig::with_k(Duration::new(50));
+        cfg.emission = EmissionPolicy::Aggressive;
+        let mut eng = NativeEngine::new(q, cfg);
+        let mut out = Vec::new();
+        out.extend(eng.ingest(&item(&reg, "A", 1, 10, 0)));
+        out.extend(eng.ingest(&item(&reg, "B", 2, 20, 0)));
+        assert_eq!(out.len(), 1, "emitted optimistically");
+        // a late negative inside (10,20) retracts it
+        let retractions = eng.ingest(&item(&reg, "N", 3, 15, 0));
+        assert_eq!(retractions.len(), 1);
+        assert_eq!(retractions[0].kind, OutputKind::Retract);
+        assert_eq!(keys(&retractions), vec![(false, vec![1, 2])]);
+    }
+
+    #[test]
+    fn aggressive_insert_minus_retract_equals_conservative() {
+        let reg = registry();
+        let text = "PATTERN SEQ(A a, !N n, B b) WHERE a.tag == b.tag WITHIN 50";
+        let q = parse(text, &reg).unwrap();
+        let items: Vec<StreamItem> = vec![
+            item(&reg, "A", 1, 10, 1),
+            item(&reg, "B", 2, 30, 1),
+            item(&reg, "N", 3, 20, 0), // late negative kills (1,2)
+            item(&reg, "A", 4, 40, 2),
+            item(&reg, "B", 5, 60, 2),
+            item(&reg, "A", 7, 200, 3), // advances watermark far
+        ];
+        let mut cons = NativeEngine::new(Arc::clone(&q), {
+            let mut c = EngineConfig::with_k(Duration::new(30));
+            c.emission = EmissionPolicy::Conservative;
+            c
+        });
+        let mut aggr = NativeEngine::new(q, {
+            let mut c = EngineConfig::with_k(Duration::new(30));
+            c.emission = EmissionPolicy::Aggressive;
+            c
+        });
+        let out_c = run_to_end(&mut cons, &items);
+        let out_a = run_to_end(&mut aggr, &items);
+        // net aggressive output (inserts minus retracts) == conservative
+        let mut net: std::collections::BTreeMap<Vec<u64>, i64> = Default::default();
+        for o in &out_a {
+            let k: Vec<u64> = o.m.events().iter().map(|e| e.id().get()).collect();
+            *net.entry(k).or_default() += if o.kind == OutputKind::Insert { 1 } else { -1 };
+        }
+        net.retain(|_, v| *v != 0);
+        let mut cons_keys: Vec<Vec<u64>> = out_c
+            .iter()
+            .map(|o| o.m.events().iter().map(|e| e.id().get()).collect())
+            .collect();
+        cons_keys.sort();
+        let net_keys: Vec<Vec<u64>> = net.keys().cloned().collect();
+        assert_eq!(net_keys, cons_keys);
+    }
+
+    #[test]
+    fn punctuation_seals_regions() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut cfg = EngineConfig::with_k(Duration::new(1_000_000));
+        cfg.watermark = WatermarkSource::Both;
+        let mut eng = NativeEngine::new(q, cfg);
+        let mut out = Vec::new();
+        out.extend(eng.ingest(&item(&reg, "A", 1, 10, 0)));
+        out.extend(eng.ingest(&item(&reg, "B", 2, 20, 0)));
+        assert!(out.is_empty());
+        out.extend(eng.ingest(&StreamItem::Punctuation(Timestamp::new(25))));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn finish_seals_everything() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, EngineConfig::with_k(Duration::new(1_000_000)));
+        eng.ingest(&item(&reg, "A", 1, 10, 0));
+        eng.ingest(&item(&reg, "B", 2, 20, 0));
+        let out = eng.finish();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn purge_bounds_state_without_losing_matches() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 20", &reg).unwrap();
+        let mut cfg = EngineConfig::with_k(Duration::new(10));
+        cfg.purge = PurgePolicy::EAGER;
+        let mut purged_eng = NativeEngine::new(Arc::clone(&q), cfg);
+        let mut unpurged_cfg = EngineConfig::with_k(Duration::new(10));
+        unpurged_cfg.purge = PurgePolicy::NEVER;
+        let mut unpurged_eng = NativeEngine::new(q, unpurged_cfg);
+
+        // a long stream with small bounded disorder
+        let mut items = Vec::new();
+        let mut id = 0;
+        for t in 0..500u64 {
+            id += 1;
+            let ty = if t % 4 == 0 { "B" } else { "A" };
+            let ts = if t % 7 == 3 { t.saturating_sub(5) } else { t };
+            items.push(item(&reg, ty, id, ts * 3, 0));
+        }
+        let out_p = run_to_end(&mut purged_eng, &items);
+        let out_u = run_to_end(&mut unpurged_eng, &items);
+        assert_eq!(keys(&out_p), keys(&out_u));
+        assert!(purged_eng.state_size() * 4 < unpurged_eng.state_size());
+    }
+
+    #[test]
+    fn partitioned_agrees_with_unpartitioned() {
+        let reg = registry();
+        let text = "PATTERN SEQ(A a, B b, C c) WHERE a.tag == b.tag AND b.tag == c.tag WITHIN 200";
+        let q = parse(text, &reg).unwrap();
+        assert!(q.partition().is_some());
+        let mut part = NativeEngine::new(Arc::clone(&q), EngineConfig::default());
+        let flat_cfg = EngineConfig { partitioned: false, ..EngineConfig::default() };
+        let mut flat = NativeEngine::new(q, flat_cfg);
+
+        let mut items = Vec::new();
+        let mut id = 0;
+        for t in 0..300u64 {
+            id += 1;
+            let ty = ["A", "B", "C"][(t % 3) as usize];
+            let tag = (t % 5) as i64;
+            let ts = if t % 6 == 2 { t.saturating_sub(4) } else { t };
+            items.push(item(&reg, ty, id, ts * 2, tag));
+        }
+        let out_p = run_to_end(&mut part, &items);
+        let out_f = run_to_end(&mut flat, &items);
+        assert_eq!(keys(&out_p), keys(&out_f));
+        assert!(!out_p.is_empty());
+    }
+
+    #[test]
+    fn late_beyond_k_is_counted() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 10", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, EngineConfig::with_k(Duration::new(5)));
+        eng.ingest(&item(&reg, "A", 1, 1000, 0));
+        eng.ingest(&item(&reg, "B", 2, 10, 0)); // 990 late, bound is 5
+        assert_eq!(eng.stats().late_drops, 1);
+    }
+
+    #[test]
+    fn adaptive_k_with_adequate_floor_is_exact() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
+        // floor covers the real disorder: adaptive must behave like fixed K
+        let mut adaptive =
+            NativeEngine::new(Arc::clone(&q), EngineConfig::with_adaptive_k(Duration::new(50), 2.0));
+        let mut fixed = NativeEngine::new(q, EngineConfig::with_k(Duration::new(50)));
+        let items = [
+            item(&reg, "B", 1, 40, 0),
+            item(&reg, "A", 2, 10, 0), // 30 late, within floor
+            item(&reg, "A", 3, 50, 0),
+            item(&reg, "B", 4, 90, 0),
+        ];
+        let out_a = run_to_end(&mut adaptive, &items);
+        let out_f = run_to_end(&mut fixed, &items);
+        assert_eq!(keys(&out_a), keys(&out_f));
+        assert_eq!(adaptive.stats().late_drops, 0);
+    }
+
+    #[test]
+    fn adaptive_k_estimate_grows_with_observed_lateness() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, EngineConfig::with_adaptive_k(Duration::new(5), 2.0));
+        eng.ingest(&item(&reg, "A", 1, 100, 0));
+        assert_eq!(eng.k_hat(), Duration::new(5));
+        eng.ingest(&item(&reg, "B", 2, 60, 0)); // 40 late
+        assert_eq!(eng.k_hat(), Duration::new(80));
+        // watermark never retreats
+        let wm_before = eng.watermark();
+        eng.ingest(&item(&reg, "B", 3, 61, 0));
+        assert!(eng.watermark() >= wm_before);
+    }
+
+    #[test]
+    fn state_size_reflects_pending() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, EngineConfig::with_k(Duration::new(1_000_000)));
+        eng.ingest(&item(&reg, "A", 1, 10, 0));
+        eng.ingest(&item(&reg, "B", 2, 20, 0));
+        assert_eq!(eng.state_size(), 3); // 2 stack instances + 1 pending
+    }
+}

@@ -1,0 +1,90 @@
+//! Engine output items.
+
+use std::fmt;
+
+use sequin_runtime::Match;
+use sequin_types::{ArrivalSeq, Timestamp};
+
+/// Whether an output item asserts or withdraws a match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// A (believed-)valid match.
+    Insert,
+    /// Withdrawal of a previously inserted match (aggressive negation
+    /// emission only).
+    Retract,
+}
+
+/// One emitted result, annotated with enough bookkeeping to compute the
+/// evaluation's latency metrics:
+///
+/// * **arrival latency** = `emit_seq − match.completion_arrival()` — how
+///   many arrivals passed between the match becoming constructible and the
+///   engine emitting it (zero for the native engine on negation-free
+///   queries; ~K's worth of arrivals for the buffered baseline);
+/// * **event-time latency** = `emit_clock − match.last_ts()` — how far the
+///   stream's clock had advanced past the match's own span at emission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputItem {
+    /// Insert or retract.
+    pub kind: OutputKind,
+    /// The match.
+    pub m: Match,
+    /// Arrival sequence number of the item whose ingestion emitted this.
+    pub emit_seq: ArrivalSeq,
+    /// The engine clock (max timestamp seen) at emission.
+    pub emit_clock: Timestamp,
+}
+
+impl OutputItem {
+    /// Arrival latency in ingested items (see type docs).
+    pub fn arrival_latency(&self) -> u64 {
+        self.emit_seq.get().saturating_sub(self.m.completion_arrival().get())
+    }
+
+    /// Event-time latency in ticks (see type docs).
+    pub fn event_time_latency(&self) -> u64 {
+        self.emit_clock.ticks().saturating_sub(self.m.last_ts().ticks())
+    }
+}
+
+impl fmt::Display for OutputItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.kind {
+            OutputKind::Insert => "+",
+            OutputKind::Retract => "-",
+        };
+        write!(f, "{tag}{}", self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_query::parse;
+    use sequin_types::{Event, EventId, Timestamp, TypeRegistry, Value, ValueKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn latency_accessors() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.declare("A", &[("x", ValueKind::Int)]).unwrap();
+        let q = parse("PATTERN SEQ(A a) WITHIN 10", &reg).unwrap();
+        let ev = Arc::new(
+            Event::builder(a, Timestamp::new(50))
+                .id(EventId::new(1))
+                .attr(Value::Int(0))
+                .build()
+                .with_arrival(ArrivalSeq::new(10)),
+        );
+        let item = OutputItem {
+            kind: OutputKind::Insert,
+            m: Match::new(&q, vec![ev]),
+            emit_seq: ArrivalSeq::new(14),
+            emit_clock: Timestamp::new(65),
+        };
+        assert_eq!(item.arrival_latency(), 4);
+        assert_eq!(item.event_time_latency(), 15);
+        assert!(item.to_string().starts_with('+'));
+    }
+}

@@ -1,0 +1,86 @@
+//! The engine abstraction.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sequin_query::Query;
+use sequin_runtime::RuntimeStats;
+use sequin_types::StreamItem;
+
+use crate::output::OutputItem;
+
+/// The three evaluation strategies compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Classic SASE fed raw arrivals (correct only in order).
+    InOrder,
+    /// K-slack reorder buffer in front of the classic engine.
+    Buffered,
+    /// The paper's native out-of-order engine.
+    Native,
+}
+
+impl Strategy {
+    /// All strategies, in presentation order.
+    pub const ALL: [Strategy; 3] = [Strategy::InOrder, Strategy::Buffered, Strategy::Native];
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::InOrder => "in-order",
+            Strategy::Buffered => "k-slack-buffer",
+            Strategy::Native => "native-ooo",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete query-evaluation strategy over a stream of arrivals.
+///
+/// Implementations stamp arrival sequence numbers internally; callers feed
+/// raw [`StreamItem`]s in arrival order and collect [`OutputItem`]s.
+pub trait Engine {
+    /// Ingests one arrival (event or punctuation); returns the output it
+    /// triggered.
+    fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem>;
+
+    /// Signals end-of-stream: releases everything still held (reorder
+    /// buffers drain; pending negation matches are sealed as if a final
+    /// punctuation at `Timestamp::MAX` arrived).
+    fn finish(&mut self) -> Vec<OutputItem>;
+
+    /// Operator cost counters accumulated so far.
+    fn stats(&self) -> RuntimeStats;
+
+    /// Events/instances currently held (stacks + buffers + pending),
+    /// the evaluation's memory metric.
+    fn state_size(&self) -> usize;
+
+    /// The query under evaluation.
+    fn query(&self) -> &Arc<Query>;
+}
+
+/// Convenience: run `items` through `engine`, then finish, collecting all
+/// output.
+pub fn run_to_end(engine: &mut dyn Engine, items: &[StreamItem]) -> Vec<OutputItem> {
+    let mut out = Vec::new();
+    for item in items {
+        out.extend(engine.ingest(item));
+    }
+    out.extend(engine.finish());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(Strategy::InOrder.to_string(), "in-order");
+        assert_eq!(Strategy::Buffered.to_string(), "k-slack-buffer");
+        assert_eq!(Strategy::Native.to_string(), "native-ooo");
+        assert_eq!(Strategy::ALL.len(), 3);
+    }
+}

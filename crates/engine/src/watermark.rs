@@ -1,0 +1,166 @@
+//! Shared low-watermark tracking (fixed or adaptive K, punctuation).
+
+use sequin_runtime::purge;
+use sequin_types::{Duration, Timestamp};
+
+use crate::config::{EngineConfig, WatermarkSource};
+
+/// Tracks the stream clock (max occurrence timestamp seen), punctuation
+/// assertions, the disorder-bound estimate `K̂`, and the resulting
+/// **monotone** low-watermark.
+///
+/// With a fixed bound, `K̂ = K` always. With [`crate::AdaptiveK`],
+/// `K̂ = max(floor, ceil(observed_max_lateness · safety))`; because a
+/// growing `K̂` would otherwise pull `clock − K̂` backwards, the published
+/// watermark is the running maximum — purge and seal decisions already
+/// taken stay valid.
+#[derive(Debug, Clone)]
+pub(crate) struct WatermarkTracker {
+    source: WatermarkSource,
+    k_floor: Duration,
+    safety: Option<f64>,
+    clock: Timestamp,
+    punct: Timestamp,
+    observed_max_lateness: Duration,
+    high: Timestamp,
+}
+
+impl WatermarkTracker {
+    pub fn new(config: &EngineConfig) -> WatermarkTracker {
+        WatermarkTracker {
+            source: config.watermark,
+            k_floor: config.k_slack,
+            safety: config.adaptive_k.map(|a| a.safety),
+            clock: Timestamp::MIN,
+            punct: Timestamp::MIN,
+            observed_max_lateness: Duration::ZERO,
+            high: Timestamp::MIN,
+        }
+    }
+
+    /// The maximum occurrence timestamp seen.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// The current disorder-bound estimate.
+    pub fn k_hat(&self) -> Duration {
+        match self.safety {
+            None => self.k_floor,
+            Some(safety) => {
+                let scaled = (self.observed_max_lateness.ticks() as f64 * safety).ceil();
+                let scaled = if scaled.is_finite() && scaled >= 0.0 {
+                    Duration::new(scaled.min(u64::MAX as f64) as u64)
+                } else {
+                    Duration::MAX
+                };
+                self.k_floor.max(scaled)
+            }
+        }
+    }
+
+    /// The published (monotone) low-watermark.
+    pub fn current(&self) -> Timestamp {
+        self.high
+    }
+
+    /// Accounts for an event arrival. Returns `true` when the event was
+    /// later than the watermark published *before* this arrival — i.e. the
+    /// engine may already have purged state it needed.
+    pub fn observe_event(&mut self, ts: Timestamp) -> bool {
+        let was_late = ts < self.high;
+        if ts < self.clock {
+            self.observed_max_lateness = self.observed_max_lateness.max(self.clock - ts);
+        }
+        self.clock = self.clock.max(ts);
+        self.republish();
+        was_late
+    }
+
+    /// Accounts for a punctuation.
+    pub fn observe_punctuation(&mut self, t: Timestamp) {
+        self.punct = self.punct.max(t);
+        self.republish();
+    }
+
+    /// End-of-stream: pin the watermark at the maximum.
+    pub fn seal(&mut self) {
+        self.high = Timestamp::MAX;
+    }
+
+    fn republish(&mut self) {
+        let slack = purge::watermark(self.clock, self.k_hat());
+        let candidate = match self.source {
+            WatermarkSource::KSlack => slack,
+            WatermarkSource::Punctuation => self.punct,
+            WatermarkSource::Both => slack.max(self.punct),
+        };
+        self.high = self.high.max(candidate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(k: u64) -> WatermarkTracker {
+        WatermarkTracker::new(&EngineConfig::with_k(Duration::new(k)))
+    }
+
+    #[test]
+    fn fixed_k_tracks_clock_minus_k() {
+        let mut w = fixed(10);
+        assert!(!w.observe_event(Timestamp::new(100)));
+        assert_eq!(w.current(), Timestamp::new(90));
+        assert_eq!(w.clock(), Timestamp::new(100));
+        assert_eq!(w.k_hat(), Duration::new(10));
+    }
+
+    #[test]
+    fn watermark_is_monotone_under_late_events() {
+        let mut w = fixed(10);
+        w.observe_event(Timestamp::new(100));
+        assert!(w.observe_event(Timestamp::new(50)), "beyond-K arrival flagged");
+        assert_eq!(w.current(), Timestamp::new(90), "never retreats");
+    }
+
+    #[test]
+    fn adaptive_k_grows_with_observed_lateness() {
+        let mut w = WatermarkTracker::new(&EngineConfig::with_adaptive_k(Duration::new(5), 2.0));
+        w.observe_event(Timestamp::new(100));
+        assert_eq!(w.k_hat(), Duration::new(5), "floor before any lateness");
+        w.observe_event(Timestamp::new(80)); // 20 late
+        assert_eq!(w.k_hat(), Duration::new(40));
+        // watermark does not retreat from its earlier publication (95)
+        assert_eq!(w.current(), Timestamp::new(95));
+        // and resumes rising once the clock outruns the larger K̂
+        w.observe_event(Timestamp::new(200));
+        assert_eq!(w.current(), Timestamp::new(160));
+    }
+
+    #[test]
+    fn punctuation_sources() {
+        let mut cfg = EngineConfig::with_k(Duration::new(1_000));
+        cfg.watermark = WatermarkSource::Punctuation;
+        let mut w = WatermarkTracker::new(&cfg);
+        w.observe_event(Timestamp::new(500));
+        assert_eq!(w.current(), Timestamp::MIN, "k-slack ignored");
+        w.observe_punctuation(Timestamp::new(300));
+        assert_eq!(w.current(), Timestamp::new(300));
+
+        let mut cfg = EngineConfig::with_k(Duration::new(100));
+        cfg.watermark = WatermarkSource::Both;
+        let mut w = WatermarkTracker::new(&cfg);
+        w.observe_event(Timestamp::new(500));
+        w.observe_punctuation(Timestamp::new(450));
+        assert_eq!(w.current(), Timestamp::new(450), "max of both");
+    }
+
+    #[test]
+    fn seal_pins_at_max() {
+        let mut w = fixed(10);
+        w.observe_event(Timestamp::new(7));
+        w.seal();
+        assert_eq!(w.current(), Timestamp::MAX);
+    }
+}

@@ -1,0 +1,139 @@
+//! A simple exact histogram over `u64` samples.
+
+/// Collects integer samples and reports order statistics.
+///
+/// Samples are stored exactly (the evaluation's result sets are far below
+/// memory-relevant sizes); percentile queries sort lazily.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as u128).sum::<u128>() as f64 / self.samples.len() as f64
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`; 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Median (P50).
+    pub fn p50(&mut self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// P95.
+    pub fn p95(&mut self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// P99.
+    pub fn p99(&mut self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn order_statistics() {
+        let mut h: Histogram = (1..=100).collect();
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p95(), 95);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn unsorted_insertion_order_is_fine() {
+        let mut h = Histogram::new();
+        for v in [9, 1, 5, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 5);
+        h.record(0);
+        assert_eq!(h.quantile(0.0), 0, "re-sorts after new sample");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn bad_quantile_panics() {
+        Histogram::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,27 @@
+//! # sequin-metrics
+//!
+//! Measurement utilities for the evaluation harness:
+//!
+//! * [`Histogram`] — integer-valued latency histogram with
+//!   P50/P95/P99/max/mean;
+//! * [`run_engine`] / [`RunReport`] — drives an [`sequin_engine::Engine`]
+//!   over a prepared stream while sampling state size and collecting
+//!   per-result latencies, wall-clock throughput, and operator counters;
+//! * [`compare_outputs`] / [`Accuracy`] — precision/recall of an observed
+//!   match set against an oracle (used to quantify the in-order engine's
+//!   failures, experiment E1);
+//! * [`Table`] — fixed-width table rendering for the paper-style output of
+//!   the `experiments` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+mod histogram;
+mod runner;
+mod table;
+
+pub use compare::{compare_outputs, net_inserts, Accuracy};
+pub use histogram::Histogram;
+pub use runner::{run_engine, RunReport};
+pub use table::{f1, Table};

@@ -1,0 +1,133 @@
+//! Instrumented engine runs.
+
+use std::time::Instant;
+
+use sequin_engine::{Engine, OutputItem};
+use sequin_runtime::RuntimeStats;
+use sequin_types::StreamItem;
+
+use crate::histogram::Histogram;
+
+/// Everything measured during one engine run over one stream.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Events ingested (punctuations excluded).
+    pub events: usize,
+    /// Wall-clock seconds for ingesting the whole stream (+ finish).
+    pub elapsed_secs: f64,
+    /// Events per wall-clock second.
+    pub throughput_eps: f64,
+    /// Every output the engine produced (inserts and retracts).
+    pub outputs: Vec<OutputItem>,
+    /// Per-result arrival latency (ingested items between a match becoming
+    /// constructible and its emission).
+    pub arrival_latency: Histogram,
+    /// Per-result event-time latency (ticks the clock had advanced past
+    /// the match's last timestamp at emission).
+    pub event_time_latency: Histogram,
+    /// Largest state size observed at the sampling cadence.
+    pub peak_state: usize,
+    /// Mean of the sampled state sizes.
+    pub mean_state: f64,
+    /// Final operator counters.
+    pub stats: RuntimeStats,
+}
+
+impl RunReport {
+    /// Net inserted matches (inserts minus retractions).
+    pub fn net_matches(&self) -> usize {
+        crate::compare::net_inserts(&self.outputs).len()
+    }
+}
+
+/// Runs `engine` over `stream` (then finishes it), sampling state size
+/// every `sample_every` items.
+///
+/// # Panics
+///
+/// Panics if `sample_every` is zero.
+pub fn run_engine(engine: &mut dyn Engine, stream: &[StreamItem], sample_every: usize) -> RunReport {
+    assert!(sample_every > 0, "sampling cadence must be positive");
+    let mut outputs = Vec::new();
+    let mut peak_state = 0usize;
+    let mut state_sum = 0u128;
+    let mut state_samples = 0u64;
+    let mut events = 0usize;
+
+    let start = Instant::now();
+    for (i, item) in stream.iter().enumerate() {
+        if matches!(item, StreamItem::Event(_)) {
+            events += 1;
+        }
+        outputs.extend(engine.ingest(item));
+        if i % sample_every == 0 {
+            let s = engine.state_size();
+            peak_state = peak_state.max(s);
+            state_sum += s as u128;
+            state_samples += 1;
+        }
+    }
+    outputs.extend(engine.finish());
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let s = engine.state_size();
+    peak_state = peak_state.max(s);
+
+    let mut arrival_latency = Histogram::new();
+    let mut event_time_latency = Histogram::new();
+    for o in &outputs {
+        arrival_latency.record(o.arrival_latency());
+        event_time_latency.record(o.event_time_latency());
+    }
+
+    RunReport {
+        events,
+        elapsed_secs,
+        throughput_eps: if elapsed_secs > 0.0 { events as f64 / elapsed_secs } else { 0.0 },
+        outputs,
+        arrival_latency,
+        event_time_latency,
+        peak_state,
+        mean_state: if state_samples == 0 { 0.0 } else { state_sum as f64 / state_samples as f64 },
+        stats: engine.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_engine::{EngineConfig, NativeEngine};
+    use sequin_netsim::delay_shuffle;
+    use sequin_types::Duration;
+    use sequin_workload::{Synthetic, SyntheticConfig};
+
+    #[test]
+    fn report_counts_and_latencies() {
+        let w = Synthetic::new(SyntheticConfig::default());
+        let events = w.generate(2000, 1);
+        let stream = delay_shuffle(&events, 0.2, 50, 7);
+        let q = w.seq_query(3, 60);
+        let mut engine = NativeEngine::new(q, EngineConfig::with_k(Duration::new(60)));
+        let report = run_engine(&mut engine, &stream, 16);
+        assert_eq!(report.events, 2000);
+        assert!(report.throughput_eps > 0.0);
+        assert!(report.net_matches() > 0);
+        assert!(report.peak_state > 0);
+        assert!(report.mean_state > 0.0);
+        assert_eq!(report.outputs.len(), report.arrival_latency.len());
+        // negation-free native emission is immediate
+        assert_eq!(report.arrival_latency.max(), 0);
+        // only events of the three queried types enter stacks
+        assert!(report.stats.insertions > 0);
+        assert!(report.stats.insertions <= 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling cadence must be positive")]
+    fn zero_cadence_panics() {
+        let w = Synthetic::new(SyntheticConfig::default());
+        let q = w.seq_query(2, 10);
+        let mut engine = NativeEngine::new(q, EngineConfig::default());
+        run_engine(&mut engine, &[], 0);
+    }
+}

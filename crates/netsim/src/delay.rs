@@ -1,0 +1,134 @@
+//! Per-event network latency models.
+
+use rand::Rng;
+
+/// A distribution of per-event network delays, in ticks.
+///
+/// All sampling is deterministic given the caller's seeded RNG, so every
+/// experiment is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Zero delay: arrival order equals timestamp order.
+    None,
+    /// Every event delayed by exactly `ticks` (shifts, but cannot reorder
+    /// a single source; reorders merged sources).
+    Constant(u64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Minimum delay.
+        lo: u64,
+        /// Maximum delay (inclusive).
+        hi: u64,
+    },
+    /// Exponential with the given mean (rounded to ticks). Models
+    /// well-behaved queueing latency.
+    Exponential {
+        /// Mean delay in ticks.
+        mean: f64,
+    },
+    /// Pareto with minimum `scale` and tail index `shape` (heavier tail for
+    /// smaller `shape`; `shape > 1` for finite mean). Models congested or
+    /// lossy links with occasional very late stragglers.
+    Pareto {
+        /// Minimum delay (Pareto scale parameter).
+        scale: f64,
+        /// Tail index (Pareto shape parameter).
+        shape: f64,
+    },
+}
+
+impl DelayModel {
+    /// Samples one delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Uniform` bounds are inverted or `Exponential`/`Pareto`
+    /// parameters are non-positive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            DelayModel::None => 0,
+            DelayModel::Constant(ticks) => ticks,
+            DelayModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform delay bounds inverted");
+                rng.gen_range(lo..=hi)
+            }
+            DelayModel::Exponential { mean } => {
+                assert!(mean > 0.0, "exponential mean must be positive");
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-mean * u.ln()).round() as u64
+            }
+            DelayModel::Pareto { scale, shape } => {
+                assert!(scale > 0.0 && shape > 0.0, "pareto parameters must be positive");
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (scale / u.powf(1.0 / shape)).round().min(u64::MAX as f64) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn none_and_constant() {
+        let mut r = rng();
+        assert_eq!(DelayModel::None.sample(&mut r), 0);
+        assert_eq!(DelayModel::Constant(5).sample(&mut r), 5);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = DelayModel::Uniform { lo: 3, hi: 9 }.sample(&mut r);
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_roughly_holds() {
+        let mut r = rng();
+        let model = DelayModel::Exponential { mean: 50.0 };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| model.sample(&mut r)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((40.0..60.0).contains(&mean), "observed mean {mean}");
+    }
+
+    #[test]
+    fn pareto_has_min_scale_and_heavy_tail() {
+        let mut r = rng();
+        let model = DelayModel::Pareto { scale: 10.0, shape: 1.5 };
+        let samples: Vec<u64> = (0..20_000).map(|_| model.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&d| d >= 10));
+        let max = *samples.iter().max().unwrap();
+        assert!(max > 200, "heavy tail expected, max was {max}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = DelayModel::Uniform { lo: 0, hi: 100 };
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| model.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..10).map(|_| model.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform delay bounds inverted")]
+    fn inverted_uniform_panics() {
+        DelayModel::Uniform { lo: 9, hi: 3 }.sample(&mut rng());
+    }
+}

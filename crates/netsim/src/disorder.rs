@@ -1,0 +1,110 @@
+//! Empirical disorder measurement.
+
+use sequin_types::{Duration, StreamItem, Timestamp};
+
+/// Disorder statistics of an arrival-ordered stream.
+///
+/// An event is **late** when some earlier arrival carried a larger
+/// timestamp; its **lateness** is the gap to the running maximum. The
+/// maximum lateness is the smallest `K` under which the stream satisfies
+/// the K-slack bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisorderReport {
+    /// Total events inspected (punctuations excluded).
+    pub events: usize,
+    /// Events that arrived behind the running timestamp maximum.
+    pub late_events: usize,
+    /// `late_events / events` (0 for an empty stream).
+    pub late_fraction: f64,
+    /// The largest observed lateness — the minimal valid K-slack bound.
+    pub max_lateness: Duration,
+    /// Mean lateness over *late* events only (zero if none).
+    pub mean_lateness: f64,
+}
+
+/// Measures the disorder of `stream` (see [`DisorderReport`]).
+pub fn measure_disorder(stream: &[StreamItem]) -> DisorderReport {
+    let mut clock = Timestamp::MIN;
+    let mut events = 0usize;
+    let mut late = 0usize;
+    let mut max_lateness = Duration::ZERO;
+    let mut lateness_sum = 0u128;
+    for item in stream {
+        let ev = match item.as_event() {
+            Some(e) => e,
+            None => continue,
+        };
+        events += 1;
+        if ev.ts() < clock {
+            late += 1;
+            let lateness = clock - ev.ts();
+            lateness_sum += u128::from(lateness.ticks());
+            max_lateness = max_lateness.max(lateness);
+        }
+        clock = clock.max(ev.ts());
+    }
+    DisorderReport {
+        events,
+        late_events: late,
+        late_fraction: if events == 0 { 0.0 } else { late as f64 / events as f64 },
+        max_lateness,
+        mean_lateness: if late == 0 { 0.0 } else { lateness_sum as f64 / late as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_types::{Event, EventId, EventTypeId};
+    use std::sync::Arc;
+
+    fn item(id: u64, ts: u64) -> StreamItem {
+        StreamItem::Event(Arc::new(
+            Event::builder(EventTypeId::from_index(0), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .build(),
+        ))
+    }
+
+    #[test]
+    fn ordered_stream_has_no_disorder() {
+        let stream: Vec<StreamItem> = (0..10).map(|i| item(i, i * 5)).collect();
+        let r = measure_disorder(&stream);
+        assert_eq!(r.events, 10);
+        assert_eq!(r.late_events, 0);
+        assert_eq!(r.late_fraction, 0.0);
+        assert_eq!(r.max_lateness, Duration::ZERO);
+        assert_eq!(r.mean_lateness, 0.0);
+    }
+
+    #[test]
+    fn lateness_measured_against_running_max() {
+        let stream = vec![item(1, 100), item(2, 40), item(3, 90), item(4, 110)];
+        let r = measure_disorder(&stream);
+        assert_eq!(r.late_events, 2);
+        assert_eq!(r.max_lateness, Duration::new(60));
+        assert_eq!(r.mean_lateness, 35.0); // (60 + 10) / 2
+        assert!((r.late_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn punctuations_ignored() {
+        let stream = vec![item(1, 100), StreamItem::Punctuation(Timestamp::new(1)), item(2, 50)];
+        let r = measure_disorder(&stream);
+        assert_eq!(r.events, 2);
+        assert_eq!(r.late_events, 1);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let r = measure_disorder(&[]);
+        assert_eq!(r.events, 0);
+        assert_eq!(r.late_fraction, 0.0);
+    }
+
+    #[test]
+    fn equal_timestamps_are_not_late() {
+        let stream = vec![item(1, 50), item(2, 50)];
+        assert_eq!(measure_disorder(&stream).late_events, 0);
+    }
+}

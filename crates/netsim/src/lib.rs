@@ -1,0 +1,36 @@
+//! # sequin-netsim
+//!
+//! A single-process substitute for the networked testbed of Li et al.
+//! (ICDCS 2007): it turns a timestamp-ordered event history into the
+//! *arrival-ordered* stream an engine would actually observe behind real
+//! networks, and measures the disorder it produced.
+//!
+//! Out-of-orderness at the engine is fully characterized by the arrival
+//! permutation, which this crate controls explicitly:
+//!
+//! * [`DelayModel`] — per-event network latency distributions (constant,
+//!   uniform, exponential, Pareto heavy tail);
+//! * [`Network`] — multiple sources, each with its own delay model and
+//!   optional [`Outage`] windows (a failed source buffers its events and
+//!   retransmits them in a burst on recovery — the paper's "machine
+//!   failure" cause of disorder);
+//! * [`delay_shuffle`] — the simple parametric disorder used by the
+//!   evaluation sweeps: each event is late with probability `p`, by a
+//!   delay uniform in `1..=max_delay` ticks;
+//! * [`punctuate`] — omniscient punctuation injection (the simulator
+//!   knows the true in-flight minimum);
+//! * [`DisorderReport`] — empirical disorder metrics (late fraction,
+//!   max/mean lateness) of an arrival stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod disorder;
+mod network;
+mod punctuate;
+
+pub use delay::DelayModel;
+pub use disorder::{measure_disorder, DisorderReport};
+pub use network::{delay_shuffle, Network, Outage, Source};
+pub use punctuate::punctuate;

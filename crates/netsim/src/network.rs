@@ -1,0 +1,241 @@
+//! Multi-source network simulation and the parametric delay shuffle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sequin_types::{EventRef, StreamItem, Timestamp};
+
+use crate::delay::DelayModel;
+
+/// A transmission outage: the source cannot send during
+/// `[from, until)`; events emitted in that span are buffered and all
+/// arrive together at `until` (a retransmission burst), on top of their
+/// normal network delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// First tick of the outage.
+    pub from: Timestamp,
+    /// First tick after recovery.
+    pub until: Timestamp,
+}
+
+impl Outage {
+    fn covers(&self, ts: Timestamp) -> bool {
+        self.from <= ts && ts < self.until
+    }
+}
+
+/// One event source: a timestamp-ordered event history, a delay model,
+/// and optional outages.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// The source's events, in nondecreasing timestamp order.
+    pub events: Vec<EventRef>,
+    /// Per-event network delay.
+    pub delay: DelayModel,
+    /// Failure windows with burst retransmission.
+    pub outages: Vec<Outage>,
+}
+
+impl Source {
+    /// A well-behaved source with the given delay model.
+    pub fn new(events: Vec<EventRef>, delay: DelayModel) -> Source {
+        Source { events, delay, outages: Vec::new() }
+    }
+
+    /// Adds an outage window.
+    pub fn with_outage(mut self, outage: Outage) -> Source {
+        self.outages.push(outage);
+        self
+    }
+}
+
+/// A set of sources feeding one engine over simulated links.
+///
+/// [`Network::deliver`] computes each event's arrival time
+/// (`emit ts + sampled delay`, lifted to the recovery point if emitted
+/// during an outage), merges all sources, and returns the events in
+/// arrival order — the stream the engine actually sees.
+#[derive(Debug, Clone)]
+pub struct Network {
+    sources: Vec<Source>,
+    seed: u64,
+}
+
+impl Network {
+    /// Creates a network from sources, with a seed for delay sampling.
+    pub fn new(sources: Vec<Source>, seed: u64) -> Network {
+        Network { sources, seed }
+    }
+
+    /// Simulates delivery; returns `(arrival-ordered items, arrival times)`.
+    ///
+    /// Ties in arrival time are broken by `(ts, id)` so the simulation is
+    /// deterministic.
+    pub fn deliver(&self) -> Vec<StreamItem> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut annotated: Vec<(u64, EventRef)> = Vec::new();
+        for source in &self.sources {
+            for ev in &source.events {
+                let mut send_at = ev.ts();
+                for outage in &source.outages {
+                    if outage.covers(send_at) {
+                        send_at = outage.until;
+                    }
+                }
+                let arrival = send_at.ticks().saturating_add(source.delay.sample(&mut rng));
+                annotated.push((arrival, ev.clone()));
+            }
+        }
+        annotated.sort_by_key(|(arrival, ev)| (*arrival, ev.ts(), ev.id()));
+        annotated.into_iter().map(|(_, ev)| StreamItem::Event(ev)).collect()
+    }
+}
+
+/// The parametric disorder generator used by the evaluation sweeps: each
+/// event is late with probability `ooo_fraction`, by a delay uniform in
+/// `1..=max_delay` ticks; all other events arrive at their timestamp.
+///
+/// `ooo_fraction = 0` reproduces the input order exactly; increasing
+/// `max_delay` increases the disorder bound `K` the stream requires.
+///
+/// # Panics
+///
+/// Panics if `ooo_fraction` is outside `[0, 1]` or `max_delay` is zero
+/// while `ooo_fraction > 0`.
+pub fn delay_shuffle(
+    events: &[EventRef],
+    ooo_fraction: f64,
+    max_delay: u64,
+    seed: u64,
+) -> Vec<StreamItem> {
+    assert!((0.0..=1.0).contains(&ooo_fraction), "fraction must be in [0, 1]");
+    if ooo_fraction > 0.0 {
+        assert!(max_delay > 0, "max_delay must be positive when shuffling");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut annotated: Vec<(u64, EventRef)> = events
+        .iter()
+        .map(|ev| {
+            let late = ooo_fraction > 0.0 && rng.gen_bool(ooo_fraction);
+            let delay = if late { rng.gen_range(1..=max_delay) } else { 0 };
+            (ev.ts().ticks().saturating_add(delay), ev.clone())
+        })
+        .collect();
+    annotated.sort_by_key(|(arrival, ev)| (*arrival, ev.ts(), ev.id()));
+    annotated.into_iter().map(|(_, ev)| StreamItem::Event(ev)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disorder::measure_disorder;
+    use sequin_types::{Event, EventId, EventTypeId};
+    use std::sync::Arc;
+
+    fn ev(id: u64, ts: u64) -> EventRef {
+        Arc::new(
+            Event::builder(EventTypeId::from_index(0), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .build(),
+        )
+    }
+
+    fn history(n: u64) -> Vec<EventRef> {
+        (0..n).map(|i| ev(i, i * 10)).collect()
+    }
+
+    #[test]
+    fn zero_fraction_preserves_order() {
+        let events = history(100);
+        let stream = delay_shuffle(&events, 0.0, 100, 1);
+        let ids: Vec<u64> =
+            stream.iter().map(|i| i.as_event().unwrap().id().get()).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_produces_bounded_disorder() {
+        let events = history(2000);
+        let stream = delay_shuffle(&events, 0.3, 200, 42);
+        let report = measure_disorder(&stream);
+        assert!(report.late_fraction > 0.05, "got {}", report.late_fraction);
+        assert!(report.max_lateness.ticks() <= 200);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let events = history(500);
+        let stream = delay_shuffle(&events, 0.5, 300, 9);
+        assert_eq!(stream.len(), 500);
+        let mut ids: Vec<u64> =
+            stream.iter().map(|i| i.as_event().unwrap().id().get()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let events = history(200);
+        let a = delay_shuffle(&events, 0.4, 100, 5);
+        let b = delay_shuffle(&events, 0.4, 100, 5);
+        let ka: Vec<u64> = a.iter().map(|i| i.as_event().unwrap().id().get()).collect();
+        let kb: Vec<u64> = b.iter().map(|i| i.as_event().unwrap().id().get()).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn merged_sources_interleave_by_arrival() {
+        let s1 = Source::new(history(10), DelayModel::Constant(0));
+        let s2: Vec<EventRef> = (0..10).map(|i| ev(100 + i, i * 10 + 5)).collect();
+        let net = Network::new(
+            vec![s1, Source::new(s2, DelayModel::Constant(0))],
+            3,
+        );
+        let stream = net.deliver();
+        assert_eq!(stream.len(), 20);
+        // zero delay on both: arrival order is timestamp order
+        let ts: Vec<u64> = stream.iter().map(|i| i.ts().ticks()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn outage_creates_retransmission_burst() {
+        // a failing source buffers ts in [50, 150) and retransmits at 150;
+        // a healthy source keeps delivering through the outage, so the
+        // burst lands *behind* fresher events — that is the disorder
+        let failing = Source::new(history(20), DelayModel::None) // ts 0..190
+            .with_outage(Outage { from: Timestamp::new(50), until: Timestamp::new(150) });
+        let healthy: Vec<EventRef> = (0..20).map(|i| ev(100 + i, i * 10 + 5)).collect();
+        let net = Network::new(vec![failing, Source::new(healthy, DelayModel::None)], 1);
+        let stream = net.deliver();
+        let report = measure_disorder(&stream);
+        assert!(report.late_events >= 9, "burst events arrive late: {report:?}");
+        assert!(report.max_lateness.ticks() >= 90);
+        assert_eq!(stream.len(), 40);
+    }
+
+    #[test]
+    fn heavier_delays_increase_disorder() {
+        let events = history(3000);
+        let tame = Network::new(
+            vec![Source::new(events.clone(), DelayModel::Uniform { lo: 0, hi: 5 })],
+            7,
+        );
+        let wild = Network::new(
+            vec![Source::new(events, DelayModel::Uniform { lo: 0, hi: 500 })],
+            7,
+        );
+        let r_tame = measure_disorder(&tame.deliver());
+        let r_wild = measure_disorder(&wild.deliver());
+        assert!(r_wild.late_fraction > r_tame.late_fraction);
+        assert!(r_wild.max_lateness > r_tame.max_lateness);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn bad_fraction_panics() {
+        delay_shuffle(&history(1), 1.5, 10, 0);
+    }
+}

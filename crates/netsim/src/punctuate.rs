@@ -1,0 +1,108 @@
+//! Omniscient punctuation injection.
+
+use sequin_types::{StreamItem, Timestamp};
+
+/// Inserts a punctuation after every `period` events asserting the true
+/// low-watermark: the minimum timestamp among all events that have not yet
+/// arrived (the simulator can see the future; a real source would track
+/// its own unacknowledged sends).
+///
+/// The returned stream interleaves the original items with
+/// [`StreamItem::Punctuation`] entries and ends with a final punctuation
+/// at [`Timestamp::MAX`] asserting stream completion.
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+pub fn punctuate(stream: &[StreamItem], period: usize) -> Vec<StreamItem> {
+    assert!(period > 0, "punctuation period must be positive");
+    // suffix minima of event timestamps: min ts yet to arrive after i
+    let n = stream.len();
+    let mut suffix_min = vec![Timestamp::MAX; n + 1];
+    for i in (0..n).rev() {
+        let here = match &stream[i] {
+            StreamItem::Event(e) => e.ts(),
+            StreamItem::Punctuation(_) => Timestamp::MAX,
+        };
+        suffix_min[i] = here.min(suffix_min[i + 1]);
+    }
+    let mut out = Vec::with_capacity(n + n / period + 1);
+    let mut since = 0usize;
+    for (i, item) in stream.iter().enumerate() {
+        out.push(item.clone());
+        if matches!(item, StreamItem::Event(_)) {
+            since += 1;
+            if since == period {
+                since = 0;
+                out.push(StreamItem::Punctuation(suffix_min[i + 1]));
+            }
+        }
+    }
+    out.push(StreamItem::Punctuation(Timestamp::MAX));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_types::{Event, EventId, EventTypeId};
+    use std::sync::Arc;
+
+    fn item(id: u64, ts: u64) -> StreamItem {
+        StreamItem::Event(Arc::new(
+            Event::builder(EventTypeId::from_index(0), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .build(),
+        ))
+    }
+
+    #[test]
+    fn punctuations_assert_true_future_minimum() {
+        let stream = vec![item(1, 100), item(2, 40), item(3, 90), item(4, 110)];
+        let out = punctuate(&stream, 2);
+        // after the first two events, the future min is 90
+        let puncts: Vec<Timestamp> =
+            out.iter().filter_map(StreamItem::as_punctuation).collect();
+        assert_eq!(puncts[0], Timestamp::new(90));
+        assert_eq!(puncts[1], Timestamp::MAX); // nothing after event 4
+        assert_eq!(puncts.last(), Some(&Timestamp::MAX));
+    }
+
+    #[test]
+    fn punctuations_are_safe() {
+        // every event after a punctuation has ts >= the punctuation
+        let stream: Vec<StreamItem> =
+            vec![item(1, 5), item(2, 3), item(3, 9), item(4, 7), item(5, 20)];
+        let out = punctuate(&stream, 1);
+        let mut watermark = Timestamp::MIN;
+        for it in &out {
+            match it {
+                StreamItem::Punctuation(t) => watermark = watermark.max(*t),
+                StreamItem::Event(e) => assert!(e.ts() >= watermark),
+            }
+        }
+    }
+
+    #[test]
+    fn event_count_preserved() {
+        let stream: Vec<StreamItem> = (0..10).map(|i| item(i, i)).collect();
+        let out = punctuate(&stream, 3);
+        let events = out.iter().filter(|i| matches!(i, StreamItem::Event(_))).count();
+        assert_eq!(events, 10);
+        let puncts = out.iter().filter(|i| matches!(i, StreamItem::Punctuation(_))).count();
+        assert_eq!(puncts, 3 + 1);
+    }
+
+    #[test]
+    fn empty_stream_gets_final_punctuation() {
+        let out = punctuate(&[], 5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_punctuation(), Some(Timestamp::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "punctuation period must be positive")]
+    fn zero_period_panics() {
+        punctuate(&[], 0);
+    }
+}

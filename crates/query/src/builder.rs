@@ -1,0 +1,281 @@
+//! Programmatic query construction (no query text required).
+//!
+//! ```
+//! use sequin_query::{pred, QueryBuilder};
+//! use sequin_types::{TypeRegistry, ValueKind};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut reg = TypeRegistry::new();
+//! reg.declare("A", &[("x", ValueKind::Int)])?;
+//! reg.declare("B", &[("x", ValueKind::Int)])?;
+//! let q = QueryBuilder::new()
+//!     .component("A", "a")
+//!     .negated("B", "b")
+//!     .component("B", "c")
+//!     .filter(pred::attr("a", "x").lt(pred::attr("c", "x")))
+//!     .within(100)
+//!     .returns("a", "x")
+//!     .build(&reg)?;
+//! assert!(q.has_negation());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use sequin_types::TypeRegistry;
+
+use crate::analyze::analyze;
+use crate::ast::{BinaryOpAst, ComponentAst, ExprAst, ProjectionAst, QueryAst, UnaryOpAst};
+use crate::error::AnalyzeError;
+use crate::query::Query;
+
+/// Expression-building helpers for [`QueryBuilder::filter`].
+#[allow(clippy::should_implement_trait)]
+pub mod pred {
+    use super::*;
+
+    /// A `WHERE`-clause expression under construction.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct PredExpr(pub(crate) ExprAst);
+
+    /// References `var.field` (also accepts the pseudo-fields `ts`/`id`).
+    pub fn attr(var: &str, field: &str) -> PredExpr {
+        PredExpr(ExprAst::Attr { var: var.to_owned(), field: field.to_owned(), offset: 0 })
+    }
+
+    /// Integer literal.
+    pub fn int(n: i64) -> PredExpr {
+        PredExpr(ExprAst::Int(n))
+    }
+
+    /// Float literal.
+    pub fn float(x: f64) -> PredExpr {
+        PredExpr(ExprAst::Float(x))
+    }
+
+    /// String literal.
+    pub fn string(s: &str) -> PredExpr {
+        PredExpr(ExprAst::Str(s.to_owned()))
+    }
+
+    /// Boolean literal.
+    pub fn boolean(b: bool) -> PredExpr {
+        PredExpr(ExprAst::Bool(b))
+    }
+
+    macro_rules! binop {
+        ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+            impl PredExpr {
+                $(
+                    #[$doc]
+                    pub fn $name(self, rhs: PredExpr) -> PredExpr {
+                        PredExpr(ExprAst::Binary {
+                            op: BinaryOpAst::$op,
+                            lhs: Box::new(self.0),
+                            rhs: Box::new(rhs.0),
+                        })
+                    }
+                )*
+            }
+        };
+    }
+
+    binop! {
+        /// `self == rhs`
+        eq => Eq,
+        /// `self != rhs`
+        ne => Ne,
+        /// `self < rhs`
+        lt => Lt,
+        /// `self <= rhs`
+        le => Le,
+        /// `self > rhs`
+        gt => Gt,
+        /// `self >= rhs`
+        ge => Ge,
+        /// `self + rhs`
+        add => Add,
+        /// `self - rhs`
+        sub => Sub,
+        /// `self * rhs`
+        mul => Mul,
+        /// `self / rhs`
+        div => Div,
+        /// `self AND rhs`
+        and => And,
+        /// `self OR rhs`
+        or => Or,
+    }
+
+    impl PredExpr {
+        /// Logical negation.
+        pub fn not(self) -> PredExpr {
+            PredExpr(ExprAst::Unary { op: UnaryOpAst::Not, expr: Box::new(self.0) })
+        }
+
+        /// Arithmetic negation.
+        pub fn neg(self) -> PredExpr {
+            PredExpr(ExprAst::Unary { op: UnaryOpAst::Neg, expr: Box::new(self.0) })
+        }
+    }
+}
+
+/// Incremental construction of a [`Query`] (see `C-BUILDER`).
+///
+/// The builder assembles the same AST the text parser produces and runs the
+/// shared analyzer, so programmatic and textual queries behave identically.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    components: Vec<ComponentAst>,
+    filters: Vec<ExprAst>,
+    within: u64,
+    returns: Vec<ProjectionAst>,
+}
+
+impl QueryBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Appends a positive component `TypeName var`.
+    pub fn component(self, type_name: &str, var: &str) -> Self {
+        self.component_any(&[type_name], var)
+    }
+
+    /// Appends a positive alternation component `T1|T2|... var`.
+    pub fn component_any(mut self, type_names: &[&str], var: &str) -> Self {
+        self.components.push(ComponentAst {
+            negated: false,
+            type_names: type_names.iter().map(|s| (*s).to_owned()).collect(),
+            var: var.to_owned(),
+            offset: 0,
+        });
+        self
+    }
+
+    /// Appends a negated component `!TypeName var`.
+    pub fn negated(self, type_name: &str, var: &str) -> Self {
+        self.negated_any(&[type_name], var)
+    }
+
+    /// Appends a negated alternation component `!T1|T2|... var`.
+    pub fn negated_any(mut self, type_names: &[&str], var: &str) -> Self {
+        self.components.push(ComponentAst {
+            negated: true,
+            type_names: type_names.iter().map(|s| (*s).to_owned()).collect(),
+            var: var.to_owned(),
+            offset: 0,
+        });
+        self
+    }
+
+    /// Adds a `WHERE` conjunct (multiple calls are ANDed together).
+    pub fn filter(mut self, p: pred::PredExpr) -> Self {
+        self.filters.push(p.0);
+        self
+    }
+
+    /// Sets the window (`WITHIN`) in ticks.
+    pub fn within(mut self, ticks: u64) -> Self {
+        self.within = ticks;
+        self
+    }
+
+    /// Adds a `RETURN var.field` projection (`ts`/`id` allowed).
+    pub fn returns(mut self, var: &str, field: &str) -> Self {
+        self.returns.push(ProjectionAst {
+            var: var.to_owned(),
+            field: field.to_owned(),
+            offset: 0,
+        });
+        self
+    }
+
+    /// Analyzes the accumulated clauses into an executable [`Query`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`AnalyzeError`] the text front-end could produce.
+    pub fn build(self, registry: &TypeRegistry) -> Result<Arc<Query>, AnalyzeError> {
+        let filter = self.filters.into_iter().reduce(|acc, e| ExprAst::Binary {
+            op: BinaryOpAst::And,
+            lhs: Box::new(acc),
+            rhs: Box::new(e),
+        });
+        let ast = QueryAst {
+            components: self.components,
+            filter,
+            within: self.within,
+            returns: self.returns,
+        };
+        analyze(&ast, registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use sequin_types::ValueKind;
+
+    fn registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        for name in ["A", "B", "C"] {
+            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Str)]).unwrap();
+        }
+        reg
+    }
+
+    #[test]
+    fn builder_matches_parser_output() {
+        let reg = registry();
+        let built = QueryBuilder::new()
+            .component("A", "a")
+            .negated("B", "b")
+            .component("C", "c")
+            .filter(pred::attr("a", "x").gt(pred::int(1)))
+            .filter(pred::attr("a", "tag").eq(pred::attr("c", "tag")))
+            .within(50)
+            .returns("a", "x")
+            .build(&reg)
+            .unwrap();
+        let parsed = parse(
+            "PATTERN SEQ(A a, !B b, C c) WHERE a.x > 1 AND a.tag == c.tag WITHIN 50 RETURN a.x",
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(*built, *parsed);
+    }
+
+    #[test]
+    fn builder_propagates_analysis_errors() {
+        let reg = registry();
+        let err = QueryBuilder::new().component("Nope", "n").within(5).build(&reg).unwrap_err();
+        assert!(matches!(err, AnalyzeError::UnknownType(_)));
+        let err = QueryBuilder::new().component("A", "a").build(&reg).unwrap_err();
+        assert_eq!(err, AnalyzeError::ZeroWindow);
+    }
+
+    #[test]
+    fn pred_helpers_build_expected_shapes() {
+        let e = pred::int(1).add(pred::float(2.0)).le(pred::attr("a", "x")).or(pred::boolean(false).not());
+        // must analyze fine in a one-component query
+        let reg = registry();
+        let q = QueryBuilder::new().component("A", "a").filter(e).within(5).build(&reg).unwrap();
+        assert_eq!(q.predicates().len(), 1);
+    }
+
+    #[test]
+    fn string_and_neg_helpers() {
+        let reg = registry();
+        let q = QueryBuilder::new()
+            .component("A", "a")
+            .filter(pred::attr("a", "tag").ne(pred::string("x")))
+            .filter(pred::attr("a", "x").gt(pred::int(3).neg()))
+            .within(5)
+            .build(&reg)
+            .unwrap();
+        assert_eq!(q.predicates().len(), 2);
+    }
+}

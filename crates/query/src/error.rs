@@ -1,0 +1,193 @@
+//! Errors for parsing and analyzing queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// A syntax error, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    offset: usize,
+    message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError { offset, message: message.into() }
+    }
+
+    /// Byte offset in the query text where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The diagnostic message (without position information).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A semantic error found while resolving a parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The pattern references an event type not in the registry.
+    UnknownType(String),
+    /// An expression or projection references an undeclared variable.
+    UnknownVariable(String),
+    /// A referenced field does not exist on the variable's event type.
+    UnknownField {
+        /// Variable whose type was consulted.
+        var: String,
+        /// The missing field.
+        field: String,
+    },
+    /// Two components bind the same variable name.
+    DuplicateVariable(String),
+    /// The pattern has no positive (non-negated) component.
+    NoPositiveComponent,
+    /// Two negated components are adjacent (ambiguous flanks).
+    AdjacentNegations,
+    /// The pattern exceeds the 64-component limit.
+    TooManyComponents(usize),
+    /// A projection references a negated component (never bound in output).
+    ProjectsNegated(String),
+    /// The window must be positive.
+    ZeroWindow,
+    /// A `WHERE` conjunct references more than one negated component.
+    PredicateSpansNegations,
+    /// A field referenced through an alternation variable does not resolve
+    /// to the same position and kind in every alternate type.
+    AmbiguousField {
+        /// The alternation variable.
+        var: String,
+        /// The field name.
+        field: String,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::UnknownType(t) => write!(f, "unknown event type `{t}`"),
+            AnalyzeError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            AnalyzeError::UnknownField { var, field } => {
+                write!(f, "variable `{var}` has no field `{field}`")
+            }
+            AnalyzeError::DuplicateVariable(v) => {
+                write!(f, "variable `{v}` bound by more than one component")
+            }
+            AnalyzeError::NoPositiveComponent => {
+                write!(f, "pattern needs at least one positive component")
+            }
+            AnalyzeError::AdjacentNegations => {
+                write!(f, "two adjacent negated components are ambiguous")
+            }
+            AnalyzeError::TooManyComponents(n) => {
+                write!(f, "pattern has {n} components, maximum is 64")
+            }
+            AnalyzeError::ProjectsNegated(v) => {
+                write!(f, "cannot RETURN fields of negated component `{v}`")
+            }
+            AnalyzeError::ZeroWindow => write!(f, "WITHIN window must be positive"),
+            AnalyzeError::PredicateSpansNegations => {
+                write!(f, "a WHERE conjunct may reference at most one negated component")
+            }
+            AnalyzeError::AmbiguousField { var, field } => {
+                write!(
+                    f,
+                    "field `{field}` of alternation variable `{var}` must have the same \
+                     position and kind in every alternate type"
+                )
+            }
+        }
+    }
+}
+
+impl Error for AnalyzeError {}
+
+/// Either kind of query-compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic error.
+    Analyze(AnalyzeError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Analyze(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl Error for QueryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QueryError::Parse(e) => Some(e),
+            QueryError::Analyze(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<AnalyzeError> for QueryError {
+    fn from(e: AnalyzeError) -> Self {
+        QueryError::Analyze(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let e = ParseError::new(7, "boom");
+        assert_eq!(e.offset(), 7);
+        assert_eq!(e.message(), "boom");
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn query_error_wraps_sources() {
+        let qe: QueryError = ParseError::new(0, "x").into();
+        assert!(qe.source().is_some());
+        let qe: QueryError = AnalyzeError::ZeroWindow.into();
+        assert!(qe.source().is_some());
+        assert!(qe.to_string().contains("analysis"));
+    }
+
+    #[test]
+    fn analyze_error_messages() {
+        for e in [
+            AnalyzeError::UnknownType("A".into()),
+            AnalyzeError::UnknownVariable("a".into()),
+            AnalyzeError::UnknownField { var: "a".into(), field: "x".into() },
+            AnalyzeError::DuplicateVariable("a".into()),
+            AnalyzeError::NoPositiveComponent,
+            AnalyzeError::AdjacentNegations,
+            AnalyzeError::TooManyComponents(99),
+            AnalyzeError::ProjectsNegated("n".into()),
+            AnalyzeError::ZeroWindow,
+            AnalyzeError::PredicateSpansNegations,
+            AnalyzeError::AmbiguousField { var: "a".into(), field: "x".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Hand-rolled lexer for the query language.
+
+use crate::error::ParseError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are case-insensitive in the source but normalized
+/// here; identifiers keep their case.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    // keywords
+    Pattern,
+    Seq,
+    Where,
+    Within,
+    Return,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    // literals / names
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // punctuation
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Bang,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Pipe,
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Float(x) => format!("float `{x}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::Pattern => "PATTERN",
+            TokenKind::Seq => "SEQ",
+            TokenKind::Where => "WHERE",
+            TokenKind::Within => "WITHIN",
+            TokenKind::Return => "RETURN",
+            TokenKind::And => "AND",
+            TokenKind::Or => "OR",
+            TokenKind::Not => "NOT",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Bang => "!",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Pipe => "|",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            _ => "",
+        }
+    }
+}
+
+/// Tokenizes `src` completely (including a trailing `Eof` token).
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // line comments: `-- ...` and `// ...`
+        if (c == '-' && bytes.get(i + 1) == Some(&b'-'))
+            || (c == '/' && bytes.get(i + 1) == Some(&b'/'))
+        {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '|' => {
+                i += 1;
+                TokenKind::Pipe
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ne
+                } else {
+                    i += 1;
+                    TokenKind::Bang
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::EqEq
+                } else {
+                    return Err(ParseError::new(start, "expected `==` (single `=` is not an operator)"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                i += 1;
+                let s0 = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError::new(start, "unterminated string literal"));
+                }
+                let s = src[s0..i].to_owned();
+                i += 1;
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("invalid float literal `{text}`"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("integer literal `{text}` out of range"))
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "PATTERN" => TokenKind::Pattern,
+                    "SEQ" => TokenKind::Seq,
+                    "WHERE" => TokenKind::Where,
+                    "WITHIN" => TokenKind::Within,
+                    "RETURN" => TokenKind::Return,
+                    "AND" => TokenKind::And,
+                    "OR" => TokenKind::Or,
+                    "NOT" => TokenKind::Not,
+                    "TRUE" => TokenKind::True,
+                    "FALSE" => TokenKind::False,
+                    _ => TokenKind::Ident(word.to_owned()),
+                }
+            }
+            other => {
+                return Err(ParseError::new(start, format!("unexpected character `{other}`")));
+            }
+        };
+        out.push(Token { kind, offset: start });
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("pattern SeQ wHeRe")[..3], [TokenKind::Pattern, TokenKind::Seq, TokenKind::Where]);
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(kinds("Shipped")[0], TokenKind::Ident("Shipped".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.5")[0], TokenKind::Float(4.5));
+        // `4.` followed by ident is Int Dot Ident (field access), not a float
+        assert_eq!(kinds("a.x")[..3], [TokenKind::Ident("a".into()), TokenKind::Dot, TokenKind::Ident("x".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != <= >= < > + - * / ! ( ) , .")
+                .into_iter()
+                .take(15)
+                .collect::<Vec<_>>(),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Bang,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_single_and_double_quoted() {
+        assert_eq!(kinds("'abc'")[0], TokenKind::Str("abc".into()));
+        assert_eq!(kinds("\"abc\"")[0], TokenKind::Str("abc".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn single_equals_is_error() {
+        let err = tokenize("a = b").unwrap_err();
+        assert!(err.to_string().contains("=="));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a -- comment\n b // another\n c");
+        assert_eq!(
+            ks[..3],
+            [
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(tokenize("§").is_err());
+    }
+
+    #[test]
+    fn eof_token_is_appended() {
+        assert_eq!(kinds("").last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

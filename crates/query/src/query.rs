@@ -1,0 +1,301 @@
+//! The analyzed, executable query representation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sequin_types::{Duration, EventRef, EventTypeId, FieldId, Value};
+
+use crate::expr::{Binding, ComponentMask, Expr};
+
+/// One resolved `SEQ(...)` component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Variable name from the query text (or builder).
+    pub var: String,
+    /// Resolved event types (more than one = alternation `A|B var`).
+    pub types: Vec<EventTypeId>,
+    /// Whether the component is negated.
+    pub negated: bool,
+}
+
+impl Component {
+    /// True if an event of `ty` can bind this component.
+    pub fn matches_type(&self, ty: EventTypeId) -> bool {
+        self.types.contains(&ty)
+    }
+}
+
+/// A conjunct of the `WHERE` clause, with its referenced-component mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    expr: Expr,
+    mask: ComponentMask,
+}
+
+impl Predicate {
+    pub(crate) fn new(expr: Expr) -> Predicate {
+        let mask = expr.components();
+        Predicate { expr, mask }
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Full-list component indices referenced by this predicate.
+    pub fn mask(&self) -> ComponentMask {
+        self.mask
+    }
+
+    /// Evaluates the predicate on a fully or partially bound match.
+    ///
+    /// `Some(true)`/`Some(false)` once all referenced components are bound;
+    /// `None` while undecided.
+    pub fn eval(&self, binding: &Binding<'_>) -> Option<bool> {
+        self.expr.eval_predicate(binding)
+    }
+
+    /// True if the predicate references only `comp` (usable as an
+    /// insertion-time pre-filter for that component).
+    pub fn is_local_to(&self, comp: usize) -> bool {
+        let mut solo = ComponentMask::default();
+        solo.insert(comp);
+        !self.mask.is_empty() && self.mask.subset_of(solo)
+    }
+}
+
+/// A `RETURN` item, resolved to a component slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Projection {
+    /// `var.field`
+    Attr {
+        /// Full-list component index.
+        comp: usize,
+        /// Resolved field.
+        field: FieldId,
+    },
+    /// `var.ts`
+    Ts(
+        /// Full-list component index.
+        usize,
+    ),
+    /// `var.id`
+    Id(
+        /// Full-list component index.
+        usize,
+    ),
+}
+
+/// A negated component with its flanks and filter predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Negation {
+    /// Full-list index of the negated component.
+    pub comp: usize,
+    /// The negated event types (alternation allowed).
+    pub types: Vec<EventTypeId>,
+    /// Positive-order index of the left flank (`None` = leading negation).
+    pub left: Option<usize>,
+    /// Positive-order index of the right flank (`None` = trailing negation).
+    pub right: Option<usize>,
+    /// Predicates referencing this negated component (and positives).
+    pub predicates: Vec<Predicate>,
+}
+
+impl Negation {
+    /// True if an event of `ty` is a candidate negative for this negation.
+    pub fn matches_type(&self, ty: EventTypeId) -> bool {
+        self.types.contains(&ty)
+    }
+}
+
+/// Hash-partitioning opportunity discovered by analysis: an equality-join
+/// chain covering every positive component (e.g. `a.tag == b.tag AND
+/// b.tag == c.tag`). Engines may shard all operator state by this key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionScheme {
+    /// For each positive slot (positive order), the field acting as key.
+    pub fields: Vec<FieldId>,
+    /// For each negation (in [`Query::negations`] order), the key field on
+    /// the negated type, when the chain extends to it.
+    pub negation_fields: Vec<Option<FieldId>>,
+}
+
+/// An analyzed sequence pattern query (see crate docs for semantics).
+///
+/// The structure is immutable and shareable; engines hold it by `Arc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    components: Vec<Component>,
+    positives: Vec<usize>,
+    window: Duration,
+    predicates: Vec<Predicate>,
+    negations: Vec<Negation>,
+    projections: Vec<Projection>,
+    partition: Option<PartitionScheme>,
+}
+
+impl Query {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        components: Vec<Component>,
+        positives: Vec<usize>,
+        window: Duration,
+        predicates: Vec<Predicate>,
+        negations: Vec<Negation>,
+        projections: Vec<Projection>,
+        partition: Option<PartitionScheme>,
+    ) -> Arc<Query> {
+        Arc::new(Query {
+            components,
+            positives,
+            window,
+            predicates,
+            negations,
+            projections,
+            partition,
+        })
+    }
+
+    /// All components in `SEQ` order (positive and negated).
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of positive components (the length of a match).
+    pub fn positive_len(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Full-list index of the positive component at positive-order `p`.
+    pub fn positive_comp(&self, p: usize) -> usize {
+        self.positives[p]
+    }
+
+    /// Event types accepted by the positive component at positive-order
+    /// `p` (more than one under alternation).
+    pub fn positive_types(&self, p: usize) -> &[EventTypeId] {
+        &self.components[self.positives[p]].types
+    }
+
+    /// The query window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Positive-component predicates (`WHERE` conjuncts not referencing any
+    /// negated component).
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The negated components, in `SEQ` order.
+    pub fn negations(&self) -> &[Negation] {
+        &self.negations
+    }
+
+    /// `RETURN` projections (empty = return event ids of positives).
+    pub fn projections(&self) -> &[Projection] {
+        &self.projections
+    }
+
+    /// The partitioning opportunity, if analysis found one.
+    pub fn partition(&self) -> Option<&PartitionScheme> {
+        self.partition.as_ref()
+    }
+
+    /// True when any component is negated.
+    pub fn has_negation(&self) -> bool {
+        !self.negations.is_empty()
+    }
+
+    /// Event types the query is sensitive to (positive or negated).
+    pub fn relevant_types(&self) -> Vec<EventTypeId> {
+        let mut tys: Vec<EventTypeId> =
+            self.components.iter().flat_map(|c| c.types.iter().copied()).collect();
+        tys.sort();
+        tys.dedup();
+        tys
+    }
+
+    /// Positive-order slots that accept events of type `ty` (an event of
+    /// type `ty` is a candidate for each of these stacks).
+    pub fn slots_for_type(&self, ty: EventTypeId) -> Vec<usize> {
+        (0..self.positive_len())
+            .filter(|&p| self.components[self.positives[p]].matches_type(ty))
+            .collect()
+    }
+
+    /// Predicates local to positive slot `p` — evaluable at insertion time
+    /// (the sequence-scan pre-filter optimization).
+    pub fn local_predicates(&self, p: usize) -> Vec<&Predicate> {
+        let comp = self.positives[p];
+        self.predicates.iter().filter(|q| q.is_local_to(comp)).collect()
+    }
+
+    /// Predicates that reference more than one component (must be evaluated
+    /// during construction).
+    pub fn join_predicates(&self) -> Vec<&Predicate> {
+        self.predicates
+            .iter()
+            .filter(|q| q.mask().iter_ones().count() > 1)
+            .collect()
+    }
+
+    /// Evaluates the projections over a full positive binding, returning
+    /// the output tuple. With no `RETURN` clause, returns the event ids of
+    /// the positive components.
+    pub fn project(&self, binding: &Binding<'_>) -> Vec<Value> {
+        if self.projections.is_empty() {
+            return self
+                .positives
+                .iter()
+                .filter_map(|&c| binding.get(c).copied().flatten())
+                .map(|e| Value::Int(e.id().get() as i64))
+                .collect();
+        }
+        self.projections
+            .iter()
+            .map(|p| {
+                let expr = match *p {
+                    Projection::Attr { comp, field } => Expr::Attr { comp, field },
+                    Projection::Ts(comp) => Expr::Ts(comp),
+                    Projection::Id(comp) => Expr::Id(comp),
+                };
+                expr.eval(binding).unwrap_or(Value::Bool(false))
+            })
+            .collect()
+    }
+
+    /// Builds a full-component binding from positive-order events, for use
+    /// with [`Query::project`] and predicate evaluation.
+    pub fn binding_from_positives<'a>(&self, events: &'a [EventRef]) -> Vec<Option<&'a EventRef>> {
+        let mut binding: Vec<Option<&EventRef>> = vec![None; self.components.len()];
+        for (p, ev) in events.iter().enumerate() {
+            binding[self.positives[p]] = Some(ev);
+        }
+        binding
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SEQ(")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if c.negated {
+                write!(f, "!")?;
+            }
+            for (j, ty) in c.types.iter().enumerate() {
+                if j > 0 {
+                    write!(f, "|")?;
+                }
+                write!(f, "{ty}")?;
+            }
+            write!(f, " {}", c.var)?;
+        }
+        write!(f, ") WITHIN {}", self.window)
+    }
+}

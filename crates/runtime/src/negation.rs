@@ -1,0 +1,290 @@
+//! Negation regions and the negative-event index.
+
+use std::sync::Arc;
+
+use sequin_query::Query;
+use sequin_types::{Duration, EventRef, Timestamp};
+
+use crate::stack::AisStack;
+use crate::stats::RuntimeStats;
+
+/// The half-open timestamp interval `[start, end)` a negated component
+/// guards for one concrete match.
+///
+/// * between two positives `l`, `r`: `[l.ts + 1, r.ts)` (strictly between);
+/// * leading negation: `[first.ts − W, first.ts)` (clamped at 0);
+/// * trailing negation: `[last.ts + 1, first.ts + W + 1)`, i.e.
+///   `(last.ts, first.ts + W]`.
+///
+/// A region is **sealed** once the stream's low-watermark (under K-slack:
+/// `clock − K`; under punctuation: the punctuation timestamp) reaches
+/// `end` — from then on no event that could fall inside it is in flight,
+/// and the negation check is final.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl Region {
+    /// True when the region contains no timestamps at all.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// True once no event that could land in this region is still in
+    /// flight, given the stream's low-watermark (every future event has
+    /// `ts >= watermark`).
+    pub fn sealed_by(&self, watermark: Timestamp) -> bool {
+        watermark >= self.end
+    }
+}
+
+/// Computes the negation regions of a match (positive-order `events`),
+/// in [`Query::negations`] order.
+pub fn regions(query: &Query, events: &[EventRef]) -> Vec<Region> {
+    let window = query.window();
+    let first = events.first().expect("match has at least one positive").ts();
+    let last = events.last().expect("match has at least one positive").ts();
+    query
+        .negations()
+        .iter()
+        .map(|n| match (n.left, n.right) {
+            (Some(l), Some(r)) => Region {
+                start: events[l].ts().saturating_add(Duration::new(1)),
+                end: events[r].ts(),
+            },
+            (None, Some(r)) => {
+                debug_assert_eq!(r, 0);
+                Region { start: first.saturating_sub(window), end: events[r].ts() }
+            }
+            (Some(_), None) => Region {
+                start: last.saturating_add(Duration::new(1)),
+                end: first.saturating_add(window).saturating_add(Duration::new(1)),
+            },
+            (None, None) => unreachable!("negation with no positive flank"),
+        })
+        .collect()
+}
+
+/// The latest region end across all negations of a match — the watermark a
+/// conservative engine must wait for before emitting the match.
+pub fn seal_deadline(query: &Query, events: &[EventRef]) -> Option<Timestamp> {
+    regions(query, events).iter().map(|r| r.end).max()
+}
+
+/// Index of candidate *negative* events, one [`AisStack`] per negated
+/// component, pre-filtered by the negation's component-local predicates.
+#[derive(Debug, Clone)]
+pub struct NegationIndex {
+    query: Arc<Query>,
+    stacks: Vec<AisStack>,
+}
+
+impl NegationIndex {
+    /// Creates an empty index for `query`.
+    pub fn new(query: Arc<Query>) -> NegationIndex {
+        let stacks = vec![AisStack::new(); query.negations().len()];
+        NegationIndex { query, stacks }
+    }
+
+    /// Offers an event to the index; it is stored for every negated
+    /// component whose type matches and whose *local* predicates (those
+    /// referencing only the negated component) accept it. Returns `true`
+    /// if the event was stored anywhere.
+    pub fn offer(&mut self, event: &EventRef, stats: &mut RuntimeStats) -> bool {
+        let mut stored = false;
+        for (ix, neg) in self.query.negations().iter().enumerate() {
+            if !neg.matches_type(event.event_type()) {
+                continue;
+            }
+            let mut binding: Vec<Option<&EventRef>> =
+                vec![None; self.query.components().len()];
+            binding[neg.comp] = Some(event);
+            let locally_ok = neg.predicates.iter().all(|p| {
+                // only local predicates are decidable with just the negative
+                match p.eval(&binding) {
+                    Some(ok) => {
+                        stats.predicate_evals += 1;
+                        ok
+                    }
+                    None => true, // involves positives: decide at check time
+                }
+            });
+            if locally_ok && self.stacks[ix].insert(Arc::clone(event)).is_some() {
+                stored = true;
+                stats.insertions += 1;
+            }
+        }
+        stored
+    }
+
+    /// True when some stored negative event invalidates the match
+    /// `events` (positive order): it falls in the negation's region and
+    /// satisfies the negation's predicates under the full binding.
+    pub fn violates(&self, events: &[EventRef], stats: &mut RuntimeStats) -> bool {
+        let regions = regions(&self.query, events);
+        for (ix, neg) in self.query.negations().iter().enumerate() {
+            let region = regions[ix];
+            if region.is_empty() {
+                continue;
+            }
+            let mut binding = self.query.binding_from_positives(events);
+            for candidate in self.stacks[ix].range(region.start, region.end) {
+                binding[neg.comp] = Some(candidate);
+                let all_hold = neg.predicates.iter().all(|p| {
+                    stats.predicate_evals += 1;
+                    p.eval(&binding) == Some(true)
+                });
+                if all_hold {
+                    stats.negated_matches += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Purges negative events below `threshold` from every stack.
+    pub fn purge_before(&mut self, threshold: Timestamp, stats: &mut RuntimeStats) -> usize {
+        let purged: usize = self.stacks.iter_mut().map(|s| s.purge_before(threshold)).sum();
+        stats.purged += purged as u64;
+        purged
+    }
+
+    /// Total stored negative events.
+    pub fn len(&self) -> usize {
+        self.stacks.iter().map(AisStack::len).sum()
+    }
+
+    /// True when no negative events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_query::parse;
+    use sequin_types::{Event, EventId, TypeRegistry, Value, ValueKind};
+
+    fn registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        for name in ["A", "B", "N"] {
+            reg.declare(name, &[("x", ValueKind::Int)]).unwrap();
+        }
+        reg
+    }
+
+    fn ev(reg: &TypeRegistry, ty: &str, id: u64, ts: u64, x: i64) -> EventRef {
+        Arc::new(
+            Event::builder(reg.lookup(ty).unwrap(), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .attr(Value::Int(x))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn middle_region_strictly_between_flanks() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let events = vec![ev(&reg, "A", 1, 10, 0), ev(&reg, "B", 2, 30, 0)];
+        let rs = regions(&q, &events);
+        assert_eq!(rs, vec![Region { start: Timestamp::new(11), end: Timestamp::new(30) }]);
+        assert_eq!(seal_deadline(&q, &events), Some(Timestamp::new(30)));
+    }
+
+    #[test]
+    fn leading_and_trailing_regions() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(!N n1, A a, B b, !N n2) WITHIN 20", &reg).unwrap();
+        let events = vec![ev(&reg, "A", 1, 50, 0), ev(&reg, "B", 2, 60, 0)];
+        let rs = regions(&q, &events);
+        // leading: [first - W, first)
+        assert_eq!(rs[0], Region { start: Timestamp::new(30), end: Timestamp::new(50) });
+        // trailing: (last, first + W]
+        assert_eq!(rs[1], Region { start: Timestamp::new(61), end: Timestamp::new(71) });
+        assert_eq!(seal_deadline(&q, &events), Some(Timestamp::new(71)));
+    }
+
+    #[test]
+    fn leading_region_clamps_at_zero() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(!N n, A a) WITHIN 100", &reg).unwrap();
+        let events = vec![ev(&reg, "A", 1, 10, 0)];
+        let rs = regions(&q, &events);
+        assert_eq!(rs[0], Region { start: Timestamp::MIN, end: Timestamp::new(10) });
+    }
+
+    #[test]
+    fn region_sealing() {
+        let r = Region { start: Timestamp::new(10), end: Timestamp::new(20) };
+        assert!(!r.sealed_by(Timestamp::new(19)));
+        assert!(r.sealed_by(Timestamp::new(20)));
+        assert!(!r.is_empty());
+        assert!(Region { start: Timestamp::new(5), end: Timestamp::new(5) }.is_empty());
+    }
+
+    #[test]
+    fn offer_filters_by_type_and_local_predicate() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WHERE n.x > 5 WITHIN 100", &reg).unwrap();
+        let mut idx = NegationIndex::new(Arc::clone(&q));
+        let mut stats = RuntimeStats::default();
+        assert!(!idx.offer(&ev(&reg, "A", 1, 10, 0), &mut stats), "wrong type ignored");
+        assert!(!idx.offer(&ev(&reg, "N", 2, 15, 3), &mut stats), "fails local predicate");
+        assert!(idx.offer(&ev(&reg, "N", 3, 15, 9), &mut stats));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn violates_checks_region_and_predicates() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WHERE n.x == a.x WITHIN 100", &reg).unwrap();
+        let mut idx = NegationIndex::new(Arc::clone(&q));
+        let mut stats = RuntimeStats::default();
+        idx.offer(&ev(&reg, "N", 10, 20, 7), &mut stats);
+
+        let a = ev(&reg, "A", 1, 10, 7);
+        let b = ev(&reg, "B", 2, 30, 0);
+        assert!(idx.violates(&[Arc::clone(&a), Arc::clone(&b)], &mut stats));
+
+        // different correlation value: no violation
+        let a2 = ev(&reg, "A", 3, 10, 8);
+        assert!(!idx.violates(&[a2, Arc::clone(&b)], &mut stats));
+
+        // negative outside the region: no violation
+        let b_early = ev(&reg, "B", 4, 15, 0);
+        assert!(!idx.violates(&[a, b_early], &mut stats));
+    }
+
+    #[test]
+    fn duplicate_negative_not_stored_twice() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut idx = NegationIndex::new(Arc::clone(&q));
+        let mut stats = RuntimeStats::default();
+        let n = ev(&reg, "N", 1, 20, 0);
+        assert!(idx.offer(&n, &mut stats));
+        assert!(!idx.offer(&n, &mut stats));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn purge_removes_old_negatives() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut idx = NegationIndex::new(Arc::clone(&q));
+        let mut stats = RuntimeStats::default();
+        idx.offer(&ev(&reg, "N", 1, 10, 0), &mut stats);
+        idx.offer(&ev(&reg, "N", 2, 50, 0), &mut stats);
+        assert_eq!(idx.purge_before(Timestamp::new(20), &mut stats), 1);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+        assert_eq!(stats.purged, 1);
+    }
+}

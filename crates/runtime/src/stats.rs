@@ -1,0 +1,73 @@
+//! Operator-level cost counters.
+
+use std::ops::AddAssign;
+
+/// Counters accumulated by the physical operators, used by the evaluation
+/// harness to attribute CPU cost (sequence scan vs. construction vs. purge)
+/// and to validate the optimization ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Events inserted into stacks (sequence-scan insertions).
+    pub insertions: u64,
+    /// Insertions that landed somewhere other than the stack top (i.e.
+    /// physically out-of-order arrivals absorbed by sorted insertion).
+    pub ooo_insertions: u64,
+    /// Candidate events visited during construction DFS.
+    pub dfs_steps: u64,
+    /// Predicate evaluations attempted (including undecided ones).
+    pub predicate_evals: u64,
+    /// Complete matches constructed (before negation filtering).
+    pub matches_constructed: u64,
+    /// Matches discarded by a negation check.
+    pub negated_matches: u64,
+    /// Instances removed by purge.
+    pub purged: u64,
+    /// Purge passes executed.
+    pub purge_runs: u64,
+    /// Events dropped because they violated the disorder bound (arrived
+    /// after state they needed was already purged).
+    pub late_drops: u64,
+}
+
+impl RuntimeStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = RuntimeStats::default();
+    }
+}
+
+impl AddAssign for RuntimeStats {
+    fn add_assign(&mut self, rhs: RuntimeStats) {
+        self.insertions += rhs.insertions;
+        self.ooo_insertions += rhs.ooo_insertions;
+        self.dfs_steps += rhs.dfs_steps;
+        self.predicate_evals += rhs.predicate_evals;
+        self.matches_constructed += rhs.matches_constructed;
+        self.negated_matches += rhs.negated_matches;
+        self.purged += rhs.purged;
+        self.purge_runs += rhs.purge_runs;
+        self.late_drops += rhs.late_drops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = RuntimeStats { insertions: 1, dfs_steps: 2, ..Default::default() };
+        let b = RuntimeStats { insertions: 10, purged: 5, ..Default::default() };
+        a += b;
+        assert_eq!(a.insertions, 11);
+        assert_eq!(a.dfs_steps, 2);
+        assert_eq!(a.purged, 5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut a = RuntimeStats { late_drops: 3, ..Default::default() };
+        a.reset();
+        assert_eq!(a, RuntimeStats::default());
+    }
+}

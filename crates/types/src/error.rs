@@ -1,0 +1,70 @@
+//! Errors raised by the type layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while declaring event types or validating events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// An event type with this name was already declared.
+    DuplicateType(String),
+    /// Two fields of one event type share a name.
+    DuplicateField {
+        /// The event type being declared.
+        ty: String,
+        /// The repeated field name.
+        field: String,
+    },
+    /// A referenced event type name is not declared in the registry.
+    UnknownType(String),
+    /// A referenced field is not part of the event type's schema.
+    UnknownField {
+        /// The event type consulted.
+        ty: String,
+        /// The missing field name.
+        field: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateType(n) => write!(f, "event type `{n}` declared twice"),
+            TypeError::DuplicateField { ty, field } => {
+                write!(f, "field `{field}` declared twice on event type `{ty}`")
+            }
+            TypeError::UnknownType(n) => write!(f, "unknown event type `{n}`"),
+            TypeError::UnknownField { ty, field } => {
+                write!(f, "event type `{ty}` has no field `{field}`")
+            }
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let msgs = [
+            TypeError::DuplicateType("A".into()).to_string(),
+            TypeError::DuplicateField { ty: "A".into(), field: "x".into() }.to_string(),
+            TypeError::UnknownType("B".into()).to_string(),
+            TypeError::UnknownField { ty: "A".into(), field: "y".into() }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(TypeError::UnknownType("X".into()));
+        assert!(e.source().is_none());
+    }
+}

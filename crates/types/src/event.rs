@@ -1,0 +1,256 @@
+//! The event record.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::schema::{EventTypeId, FieldId, TypeRegistry};
+use crate::time::{ArrivalSeq, Timestamp};
+use crate::value::Value;
+
+/// A globally unique event identifier, assigned by the source/generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Creates an event id from a raw number.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        EventId(n)
+    }
+
+    /// Returns the raw number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Shared handle to an immutable [`Event`].
+///
+/// Operator state (active instance stacks, reorder buffers, emitted matches)
+/// all alias the same allocation.
+pub type EventRef = Arc<Event>;
+
+/// An immutable event record: type, occurrence timestamp, attributes, and
+/// bookkeeping (id, arrival sequence).
+///
+/// The **occurrence timestamp** (`ts`) is the source-assigned logical time
+/// that query semantics — sequencing, windows, negation intervals — are
+/// defined over. The **arrival sequence** (`seq`) records the order the
+/// engine physically received events in; it is `ArrivalSeq::default()` until
+/// ingestion stamps it via [`Event::with_arrival`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    id: EventId,
+    event_type: EventTypeId,
+    ts: Timestamp,
+    seq: ArrivalSeq,
+    attrs: Vec<Value>,
+}
+
+impl Event {
+    /// Creates an event with default id/arrival bookkeeping.
+    ///
+    /// `attrs` must be ordered per the event type's schema; this is not
+    /// checked here (the generator and ingestion layers validate against the
+    /// registry — see [`Event::validate`]).
+    pub fn new(event_type: EventTypeId, ts: Timestamp, attrs: Vec<Value>) -> Event {
+        Event {
+            id: EventId::default(),
+            event_type,
+            ts,
+            seq: ArrivalSeq::default(),
+            attrs,
+        }
+    }
+
+    /// Starts building an event with explicit bookkeeping fields.
+    pub fn builder(event_type: EventTypeId, ts: Timestamp) -> EventBuilder {
+        EventBuilder {
+            id: EventId::default(),
+            event_type,
+            ts,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Returns a copy stamped with an arrival sequence number.
+    pub fn with_arrival(&self, seq: ArrivalSeq) -> Event {
+        let mut e = self.clone();
+        e.seq = seq;
+        e
+    }
+
+    /// Returns this event's identifier.
+    #[inline]
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// Returns this event's type.
+    #[inline]
+    pub fn event_type(&self) -> EventTypeId {
+        self.event_type
+    }
+
+    /// Returns the occurrence timestamp.
+    #[inline]
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Returns the arrival sequence number stamped at ingestion.
+    #[inline]
+    pub fn arrival(&self) -> ArrivalSeq {
+        self.seq
+    }
+
+    /// Returns the attribute at field index `ix`, if present.
+    #[inline]
+    pub fn attr(&self, ix: usize) -> Option<&Value> {
+        self.attrs.get(ix)
+    }
+
+    /// Returns the attribute for `field`, if present.
+    #[inline]
+    pub fn field(&self, field: FieldId) -> Option<&Value> {
+        self.attrs.get(field.index())
+    }
+
+    /// Returns all attributes in schema order.
+    pub fn attrs(&self) -> &[Value] {
+        &self.attrs
+    }
+
+    /// Checks this event against its declared schema in `registry`:
+    /// attribute count and kinds must match.
+    pub fn validate(&self, registry: &TypeRegistry) -> bool {
+        let schema = registry.schema(self.event_type);
+        schema.arity() == self.attrs.len()
+            && self
+                .attrs
+                .iter()
+                .enumerate()
+                .all(|(ix, v)| schema.field_kind(FieldId::from_index(ix)) == Some(v.kind()))
+    }
+}
+
+/// Incremental constructor for [`Event`] (see `C-BUILDER`).
+///
+/// ```
+/// use sequin_types::{Event, EventId, Timestamp, TypeRegistry, Value, ValueKind};
+/// let mut reg = TypeRegistry::new();
+/// let a = reg.declare("A", &[("x", ValueKind::Int)]).unwrap();
+/// let ev = Event::builder(a, Timestamp::new(10))
+///     .id(EventId::new(3))
+///     .attr(Value::Int(5))
+///     .build();
+/// assert_eq!(ev.id(), EventId::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventBuilder {
+    id: EventId,
+    event_type: EventTypeId,
+    ts: Timestamp,
+    attrs: Vec<Value>,
+}
+
+impl EventBuilder {
+    /// Sets the event identifier.
+    pub fn id(mut self, id: EventId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Appends one attribute (in schema order).
+    pub fn attr(mut self, v: Value) -> Self {
+        self.attrs.push(v);
+        self
+    }
+
+    /// Appends several attributes (in schema order).
+    pub fn attrs(mut self, vs: impl IntoIterator<Item = Value>) -> Self {
+        self.attrs.extend(vs);
+        self
+    }
+
+    /// Finalizes the event.
+    pub fn build(self) -> Event {
+        Event {
+            id: self.id,
+            event_type: self.event_type,
+            ts: self.ts,
+            seq: ArrivalSeq::default(),
+            attrs: self.attrs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueKind;
+
+    fn reg() -> (TypeRegistry, EventTypeId) {
+        let mut reg = TypeRegistry::new();
+        let a = reg
+            .declare("A", &[("x", ValueKind::Int), ("s", ValueKind::Str)])
+            .unwrap();
+        (reg, a)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (_, a) = reg();
+        let e = Event::new(a, Timestamp::new(5), vec![Value::Int(1), Value::str("q")]);
+        assert_eq!(e.event_type(), a);
+        assert_eq!(e.ts(), Timestamp::new(5));
+        assert_eq!(e.attr(0), Some(&Value::Int(1)));
+        assert_eq!(e.attr(2), None);
+        assert_eq!(e.field(FieldId::from_index(1)), Some(&Value::str("q")));
+        assert_eq!(e.attrs().len(), 2);
+    }
+
+    #[test]
+    fn builder_produces_equivalent_event() {
+        let (_, a) = reg();
+        let e = Event::builder(a, Timestamp::new(5))
+            .id(EventId::new(9))
+            .attrs([Value::Int(1), Value::str("q")])
+            .build();
+        assert_eq!(e.id(), EventId::new(9));
+        assert_eq!(e.attrs(), &[Value::Int(1), Value::str("q")]);
+    }
+
+    #[test]
+    fn arrival_stamping_preserves_payload() {
+        let (_, a) = reg();
+        let e = Event::new(a, Timestamp::new(5), vec![Value::Int(1), Value::str("q")]);
+        let stamped = e.with_arrival(ArrivalSeq::new(17));
+        assert_eq!(stamped.arrival(), ArrivalSeq::new(17));
+        assert_eq!(stamped.ts(), e.ts());
+        assert_eq!(stamped.attrs(), e.attrs());
+    }
+
+    #[test]
+    fn validate_checks_arity_and_kinds() {
+        let (reg, a) = reg();
+        let ok = Event::new(a, Timestamp::new(1), vec![Value::Int(1), Value::str("x")]);
+        assert!(ok.validate(&reg));
+        let wrong_arity = Event::new(a, Timestamp::new(1), vec![Value::Int(1)]);
+        assert!(!wrong_arity.validate(&reg));
+        let wrong_kind = Event::new(a, Timestamp::new(1), vec![Value::str("x"), Value::str("y")]);
+        assert!(!wrong_kind.validate(&reg));
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(EventId::new(12).to_string(), "e12");
+    }
+}

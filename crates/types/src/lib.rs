@@ -1,0 +1,45 @@
+//! # sequin-types
+//!
+//! Core data model for the `sequin` event stream processing system: typed
+//! attribute [`Value`]s, logical [`Timestamp`]s and arrival order, interned
+//! event types with per-type [`Schema`]s, the [`Event`] record itself, and
+//! the [`StreamItem`] wrapper (event or punctuation) that engines consume.
+//!
+//! The model follows the one used by SASE-style complex event processing
+//! systems and by Li et al., *"Event Stream Processing with Out-of-Order
+//! Data Arrival"* (ICDCS Workshops 2007):
+//!
+//! * every event carries an **occurrence timestamp** assigned at the source
+//!   (the total order the *query semantics* are defined over), and
+//! * an **arrival sequence number** assigned by the receiving engine (the
+//!   order the *physical operators* actually see).
+//!
+//! Out-of-order processing is precisely the business of reconciling those
+//! two orders.
+//!
+//! ```
+//! use sequin_types::{TypeRegistry, Value, ValueKind, Event, Timestamp};
+//!
+//! let mut reg = TypeRegistry::new();
+//! let shipped = reg.declare("SHIPPED", &[("tag", ValueKind::Int)]).unwrap();
+//! let ev = Event::new(shipped, Timestamp::new(42), vec![Value::Int(7)]);
+//! assert_eq!(ev.ts(), Timestamp::new(42));
+//! assert_eq!(ev.attr(0), Some(&Value::Int(7)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod event;
+mod schema;
+mod stream;
+mod time;
+mod value;
+
+pub use error::TypeError;
+pub use event::{Event, EventBuilder, EventId, EventRef};
+pub use schema::{EventTypeId, FieldId, Schema, TypeRegistry};
+pub use stream::{sort_by_timestamp, StreamItem};
+pub use time::{ArrivalSeq, Duration, Timestamp};
+pub use value::{Value, ValueKind};

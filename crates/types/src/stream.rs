@@ -1,0 +1,119 @@
+//! Stream items: the unit of ingestion for engines.
+
+use std::fmt;
+
+use crate::event::EventRef;
+use crate::time::Timestamp;
+
+/// One item on the wire between the (simulated) network and an engine.
+///
+/// Engines consume a sequence of `StreamItem`s *in arrival order*. Besides
+/// events, sources may interleave **punctuations**: assertions that no event
+/// with a strictly smaller occurrence timestamp is still in flight.
+/// Punctuations are the alternative to an a-priori K-slack disorder bound
+/// for driving state purge and sealed-negation decisions.
+#[derive(Debug, Clone)]
+pub enum StreamItem {
+    /// A payload event.
+    Event(EventRef),
+    /// An assertion: every future event `e` satisfies `e.ts() >= t`.
+    Punctuation(Timestamp),
+}
+
+impl StreamItem {
+    /// Returns the contained event, if this is an event item.
+    pub fn as_event(&self) -> Option<&EventRef> {
+        match self {
+            StreamItem::Event(e) => Some(e),
+            StreamItem::Punctuation(_) => None,
+        }
+    }
+
+    /// Returns the punctuation timestamp, if this is a punctuation.
+    pub fn as_punctuation(&self) -> Option<Timestamp> {
+        match self {
+            StreamItem::Event(_) => None,
+            StreamItem::Punctuation(t) => Some(*t),
+        }
+    }
+
+    /// Returns the occurrence timestamp of the item (the event's `ts`, or
+    /// the punctuation's asserted bound).
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            StreamItem::Event(e) => e.ts(),
+            StreamItem::Punctuation(t) => *t,
+        }
+    }
+}
+
+impl fmt::Display for StreamItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamItem::Event(e) => write!(f, "ev({} {} {})", e.id(), e.event_type(), e.ts()),
+            StreamItem::Punctuation(t) => write!(f, "punct({t})"),
+        }
+    }
+}
+
+impl From<EventRef> for StreamItem {
+    fn from(e: EventRef) -> StreamItem {
+        StreamItem::Event(e)
+    }
+}
+
+/// Sorts events by `(ts, id)` — the canonical total order used to feed the
+/// in-order oracle engine. Event ids break timestamp ties deterministically.
+pub fn sort_by_timestamp(events: &mut [EventRef]) {
+    events.sort_by_key(|e| (e.ts(), e.id()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::schema::EventTypeId;
+    use crate::value::Value;
+    use crate::EventId;
+    use std::sync::Arc;
+
+    fn ev(id: u64, ts: u64) -> EventRef {
+        Arc::new(
+            Event::builder(EventTypeId::from_index(0), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .attr(Value::Int(id as i64))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn event_item_accessors() {
+        let e = ev(1, 10);
+        let item = StreamItem::from(Arc::clone(&e));
+        assert!(item.as_event().is_some());
+        assert_eq!(item.as_punctuation(), None);
+        assert_eq!(item.ts(), Timestamp::new(10));
+    }
+
+    #[test]
+    fn punctuation_accessors() {
+        let item = StreamItem::Punctuation(Timestamp::new(7));
+        assert!(item.as_event().is_none());
+        assert_eq!(item.as_punctuation(), Some(Timestamp::new(7)));
+        assert_eq!(item.ts(), Timestamp::new(7));
+    }
+
+    #[test]
+    fn sort_orders_by_ts_then_id() {
+        let mut evs = vec![ev(3, 20), ev(2, 10), ev(1, 10)];
+        sort_by_timestamp(&mut evs);
+        let ids: Vec<u64> = evs.iter().map(|e| e.id().get()).collect();
+        assert_eq!(ids, [1, 2, 3]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!StreamItem::Punctuation(Timestamp::new(1)).to_string().is_empty());
+        assert!(!StreamItem::from(ev(1, 1)).to_string().is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Logical time: occurrence timestamps, durations, and arrival sequence
+//! numbers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A logical occurrence timestamp assigned by the event source.
+///
+/// Timestamps are opaque unsigned ticks; the unit (milliseconds, RFID reader
+/// cycles, ...) is workload-defined. Query windows ([`Duration`]) are
+/// expressed in the same unit.
+///
+/// ```
+/// use sequin_types::{Timestamp, Duration};
+/// let t = Timestamp::new(100);
+/// assert_eq!(t + Duration::new(20), Timestamp::new(120));
+/// assert_eq!(Timestamp::new(120) - t, Duration::new(20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(0);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from raw ticks.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        Timestamp(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction of a duration, clamping at [`Timestamp::MIN`].
+    ///
+    /// This is the operation used by purge-threshold computations
+    /// (`clock − W − K`), where early in the stream the threshold would
+    /// otherwise underflow.
+    #[inline]
+    pub const fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// Saturating addition of a duration, clamping at [`Timestamp::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Distance to another timestamp, regardless of order.
+    #[inline]
+    pub const fn abs_diff(self, other: Timestamp) -> Duration {
+        Duration(self.0.abs_diff(other.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(ticks: u64) -> Self {
+        Timestamp(ticks)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// A span of logical time, in the same ticks as [`Timestamp`].
+///
+/// Used for query windows (`WITHIN w`) and disorder bounds (`K`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration (an effectively unbounded window).
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from raw ticks.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of two durations.
+    #[inline]
+    pub const fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+/// The position of an event in the *arrival* order at the engine.
+///
+/// Arrival sequence numbers are assigned consecutively by the ingestion
+/// layer; they are strictly increasing even when timestamps are not. An
+/// event `e` arrived "out of order" when some event with a larger arrival
+/// sequence number has a smaller timestamp than `e`... more precisely, `e`
+/// itself is *late* when an earlier-arriving event had a larger timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ArrivalSeq(u64);
+
+impl ArrivalSeq {
+    /// Creates an arrival sequence number.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        ArrivalSeq(n)
+    }
+
+    /// Returns the raw sequence number.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next sequence number.
+    #[inline]
+    pub const fn next(self) -> ArrivalSeq {
+        ArrivalSeq(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ArrivalSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic_roundtrips() {
+        let t = Timestamp::new(50);
+        let d = Duration::new(25);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.saturating_add(d).ticks(), 75);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let t = Timestamp::new(10);
+        assert_eq!(t.saturating_sub(Duration::new(100)), Timestamp::MIN);
+        assert_eq!(t.saturating_sub(Duration::new(3)), Timestamp::new(7));
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        assert_eq!(Timestamp::MAX.saturating_add(Duration::new(1)), Timestamp::MAX);
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Timestamp::new(3);
+        let b = Timestamp::new(9);
+        assert_eq!(a.abs_diff(b), Duration::new(6));
+        assert_eq!(b.abs_diff(a), Duration::new(6));
+    }
+
+    #[test]
+    fn timestamps_order_by_ticks() {
+        assert!(Timestamp::new(1) < Timestamp::new(2));
+        assert!(Timestamp::MIN < Timestamp::MAX);
+    }
+
+    #[test]
+    fn arrival_seq_next_increments() {
+        let s = ArrivalSeq::new(7);
+        assert_eq!(s.next().get(), 8);
+        assert!(s < s.next());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::new(5).to_string(), "t5");
+        assert_eq!(Duration::new(5).to_string(), "5t");
+        assert_eq!(ArrivalSeq::new(5).to_string(), "#5");
+    }
+
+    #[test]
+    fn duration_addition() {
+        assert_eq!(Duration::new(2) + Duration::new(3), Duration::new(5));
+        assert_eq!(Duration::MAX.saturating_add(Duration::new(1)), Duration::MAX);
+    }
+}

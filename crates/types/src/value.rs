@@ -1,0 +1,291 @@
+//! Typed attribute values carried by events.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// The runtime type of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Immutable UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "str",
+            ValueKind::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically-typed attribute value.
+///
+/// Strings are reference-counted so events stay cheap to clone as they move
+/// through operator state (stacks hold `Arc<Event>`, but intermediate tuples
+/// copy projected values).
+///
+/// Comparison semantics mirror the query language: `Int` and `Float`
+/// compare numerically with each other; all other cross-kind comparisons
+/// return `None` (and evaluate to "predicate failed" at the operator level).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Immutable UTF-8 string.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Returns this value's runtime kind.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Bool(_) => ValueKind::Bool,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload; integers are widened to float.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compares two values with the query language's coercion rules:
+    /// numeric kinds compare with each other, like kinds compare directly,
+    /// everything else is incomparable (`None`).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Structural-with-coercion equality used by `==` predicates: numeric
+    /// kinds are equal when numerically equal; cross-kind otherwise is
+    /// `false`, never an error.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        matches!(self.compare(other), Some(Ordering::Equal))
+    }
+
+    /// Adds two numeric values (`Int + Int → Int`, otherwise float).
+    pub fn add(&self, other: &Value) -> Option<Value> {
+        self.numeric_binop(other, |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Subtracts two numeric values.
+    pub fn sub(&self, other: &Value) -> Option<Value> {
+        self.numeric_binop(other, |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Multiplies two numeric values.
+    pub fn mul(&self, other: &Value) -> Option<Value> {
+        self.numeric_binop(other, |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Divides two numeric values; integer division by zero yields `None`.
+    pub fn div(&self, other: &Value) -> Option<Value> {
+        self.numeric_binop(other, |a, b| a.checked_div(b), |a, b| a / b)
+    }
+
+    fn numeric_binop(
+        &self,
+        other: &Value,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        float_op: impl Fn(f64, f64) -> f64,
+    ) -> Option<Value> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => int_op(*a, *b).map(Value::Int),
+            _ => {
+                let a = self.as_float()?;
+                let b = other.as_float()?;
+                Some(Value::Float(float_op(a, b)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_report_correctly() {
+        assert_eq!(Value::Int(1).kind(), ValueKind::Int);
+        assert_eq!(Value::Float(1.0).kind(), ValueKind::Float);
+        assert_eq!(Value::str("x").kind(), ValueKind::Str);
+        assert_eq!(Value::Bool(true).kind(), ValueKind::Bool);
+    }
+
+    #[test]
+    fn numeric_cross_kind_comparison() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn cross_kind_non_numeric_is_incomparable() {
+        assert_eq!(Value::str("a").compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+        assert!(!Value::str("a").loose_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(Value::str("abc").compare(&Value::str("abd")), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn nan_is_incomparable() {
+        assert_eq!(Value::Float(f64::NAN).compare(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn arithmetic_int_stays_int() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Some(Value::Int(5)));
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)), Some(Value::Int(6)));
+    }
+
+    #[test]
+    fn arithmetic_mixes_to_float() {
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Some(Value::Float(2.5)));
+    }
+
+    #[test]
+    fn integer_division_by_zero_is_none() {
+        assert_eq!(Value::Int(1).div(&Value::Int(0)), None);
+    }
+
+    #[test]
+    fn integer_overflow_is_none() {
+        assert_eq!(Value::Int(i64::MAX).add(&Value::Int(1)), None);
+        assert_eq!(Value::Int(i64::MIN).sub(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn arithmetic_on_non_numeric_is_none() {
+        assert_eq!(Value::str("a").add(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).mul(&Value::Bool(false)), None);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(0.5), Value::Float(0.5));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(1).to_string(), "1");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+        assert_eq!(ValueKind::Float.to_string(), "float");
+    }
+}

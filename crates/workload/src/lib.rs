@@ -1,0 +1,35 @@
+//! # sequin-workload
+//!
+//! Event-history generators for the evaluation and the examples. Each
+//! workload owns a [`sequin_types::TypeRegistry`], produces
+//! timestamp-ordered histories (disorder is applied afterwards by
+//! `sequin-netsim`), and supplies the queries the evaluation runs over it:
+//!
+//! * [`Synthetic`] — the parametric alphabet workload behind the paper's
+//!   sweeps (type count, match density, predicate selectivity, pattern
+//!   length, window);
+//! * [`Rfid`] — supply-chain tracking: tags move `SHIPPED → SCANNED →
+//!   RECEIVED`; the flagship query finds tags that skipped the checkpoint
+//!   scan (a negation query correlated on the tag id);
+//! * [`Intrusion`] — login telemetry: repeated failures followed by a
+//!   success and privilege escalation for one user;
+//! * [`Stock`] — per-symbol random-walk tickers with a rising-price
+//!   streak query.
+//!
+//! All generation is seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod intrusion;
+mod rfid;
+mod stock;
+mod synthetic;
+mod trace;
+mod util;
+
+pub use intrusion::Intrusion;
+pub use rfid::Rfid;
+pub use stock::Stock;
+pub use synthetic::{Synthetic, SyntheticConfig};
+pub use trace::{read_trace, write_trace, TraceError};

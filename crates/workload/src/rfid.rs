@@ -1,0 +1,166 @@
+//! RFID supply-chain tracking (the paper's lead application).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sequin_query::{parse, Query};
+use sequin_types::{Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind};
+
+/// Supply-chain telemetry: tagged items are `SHIPPED` from a warehouse,
+/// should be `SCANNED` at a checkpoint, and are finally `RECEIVED` at a
+/// store. Items that skip the checkpoint are suspicious (theft, rerouting,
+/// counterfeit injection).
+///
+/// Event types (all with `tag: Int`, `location: Int`):
+/// `SHIPPED`, `SCANNED`, `RECEIVED`.
+#[derive(Debug, Clone)]
+pub struct Rfid {
+    registry: Arc<TypeRegistry>,
+    shipped: EventTypeId,
+    scanned: EventTypeId,
+    received: EventTypeId,
+}
+
+impl Rfid {
+    /// Declares the supply-chain event types.
+    pub fn new() -> Rfid {
+        let mut registry = TypeRegistry::new();
+        let fields: &[(&str, ValueKind)] =
+            &[("tag", ValueKind::Int), ("location", ValueKind::Int)];
+        let shipped = registry.declare("SHIPPED", fields).expect("fresh registry");
+        let scanned = registry.declare("SCANNED", fields).expect("fresh registry");
+        let received = registry.declare("RECEIVED", fields).expect("fresh registry");
+        Rfid { registry: Arc::new(registry), shipped, scanned, received }
+    }
+
+    /// The workload's type registry.
+    pub fn registry(&self) -> &Arc<TypeRegistry> {
+        &self.registry
+    }
+
+    /// Generates lifecycles for `num_tags` items, interleaved in timestamp
+    /// order. Each item is shipped, scanned with probability
+    /// `1 - skip_probability`, and received. Transit legs take 1–20 ticks;
+    /// shipments start every 1–5 ticks.
+    ///
+    /// Returns the history and the number of items that skipped the scan
+    /// (the ground-truth count for the flagship query *when no window
+    /// truncation interferes*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip_probability` is outside `[0, 1]`.
+    pub fn generate(&self, num_tags: usize, skip_probability: f64, seed: u64) -> (Vec<EventRef>, usize) {
+        assert!((0.0..=1.0).contains(&skip_probability));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events: Vec<EventRef> = Vec::with_capacity(num_tags * 3);
+        let mut next_id = 0u64;
+        let mut start = 0u64;
+        let mut skipped = 0usize;
+        let push = |events: &mut Vec<EventRef>,
+                        next_id: &mut u64,
+                        ty: EventTypeId,
+                        ts: u64,
+                        tag: i64,
+                        loc: i64| {
+            events.push(Arc::new(
+                Event::builder(ty, Timestamp::new(ts))
+                    .id(EventId::new(*next_id))
+                    .attr(Value::Int(tag))
+                    .attr(Value::Int(loc))
+                    .build(),
+            ));
+            *next_id += 1;
+        };
+        for tag in 0..num_tags as i64 {
+            start += rng.gen_range(1..=5);
+            let ship_ts = start;
+            let scan_ts = ship_ts + rng.gen_range(1..=20);
+            let recv_ts = scan_ts + rng.gen_range(1..=20);
+            push(&mut events, &mut next_id, self.shipped, ship_ts, tag, 1);
+            if rng.gen_bool(skip_probability) {
+                skipped += 1;
+            } else {
+                push(&mut events, &mut next_id, self.scanned, scan_ts, tag, 2);
+            }
+            push(&mut events, &mut next_id, self.received, recv_ts, tag, 3);
+        }
+        events.sort_by_key(|e| (e.ts(), e.id()));
+        crate::util::make_timestamps_unique(&mut events);
+        (events, skipped)
+    }
+
+    /// The flagship query: items received without a checkpoint scan.
+    ///
+    /// ```text
+    /// PATTERN SEQ(SHIPPED s, !SCANNED c, RECEIVED r)
+    /// WHERE   s.tag == r.tag AND c.tag == s.tag
+    /// WITHIN  window
+    /// RETURN  s.tag, r.ts
+    /// ```
+    pub fn skipped_scan_query(&self, window: u64) -> Arc<Query> {
+        let text = format!(
+            "PATTERN SEQ(SHIPPED s, !SCANNED c, RECEIVED r) \
+             WHERE s.tag == r.tag AND c.tag == s.tag WITHIN {window} \
+             RETURN s.tag, r.ts"
+        );
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+
+    /// Positive tracking query: the normal three-step lifecycle.
+    pub fn lifecycle_query(&self, window: u64) -> Arc<Query> {
+        let text = format!(
+            "PATTERN SEQ(SHIPPED s, SCANNED c, RECEIVED r) \
+             WHERE s.tag == c.tag AND c.tag == r.tag WITHIN {window} \
+             RETURN s.tag"
+        );
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+}
+
+impl Default for Rfid {
+    fn default() -> Self {
+        Rfid::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_ordering_per_tag() {
+        let w = Rfid::new();
+        let (events, _) = w.generate(50, 0.2, 1);
+        assert!(events.windows(2).all(|p| p[0].ts() < p[1].ts()));
+        for e in &events {
+            assert!(e.validate(w.registry()));
+        }
+    }
+
+    #[test]
+    fn skip_probability_zero_means_all_scanned() {
+        let w = Rfid::new();
+        let (events, skipped) = w.generate(40, 0.0, 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 120);
+    }
+
+    #[test]
+    fn skip_probability_one_means_none_scanned() {
+        let w = Rfid::new();
+        let (events, skipped) = w.generate(40, 1.0, 3);
+        assert_eq!(skipped, 40);
+        assert_eq!(events.len(), 80);
+    }
+
+    #[test]
+    fn queries_compile_with_partition_schemes() {
+        let w = Rfid::new();
+        let q = w.skipped_scan_query(100);
+        assert!(q.has_negation());
+        assert!(q.partition().is_some(), "tag chain should partition");
+        assert!(w.lifecycle_query(100).partition().is_some());
+    }
+}

@@ -1,0 +1,143 @@
+//! Stock-tick monitoring.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sequin_query::{parse, Query};
+use sequin_types::{Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind};
+
+/// Per-symbol random-walk stock ticks (`STOCK { sym, price, volume }`).
+///
+/// The canonical query looks for a three-tick strictly rising price streak
+/// on one symbol — a simple momentum signal whose match count is very
+/// sensitive to both disorder (a late tick breaks or fakes streaks for
+/// in-order engines) and the window.
+#[derive(Debug, Clone)]
+pub struct Stock {
+    registry: Arc<TypeRegistry>,
+    stock: EventTypeId,
+}
+
+impl Stock {
+    /// Declares the tick event type.
+    pub fn new() -> Stock {
+        let mut registry = TypeRegistry::new();
+        let stock = registry
+            .declare(
+                "STOCK",
+                &[
+                    ("sym", ValueKind::Int),
+                    ("price", ValueKind::Int),
+                    ("volume", ValueKind::Int),
+                ],
+            )
+            .expect("fresh registry");
+        Stock { registry: Arc::new(registry), stock }
+    }
+
+    /// The workload's type registry.
+    pub fn registry(&self) -> &Arc<TypeRegistry> {
+        &self.registry
+    }
+
+    /// Generates `n` ticks across `num_symbols` random-walking symbols
+    /// (prices start at 100, move ±3 per tick, floored at 1).
+    pub fn generate(&self, n: usize, num_symbols: usize, seed: u64) -> Vec<EventRef> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prices = vec![100i64; num_symbols];
+        let mut out = Vec::with_capacity(n);
+        let mut ts = 0u64;
+        for i in 0..n {
+            ts += rng.gen_range(1..=2);
+            let sym = rng.gen_range(0..num_symbols);
+            let step = rng.gen_range(-3i64..=3);
+            prices[sym] = (prices[sym] + step).max(1);
+            out.push(Arc::new(
+                Event::builder(self.stock, Timestamp::new(ts))
+                    .id(EventId::new(i as u64))
+                    .attr(Value::Int(sym as i64))
+                    .attr(Value::Int(prices[sym]))
+                    .attr(Value::Int(rng.gen_range(1..1000)))
+                    .build(),
+            ));
+        }
+        out
+    }
+
+    /// The rising-streak query:
+    ///
+    /// ```text
+    /// PATTERN SEQ(STOCK a, STOCK b, STOCK c)
+    /// WHERE a.sym == b.sym AND b.sym == c.sym
+    ///   AND a.price < b.price AND b.price < c.price
+    /// WITHIN window
+    /// RETURN a.sym, a.price, c.price
+    /// ```
+    pub fn rising_query(&self, window: u64) -> Arc<Query> {
+        let text = format!(
+            "PATTERN SEQ(STOCK a, STOCK b, STOCK c) \
+             WHERE a.sym == b.sym AND b.sym == c.sym \
+             AND a.price < b.price AND b.price < c.price \
+             WITHIN {window} RETURN a.sym, a.price, c.price"
+        );
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+
+    /// Spike-without-correction: a big jump not followed by any tick back
+    /// below the pre-jump price (trailing negation):
+    /// `SEQ(STOCK a, STOCK b, !STOCK d)` with `b.price > a.price + 5`,
+    /// `d.price < a.price`, same symbol.
+    pub fn uncorrected_spike_query(&self, window: u64) -> Arc<Query> {
+        let text = format!(
+            "PATTERN SEQ(STOCK a, STOCK b, !STOCK d) \
+             WHERE a.sym == b.sym AND d.sym == a.sym \
+             AND b.price > a.price + 5 AND d.price < a.price \
+             WITHIN {window} RETURN a.sym"
+        );
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+}
+
+impl Default for Stock {
+    fn default() -> Self {
+        Stock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_ordered_and_positive() {
+        let w = Stock::new();
+        let events = w.generate(1000, 5, 1);
+        assert!(events.windows(2).all(|p| p[0].ts() <= p[1].ts()));
+        for e in &events {
+            assert!(e.validate(w.registry()));
+            assert!(e.attr(1).unwrap().as_int().unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn queries_compile() {
+        let w = Stock::new();
+        let q = w.rising_query(30);
+        assert_eq!(q.positive_len(), 3);
+        assert!(q.partition().is_some(), "symbol chain partitions");
+        let q2 = w.uncorrected_spike_query(30);
+        assert!(q2.has_negation());
+    }
+
+    #[test]
+    fn symbols_cover_range() {
+        let w = Stock::new();
+        let events = w.generate(2000, 4, 2);
+        let mut seen = [false; 4];
+        for e in &events {
+            seen[e.attr(0).unwrap().as_int().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,195 @@
+//! The parametric alphabet workload behind the evaluation sweeps.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sequin_query::{parse, Query};
+use sequin_types::{Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind};
+
+/// Parameters of the [`Synthetic`] workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Alphabet size: event types `T0 .. T{num_types-1}`, drawn uniformly.
+    pub num_types: usize,
+    /// `tag` attribute cardinality (the correlation key).
+    pub tag_cardinality: i64,
+    /// `x` attribute drawn uniformly from `0..value_range`.
+    pub value_range: i64,
+    /// Mean timestamp gap between consecutive events (gaps are uniform in
+    /// `1..=2*mean_gap - 1`, so timestamps are strictly increasing).
+    pub mean_gap: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig { num_types: 4, tag_cardinality: 50, value_range: 100, mean_gap: 2 }
+    }
+}
+
+/// A synthetic alphabet workload: uniform type mix, strictly increasing
+/// timestamps, integer `x`/`tag` attributes.
+#[derive(Debug, Clone)]
+pub struct Synthetic {
+    registry: Arc<TypeRegistry>,
+    types: Vec<EventTypeId>,
+    config: SyntheticConfig,
+}
+
+impl Synthetic {
+    /// Builds the workload, declaring its event types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_types` is zero or parameters are non-positive.
+    pub fn new(config: SyntheticConfig) -> Synthetic {
+        assert!(config.num_types > 0, "need at least one type");
+        assert!(config.tag_cardinality > 0 && config.value_range > 0 && config.mean_gap > 0);
+        let mut registry = TypeRegistry::new();
+        let types = (0..config.num_types)
+            .map(|i| {
+                registry
+                    .declare(&format!("T{i}"), &[("x", ValueKind::Int), ("tag", ValueKind::Int)])
+                    .expect("unique names")
+            })
+            .collect();
+        Synthetic { registry: Arc::new(registry), types, config }
+    }
+
+    /// The workload's type registry.
+    pub fn registry(&self) -> &Arc<TypeRegistry> {
+        &self.registry
+    }
+
+    /// The configuration this workload was built with.
+    pub fn config(&self) -> SyntheticConfig {
+        self.config
+    }
+
+    /// Generates `n` events in strictly increasing timestamp order.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<EventRef> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = 0u64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            ts += rng.gen_range(1..=2 * self.config.mean_gap - 1).max(1);
+            let ty = self.types[rng.gen_range(0..self.types.len())];
+            let x = rng.gen_range(0..self.config.value_range);
+            let tag = rng.gen_range(0..self.config.tag_cardinality);
+            out.push(Arc::new(
+                Event::builder(ty, Timestamp::new(ts))
+                    .id(EventId::new(i as u64))
+                    .attr(Value::Int(x))
+                    .attr(Value::Int(tag))
+                    .build(),
+            ));
+        }
+        out
+    }
+
+    /// `PATTERN SEQ(T0 v0, …, T{len-1} v{len-1}) WITHIN window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the alphabet or is zero.
+    pub fn seq_query(&self, len: usize, window: u64) -> Arc<Query> {
+        assert!(len >= 1 && len <= self.types.len(), "length out of range");
+        let comps: Vec<String> =
+            (0..len).map(|i| format!("T{i} v{i}")).collect();
+        let text = format!("PATTERN SEQ({}) WITHIN {window}", comps.join(", "));
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+
+    /// Like [`Synthetic::seq_query`], with a local predicate `v_i.x <
+    /// threshold` on every component — `threshold / value_range` is the
+    /// per-component selectivity (the experiment E9 knob).
+    pub fn selective_query(&self, len: usize, window: u64, threshold: i64) -> Arc<Query> {
+        assert!(len >= 1 && len <= self.types.len(), "length out of range");
+        let comps: Vec<String> = (0..len).map(|i| format!("T{i} v{i}")).collect();
+        let preds: Vec<String> = (0..len).map(|i| format!("v{i}.x < {threshold}")).collect();
+        let text = format!(
+            "PATTERN SEQ({}) WHERE {} WITHIN {window}",
+            comps.join(", "),
+            preds.join(" AND ")
+        );
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+
+    /// `SEQ(T0 a, !T1 n, T2 c) WITHIN window` — the negation benchmark
+    /// query (requires an alphabet of at least 3).
+    pub fn negation_query(&self, window: u64) -> Arc<Query> {
+        assert!(self.types.len() >= 3, "need 3 types for the negation query");
+        let text = format!("PATTERN SEQ(T0 a, !T1 n, T2 c) WITHIN {window}");
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+
+    /// Sequence query correlated on `tag` across all components — carries
+    /// a partition scheme (experiment E11).
+    pub fn partitioned_query(&self, len: usize, window: u64) -> Arc<Query> {
+        assert!(len >= 2 && len <= self.types.len(), "length out of range");
+        let comps: Vec<String> = (0..len).map(|i| format!("T{i} v{i}")).collect();
+        let preds: Vec<String> =
+            (1..len).map(|i| format!("v{}.tag == v{i}.tag", i - 1)).collect();
+        let text = format!(
+            "PATTERN SEQ({}) WHERE {} WITHIN {window}",
+            comps.join(", "),
+            preds.join(" AND ")
+        );
+        parse(&text, &self.registry).expect("well-formed query")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_ordered_and_deterministic() {
+        let w = Synthetic::new(SyntheticConfig::default());
+        let a = w.generate(500, 1);
+        let b = w.generate(500, 1);
+        assert_eq!(a.len(), 500);
+        assert!(a.windows(2).all(|p| p[0].ts() < p[1].ts()));
+        let ka: Vec<u64> = a.iter().map(|e| e.ts().ticks()).collect();
+        let kb: Vec<u64> = b.iter().map(|e| e.ts().ticks()).collect();
+        assert_eq!(ka, kb);
+        let c = w.generate(500, 2);
+        let kc: Vec<u64> = c.iter().map(|e| e.ts().ticks()).collect();
+        assert_ne!(ka, kc);
+    }
+
+    #[test]
+    fn events_validate_against_schema() {
+        let w = Synthetic::new(SyntheticConfig::default());
+        for e in w.generate(100, 3) {
+            assert!(e.validate(w.registry()));
+        }
+    }
+
+    #[test]
+    fn queries_compile() {
+        let w = Synthetic::new(SyntheticConfig { num_types: 6, ..Default::default() });
+        assert_eq!(w.seq_query(3, 100).positive_len(), 3);
+        assert_eq!(w.selective_query(2, 50, 10).predicates().len(), 2);
+        assert!(w.negation_query(50).has_negation());
+        assert!(w.partitioned_query(4, 100).partition().is_some());
+    }
+
+    #[test]
+    fn all_types_appear() {
+        let w = Synthetic::new(SyntheticConfig { num_types: 4, ..Default::default() });
+        let events = w.generate(1000, 5);
+        let mut seen = [false; 4];
+        for e in &events {
+            seen[e.event_type().index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "length out of range")]
+    fn oversized_query_panics() {
+        let w = Synthetic::new(SyntheticConfig::default());
+        w.seq_query(99, 10);
+    }
+}

@@ -1,0 +1,64 @@
+//! Crate-private generator helpers.
+
+use std::sync::Arc;
+
+use sequin_types::{Event, EventRef, Timestamp};
+
+/// Shifts colliding timestamps forward so a sorted history carries the
+/// unique, totally-ordered timestamps the paper's model assumes.
+pub(crate) fn make_timestamps_unique(events: &mut [EventRef]) {
+    let mut prev: Option<u64> = None;
+    for slot in events.iter_mut() {
+        let mut ts = slot.ts().ticks();
+        if let Some(p) = prev {
+            if ts <= p {
+                ts = p + 1;
+            }
+        }
+        if ts != slot.ts().ticks() {
+            let mut b = Event::builder(slot.event_type(), Timestamp::new(ts)).id(slot.id());
+            for v in slot.attrs() {
+                b = b.attr(v.clone());
+            }
+            *slot = Arc::new(b.build());
+        }
+        prev = Some(ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_types::{EventId, EventTypeId};
+
+    #[test]
+    fn collisions_are_shifted_forward() {
+        let mk = |id: u64, ts: u64| -> EventRef {
+            Arc::new(
+                Event::builder(EventTypeId::from_index(0), Timestamp::new(ts))
+                    .id(EventId::new(id))
+                    .build(),
+            )
+        };
+        let mut events = vec![mk(1, 5), mk(2, 5), mk(3, 5), mk(4, 9)];
+        make_timestamps_unique(&mut events);
+        let ts: Vec<u64> = events.iter().map(|e| e.ts().ticks()).collect();
+        assert_eq!(ts, [5, 6, 7, 9]);
+        assert!(events.windows(2).all(|p| p[0].ts() < p[1].ts()));
+    }
+
+    #[test]
+    fn already_unique_is_untouched() {
+        let mk = |id: u64, ts: u64| -> EventRef {
+            Arc::new(
+                Event::builder(EventTypeId::from_index(0), Timestamp::new(ts))
+                    .id(EventId::new(id))
+                    .build(),
+            )
+        };
+        let original = vec![mk(1, 1), mk(2, 3)];
+        let mut events = original.clone();
+        make_timestamps_unique(&mut events);
+        assert!(Arc::ptr_eq(&events[0], &original[0]), "no needless rebuild");
+    }
+}

@@ -1,0 +1,118 @@
+//! The `sequin` command-line tool.
+//!
+//! ```text
+//! sequin explain --types 'A(x:int) B(x:int)' 'PATTERN SEQ(A a, B b) WITHIN 10'
+//! sequin run --workload rfid --events 50000 --ooo 0.2 --delay 100
+//! sequin run --workload stock --strategy buffered --k 200
+//! sequin replay --types 'A(x:int) B(x:int)' --trace events.txt 'PATTERN SEQ(A a, B b) WITHIN 10'
+//! ```
+
+use sequin::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sequin explain --types '<schema>' '<query>'
+  sequin run    --workload synthetic|rfid|intrusion|stock [options] ['<query>']
+  sequin replay --types '<schema>' --trace <file> [options] '<query>'
+
+options:
+  --events N        events to generate (default 50000)
+  --ooo F           out-of-order fraction 0..1 (default 0.2)
+  --delay D         max lateness in ticks (default 100)
+  --seed S          workload/disorder seed (default 42)
+  --strategy NAME   native|buffered|inorder (default native)
+  --k K             disorder bound / adaptive floor (default 100)
+  --adaptive F      estimate K from observed lateness, safety factor F
+  --punctuate N     inject a punctuation every N events
+
+schema DSL: 'TYPE(field:kind,...) ...' with kinds int|float|str|bool";
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing subcommand")?;
+
+    // collect flags and positionals
+    let mut flags: std::collections::HashMap<String, String> = Default::default();
+    let mut positional: Vec<String> = Vec::new();
+    let rest: Vec<&String> = it.collect();
+    let mut ix = 0;
+    while ix < rest.len() {
+        let a = rest[ix];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = rest
+                .get(ix + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_owned(), (*value).clone());
+            ix += 2;
+        } else {
+            positional.push(a.clone());
+            ix += 1;
+        }
+    }
+
+    let get_num = |flags: &std::collections::HashMap<String, String>,
+                   name: &str,
+                   default: f64|
+     -> Result<f64, String> {
+        match flags.get(name) {
+            Some(v) => v.parse::<f64>().map_err(|_| format!("--{name} expects a number")),
+            None => Ok(default),
+        }
+    };
+
+    let opts = cli::RunOptions {
+        strategy: cli::parse_strategy(flags.get("strategy").map(String::as_str).unwrap_or("native"))?,
+        k: get_num(&flags, "k", 100.0)? as u64,
+        adaptive: flags
+            .get("adaptive")
+            .map(|v| v.parse::<f64>().map_err(|_| "--adaptive expects a factor".to_owned()))
+            .transpose()?,
+        punctuate_every: flags
+            .get("punctuate")
+            .map(|v| v.parse::<usize>().map_err(|_| "--punctuate expects a count".to_owned()))
+            .transpose()?,
+    };
+
+    match command.as_str() {
+        "explain" => {
+            let schema = flags.get("types").ok_or("explain needs --types '<schema>'")?;
+            let query = positional.first().ok_or("explain needs a query argument")?;
+            cli::explain(schema, query)
+        }
+        "run" => {
+            let workload = flags.get("workload").ok_or("run needs --workload <name>")?;
+            let query = positional.first().map(String::as_str).unwrap_or("");
+            cli::run_workload(
+                workload,
+                query,
+                get_num(&flags, "events", 50_000.0)? as usize,
+                get_num(&flags, "ooo", 0.2)?,
+                get_num(&flags, "delay", 100.0)? as u64,
+                get_num(&flags, "seed", 42.0)? as u64,
+                &opts,
+            )
+        }
+        "replay" => {
+            let schema = flags.get("types").ok_or("replay needs --types '<schema>'")?;
+            let path = flags.get("trace").ok_or("replay needs --trace <file>")?;
+            let query = positional.first().ok_or("replay needs a query argument")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+            cli::run_trace_text(schema, query, &text, &opts)
+        }
+        "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}

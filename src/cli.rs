@@ -1,0 +1,402 @@
+//! Logic behind the `sequin` command-line tool (kept in the library so it
+//! is unit-testable; `src/bin/sequin.rs` is a thin wrapper).
+
+use std::sync::Arc;
+
+use sequin_engine::{make_engine, EngineConfig, Strategy};
+use sequin_metrics::run_engine;
+use sequin_netsim::{delay_shuffle, measure_disorder, punctuate};
+use sequin_query::parse;
+use sequin_types::{Duration, EventRef, StreamItem, TypeRegistry, ValueKind};
+use sequin_workload::{read_trace, Intrusion, Rfid, Stock, Synthetic, SyntheticConfig};
+
+/// Parses the schema DSL: whitespace-separated type declarations
+/// `Name(field:kind, ...)`, kinds `int|float|str|bool`, e.g.
+///
+/// ```text
+/// SHIPPED(tag:int,location:int) SCANNED(tag:int) PING()
+/// ```
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed declarations, unknown
+/// kinds, or duplicate names.
+pub fn parse_schema(text: &str) -> Result<TypeRegistry, String> {
+    let mut registry = TypeRegistry::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let open = rest.find('(').ok_or_else(|| format!("expected `(` after type name in `{rest}`"))?;
+        let name = rest[..open].trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("invalid type name `{name}`"));
+        }
+        let close = rest[open..]
+            .find(')')
+            .map(|ix| open + ix)
+            .ok_or_else(|| format!("missing `)` for type `{name}`"))?;
+        let body = rest[open + 1..close].trim();
+        let mut fields: Vec<(&str, ValueKind)> = Vec::new();
+        if !body.is_empty() {
+            for part in body.split(',') {
+                let (fname, fkind) = part
+                    .split_once(':')
+                    .ok_or_else(|| format!("expected `field:kind` in `{part}` of `{name}`"))?;
+                let kind = match fkind.trim() {
+                    "int" => ValueKind::Int,
+                    "float" => ValueKind::Float,
+                    "str" => ValueKind::Str,
+                    "bool" => ValueKind::Bool,
+                    other => return Err(format!("unknown kind `{other}` in `{name}`")),
+                };
+                fields.push((fname.trim(), kind));
+            }
+        }
+        registry.declare(name, &fields).map_err(|e| e.to_string())?;
+        rest = rest[close + 1..].trim_start();
+    }
+    if registry.is_empty() {
+        return Err("schema declared no types".into());
+    }
+    Ok(registry)
+}
+
+/// `sequin explain`: parses a query against a schema and describes the
+/// resolved plan.
+///
+/// # Errors
+///
+/// Returns schema or query compilation errors as display strings.
+pub fn explain(schema: &str, query_text: &str) -> Result<String, String> {
+    let registry = parse_schema(schema)?;
+    let query = parse(query_text, &registry).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let pattern: Vec<String> = query
+        .components()
+        .iter()
+        .map(|c| {
+            let types: Vec<String> =
+                c.types.iter().map(|&t| registry.schema(t).name().to_owned()).collect();
+            format!("{}{} {}", if c.negated { "!" } else { "" }, types.join("|"), c.var)
+        })
+        .collect();
+    out.push_str(&format!("pattern      : SEQ({})\n", pattern.join(", ")));
+    out.push_str(&format!("positives    : {}\n", query.positive_len()));
+    for p in 0..query.positive_len() {
+        let comp = &query.components()[query.positive_comp(p)];
+        let types: Vec<String> = comp
+            .types
+            .iter()
+            .map(|&t| registry.schema(t).name().to_owned())
+            .collect();
+        out.push_str(&format!(
+            "  slot {p}     : {} {} ({} insertion-time predicate(s))\n",
+            types.join("|"),
+            comp.var,
+            query.local_predicates(p).len()
+        ));
+    }
+    for neg in query.negations() {
+        let types: Vec<String> =
+            neg.types.iter().map(|&t| registry.schema(t).name().to_owned()).collect();
+        let place = match (neg.left, neg.right) {
+            (None, Some(_)) => "leading".to_owned(),
+            (Some(_), None) => "trailing (sealed emission required)".to_owned(),
+            (Some(l), Some(r)) => format!("between slots {l} and {r}"),
+            (None, None) => unreachable!("analysis guarantees a flank"),
+        };
+        out.push_str(&format!(
+            "negation     : !{} ({place}, {} predicate(s))\n",
+            types.join("|"),
+            neg.predicates.len()
+        ));
+    }
+    out.push_str(&format!("window       : {}\n", query.window()));
+    out.push_str(&format!(
+        "predicates   : {} total, {} cross-component\n",
+        query.predicates().len(),
+        query.join_predicates().len()
+    ));
+    match query.partition() {
+        Some(_) => out.push_str("partitioning : available (equality chain covers all slots)\n"),
+        None => out.push_str("partitioning : not available\n"),
+    }
+    out.push_str(&format!(
+        "projection   : {}\n",
+        if query.projections().is_empty() { "event ids (default)" } else { "RETURN clause" }
+    ));
+    Ok(out)
+}
+
+/// Options shared by the `run` and `replay` subcommands.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Disorder bound `K` (or adaptive floor).
+    pub k: u64,
+    /// Use adaptive K̂ estimation with this safety factor.
+    pub adaptive: Option<f64>,
+    /// Inject a punctuation every `n` events (simulator-omniscient).
+    pub punctuate_every: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { strategy: Strategy::Native, k: 100, adaptive: None, punctuate_every: None }
+    }
+}
+
+/// Runs `query_text` over a named built-in workload with synthetic
+/// disorder, returning a human-readable report.
+///
+/// `workload` is one of `synthetic`, `rfid`, `intrusion`, `stock`;
+/// an empty `query_text` selects the workload's flagship query.
+///
+/// # Errors
+///
+/// Reports unknown workloads and schema/query errors as display strings.
+pub fn run_workload(
+    workload: &str,
+    query_text: &str,
+    events: usize,
+    ooo: f64,
+    max_delay: u64,
+    seed: u64,
+    opts: &RunOptions,
+) -> Result<String, String> {
+    let (registry, history, default_query): (Arc<TypeRegistry>, Vec<EventRef>, String) =
+        match workload {
+            "synthetic" => {
+                let w = Synthetic::new(SyntheticConfig::default());
+                let h = w.generate(events, seed);
+                (
+                    Arc::clone(w.registry()),
+                    h,
+                    "PATTERN SEQ(T0 a, T1 b, T2 c) WHERE a.tag == b.tag AND b.tag == c.tag \
+                     WITHIN 100"
+                        .to_owned(),
+                )
+            }
+            "rfid" => {
+                let w = Rfid::new();
+                let (h, _) = w.generate(events / 3, 0.05, seed);
+                (
+                    Arc::clone(w.registry()),
+                    h,
+                    "PATTERN SEQ(SHIPPED s, !SCANNED c, RECEIVED r) \
+                     WHERE s.tag == r.tag AND c.tag == s.tag WITHIN 100 RETURN s.tag, r.ts"
+                        .to_owned(),
+                )
+            }
+            "intrusion" => {
+                let w = Intrusion::new();
+                let h = w.generate(events, 100, events / 500 + 1, seed);
+                (
+                    Arc::clone(w.registry()),
+                    h,
+                    "PATTERN SEQ(LOGIN_FAIL f1, LOGIN_FAIL f2, LOGIN_OK k, PRIV_ESC p) \
+                     WHERE f1.user == f2.user AND f2.user == k.user AND k.user == p.user \
+                     WITHIN 60 RETURN k.user, p.ts"
+                        .to_owned(),
+                )
+            }
+            "stock" => {
+                let w = Stock::new();
+                let h = w.generate(events, 8, seed);
+                (
+                    Arc::clone(w.registry()),
+                    h,
+                    "PATTERN SEQ(STOCK a, STOCK b, STOCK c) \
+                     WHERE a.sym == b.sym AND b.sym == c.sym \
+                     AND a.price < b.price AND b.price < c.price WITHIN 30"
+                        .to_owned(),
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unknown workload `{other}` (expected synthetic|rfid|intrusion|stock)"
+                ))
+            }
+        };
+    let text = if query_text.trim().is_empty() { &default_query } else { query_text };
+    let query = parse(text, &registry).map_err(|e| e.to_string())?;
+    let stream = delay_shuffle(&history, ooo, max_delay.max(1), seed);
+    run_stream(&stream, query, opts)
+}
+
+/// Replays a text trace (see [`sequin_workload::read_trace`]) through a
+/// query.
+///
+/// # Errors
+///
+/// Reports schema, query, and trace parse failures as display strings.
+pub fn run_trace_text(
+    schema: &str,
+    query_text: &str,
+    trace_text: &str,
+    opts: &RunOptions,
+) -> Result<String, String> {
+    let registry = parse_schema(schema)?;
+    let query = parse(query_text, &registry).map_err(|e| e.to_string())?;
+    let events = read_trace(trace_text.as_bytes(), &registry).map_err(|e| e.to_string())?;
+    let stream: Vec<StreamItem> = events.into_iter().map(StreamItem::Event).collect();
+    run_stream(&stream, query, opts)
+}
+
+fn run_stream(
+    stream: &[StreamItem],
+    query: Arc<sequin_query::Query>,
+    opts: &RunOptions,
+) -> Result<String, String> {
+    let disorder = measure_disorder(stream);
+    let stream_owned;
+    let stream = if let Some(n) = opts.punctuate_every {
+        stream_owned = punctuate(stream, n.max(1));
+        &stream_owned[..]
+    } else {
+        stream
+    };
+    let mut config = match opts.adaptive {
+        Some(safety) => EngineConfig::with_adaptive_k(Duration::new(opts.k), safety),
+        None => EngineConfig::with_k(Duration::new(opts.k)),
+    };
+    if opts.punctuate_every.is_some() {
+        config.watermark = sequin_engine::WatermarkSource::Both;
+    }
+    let mut engine = make_engine(opts.strategy, query, config);
+    let mut report = run_engine(engine.as_mut(), stream, 64);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "stream       : {} events, {:.1}% late, max lateness {}\n",
+        report.events,
+        disorder.late_fraction * 100.0,
+        disorder.max_lateness
+    ));
+    out.push_str(&format!("strategy     : {}\n", opts.strategy));
+    out.push_str(&format!("matches      : {} (net)\n", report.net_matches()));
+    out.push_str(&format!(
+        "throughput   : {:.0} events/s\n",
+        report.throughput_eps
+    ));
+    out.push_str(&format!(
+        "latency      : mean {:.1} / p99 {} arrivals\n",
+        report.arrival_latency.mean(),
+        report.arrival_latency.p99()
+    ));
+    out.push_str(&format!(
+        "state        : peak {} / mean {:.1} events\n",
+        report.peak_state, report.mean_state
+    ));
+    out.push_str(&format!(
+        "counters     : {} insertions, {} dfs steps, {} purged, {} beyond-K arrivals\n",
+        report.stats.insertions, report.stats.dfs_steps, report.stats.purged,
+        report.stats.late_drops
+    ));
+    Ok(out)
+}
+
+/// Parses a strategy name.
+///
+/// # Errors
+///
+/// Lists the accepted names when `name` matches none.
+pub fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    match name {
+        "native" | "native-ooo" => Ok(Strategy::Native),
+        "buffered" | "k-slack" | "k-slack-buffer" => Ok(Strategy::Buffered),
+        "inorder" | "in-order" => Ok(Strategy::InOrder),
+        other => Err(format!("unknown strategy `{other}` (native|buffered|inorder)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_dsl_parses_all_kinds() {
+        let reg = parse_schema("A(x:int, s:str) B(f:float,ok:bool) PING()").unwrap();
+        assert_eq!(reg.len(), 3);
+        let a = reg.lookup("A").unwrap();
+        assert_eq!(reg.schema(a).field("s").unwrap().1, ValueKind::Str);
+        let ping = reg.lookup("PING").unwrap();
+        assert_eq!(reg.schema(ping).arity(), 0);
+    }
+
+    #[test]
+    fn schema_dsl_rejects_garbage() {
+        assert!(parse_schema("").is_err());
+        assert!(parse_schema("A").is_err());
+        assert!(parse_schema("A(x)").is_err());
+        assert!(parse_schema("A(x:void)").is_err());
+        assert!(parse_schema("A(x:int").is_err());
+        assert!(parse_schema("A(x:int) A(y:int)").is_err());
+        assert!(parse_schema("A-B(x:int)").is_err());
+    }
+
+    #[test]
+    fn explain_describes_the_plan() {
+        let out = explain(
+            "SHIPPED(tag:int) SCANNED(tag:int) RECEIVED(tag:int)",
+            "PATTERN SEQ(SHIPPED s, !SCANNED c, RECEIVED r) \
+             WHERE s.tag == r.tag AND c.tag == s.tag WITHIN 100",
+        )
+        .unwrap();
+        assert!(out.contains("positives    : 2"));
+        assert!(out.contains("negation"));
+        assert!(out.contains("partitioning : available"));
+    }
+
+    #[test]
+    fn explain_reports_query_errors() {
+        let err = explain("A(x:int)", "PATTERN SEQ(B b) WITHIN 5").unwrap_err();
+        assert!(err.contains("unknown event type"));
+    }
+
+    #[test]
+    fn run_workload_produces_report() {
+        let out = run_workload("rfid", "", 3000, 0.2, 50, 7, &RunOptions::default()).unwrap();
+        assert!(out.contains("matches"));
+        assert!(out.contains("throughput"));
+    }
+
+    #[test]
+    fn run_workload_rejects_unknown_name() {
+        assert!(run_workload("nope", "", 10, 0.0, 1, 1, &RunOptions::default()).is_err());
+    }
+
+    #[test]
+    fn trace_replay_end_to_end() {
+        let schema = "A(x:int) B(x:int)";
+        let trace = "10 A 1\n30 B 1\n20 A 2\n";
+        let out = run_trace_text(
+            schema,
+            "PATTERN SEQ(A a, B b) WITHIN 100",
+            trace,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(out.contains("matches      : 2"), "{out}");
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(parse_strategy("native").unwrap(), Strategy::Native);
+        assert_eq!(parse_strategy("k-slack").unwrap(), Strategy::Buffered);
+        assert_eq!(parse_strategy("in-order").unwrap(), Strategy::InOrder);
+        assert!(parse_strategy("quantum").is_err());
+    }
+
+    #[test]
+    fn punctuated_and_adaptive_options() {
+        let opts = RunOptions {
+            strategy: Strategy::Native,
+            k: 50,
+            adaptive: Some(2.0),
+            punctuate_every: Some(100),
+        };
+        let out = run_workload("synthetic", "", 2000, 0.2, 50, 3, &opts).unwrap();
+        assert!(out.contains("state"));
+    }
+}

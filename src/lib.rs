@@ -1,0 +1,22 @@
+//! # sequin — event stream processing with out-of-order data arrival
+//!
+//! Facade crate re-exporting the `sequin` workspace: a reproduction of
+//! Li, Liu, Ding, Rundensteiner & Mani, *"Event Stream Processing with
+//! Out-of-Order Data Arrival"* (ICDCS Workshops 2007).
+//!
+//! See the workspace `README.md` for an architecture overview, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for the reproduced
+//! evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use sequin_engine as engine;
+pub use sequin_metrics as metrics;
+pub use sequin_netsim as netsim;
+pub use sequin_query as query;
+pub use sequin_runtime as runtime;
+pub use sequin_types as types;
+pub use sequin_workload as workload;

@@ -1,0 +1,129 @@
+//! Shared test helpers: an independent brute-force reference oracle and
+//! small stream builders.
+//!
+//! The oracle implements the query semantics *directly from the
+//! definition* (enumerate all positive assignments, check order, window,
+//! predicates, and negation regions against the full history) and shares
+//! no code with the engines' stacks/DFS — disagreement means a real bug.
+
+#![allow(dead_code)]
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use sequin::engine::{Engine, OutputItem};
+use sequin::query::Query;
+use sequin::runtime::{regions, Region};
+use sequin::types::{Event, EventId, EventRef, StreamItem, Timestamp, TypeRegistry, Value};
+
+/// A match identity: event ids in positive order.
+pub type Key = Vec<u64>;
+
+/// Enumerates the exact match set of `query` over `events` by brute
+/// force. Exponential in pattern length — keep inputs small.
+pub fn reference_matches(query: &Query, events: &[EventRef]) -> BTreeSet<Key> {
+    let m = query.positive_len();
+    let mut out = BTreeSet::new();
+    let mut chosen: Vec<Option<EventRef>> = vec![None; m];
+    recurse(query, events, 0, &mut chosen, &mut out);
+    out
+}
+
+fn recurse(
+    query: &Query,
+    events: &[EventRef],
+    slot: usize,
+    chosen: &mut Vec<Option<EventRef>>,
+    out: &mut BTreeSet<Key>,
+) {
+    let m = query.positive_len();
+    if slot == m {
+        let bound: Vec<EventRef> =
+            chosen.iter().map(|c| Arc::clone(c.as_ref().expect("full"))).collect();
+        if accepts(query, &bound, events) {
+            out.insert(bound.iter().map(|e| e.id().get()).collect());
+        }
+        return;
+    }
+    let want = query.positive_types(slot);
+    for ev in events {
+        if !want.contains(&ev.event_type()) {
+            continue;
+        }
+        if let Some(prev) = chosen[..slot].iter().rev().flatten().next() {
+            if ev.ts() <= prev.ts() {
+                continue;
+            }
+        }
+        chosen[slot] = Some(Arc::clone(ev));
+        recurse(query, events, slot + 1, chosen, out);
+        chosen[slot] = None;
+    }
+}
+
+/// Checks window, predicates, and negation against the complete history.
+fn accepts(query: &Query, bound: &[EventRef], events: &[EventRef]) -> bool {
+    let first = bound.first().expect("nonempty").ts();
+    let last = bound.last().expect("nonempty").ts();
+    if last - first > query.window() {
+        return false;
+    }
+    let binding = query.binding_from_positives(bound);
+    if !query.predicates().iter().all(|p| p.eval(&binding) == Some(true)) {
+        return false;
+    }
+    let regions: Vec<Region> = regions(query, bound);
+    for (ix, neg) in query.negations().iter().enumerate() {
+        let region = regions[ix];
+        if region.is_empty() {
+            continue;
+        }
+        for candidate in events {
+            if !neg.matches_type(candidate.event_type())
+                || candidate.ts() < region.start
+                || candidate.ts() >= region.end
+            {
+                continue;
+            }
+            let mut b = query.binding_from_positives(bound);
+            b[neg.comp] = Some(candidate);
+            if neg.predicates.iter().all(|p| p.eval(&b) == Some(true)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Net inserted match keys from an output stream.
+pub fn net_keys(outputs: &[OutputItem]) -> BTreeSet<Key> {
+    sequin::metrics::net_inserts(outputs)
+        .into_iter()
+        .map(|k| k.event_ids().iter().map(|id| id.get()).collect())
+        .collect()
+}
+
+/// Feeds `items` through `engine` (then finishes), returning all outputs.
+pub fn drive(engine: &mut dyn Engine, items: &[StreamItem]) -> Vec<OutputItem> {
+    let mut out = Vec::new();
+    for item in items {
+        out.extend(engine.ingest(item));
+    }
+    out.extend(engine.finish());
+    out
+}
+
+/// Builds an event with integer attributes `attrs` for `ty`.
+pub fn ev(reg: &TypeRegistry, ty: &str, id: u64, ts: u64, attrs: &[i64]) -> EventRef {
+    let mut b = Event::builder(reg.lookup(ty).expect("declared type"), Timestamp::new(ts))
+        .id(EventId::new(id));
+    for &a in attrs {
+        b = b.attr(Value::Int(a));
+    }
+    Arc::new(b.build())
+}
+
+/// Wraps events as an arrival stream in the given order.
+pub fn stream_of(events: &[EventRef]) -> Vec<StreamItem> {
+    events.iter().cloned().map(StreamItem::Event).collect()
+}

@@ -1,0 +1,165 @@
+//! Boundary-condition tests: extreme timestamps, tiny windows, degenerate
+//! queries, watermark extremes, and parser robustness against garbage.
+
+mod common;
+
+use common::{drive, ev, net_keys, reference_matches, stream_of};
+use proptest::prelude::*;
+use sequin::engine::{make_engine, Engine, EngineConfig, NativeEngine, Strategy as EngineStrategy};
+use sequin::query::{parse, QueryBuilder};
+use sequin::types::{Duration, StreamItem, Timestamp, TypeRegistry, ValueKind};
+use std::sync::Arc;
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    for name in ["A", "B", "N"] {
+        reg.declare(name, &[("x", ValueKind::Int)]).unwrap();
+    }
+    reg
+}
+
+#[test]
+fn window_of_one_tick_only_adjacent_timestamps() {
+    let reg = registry();
+    let q = parse("PATTERN SEQ(A a, B b) WITHIN 1", &reg).unwrap();
+    let events = vec![
+        ev(&reg, "A", 1, 10, &[0]),
+        ev(&reg, "B", 2, 11, &[0]), // span 1: ok
+        ev(&reg, "B", 3, 12, &[0]), // span 2: out
+    ];
+    let mut engine = make_engine(EngineStrategy::Native, q, EngineConfig::with_k(Duration::new(5)));
+    let keys = net_keys(&drive(engine.as_mut(), &stream_of(&events)));
+    assert_eq!(keys.len(), 1);
+    assert!(keys.contains(&vec![1, 2]));
+}
+
+#[test]
+fn timestamps_near_u64_max_do_not_overflow() {
+    let reg = registry();
+    let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
+    let huge = u64::MAX - 50;
+    let events = vec![ev(&reg, "A", 1, huge, &[0]), ev(&reg, "B", 2, huge + 10, &[0])];
+    let mut engine =
+        make_engine(EngineStrategy::Native, q, EngineConfig::with_k(Duration::new(1_000)));
+    let out = drive(engine.as_mut(), &stream_of(&events));
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn timestamp_zero_events_are_legal() {
+    let reg = registry();
+    let q = parse("PATTERN SEQ(!N n, A a) WITHIN 100", &reg).unwrap();
+    // leading negation region clamps at t0
+    let events = vec![ev(&reg, "A", 1, 0, &[0]), ev(&reg, "A", 2, 5, &[0])];
+    let oracle = reference_matches(&q, &events);
+    let mut engine = make_engine(EngineStrategy::Native, q, EngineConfig::with_k(Duration::new(10)));
+    assert_eq!(net_keys(&drive(engine.as_mut(), &stream_of(&events))), oracle);
+    assert_eq!(oracle.len(), 2);
+}
+
+#[test]
+fn punctuation_at_max_then_more_events() {
+    let reg = registry();
+    let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
+    let mut cfg = EngineConfig::with_k(Duration::new(u64::MAX / 2));
+    cfg.watermark = sequin::engine::WatermarkSource::Both;
+    let mut engine = NativeEngine::new(q, cfg);
+    engine.ingest(&StreamItem::Punctuation(Timestamp::MAX));
+    // everything after a MAX punctuation is "beyond the bound" by
+    // definition; the engine must stay well-defined and count it
+    engine.ingest(&StreamItem::Event(ev(&reg, "A", 1, 10, &[0])));
+    engine.ingest(&StreamItem::Event(ev(&reg, "B", 2, 20, &[0])));
+    assert_eq!(engine.stats().late_drops, 2);
+    assert!(engine.finish().len() <= 1);
+}
+
+#[test]
+fn zero_k_equals_classic_assumption() {
+    // K = 0 means "input claims to be ordered": on genuinely ordered input
+    // the native engine still produces the exact result
+    let reg = registry();
+    let q = parse("PATTERN SEQ(A a, B b) WITHIN 50", &reg).unwrap();
+    let events = vec![
+        ev(&reg, "A", 1, 10, &[0]),
+        ev(&reg, "B", 2, 20, &[0]),
+        ev(&reg, "A", 3, 30, &[0]),
+        ev(&reg, "B", 4, 40, &[0]),
+    ];
+    let oracle = reference_matches(&q, &events);
+    let mut engine = make_engine(EngineStrategy::Native, q, EngineConfig::with_k(Duration::ZERO));
+    assert_eq!(net_keys(&drive(engine.as_mut(), &stream_of(&events))), oracle);
+}
+
+#[test]
+fn single_positive_with_both_flank_negations() {
+    let reg = registry();
+    let q = parse("PATTERN SEQ(!N pre, A a, !N post) WITHIN 20", &reg).unwrap();
+    let events = vec![
+        ev(&reg, "A", 1, 100, &[0]),  // clean
+        ev(&reg, "N", 2, 130, &[0]),  // post-noise for A@120
+        ev(&reg, "A", 3, 120, &[0]),  // invalidated by N@130 (region (120,141))
+        ev(&reg, "A", 4, 150, &[0]),  // N@130 is within [150-20,150): invalidated
+        ev(&reg, "A", 5, 200, &[0]),  // clean
+    ];
+    let oracle = reference_matches(&q, &events);
+    let mut engine =
+        make_engine(EngineStrategy::Native, q, EngineConfig::with_k(Duration::new(50)));
+    let got = net_keys(&drive(engine.as_mut(), &stream_of(&events)));
+    assert_eq!(got, oracle);
+    assert_eq!(oracle.len(), 2);
+}
+
+#[test]
+fn query_with_max_components_is_accepted_and_beyond_rejected() {
+    let mut reg = TypeRegistry::new();
+    reg.declare("A", &[]).unwrap();
+    let mut builder = QueryBuilder::new();
+    for i in 0..64 {
+        builder = builder.component("A", &format!("v{i}"));
+    }
+    assert!(builder.clone().within(10).build(&reg).is_ok());
+    let overflow = builder.component("A", "v64").within(10).build(&reg);
+    assert!(overflow.is_err());
+}
+
+#[test]
+fn engine_survives_interleaved_finish_free_streams() {
+    // ingesting nothing but punctuations, then finishing twice
+    let reg = registry();
+    let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 10", &reg).unwrap();
+    let mut engine = make_engine(EngineStrategy::Native, q, EngineConfig::default());
+    for t in [5u64, 10, 15] {
+        assert!(engine.ingest(&StreamItem::Punctuation(Timestamp::new(t))).is_empty());
+    }
+    assert!(engine.finish().is_empty());
+    assert!(engine.finish().is_empty(), "finish is idempotent");
+    let _ = reg;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The query front-end must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC{0,120}") {
+        let reg = registry();
+        let _ = parse(&input, &reg); // Ok or Err, never a panic
+    }
+
+    /// Near-miss queries (valid skeleton, randomized pieces) also never
+    /// panic and produce position-carrying errors when they fail.
+    #[test]
+    fn parser_never_panics_on_near_queries(
+        ty in "[A-Z]{1,3}",
+        var in "[a-z]{1,3}",
+        op in prop::sample::select(vec!["==", "<", ">=", "+", "AND"]),
+        w in 0u64..5,
+    ) {
+        let reg = registry();
+        let text = format!("PATTERN SEQ({ty} {var}, B b) WHERE {var}.x {op} 3 WITHIN {w}");
+        match parse(&text, &reg) {
+            Ok(q) => prop_assert!(q.positive_len() == 2),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
