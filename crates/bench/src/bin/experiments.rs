@@ -18,18 +18,23 @@ fn main() {
     };
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
 
-    let known: Vec<&str> =
-        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
+    let known: Vec<&str> = vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    ];
     let selected: Vec<&str> = if run_all {
         known.clone()
     } else {
-        let bad: Vec<&String> =
-            args.iter().filter(|a| !known.contains(&a.as_str())).collect();
+        let bad: Vec<&String> = args
+            .iter()
+            .filter(|a| !known.contains(&a.as_str()))
+            .collect();
         if !bad.is_empty() {
             eprintln!("unknown experiment(s): {bad:?}; known: {known:?}");
             std::process::exit(2);
         }
-        args.iter().map(|a| known[known.iter().position(|k| k == a).unwrap()]).collect()
+        args.iter()
+            .map(|a| known[known.iter().position(|k| k == a).unwrap()])
+            .collect()
     };
 
     println!(

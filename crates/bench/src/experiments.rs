@@ -37,7 +37,15 @@ pub fn e1(scale: Scale) -> String {
     let events = w.generate(scale.events / 2, scale.seed);
     let q = w.partitioned_query(2, W);
     let oracle = run(Strategy::InOrder, &q, 0, &sorted_stream(&events));
-    let mut t = Table::new(&["ooo %", "oracle", "observed", "phantoms", "missed", "precision", "recall"]);
+    let mut t = Table::new(&[
+        "ooo %",
+        "oracle",
+        "observed",
+        "phantoms",
+        "missed",
+        "precision",
+        "recall",
+    ]);
     // lateness up to 2W: late events genuinely cross window boundaries
     let delay = 2 * W;
     for pct in [0, 10, 20, 30, 40, 50] {
@@ -159,7 +167,12 @@ pub fn e5(scale: Scale) -> String {
         let q = w.partitioned_query(3, window);
         let kb = run(Strategy::Buffered, &q, K, &stream);
         let no = run(Strategy::Native, &q, K, &stream);
-        t.row(&[window.to_string(), keps(&kb), keps(&no), no.peak_state.to_string()]);
+        t.row(&[
+            window.to_string(),
+            keps(&kb),
+            keps(&no),
+            no.peak_state.to_string(),
+        ]);
     }
     format!(
         "E5  throughput vs. window W (20% late, delay <= {OOO_DELAY}, K={K})\n\n{t}\n\
@@ -193,7 +206,13 @@ pub fn e7(scale: Scale) -> String {
     let events = w.generate(scale.events, scale.seed);
     let stream = delay_shuffle(&events, 0.2, OOO_DELAY, scale.seed);
     let q = w.partitioned_query(3, W);
-    let mut t = Table::new(&["purge", "throughput", "peak state", "mean state", "purge runs"]);
+    let mut t = Table::new(&[
+        "purge",
+        "throughput",
+        "peak state",
+        "mean state",
+        "purge runs",
+    ]);
     for (name, policy) in [
         ("never", PurgePolicy::NEVER),
         ("eager (1)", PurgePolicy::EAGER),
@@ -235,13 +254,18 @@ pub fn e8(scale: Scale) -> String {
         "p99 arr lat",
     ]);
     let mut nets = Vec::new();
-    for (name, policy) in
-        [("conservative", EmissionPolicy::Conservative), ("aggressive", EmissionPolicy::Aggressive)]
-    {
+    for (name, policy) in [
+        ("conservative", EmissionPolicy::Conservative),
+        ("aggressive", EmissionPolicy::Aggressive),
+    ] {
         let mut cfg = EngineConfig::with_k(Duration::new(K));
         cfg.emission = policy;
         let mut r = run_with(Strategy::Native, &q, cfg, &stream);
-        let inserts = r.outputs.iter().filter(|o| o.kind == OutputKind::Insert).count();
+        let inserts = r
+            .outputs
+            .iter()
+            .filter(|o| o.kind == OutputKind::Insert)
+            .count();
         let retracts = r.outputs.len() - inserts;
         nets.push(r.net_matches());
         t.row(&[
@@ -253,7 +277,11 @@ pub fn e8(scale: Scale) -> String {
             r.arrival_latency.p99().to_string(),
         ]);
     }
-    let agree = if nets.windows(2).all(|p| p[0] == p[1]) { "yes" } else { "NO (BUG)" };
+    let agree = if nets.windows(2).all(|p| p[0] == p[1]) {
+        "yes"
+    } else {
+        "NO (BUG)"
+    };
     format!(
         "E8  negation under disorder: SEQ(T0, !T1, T2), 20% late, W={W}, K={K}\n\n{t}\n\
          net outputs agree: {agree}\n\
@@ -321,10 +349,23 @@ pub fn e10(scale: Scale) -> String {
     let off = run_with(Strategy::Native, &q, off_cfg, &stream);
 
     let mut ta = Table::new(&["engine (ordered input)", "throughput", "matches"]);
-    ta.row(&["classic rip-pointers".into(), keps(&classic), classic.net_matches().to_string()]);
-    ta.row(&["native positional-rip".into(), keps(&native), native.net_matches().to_string()]);
+    ta.row(&[
+        "classic rip-pointers".into(),
+        keps(&classic),
+        classic.net_matches().to_string(),
+    ]);
+    ta.row(&[
+        "native positional-rip".into(),
+        keps(&native),
+        native.net_matches().to_string(),
+    ]);
     let mut tb = Table::new(&["cut-off", "dfs steps", "throughput", "matches"]);
-    tb.row(&["on".into(), on.stats.dfs_steps.to_string(), keps(&on), on.net_matches().to_string()]);
+    tb.row(&[
+        "on".into(),
+        on.stats.dfs_steps.to_string(),
+        keps(&on),
+        on.net_matches().to_string(),
+    ]);
     tb.row(&[
         "off".into(),
         off.stats.dfs_steps.to_string(),
@@ -360,7 +401,11 @@ pub fn e11(scale: Scale) -> String {
         part_cfg.partitioned = true;
         let flat = run_with(Strategy::Native, &q, flat_cfg, &stream);
         let part = run_with(Strategy::Native, &q, part_cfg, &stream);
-        assert_eq!(flat.net_matches(), part.net_matches(), "partitioning must not change output");
+        assert_eq!(
+            flat.net_matches(),
+            part.net_matches(),
+            "partitioning must not change output"
+        );
         t.row(&[
             tags.to_string(),
             keps(&flat),
@@ -383,10 +428,7 @@ pub fn e12(scale: Scale) -> String {
     let n = scale.events;
     let half = w.generate(n / 2, scale.seed);
     // second source: same workload shape, shifted ids/timestamps
-    let other = {
-        
-        w.generate(n / 2, scale.seed + 1)
-    };
+    let other = { w.generate(n / 2, scale.seed + 1) };
     let horizon = half.last().map(|e| e.ts().ticks()).unwrap_or(1000);
     let outage = Outage {
         from: Timestamp::new(horizon / 3),
@@ -427,7 +469,11 @@ pub fn e12(scale: Scale) -> String {
         f2(pu.mean_state),
         pu.net_matches().to_string(),
     ]);
-    let agree = if ks.net_matches() == pu.net_matches() { "yes" } else { "NO (BUG)" };
+    let agree = if ks.net_matches() == pu.net_matches() {
+        "yes"
+    } else {
+        "NO (BUG)"
+    };
     format!(
         "E12  failure-burst disorder: K-slack vs. punctuation watermarks\n\
          two sources, uniform delay <= 40, one outage with retransmission\n\
@@ -447,7 +493,13 @@ pub fn e13(scale: Scale) -> String {
     let w = workload(4);
     let events = w.generate(scale.events / 2, scale.seed);
     let net = Network::new(
-        vec![Source::new(events.clone(), DelayModel::Pareto { scale: 5.0, shape: 1.1 })],
+        vec![Source::new(
+            events.clone(),
+            DelayModel::Pareto {
+                scale: 5.0,
+                shape: 1.1,
+            },
+        )],
         scale.seed,
     );
     let stream = net.deliver();
@@ -458,7 +510,13 @@ pub fn e13(scale: Scale) -> String {
     // ground truth: fixed K equal to the true bound
     let oracle = run(Strategy::Native, &q, true_k, &stream);
 
-    let mut t = Table::new(&["bound", "k final", "recall", "mean state", "beyond-k arrivals"]);
+    let mut t = Table::new(&[
+        "bound",
+        "k final",
+        "recall",
+        "mean state",
+        "beyond-k arrivals",
+    ]);
     let mut row = |name: String, r: &sequin_metrics::RunReport, k_final: String| {
         let acc = compare_outputs(&r.outputs, &oracle.outputs);
         t.row(&[
@@ -473,7 +531,11 @@ pub fn e13(scale: Scale) -> String {
 
     let small_k = (report.mean_lateness * 3.0).ceil() as u64 + 1;
     let under = run(Strategy::Native, &q, small_k, &stream);
-    row(format!("fixed K = 3x mean ({small_k})"), &under, small_k.to_string());
+    row(
+        format!("fixed K = 3x mean ({small_k})"),
+        &under,
+        small_k.to_string(),
+    );
 
     for safety in [1.0f64, 2.0] {
         let cfg = EngineConfig::with_adaptive_k(Duration::new(small_k), safety);
@@ -522,7 +584,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { events: 2_000, seed: 7 }
+        Scale {
+            events: 2_000,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -540,7 +605,10 @@ mod tests {
     #[test]
     fn e11_partitioning_preserves_output() {
         // the assert inside e11 is the real test
-        let s = e11(Scale { events: 1_000, seed: 7 });
+        let s = e11(Scale {
+            events: 1_000,
+            seed: 7,
+        });
         assert!(s.contains("speedup"));
     }
 

@@ -2,9 +2,9 @@
 //!
 //! The evaluation harness: one function per reconstructed experiment
 //! (`E1`–`E12`, see `DESIGN.md` for the index), each returning the rendered
-//! paper-style table. The `experiments` binary prints them; the criterion
-//! benches (`benches/figures.rs`, `benches/micro.rs`) measure the same
-//! code paths at a calibrated scale.
+//! paper-style table, printed by the `experiments` binary. (The crate
+//! carries no external bench harness so the workspace stays
+//! offline-buildable; wall-clock numbers come from the binary itself.)
 //!
 //! Every experiment is deterministic (seeded workloads, seeded disorder);
 //! throughput numbers vary with the host, but the *shape* claims recorded
@@ -17,7 +17,7 @@ pub mod prelude;
 
 /// How big the experiment runs are. `Scale::full()` is what
 /// `EXPERIMENTS.md` reports; `Scale::ci()` keeps the harness's own tests
-/// and criterion iterations fast.
+/// fast.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {
     /// Events per run.
@@ -29,11 +29,17 @@ pub struct Scale {
 impl Scale {
     /// The scale used for the recorded results.
     pub fn full() -> Scale {
-        Scale { events: 200_000, seed: 42 }
+        Scale {
+            events: 200_000,
+            seed: 42,
+        }
     }
 
-    /// A small scale for tests and criterion inner loops.
+    /// A small scale for the harness's own tests.
     pub fn ci() -> Scale {
-        Scale { events: 10_000, seed: 42 }
+        Scale {
+            events: 10_000,
+            seed: 42,
+        }
     }
 }

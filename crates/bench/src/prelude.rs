@@ -10,7 +10,12 @@ use sequin_types::{Duration, EventRef, StreamItem};
 /// Builds an engine for `strategy` with disorder bound `k` and the default
 /// remaining configuration, runs it over `stream`, and reports.
 pub fn run(strategy: Strategy, query: &Arc<Query>, k: u64, stream: &[StreamItem]) -> RunReport {
-    run_with(strategy, query, EngineConfig::with_k(Duration::new(k)), stream)
+    run_with(
+        strategy,
+        query,
+        EngineConfig::with_k(Duration::new(k)),
+        stream,
+    )
 }
 
 /// Like [`run`], with full configuration control.

@@ -231,12 +231,11 @@ mod tests {
     fn buffer_releases_in_timestamp_order() {
         let mut buf = KSlackBuffer::new();
         for (id, ts) in [(1u64, 30u64), (2, 10), (3, 20)] {
-            let e = Arc::new(Event::builder(
-                sequin_types::EventTypeId::from_index(0),
-                Timestamp::new(ts),
-            )
-            .id(EventId::new(id))
-            .build());
+            let e = Arc::new(
+                Event::builder(sequin_types::EventTypeId::from_index(0), Timestamp::new(ts))
+                    .id(EventId::new(id))
+                    .build(),
+            );
             buf.push(e, ArrivalSeq::new(id));
         }
         let released = buf.release(Timestamp::new(20));

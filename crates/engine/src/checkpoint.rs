@@ -1,0 +1,666 @@
+//! Checkpoint/restore with exactly-once replay.
+//!
+//! A [`Checkpointer`] wraps any [`Engine`] and periodically serializes its
+//! complete state (via [`Engine::snapshot`]) into a [`CheckpointStore`],
+//! alongside an append-only **emission log** recording every output the
+//! wrapper has delivered downstream. After a crash, [`Checkpointer::resume`]
+//! restores the most recent intact checkpoint (falling back to older ones,
+//! then to a cold start, when corruption is detected) and returns the
+//! stream position to replay from. During replay the emission log is used
+//! as a dedup filter: outputs the pre-crash process already delivered are
+//! suppressed exactly once each, so the union of pre- and post-crash output
+//! is the exactly-once match set — including paired `Insert`/`Retract`
+//! items under [`crate::EmissionPolicy::Aggressive`].
+//!
+//! Every artifact (checkpoints, log records, the store file) is wrapped in
+//! the checksummed envelope from [`sequin_types::codec`]; a corrupted or
+//! version-skewed artifact is *detected and rejected*, never silently
+//! restored.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use sequin_query::Query;
+use sequin_runtime::{MatchKey, RuntimeStats};
+use sequin_types::codec::{open_envelope, seal_envelope};
+use sequin_types::{CodecError, Decode, Encode, Reader, StreamItem, Timestamp, Writer};
+use std::sync::Arc;
+
+use crate::output::{OutputItem, OutputKind};
+use crate::traits::Engine;
+
+/// When a [`Checkpointer`] takes a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint whenever this many events have been ingested since the
+    /// last checkpoint.
+    pub every_n_events: Option<u64>,
+    /// Checkpoint whenever the wrapped engine's low-watermark advances
+    /// (engines that expose no watermark never trigger this).
+    pub on_watermark_advance: bool,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_n_events: None,
+            on_watermark_advance: true,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `n` ingested events only.
+    pub fn every(n: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_n_events: Some(n),
+            on_watermark_advance: false,
+        }
+    }
+}
+
+fn kind_tag(kind: OutputKind) -> u8 {
+    match kind {
+        OutputKind::Insert => 0,
+        OutputKind::Retract => 1,
+    }
+}
+
+fn encode_log_record(kind: OutputKind, key: &MatchKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(kind_tag(kind));
+    key.encode(&mut w);
+    seal_envelope(&w.into_bytes())
+}
+
+fn decode_log_record(bytes: &[u8]) -> Result<(u8, MatchKey), CodecError> {
+    let payload = open_envelope(bytes)?;
+    let mut r = Reader::new(payload);
+    let tag = r.get_u8()?;
+    if tag > 1 {
+        return Err(CodecError::InvalidTag {
+            what: "OutputKind",
+            tag,
+        });
+    }
+    let key = MatchKey::decode(&mut r)?;
+    r.finish()?;
+    Ok((tag, key))
+}
+
+/// Durable checkpoint artifacts: up to `keep` engine checkpoints (oldest
+/// first) plus the append-only emission log. Every entry is a sealed,
+/// checksummed envelope, so corruption of any single artifact is detected
+/// independently of the others.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    keep: usize,
+    checkpoints: Vec<Vec<u8>>,
+    log: Vec<Vec<u8>>,
+}
+
+impl CheckpointStore {
+    /// An empty store retaining the default two checkpoints (latest plus
+    /// one fallback).
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::with_keep(2)
+    }
+
+    /// An empty store retaining up to `keep` checkpoints (minimum 1).
+    pub fn with_keep(keep: usize) -> CheckpointStore {
+        CheckpointStore {
+            keep: keep.max(1),
+            checkpoints: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Appends a sealed checkpoint, evicting the oldest beyond `keep`.
+    pub fn push_checkpoint(&mut self, bytes: Vec<u8>) {
+        self.checkpoints.push(bytes);
+        if self.checkpoints.len() > self.keep {
+            let excess = self.checkpoints.len() - self.keep;
+            self.checkpoints.drain(..excess);
+        }
+    }
+
+    /// Number of retained checkpoints.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Number of emission-log records.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Appends an emission-log record.
+    fn append_log(&mut self, record: Vec<u8>) {
+        self.log.push(record);
+    }
+
+    /// Mutable access to a retained checkpoint, newest first (index 0 is
+    /// the latest). Exists for fault-injection tests that corrupt
+    /// checkpoint bytes in place.
+    pub fn checkpoint_mut(&mut self, newest_first: usize) -> Option<&mut Vec<u8>> {
+        let n = self.checkpoints.len();
+        n.checked_sub(newest_first + 1)
+            .map(|ix| &mut self.checkpoints[ix])
+    }
+
+    /// Serializes the whole store into one sealed envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.keep as u64);
+        w.put_u64(self.checkpoints.len() as u64);
+        for c in &self.checkpoints {
+            w.put_bytes(c);
+        }
+        w.put_u64(self.log.len() as u64);
+        for rec in &self.log {
+            w.put_bytes(rec);
+        }
+        seal_envelope(&w.into_bytes())
+    }
+
+    /// Parses a store serialized by [`CheckpointStore::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<CheckpointStore, CodecError> {
+        let payload = open_envelope(bytes)?;
+        let mut r = Reader::new(payload);
+        let keep = (r.get_u64()? as usize).max(1);
+        let n = r.get_u64()?;
+        if n > r.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        let mut checkpoints = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            checkpoints.push(r.get_bytes()?);
+        }
+        let n = r.get_u64()?;
+        if n > r.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        let mut log = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            log.push(r.get_bytes()?);
+        }
+        r.finish()?;
+        Ok(CheckpointStore {
+            keep,
+            checkpoints,
+            log,
+        })
+    }
+
+    /// Writes the store to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a store from `path`; decode failures surface as
+    /// `InvalidData` I/O errors.
+    pub fn load(path: &Path) -> std::io::Result<CheckpointStore> {
+        let bytes = std::fs::read(path)?;
+        CheckpointStore::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Engine wrapper providing crash-consistent checkpoints and exactly-once
+/// replay (see the module docs for the recovery model).
+pub struct Checkpointer {
+    inner: Box<dyn Engine>,
+    policy: CheckpointPolicy,
+    store: CheckpointStore,
+    /// Stream items ingested so far (the replay cursor).
+    position: u64,
+    last_ckpt_position: u64,
+    last_ckpt_wm: Option<Timestamp>,
+    /// Multiset of outputs the pre-crash process already delivered that
+    /// deterministic replay will regenerate; each is dropped once.
+    suppress: BTreeMap<(u8, MatchKey), u64>,
+    /// Checkpoint counters, kept outside the wrapped engine so they
+    /// describe *this* process rather than the restored snapshot.
+    extra: RuntimeStats,
+}
+
+impl std::fmt::Debug for Checkpointer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checkpointer")
+            .field("position", &self.position)
+            .field("checkpoints", &self.store.checkpoint_count())
+            .field("log_len", &self.store.log_len())
+            .field("pending_suppressions", &self.pending_suppressions())
+            .finish()
+    }
+}
+
+impl Checkpointer {
+    /// Wraps `inner` with a fresh (empty) store.
+    pub fn new(inner: Box<dyn Engine>, policy: CheckpointPolicy) -> Checkpointer {
+        let last_ckpt_wm = inner.watermark();
+        Checkpointer {
+            inner,
+            policy,
+            store: CheckpointStore::new(),
+            position: 0,
+            last_ckpt_position: 0,
+            last_ckpt_wm,
+            suppress: BTreeMap::new(),
+            extra: RuntimeStats::default(),
+        }
+    }
+
+    /// Recovers from `store` into a *freshly constructed* `inner` engine
+    /// (same query, same configuration). Returns the wrapper plus the
+    /// stream position to replay from: the caller must re-feed the input
+    /// suffix starting at that item index.
+    ///
+    /// The fallback ladder: the newest checkpoint whose envelope,
+    /// fingerprint, and internal structure all validate wins; corrupted or
+    /// mismatched ones are counted in
+    /// [`RuntimeStats::checkpoints_rejected`] and skipped; if none
+    /// survive, recovery degrades to a cold start (replay from item 0).
+    /// The emission log then seeds the replay-suppression multiset, so
+    /// already-delivered outputs are not delivered twice.
+    pub fn resume(
+        mut inner: Box<dyn Engine>,
+        policy: CheckpointPolicy,
+        store: CheckpointStore,
+    ) -> (Checkpointer, u64) {
+        let mut rejected = 0u64;
+        let mut position = 0u64;
+        let mut log_mark = 0usize;
+        for ckpt in store.checkpoints.iter().rev() {
+            let attempt = Self::open_checkpoint(ckpt).and_then(|(pos, mark, engine_bytes)| {
+                if mark as usize > store.log.len() {
+                    return Err(CodecError::SnapshotMismatch("emission log length"));
+                }
+                // all-or-nothing: a failed restore leaves `inner` as-is
+                inner.restore(engine_bytes)?;
+                Ok((pos, mark as usize))
+            });
+            match attempt {
+                Ok((pos, mark)) => {
+                    position = pos;
+                    log_mark = mark;
+                    break;
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        let mut suppress: BTreeMap<(u8, MatchKey), u64> = BTreeMap::new();
+        for rec in store.log.iter().skip(log_mark) {
+            match decode_log_record(rec) {
+                Ok(key) => *suppress.entry(key).or_insert(0) += 1,
+                Err(_) => rejected += 1, // corrupt log record: cannot dedup it
+            }
+        }
+        let last_ckpt_wm = inner.watermark();
+        let ckptr = Checkpointer {
+            inner,
+            policy,
+            store,
+            position,
+            last_ckpt_position: position,
+            last_ckpt_wm,
+            suppress,
+            extra: RuntimeStats {
+                checkpoints_rejected: rejected,
+                ..RuntimeStats::default()
+            },
+        };
+        (ckptr, position)
+    }
+
+    fn open_checkpoint(bytes: &[u8]) -> Result<(u64, u64, &[u8]), CodecError> {
+        let payload = open_envelope(bytes)?;
+        let mut r = Reader::new(payload);
+        let position = r.get_u64()?;
+        let log_mark = r.get_u64()?;
+        let len = r.get_len()?;
+        let engine_bytes = r.take(len)?;
+        r.finish()?;
+        Ok((position, log_mark, engine_bytes))
+    }
+
+    /// Takes a checkpoint immediately (also used by the policy triggers).
+    /// Engines without snapshot support make this a no-op.
+    pub fn checkpoint_now(&mut self) {
+        if let Ok(engine_bytes) = self.inner.snapshot() {
+            let mut w = Writer::new();
+            w.put_u64(self.position);
+            w.put_u64(self.store.log_len() as u64);
+            w.put_bytes(&engine_bytes);
+            self.store.push_checkpoint(seal_envelope(&w.into_bytes()));
+            self.extra.checkpoints_written += 1;
+            self.last_ckpt_position = self.position;
+            self.last_ckpt_wm = self.inner.watermark();
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let wm_advanced = self.policy.on_watermark_advance
+            && match (self.inner.watermark(), self.last_ckpt_wm) {
+                (Some(wm), Some(prev)) => wm > prev,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+        let n_due = self
+            .policy
+            .every_n_events
+            .is_some_and(|n| self.position.saturating_sub(self.last_ckpt_position) >= n);
+        if wm_advanced || n_due {
+            self.checkpoint_now();
+        }
+    }
+
+    /// Logs newly delivered outputs and drops replay duplicates.
+    fn filter_and_log(&mut self, raw: Vec<OutputItem>) -> Vec<OutputItem> {
+        let mut out = Vec::with_capacity(raw.len());
+        for o in raw {
+            let key = (kind_tag(o.kind), o.m.key());
+            if let Some(n) = self.suppress.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.suppress.remove(&key);
+                }
+                // already delivered before the crash (and already in the
+                // log): swallow the replayed copy
+                self.extra.replayed_suppressed += 1;
+                continue;
+            }
+            self.store.append_log(encode_log_record(o.kind, &key.1));
+            out.push(o);
+        }
+        out
+    }
+
+    /// The durable artifacts (clone these to simulate a crash surviving
+    /// only what was persisted).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Mutable store access, for fault injection.
+    pub fn store_mut(&mut self) -> &mut CheckpointStore {
+        &mut self.store
+    }
+
+    /// Stream items ingested so far.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Replayed-but-not-yet-seen suppressions still outstanding.
+    pub fn pending_suppressions(&self) -> usize {
+        self.suppress.values().map(|n| *n as usize).sum()
+    }
+}
+
+impl Engine for Checkpointer {
+    fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem> {
+        let raw = self.inner.ingest(item);
+        self.position += 1;
+        let out = self.filter_and_log(raw);
+        self.maybe_checkpoint();
+        out
+    }
+
+    fn finish(&mut self) -> Vec<OutputItem> {
+        let raw = self.inner.finish();
+        self.filter_and_log(raw)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        let mut s = self.inner.stats();
+        s += self.extra;
+        s
+    }
+
+    fn state_size(&self) -> usize {
+        self.inner.state_size()
+    }
+
+    fn query(&self) -> &Arc<Query> {
+        self.inner.query()
+    }
+
+    fn watermark(&self) -> Option<Timestamp> {
+        self.inner.watermark()
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        self.inner.restore(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::native::NativeEngine;
+    use crate::traits::run_to_end;
+    use sequin_query::parse;
+    use sequin_types::{Duration, Event, EventId, TypeRegistry, Value, ValueKind};
+
+    fn registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        for name in ["A", "B", "N"] {
+            reg.declare(name, &[("x", ValueKind::Int)]).unwrap();
+        }
+        reg
+    }
+
+    fn item(reg: &TypeRegistry, ty: &str, id: u64, ts: u64) -> StreamItem {
+        StreamItem::Event(Arc::new(
+            Event::builder(reg.lookup(ty).unwrap(), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .attr(Value::Int(0))
+                .build(),
+        ))
+    }
+
+    fn stream(reg: &TypeRegistry) -> Vec<StreamItem> {
+        let mut items = Vec::new();
+        let mut id = 0;
+        for t in 0..60u64 {
+            id += 1;
+            let ty = if t % 3 == 0 { "B" } else { "A" };
+            let ts = if t % 5 == 2 { t.saturating_sub(3) } else { t };
+            items.push(item(reg, ty, id, ts * 2));
+        }
+        items
+    }
+
+    fn fresh(reg: &TypeRegistry) -> Box<dyn Engine> {
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 8", reg).unwrap();
+        Box::new(NativeEngine::new(
+            q,
+            EngineConfig::with_k(Duration::new(10)),
+        ))
+    }
+
+    fn net(out: &[OutputItem]) -> Vec<(bool, Vec<u64>)> {
+        let mut v: Vec<(bool, Vec<u64>)> = out
+            .iter()
+            .map(|o| {
+                (
+                    o.kind == OutputKind::Insert,
+                    o.m.events().iter().map(|e| e.id().get()).collect(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn checkpoints_are_written_on_watermark_advance() {
+        let reg = registry();
+        let mut ck = Checkpointer::new(fresh(&reg), CheckpointPolicy::default());
+        let items = stream(&reg);
+        let _ = run_to_end(&mut ck, &items);
+        assert!(ck.stats().checkpoints_written > 0);
+        assert!(ck.store().checkpoint_count() >= 1);
+        assert!(ck.store().checkpoint_count() <= 2, "keep bound respected");
+    }
+
+    #[test]
+    fn every_n_policy_counts_events() {
+        let reg = registry();
+        let mut ck = Checkpointer::new(fresh(&reg), CheckpointPolicy::every(10));
+        let items = stream(&reg);
+        let _ = run_to_end(&mut ck, &items);
+        assert_eq!(ck.stats().checkpoints_written, 6);
+    }
+
+    #[test]
+    fn crash_and_resume_is_exactly_once() {
+        let reg = registry();
+        let items = stream(&reg);
+        let baseline = net(&run_to_end(fresh(&reg).as_mut(), &items));
+
+        // sparse checkpoints guarantee the replay suffix overlaps output
+        // that was already delivered before the crash
+        let policy = CheckpointPolicy::every(25);
+        let mut ck = Checkpointer::new(fresh(&reg), policy);
+        let mut delivered = Vec::new();
+        for item in &items[..40] {
+            delivered.extend(ck.ingest(item));
+        }
+        let saved = ck.store().clone();
+        drop(ck); // crash
+
+        let (mut ck, replay_from) = Checkpointer::resume(fresh(&reg), policy, saved);
+        assert_eq!(replay_from, 25);
+        for item in &items[replay_from as usize..] {
+            delivered.extend(ck.ingest(item));
+        }
+        delivered.extend(ck.finish());
+        assert_eq!(net(&delivered), baseline);
+        assert!(
+            ck.stats().replayed_suppressed > 0,
+            "replay overlapped delivered output"
+        );
+        assert_eq!(
+            ck.pending_suppressions(),
+            0,
+            "every logged output was regenerated"
+        );
+    }
+
+    #[test]
+    fn corrupted_latest_checkpoint_falls_back_to_previous() {
+        let reg = registry();
+        let items = stream(&reg);
+        let baseline = net(&run_to_end(fresh(&reg).as_mut(), &items));
+
+        let mut ck = Checkpointer::new(fresh(&reg), CheckpointPolicy::default());
+        let mut delivered = Vec::new();
+        for item in &items[..40] {
+            delivered.extend(ck.ingest(item));
+        }
+        let mut saved = ck.store().clone();
+        assert!(saved.checkpoint_count() >= 2);
+        saved.checkpoint_mut(0).unwrap()[20] ^= 0x40; // bit-flip the latest
+        drop(ck);
+
+        let (mut ck, replay_from) =
+            Checkpointer::resume(fresh(&reg), CheckpointPolicy::default(), saved);
+        assert_eq!(ck.stats().checkpoints_rejected, 1);
+        for item in &items[replay_from as usize..] {
+            delivered.extend(ck.ingest(item));
+        }
+        delivered.extend(ck.finish());
+        assert_eq!(net(&delivered), baseline);
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_degrades_to_cold_start() {
+        let reg = registry();
+        let items = stream(&reg);
+        let baseline = net(&run_to_end(fresh(&reg).as_mut(), &items));
+
+        let mut ck = Checkpointer::new(fresh(&reg), CheckpointPolicy::default());
+        let mut delivered = Vec::new();
+        for item in &items[..40] {
+            delivered.extend(ck.ingest(item));
+        }
+        let mut saved = ck.store().clone();
+        let count = saved.checkpoint_count();
+        for ix in 0..count {
+            let bytes = saved.checkpoint_mut(ix).unwrap();
+            let keep = bytes.len() / 2;
+            bytes.truncate(keep); // truncation, not just bit rot
+        }
+        drop(ck);
+
+        let (mut ck, replay_from) =
+            Checkpointer::resume(fresh(&reg), CheckpointPolicy::default(), saved);
+        assert_eq!(replay_from, 0, "cold start");
+        assert_eq!(ck.stats().checkpoints_rejected, count as u64);
+        for item in &items[replay_from as usize..] {
+            delivered.extend(ck.ingest(item));
+        }
+        delivered.extend(ck.finish());
+        assert_eq!(net(&delivered), baseline);
+    }
+
+    #[test]
+    fn store_file_round_trip_and_corruption_detection() {
+        let reg = registry();
+        let mut ck = Checkpointer::new(fresh(&reg), CheckpointPolicy::default());
+        let items = stream(&reg);
+        for item in &items[..30] {
+            ck.ingest(item);
+        }
+        let bytes = ck.store().to_bytes();
+        let parsed = CheckpointStore::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed.checkpoint_count(), ck.store().checkpoint_count());
+        assert_eq!(parsed.log_len(), ck.store().log_len());
+
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0x01;
+        assert!(CheckpointStore::from_bytes(&bad).is_err());
+        assert!(CheckpointStore::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn resume_from_empty_store_is_a_cold_start() {
+        let reg = registry();
+        let (ck, replay_from) = Checkpointer::resume(
+            fresh(&reg),
+            CheckpointPolicy::default(),
+            CheckpointStore::new(),
+        );
+        assert_eq!(replay_from, 0);
+        assert_eq!(ck.stats().checkpoints_rejected, 0);
+        assert_eq!(ck.pending_suppressions(), 0);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let reg = registry();
+        let mut ck = Checkpointer::new(fresh(&reg), CheckpointPolicy::default());
+        let items = stream(&reg);
+        for item in &items[..30] {
+            ck.ingest(item);
+        }
+        let saved = ck.store().clone();
+        let rejected_all = saved.checkpoint_count() as u64;
+        // resume into an engine evaluating a *different* query
+        let other = parse("PATTERN SEQ(B b, A a) WITHIN 8", &reg).unwrap();
+        let inner: Box<dyn Engine> = Box::new(NativeEngine::new(
+            other,
+            EngineConfig::with_k(Duration::new(10)),
+        ));
+        let (ck2, replay_from) = Checkpointer::resume(inner, CheckpointPolicy::default(), saved);
+        assert_eq!(replay_from, 0, "no checkpoint accepted");
+        assert!(ck2.stats().checkpoints_rejected >= rejected_all);
+    }
+}

@@ -83,7 +83,10 @@ pub struct EngineConfig {
 impl EngineConfig {
     /// Configuration with a specific disorder bound and defaults elsewhere.
     pub fn with_k(k: Duration) -> EngineConfig {
-        EngineConfig { k_slack: k, ..EngineConfig::default() }
+        EngineConfig {
+            k_slack: k,
+            ..EngineConfig::default()
+        }
     }
 
     /// Configuration with adaptive disorder-bound estimation: `floor` is

@@ -106,10 +106,7 @@ mod tests {
     fn ordered_input_matches_with_zero_arrival_latency() {
         let (reg, q) = setup();
         let mut eng = InOrderEngine::new(q, EngineConfig::default());
-        let out = run_to_end(
-            &mut eng,
-            &[item(&reg, "A", 1, 10), item(&reg, "B", 2, 20)],
-        );
+        let out = run_to_end(&mut eng, &[item(&reg, "A", 1, 10), item(&reg, "B", 2, 20)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].arrival_latency(), 0);
         assert_eq!(out[0].kind, OutputKind::Insert);
@@ -119,11 +116,10 @@ mod tests {
     fn punctuation_is_ignored() {
         let (reg, q) = setup();
         let mut eng = InOrderEngine::new(q, EngineConfig::default());
-        assert!(eng.ingest(&StreamItem::Punctuation(Timestamp::new(5))).is_empty());
-        let out = run_to_end(
-            &mut eng,
-            &[item(&reg, "A", 1, 10), item(&reg, "B", 2, 20)],
-        );
+        assert!(eng
+            .ingest(&StreamItem::Punctuation(Timestamp::new(5)))
+            .is_empty());
+        let out = run_to_end(&mut eng, &[item(&reg, "A", 1, 10), item(&reg, "B", 2, 20)]);
         assert_eq!(out.len(), 1);
     }
 
@@ -131,10 +127,7 @@ mod tests {
     fn disorder_loses_the_match() {
         let (reg, q) = setup();
         let mut eng = InOrderEngine::new(q, EngineConfig::default());
-        let out = run_to_end(
-            &mut eng,
-            &[item(&reg, "B", 2, 20), item(&reg, "A", 1, 10)],
-        );
+        let out = run_to_end(&mut eng, &[item(&reg, "B", 2, 20), item(&reg, "A", 1, 10)]);
         assert!(out.is_empty());
         assert_eq!(eng.state_size(), 1); // the A sits uselessly in its stack
     }

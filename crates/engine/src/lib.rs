@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod checkpoint;
 mod config;
 mod inorder;
 mod multi;
@@ -55,6 +56,7 @@ mod traits;
 mod watermark;
 
 pub use buffer::{BufferedEngine, KSlackBuffer};
+pub use checkpoint::{CheckpointPolicy, CheckpointStore, Checkpointer};
 pub use config::{AdaptiveK, EmissionPolicy, EngineConfig, WatermarkSource};
 pub use inorder::InOrderEngine;
 pub use multi::{MultiEngine, QueryId};

@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use sequin_query::Query;
 use sequin_runtime::RuntimeStats;
-use sequin_types::StreamItem;
+use sequin_types::codec::{open_envelope, seal_envelope};
+use sequin_types::{CodecError, Reader, StreamItem, Writer};
 
 use crate::config::EngineConfig;
 use crate::output::OutputItem;
@@ -59,7 +60,9 @@ pub struct MultiEngine {
 
 impl std::fmt::Debug for MultiEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MultiEngine").field("queries", &self.engines.len()).finish()
+        f.debug_struct("MultiEngine")
+            .field("queries", &self.engines.len())
+            .finish()
     }
 }
 
@@ -76,7 +79,8 @@ impl MultiEngine {
         strategy: Strategy,
         config: EngineConfig,
     ) -> QueryId {
-        self.engines.push(crate::make_engine(strategy, query, config));
+        self.engines
+            .push(crate::make_engine(strategy, query, config));
         QueryId(self.engines.len() - 1)
     }
 
@@ -132,6 +136,39 @@ impl MultiEngine {
     /// The engine evaluating `id`, for per-query inspection.
     pub fn engine(&self, id: QueryId) -> &dyn Engine {
         self.engines[id.0].as_ref()
+    }
+
+    /// Serializes every registered engine's state into one checksummed
+    /// envelope (fails if any engine lacks snapshot support).
+    pub fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
+        let mut w = Writer::new();
+        w.put_u64(self.engines.len() as u64);
+        for engine in &self.engines {
+            w.put_bytes(&engine.snapshot()?);
+        }
+        Ok(seal_envelope(&w.into_bytes()))
+    }
+
+    /// Restores every registered engine from a [`MultiEngine::snapshot`]
+    /// taken with the same queries registered in the same order.
+    ///
+    /// Engines restored before a failure keep their restored state; the
+    /// caller should discard the whole `MultiEngine` on error.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let payload = open_envelope(bytes)?;
+        let mut r = Reader::new(payload);
+        if r.get_u64()? != self.engines.len() as u64 {
+            return Err(CodecError::SnapshotMismatch("registered query count"));
+        }
+        let mut blobs = Vec::with_capacity(self.engines.len());
+        for _ in 0..self.engines.len() {
+            blobs.push(r.get_bytes()?);
+        }
+        r.finish()?;
+        for (engine, blob) in self.engines.iter_mut().zip(&blobs) {
+            engine.restore(blob)?;
+        }
+        Ok(())
     }
 }
 

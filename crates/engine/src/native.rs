@@ -9,7 +9,10 @@ use sequin_runtime::{
     purge, regions, seal_deadline, AisStack, Constructor, Match, NegationIndex, PartitionKey,
     PartitionMap, RuntimeStats,
 };
-use sequin_types::{ArrivalSeq, EventRef, StreamItem, Timestamp};
+use sequin_types::codec::{fnv1a64, open_envelope, seal_envelope};
+use sequin_types::{
+    ArrivalSeq, CodecError, Decode, Encode, EventRef, Reader, StreamItem, Timestamp, Writer,
+};
 
 use crate::config::{EmissionPolicy, EngineConfig};
 use crate::output::{OutputItem, OutputKind};
@@ -37,13 +40,11 @@ impl PartialOrd for Pending {
 }
 impl Ord for Pending {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.deadline
-            .cmp(&other.deadline)
-            .then_with(|| {
-                let a = self.events.iter().map(|e| e.id());
-                let b = other.events.iter().map(|e| e.id());
-                a.cmp(b)
-            })
+        self.deadline.cmp(&other.deadline).then_with(|| {
+            let a = self.events.iter().map(|e| e.id());
+            let b = other.events.iter().map(|e| e.id());
+            a.cmp(b)
+        })
     }
 }
 
@@ -63,7 +64,9 @@ struct Shard {
 
 impl Shard {
     fn new(m: usize) -> Shard {
-        Shard { stacks: vec![AisStack::new(); m] }
+        Shard {
+            stacks: vec![AisStack::new(); m],
+        }
     }
 
     fn len(&self) -> usize {
@@ -74,7 +77,10 @@ impl Shard {
 #[derive(Debug)]
 enum ShardSet {
     Single(Shard),
-    Partitioned { scheme: PartitionScheme, map: PartitionMap<Shard> },
+    Partitioned {
+        scheme: PartitionScheme,
+        map: PartitionMap<Shard>,
+    },
 }
 
 /// The paper's engine: order-insensitive active instance stacks,
@@ -111,9 +117,10 @@ impl NativeEngine {
     pub fn new(query: Arc<Query>, config: EngineConfig) -> NativeEngine {
         let m = query.positive_len();
         let shards = match (config.partitioned, query.partition()) {
-            (true, Some(scheme)) => {
-                ShardSet::Partitioned { scheme: scheme.clone(), map: PartitionMap::new() }
-            }
+            (true, Some(scheme)) => ShardSet::Partitioned {
+                scheme: scheme.clone(),
+                map: PartitionMap::new(),
+            },
             _ => ShardSet::Single(Shard::new(m)),
         };
         NativeEngine {
@@ -159,8 +166,11 @@ impl NativeEngine {
 
         // negatives first: a negative at the same timestamp as a positive
         // arrival must be visible to validation in this call
-        let is_negated_type =
-            self.query.negations().iter().any(|n| n.matches_type(event.event_type()));
+        let is_negated_type = self
+            .query
+            .negations()
+            .iter()
+            .any(|n| n.matches_type(event.event_type()));
         if is_negated_type {
             self.negatives.offer(event, &mut self.stats);
             if self.config.emission == EmissionPolicy::Aggressive {
@@ -266,8 +276,10 @@ impl NativeEngine {
                     return;
                 }
                 if deadline > watermark {
-                    self.emitted_unsealed
-                        .push(EmittedUnsealed { deadline, events: events.clone() });
+                    self.emitted_unsealed.push(EmittedUnsealed {
+                        deadline,
+                        events: events.clone(),
+                    });
                 }
                 self.emit(events, out, OutputKind::Insert);
             }
@@ -286,15 +298,17 @@ impl NativeEngine {
                     continue;
                 }
                 let region = rs[ix];
-                if region.is_empty()
-                    || negative.ts() < region.start
-                    || negative.ts() >= region.end
+                if region.is_empty() || negative.ts() < region.start || negative.ts() >= region.end
                 {
                     continue;
                 }
                 let mut binding = query.binding_from_positives(&rec.events);
                 binding[neg.comp] = Some(negative);
-                if neg.predicates.iter().all(|p| p.eval(&binding) == Some(true)) {
+                if neg
+                    .predicates
+                    .iter()
+                    .all(|p| p.eval(&binding) == Some(true))
+                {
                     retracted.push(rec.events.clone());
                     return false;
                 }
@@ -323,6 +337,141 @@ impl NativeEngine {
         self.emitted_unsealed.retain(|rec| rec.deadline > watermark);
     }
 
+    /// A fingerprint of the query and the semantics-relevant configuration,
+    /// embedded in snapshots so state is never restored into an engine
+    /// evaluating a different query (or the same query under incompatible
+    /// settings).
+    fn fingerprint(&self) -> u64 {
+        let desc = format!(
+            "{}|{:?}|{:?}|{}",
+            self.query, self.config.emission, self.config.watermark, self.config.partitioned
+        );
+        fnv1a64(desc.as_bytes())
+    }
+
+    fn encode_match_records(records: &[(Timestamp, &Vec<EventRef>)], w: &mut Writer) {
+        w.put_u64(records.len() as u64);
+        for (deadline, events) in records {
+            deadline.encode(w);
+            (*events).encode(w);
+        }
+    }
+
+    fn decode_match_records(
+        r: &mut Reader<'_>,
+    ) -> Result<Vec<(Timestamp, Vec<EventRef>)>, CodecError> {
+        let n = r.get_u64()?;
+        if n > r.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        let mut records = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let deadline = Timestamp::decode(r)?;
+            let events = Vec::<EventRef>::decode(r)?;
+            records.push((deadline, events));
+        }
+        Ok(records)
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.fingerprint());
+        self.wm.snapshot_into(&mut w);
+        self.next_seq.encode(&mut w);
+        self.stats.encode(&mut w);
+        match &self.shards {
+            ShardSet::Single(shard) => {
+                w.put_u8(0);
+                shard.stacks.encode(&mut w);
+            }
+            ShardSet::Partitioned { map, .. } => {
+                w.put_u8(1);
+                map.snapshot_into(&mut w, |shard, w| shard.stacks.encode(w));
+            }
+        }
+        self.negatives.snapshot_into(&mut w);
+        // the heap iterates in arbitrary order; sort so identical state
+        // always produces identical bytes
+        let mut pend: Vec<(Timestamp, &Vec<EventRef>)> = self
+            .pending
+            .iter()
+            .map(|Reverse(p)| (p.deadline, &p.events))
+            .collect();
+        pend.sort_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| {
+                let ka = a.1.iter().map(|e| e.id());
+                let kb = b.1.iter().map(|e| e.id());
+                ka.cmp(kb)
+            })
+        });
+        Self::encode_match_records(&pend, &mut w);
+        let emitted: Vec<(Timestamp, &Vec<EventRef>)> = self
+            .emitted_unsealed
+            .iter()
+            .map(|rec| (rec.deadline, &rec.events))
+            .collect();
+        Self::encode_match_records(&emitted, &mut w);
+        seal_envelope(&w.into_bytes())
+    }
+
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let payload = open_envelope(bytes)?;
+        let mut r = Reader::new(payload);
+        if r.get_u64()? != self.fingerprint() {
+            return Err(CodecError::SnapshotMismatch(
+                "query/configuration fingerprint",
+            ));
+        }
+        let wm = WatermarkTracker::restore_from(&self.config, &mut r)?;
+        let next_seq = ArrivalSeq::decode(&mut r)?;
+        let stats = RuntimeStats::decode(&mut r)?;
+        let m = self.query.positive_len();
+        let decode_shard = |r: &mut Reader<'_>| -> Result<Shard, CodecError> {
+            let stacks = Vec::<AisStack>::decode(r)?;
+            if stacks.len() != m {
+                return Err(CodecError::SnapshotMismatch("positive slot count"));
+            }
+            Ok(Shard { stacks })
+        };
+        let shards = match r.get_u8()? {
+            0 => ShardSet::Single(decode_shard(&mut r)?),
+            1 => {
+                let scheme = match (self.config.partitioned, self.query.partition()) {
+                    (true, Some(scheme)) => scheme.clone(),
+                    _ => return Err(CodecError::SnapshotMismatch("partitioning scheme")),
+                };
+                let map = PartitionMap::restore(&mut r, decode_shard)?;
+                ShardSet::Partitioned { scheme, map }
+            }
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "ShardSet",
+                    tag,
+                })
+            }
+        };
+        let negatives = NegationIndex::restore(Arc::clone(&self.query), &mut r)?;
+        let pending: BinaryHeap<Reverse<Pending>> = Self::decode_match_records(&mut r)?
+            .into_iter()
+            .map(|(deadline, events)| Reverse(Pending { deadline, events }))
+            .collect();
+        let emitted_unsealed: Vec<EmittedUnsealed> = Self::decode_match_records(&mut r)?
+            .into_iter()
+            .map(|(deadline, events)| EmittedUnsealed { deadline, events })
+            .collect();
+        r.finish()?;
+        // everything decoded cleanly: commit (all-or-nothing — a failure
+        // above leaves the current state untouched)
+        self.wm = wm;
+        self.next_seq = next_seq;
+        self.stats = stats;
+        self.shards = shards;
+        self.negatives = negatives;
+        self.pending = pending;
+        self.emitted_unsealed = emitted_unsealed;
+        Ok(())
+    }
+
     fn run_purge(&mut self) {
         self.stats.purge_runs += 1;
         let watermark = self.watermark();
@@ -347,8 +496,10 @@ impl NativeEngine {
             }
         }
         self.stats.purged += purged;
-        self.negatives
-            .purge_before(purge::negative_threshold(watermark, window), &mut self.stats);
+        self.negatives.purge_before(
+            purge::negative_threshold(watermark, window),
+            &mut self.stats,
+        );
     }
 }
 
@@ -395,6 +546,18 @@ impl Engine for NativeEngine {
     fn query(&self) -> &Arc<Query> {
         &self.query
     }
+
+    fn watermark(&self) -> Option<Timestamp> {
+        Some(self.wm.current())
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
+        Ok(self.snapshot_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        self.restore_bytes(bytes)
+    }
 }
 
 #[cfg(test)]
@@ -409,7 +572,8 @@ mod tests {
     fn registry() -> TypeRegistry {
         let mut reg = TypeRegistry::new();
         for name in ["A", "B", "C", "N"] {
-            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Int)]).unwrap();
+            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Int)])
+                .unwrap();
         }
         reg
     }
@@ -641,7 +805,10 @@ mod tests {
         let q = parse(text, &reg).unwrap();
         assert!(q.partition().is_some());
         let mut part = NativeEngine::new(Arc::clone(&q), EngineConfig::default());
-        let flat_cfg = EngineConfig { partitioned: false, ..EngineConfig::default() };
+        let flat_cfg = EngineConfig {
+            partitioned: false,
+            ..EngineConfig::default()
+        };
         let mut flat = NativeEngine::new(q, flat_cfg);
 
         let mut items = Vec::new();
@@ -674,8 +841,10 @@ mod tests {
         let reg = registry();
         let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
         // floor covers the real disorder: adaptive must behave like fixed K
-        let mut adaptive =
-            NativeEngine::new(Arc::clone(&q), EngineConfig::with_adaptive_k(Duration::new(50), 2.0));
+        let mut adaptive = NativeEngine::new(
+            Arc::clone(&q),
+            EngineConfig::with_adaptive_k(Duration::new(50), 2.0),
+        );
         let mut fixed = NativeEngine::new(q, EngineConfig::with_k(Duration::new(50)));
         let items = [
             item(&reg, "B", 1, 40, 0),

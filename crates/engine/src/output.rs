@@ -39,12 +39,16 @@ pub struct OutputItem {
 impl OutputItem {
     /// Arrival latency in ingested items (see type docs).
     pub fn arrival_latency(&self) -> u64 {
-        self.emit_seq.get().saturating_sub(self.m.completion_arrival().get())
+        self.emit_seq
+            .get()
+            .saturating_sub(self.m.completion_arrival().get())
     }
 
     /// Event-time latency in ticks (see type docs).
     pub fn event_time_latency(&self) -> u64 {
-        self.emit_clock.ticks().saturating_sub(self.m.last_ts().ticks())
+        self.emit_clock
+            .ticks()
+            .saturating_sub(self.m.last_ts().ticks())
     }
 }
 

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use sequin_query::Query;
 use sequin_runtime::RuntimeStats;
-use sequin_types::StreamItem;
+use sequin_types::{CodecError, StreamItem, Timestamp};
 
 use crate::output::OutputItem;
 
@@ -59,6 +59,27 @@ pub trait Engine {
 
     /// The query under evaluation.
     fn query(&self) -> &Arc<Query>;
+
+    /// The engine's current low-watermark, when it tracks one. Used by
+    /// [`crate::Checkpointer`] to checkpoint on watermark advance.
+    fn watermark(&self) -> Option<Timestamp> {
+        None
+    }
+
+    /// Serializes the engine's complete mutable state into a checksummed
+    /// envelope. Engines without snapshot support return
+    /// [`CodecError::Unsupported`].
+    fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
+        Err(CodecError::Unsupported("snapshot for this engine"))
+    }
+
+    /// Replaces the engine's state with a snapshot produced by
+    /// [`Engine::snapshot`] on an identically configured engine. On error
+    /// the previous state is left untouched (all-or-nothing).
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let _ = bytes;
+        Err(CodecError::Unsupported("restore for this engine"))
+    }
 }
 
 /// Convenience: run `items` through `engine`, then finish, collecting all

@@ -88,6 +88,31 @@ impl WatermarkTracker {
         self.high = Timestamp::MAX;
     }
 
+    /// Serializes the mutable scalars (the config-derived fields are
+    /// reconstructed from the [`EngineConfig`] at restore time).
+    pub fn snapshot_into(&self, w: &mut sequin_types::Writer) {
+        use sequin_types::Encode as _;
+        self.clock.encode(w);
+        self.punct.encode(w);
+        self.observed_max_lateness.encode(w);
+        self.high.encode(w);
+    }
+
+    /// Rebuilds a tracker from `config` plus the scalars written by
+    /// [`WatermarkTracker::snapshot_into`].
+    pub fn restore_from(
+        config: &EngineConfig,
+        r: &mut sequin_types::Reader<'_>,
+    ) -> Result<WatermarkTracker, sequin_types::CodecError> {
+        use sequin_types::Decode as _;
+        let mut wm = WatermarkTracker::new(config);
+        wm.clock = Timestamp::decode(r)?;
+        wm.punct = Timestamp::decode(r)?;
+        wm.observed_max_lateness = Duration::decode(r)?;
+        wm.high = Timestamp::decode(r)?;
+        Ok(wm)
+    }
+
     fn republish(&mut self) {
         let slack = purge::watermark(self.clock, self.k_hat());
         let candidate = match self.source {
@@ -120,7 +145,10 @@ mod tests {
     fn watermark_is_monotone_under_late_events() {
         let mut w = fixed(10);
         w.observe_event(Timestamp::new(100));
-        assert!(w.observe_event(Timestamp::new(50)), "beyond-K arrival flagged");
+        assert!(
+            w.observe_event(Timestamp::new(50)),
+            "beyond-K arrival flagged"
+        );
         assert_eq!(w.current(), Timestamp::new(90), "never retreats");
     }
 
@@ -154,6 +182,25 @@ mod tests {
         w.observe_event(Timestamp::new(500));
         w.observe_punctuation(Timestamp::new(450));
         assert_eq!(w.current(), Timestamp::new(450), "max of both");
+    }
+
+    #[test]
+    fn snapshot_round_trips_all_scalars() {
+        let cfg = EngineConfig::with_adaptive_k(Duration::new(5), 2.0);
+        let mut w = WatermarkTracker::new(&cfg);
+        w.observe_event(Timestamp::new(100));
+        w.observe_event(Timestamp::new(80));
+        w.observe_punctuation(Timestamp::new(60));
+        let mut buf = sequin_types::Writer::new();
+        w.snapshot_into(&mut buf);
+        let bytes = buf.into_bytes();
+        let mut r = sequin_types::Reader::new(&bytes);
+        let restored = WatermarkTracker::restore_from(&cfg, &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.clock(), w.clock());
+        assert_eq!(restored.current(), w.current());
+        assert_eq!(restored.k_hat(), w.k_hat());
+        assert_eq!(restored.punct, w.punct);
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub fn net_inserts(outputs: &[OutputItem]) -> Vec<MatchKey> {
         };
         *net.entry(o.m.key()).or_default() += delta;
     }
-    net.into_iter().filter(|(_, c)| *c > 0).map(|(k, _)| k).collect()
+    net.into_iter()
+        .filter(|(_, c)| *c > 0)
+        .map(|(k, _)| k)
+        .collect()
 }
 
 /// Compares observed outputs (net of retractions) against oracle outputs.
@@ -94,7 +97,11 @@ pub fn compare_outputs(observed: &[OutputItem], oracle: &[OutputItem]) -> Accura
     }
     fp += obs.len() - i;
     let fn_ = ora.len() - tp;
-    Accuracy { true_positives: tp, false_positives: fp, false_negatives: fn_ }
+    Accuracy {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +152,10 @@ mod tests {
 
     #[test]
     fn exact_agreement() {
-        let a = outputs(&[&[1, 2], &[3, 4]], &[OutputKind::Insert, OutputKind::Insert]);
+        let a = outputs(
+            &[&[1, 2], &[3, 4]],
+            &[OutputKind::Insert, OutputKind::Insert],
+        );
         let acc = compare_outputs(&a, &a);
         assert!(acc.is_exact());
         assert_eq!(acc.precision(), 1.0);
@@ -155,8 +165,14 @@ mod tests {
 
     #[test]
     fn phantom_and_missed() {
-        let observed = outputs(&[&[1, 2], &[5, 6]], &[OutputKind::Insert, OutputKind::Insert]);
-        let oracle = outputs(&[&[1, 2], &[3, 4]], &[OutputKind::Insert, OutputKind::Insert]);
+        let observed = outputs(
+            &[&[1, 2], &[5, 6]],
+            &[OutputKind::Insert, OutputKind::Insert],
+        );
+        let oracle = outputs(
+            &[&[1, 2], &[3, 4]],
+            &[OutputKind::Insert, OutputKind::Insert],
+        );
         let acc = compare_outputs(&observed, &oracle);
         assert_eq!(acc.true_positives, 1);
         assert_eq!(acc.false_positives, 1);

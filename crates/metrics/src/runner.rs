@@ -46,7 +46,11 @@ impl RunReport {
 /// # Panics
 ///
 /// Panics if `sample_every` is zero.
-pub fn run_engine(engine: &mut dyn Engine, stream: &[StreamItem], sample_every: usize) -> RunReport {
+pub fn run_engine(
+    engine: &mut dyn Engine,
+    stream: &[StreamItem],
+    sample_every: usize,
+) -> RunReport {
     assert!(sample_every > 0, "sampling cadence must be positive");
     let mut outputs = Vec::new();
     let mut peak_state = 0usize;
@@ -83,12 +87,20 @@ pub fn run_engine(engine: &mut dyn Engine, stream: &[StreamItem], sample_every: 
     RunReport {
         events,
         elapsed_secs,
-        throughput_eps: if elapsed_secs > 0.0 { events as f64 / elapsed_secs } else { 0.0 },
+        throughput_eps: if elapsed_secs > 0.0 {
+            events as f64 / elapsed_secs
+        } else {
+            0.0
+        },
         outputs,
         arrival_latency,
         event_time_latency,
         peak_state,
-        mean_state: if state_samples == 0 { 0.0 } else { state_sum as f64 / state_samples as f64 },
+        mean_state: if state_samples == 0 {
+            0.0
+        } else {
+            state_sum as f64 / state_samples as f64
+        },
         stats: engine.stats(),
     }
 }

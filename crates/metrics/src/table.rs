@@ -21,7 +21,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -83,6 +86,16 @@ pub fn f1(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Renders every [`RuntimeStats`](sequin_runtime::RuntimeStats) counter —
+/// including the checkpoint/recovery counters — as a two-column table.
+pub fn stats_table(stats: &sequin_runtime::RuntimeStats) -> Table {
+    let mut t = Table::new(&["counter", "value"]);
+    for (name, value) in stats.as_pairs() {
+        t.row(&[name.to_owned(), value.to_string()]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +135,27 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn mismatched_row_panics() {
         Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn stats_table_surfaces_every_counter() {
+        let stats = sequin_runtime::RuntimeStats {
+            insertions: 7,
+            checkpoints_written: 3,
+            checkpoints_rejected: 1,
+            replayed_suppressed: 9,
+            ..Default::default()
+        };
+        let t = stats_table(&stats);
+        assert_eq!(t.len(), stats.as_pairs().len());
+        let s = t.to_string();
+        for name in [
+            "checkpoints_written",
+            "checkpoints_rejected",
+            "replayed_suppressed",
+        ] {
+            assert!(s.contains(name), "missing {name} row");
+        }
+        assert!(s.contains('9'));
     }
 }

@@ -1,6 +1,6 @@
 //! Per-event network latency models.
 
-use rand::Rng;
+use sequin_prng::Rng;
 
 /// A distribution of per-event network delays, in ticks.
 ///
@@ -44,7 +44,7 @@ impl DelayModel {
     ///
     /// Panics if `Uniform` bounds are inverted or `Exponential`/`Pareto`
     /// parameters are non-positive.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
         match *self {
             DelayModel::None => 0,
             DelayModel::Constant(ticks) => ticks,
@@ -58,7 +58,10 @@ impl DelayModel {
                 (-mean * u.ln()).round() as u64
             }
             DelayModel::Pareto { scale, shape } => {
-                assert!(scale > 0.0 && shape > 0.0, "pareto parameters must be positive");
+                assert!(
+                    scale > 0.0 && shape > 0.0,
+                    "pareto parameters must be positive"
+                );
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 (scale / u.powf(1.0 / shape)).round().min(u64::MAX as f64) as u64
             }
@@ -69,11 +72,9 @@ impl DelayModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(7)
     }
 
     #[test]
@@ -105,7 +106,10 @@ mod tests {
     #[test]
     fn pareto_has_min_scale_and_heavy_tail() {
         let mut r = rng();
-        let model = DelayModel::Pareto { scale: 10.0, shape: 1.5 };
+        let model = DelayModel::Pareto {
+            scale: 10.0,
+            shape: 1.5,
+        };
         let samples: Vec<u64> = (0..20_000).map(|_| model.sample(&mut r)).collect();
         assert!(samples.iter().all(|&d| d >= 10));
         let max = *samples.iter().max().unwrap();

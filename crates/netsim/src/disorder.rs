@@ -46,9 +46,17 @@ pub fn measure_disorder(stream: &[StreamItem]) -> DisorderReport {
     DisorderReport {
         events,
         late_events: late,
-        late_fraction: if events == 0 { 0.0 } else { late as f64 / events as f64 },
+        late_fraction: if events == 0 {
+            0.0
+        } else {
+            late as f64 / events as f64
+        },
         max_lateness,
-        mean_lateness: if late == 0 { 0.0 } else { lateness_sum as f64 / late as f64 },
+        mean_lateness: if late == 0 {
+            0.0
+        } else {
+            lateness_sum as f64 / late as f64
+        },
     }
 }
 
@@ -89,7 +97,11 @@ mod tests {
 
     #[test]
     fn punctuations_ignored() {
-        let stream = vec![item(1, 100), StreamItem::Punctuation(Timestamp::new(1)), item(2, 50)];
+        let stream = vec![
+            item(1, 100),
+            StreamItem::Punctuation(Timestamp::new(1)),
+            item(2, 50),
+        ];
         let r = measure_disorder(&stream);
         assert_eq!(r.events, 2);
         assert_eq!(r.late_events, 1);

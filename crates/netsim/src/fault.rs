@@ -1,0 +1,121 @@
+//! Crash and corruption fault injection.
+//!
+//! The checkpoint/recovery tests need two kinds of faults the delay models
+//! cannot express: the *process* dying mid-stream, and the *durable
+//! artifacts* it left behind rotting on disk. [`Crash`] describes where in
+//! a stream a simulated process death occurs; the corruption helpers
+//! mutate serialized bytes the way real storage faults do (truncated
+//! writes, flipped bits). Both are deliberately engine-agnostic: the
+//! driver that owns the engine decides what "crashing" and "restoring"
+//! mean.
+
+use sequin_types::{StreamItem, Timestamp};
+
+/// Where a simulated process crash happens while consuming a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Crash {
+    /// Die after ingesting this many stream items.
+    AfterEvents(u64),
+    /// Die the first time an event's occurrence timestamp reaches `t`
+    /// (a proxy for "the watermark advanced past `t`" that needs no
+    /// engine cooperation).
+    AtWatermark(Timestamp),
+}
+
+impl Crash {
+    /// True when the crash fires on the `ix`-th item (0-based) of the
+    /// stream, i.e. the process dies *before* ingesting it.
+    pub fn fires(&self, ix: u64, item: &StreamItem) -> bool {
+        match *self {
+            Crash::AfterEvents(n) => ix >= n,
+            Crash::AtWatermark(t) => match item {
+                StreamItem::Event(e) => e.ts() >= t,
+                StreamItem::Punctuation(p) => *p >= t,
+            },
+        }
+    }
+
+    /// Splits a stream at the crash point: items the process ingested
+    /// before dying, and the index it would have resumed from had it not
+    /// checkpointed at all.
+    pub fn split<'a>(&self, items: &'a [StreamItem]) -> (&'a [StreamItem], u64) {
+        for (ix, item) in items.iter().enumerate() {
+            if self.fires(ix as u64, item) {
+                return (&items[..ix], ix as u64);
+            }
+        }
+        (items, items.len() as u64)
+    }
+}
+
+/// Truncated write: keeps only the first `keep` bytes.
+pub fn truncate(bytes: &mut Vec<u8>, keep: usize) {
+    bytes.truncate(keep.min(bytes.len()));
+}
+
+/// Flips a single bit; `bit` indexes the artifact's bit stream and wraps,
+/// so any value targets *some* bit of a non-empty artifact.
+pub fn bit_flip(bytes: &mut [u8], bit: usize) {
+    if bytes.is_empty() {
+        return;
+    }
+    let bit = bit % (bytes.len() * 8);
+    bytes[bit / 8] ^= 1 << (bit % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_types::{Event, EventTypeId, Timestamp};
+    use std::sync::Arc;
+
+    fn ev(ts: u64) -> StreamItem {
+        StreamItem::Event(Arc::new(Event::new(
+            EventTypeId::from_index(0),
+            Timestamp::new(ts),
+            Vec::new(),
+        )))
+    }
+
+    #[test]
+    fn after_events_splits_at_count() {
+        let items = vec![ev(1), ev(2), ev(3), ev(4)];
+        let (pre, resume) = Crash::AfterEvents(2).split(&items);
+        assert_eq!(pre.len(), 2);
+        assert_eq!(resume, 2);
+    }
+
+    #[test]
+    fn at_watermark_splits_at_first_reaching_event() {
+        let items = vec![ev(5), ev(30), ev(10), ev(40)];
+        let (pre, resume) = Crash::AtWatermark(Timestamp::new(25)).split(&items);
+        assert_eq!(pre.len(), 1, "dies before ingesting the t=30 event");
+        assert_eq!(resume, 1);
+        let (_, resume) = Crash::AtWatermark(Timestamp::new(26))
+            .split(&[ev(1), StreamItem::Punctuation(Timestamp::new(26))]);
+        assert_eq!(resume, 1, "punctuation also trips the trigger");
+    }
+
+    #[test]
+    fn crash_beyond_stream_never_fires() {
+        let items = vec![ev(1), ev(2)];
+        let (pre, resume) = Crash::AfterEvents(10).split(&items);
+        assert_eq!(pre.len(), 2);
+        assert_eq!(resume, 2);
+    }
+
+    #[test]
+    fn corruption_helpers() {
+        let mut b = vec![0xFFu8; 4];
+        truncate(&mut b, 2);
+        assert_eq!(b, vec![0xFF, 0xFF]);
+        truncate(&mut b, 100);
+        assert_eq!(b.len(), 2, "keep beyond len is a no-op");
+        bit_flip(&mut b, 0);
+        assert_eq!(b[0], 0xFE);
+        bit_flip(&mut b, 16); // wraps back to bit 0
+        assert_eq!(b[0], 0xFF);
+        let mut empty: Vec<u8> = Vec::new();
+        bit_flip(&mut empty, 3); // must not panic
+    }
+}

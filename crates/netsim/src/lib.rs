@@ -20,17 +20,21 @@
 //! * [`punctuate`] — omniscient punctuation injection (the simulator
 //!   knows the true in-flight minimum);
 //! * [`DisorderReport`] — empirical disorder metrics (late fraction,
-//!   max/mean lateness) of an arrival stream.
+//!   max/mean lateness) of an arrival stream;
+//! * [`Crash`] and the corruption helpers in [`fault`] — simulated
+//!   process deaths and storage rot for checkpoint/recovery testing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod delay;
 mod disorder;
+pub mod fault;
 mod network;
 mod punctuate;
 
 pub use delay::DelayModel;
 pub use disorder::{measure_disorder, DisorderReport};
+pub use fault::Crash;
 pub use network::{delay_shuffle, Network, Outage, Source};
 pub use punctuate::punctuate;

@@ -1,7 +1,6 @@
 //! Multi-source network simulation and the parametric delay shuffle.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sequin_prng::Rng;
 use sequin_types::{EventRef, StreamItem, Timestamp};
 
 use crate::delay::DelayModel;
@@ -39,7 +38,11 @@ pub struct Source {
 impl Source {
     /// A well-behaved source with the given delay model.
     pub fn new(events: Vec<EventRef>, delay: DelayModel) -> Source {
-        Source { events, delay, outages: Vec::new() }
+        Source {
+            events,
+            delay,
+            outages: Vec::new(),
+        }
     }
 
     /// Adds an outage window.
@@ -72,7 +75,7 @@ impl Network {
     /// Ties in arrival time are broken by `(ts, id)` so the simulation is
     /// deterministic.
     pub fn deliver(&self) -> Vec<StreamItem> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut annotated: Vec<(u64, EventRef)> = Vec::new();
         for source in &self.sources {
             for ev in &source.events {
@@ -82,12 +85,17 @@ impl Network {
                         send_at = outage.until;
                     }
                 }
-                let arrival = send_at.ticks().saturating_add(source.delay.sample(&mut rng));
+                let arrival = send_at
+                    .ticks()
+                    .saturating_add(source.delay.sample(&mut rng));
                 annotated.push((arrival, ev.clone()));
             }
         }
         annotated.sort_by_key(|(arrival, ev)| (*arrival, ev.ts(), ev.id()));
-        annotated.into_iter().map(|(_, ev)| StreamItem::Event(ev)).collect()
+        annotated
+            .into_iter()
+            .map(|(_, ev)| StreamItem::Event(ev))
+            .collect()
     }
 }
 
@@ -108,21 +116,31 @@ pub fn delay_shuffle(
     max_delay: u64,
     seed: u64,
 ) -> Vec<StreamItem> {
-    assert!((0.0..=1.0).contains(&ooo_fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&ooo_fraction),
+        "fraction must be in [0, 1]"
+    );
     if ooo_fraction > 0.0 {
         assert!(max_delay > 0, "max_delay must be positive when shuffling");
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut annotated: Vec<(u64, EventRef)> = events
         .iter()
         .map(|ev| {
             let late = ooo_fraction > 0.0 && rng.gen_bool(ooo_fraction);
-            let delay = if late { rng.gen_range(1..=max_delay) } else { 0 };
+            let delay = if late {
+                rng.gen_range(1..=max_delay)
+            } else {
+                0
+            };
             (ev.ts().ticks().saturating_add(delay), ev.clone())
         })
         .collect();
     annotated.sort_by_key(|(arrival, ev)| (*arrival, ev.ts(), ev.id()));
-    annotated.into_iter().map(|(_, ev)| StreamItem::Event(ev)).collect()
+    annotated
+        .into_iter()
+        .map(|(_, ev)| StreamItem::Event(ev))
+        .collect()
 }
 
 #[cfg(test)]
@@ -148,8 +166,10 @@ mod tests {
     fn zero_fraction_preserves_order() {
         let events = history(100);
         let stream = delay_shuffle(&events, 0.0, 100, 1);
-        let ids: Vec<u64> =
-            stream.iter().map(|i| i.as_event().unwrap().id().get()).collect();
+        let ids: Vec<u64> = stream
+            .iter()
+            .map(|i| i.as_event().unwrap().id().get())
+            .collect();
         assert_eq!(ids, (0..100).collect::<Vec<_>>());
     }
 
@@ -167,8 +187,10 @@ mod tests {
         let events = history(500);
         let stream = delay_shuffle(&events, 0.5, 300, 9);
         assert_eq!(stream.len(), 500);
-        let mut ids: Vec<u64> =
-            stream.iter().map(|i| i.as_event().unwrap().id().get()).collect();
+        let mut ids: Vec<u64> = stream
+            .iter()
+            .map(|i| i.as_event().unwrap().id().get())
+            .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..500).collect::<Vec<_>>());
     }
@@ -187,10 +209,7 @@ mod tests {
     fn merged_sources_interleave_by_arrival() {
         let s1 = Source::new(history(10), DelayModel::Constant(0));
         let s2: Vec<EventRef> = (0..10).map(|i| ev(100 + i, i * 10 + 5)).collect();
-        let net = Network::new(
-            vec![s1, Source::new(s2, DelayModel::Constant(0))],
-            3,
-        );
+        let net = Network::new(vec![s1, Source::new(s2, DelayModel::Constant(0))], 3);
         let stream = net.deliver();
         assert_eq!(stream.len(), 20);
         // zero delay on both: arrival order is timestamp order
@@ -206,12 +225,18 @@ mod tests {
         // a healthy source keeps delivering through the outage, so the
         // burst lands *behind* fresher events — that is the disorder
         let failing = Source::new(history(20), DelayModel::None) // ts 0..190
-            .with_outage(Outage { from: Timestamp::new(50), until: Timestamp::new(150) });
+            .with_outage(Outage {
+                from: Timestamp::new(50),
+                until: Timestamp::new(150),
+            });
         let healthy: Vec<EventRef> = (0..20).map(|i| ev(100 + i, i * 10 + 5)).collect();
         let net = Network::new(vec![failing, Source::new(healthy, DelayModel::None)], 1);
         let stream = net.deliver();
         let report = measure_disorder(&stream);
-        assert!(report.late_events >= 9, "burst events arrive late: {report:?}");
+        assert!(
+            report.late_events >= 9,
+            "burst events arrive late: {report:?}"
+        );
         assert!(report.max_lateness.ticks() >= 90);
         assert_eq!(stream.len(), 40);
     }
@@ -220,7 +245,10 @@ mod tests {
     fn heavier_delays_increase_disorder() {
         let events = history(3000);
         let tame = Network::new(
-            vec![Source::new(events.clone(), DelayModel::Uniform { lo: 0, hi: 5 })],
+            vec![Source::new(
+                events.clone(),
+                DelayModel::Uniform { lo: 0, hi: 5 },
+            )],
             7,
         );
         let wild = Network::new(

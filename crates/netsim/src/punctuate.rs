@@ -61,8 +61,7 @@ mod tests {
         let stream = vec![item(1, 100), item(2, 40), item(3, 90), item(4, 110)];
         let out = punctuate(&stream, 2);
         // after the first two events, the future min is 90
-        let puncts: Vec<Timestamp> =
-            out.iter().filter_map(StreamItem::as_punctuation).collect();
+        let puncts: Vec<Timestamp> = out.iter().filter_map(StreamItem::as_punctuation).collect();
         assert_eq!(puncts[0], Timestamp::new(90));
         assert_eq!(puncts[1], Timestamp::MAX); // nothing after event 4
         assert_eq!(puncts.last(), Some(&Timestamp::MAX));
@@ -87,9 +86,15 @@ mod tests {
     fn event_count_preserved() {
         let stream: Vec<StreamItem> = (0..10).map(|i| item(i, i)).collect();
         let out = punctuate(&stream, 3);
-        let events = out.iter().filter(|i| matches!(i, StreamItem::Event(_))).count();
+        let events = out
+            .iter()
+            .filter(|i| matches!(i, StreamItem::Event(_)))
+            .count();
         assert_eq!(events, 10);
-        let puncts = out.iter().filter(|i| matches!(i, StreamItem::Punctuation(_))).count();
+        let puncts = out
+            .iter()
+            .filter(|i| matches!(i, StreamItem::Punctuation(_)))
+            .count();
         assert_eq!(puncts, 3 + 1);
     }
 

@@ -1,0 +1,210 @@
+//! # sequin-prng
+//!
+//! A small, dependency-free, deterministic pseudo-random number generator
+//! for the simulator, the workload generators, and the test suite.
+//!
+//! The workspace must build **offline** (no crates-io access), so instead
+//! of `rand` we carry this SplitMix64-based generator. It is *not*
+//! cryptographic — it exists purely so that every experiment and test is
+//! reproducible from a `u64` seed, on every platform, forever.
+//!
+//! The API deliberately mirrors the subset of `rand::Rng` the workspace
+//! used: [`Rng::seed_from_u64`], [`Rng::gen_range`] over integer and
+//! float ranges, [`Rng::gen_bool`], and [`Rng::next_f64`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic 64-bit PRNG (SplitMix64 core).
+///
+/// SplitMix64 passes BigCrush, has a full 2^64 period over its state
+/// increment, and needs nothing but wrapping arithmetic — ideal for a
+/// zero-dependency workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Uniform draw from an integer or float range, e.g.
+    /// `rng.gen_range(0..10)`, `rng.gen_range(1..=6)`,
+    /// `rng.gen_range(0.0..1.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform integer in `[0, n)` via the widening-multiply method
+    /// (bias is < 2^-64 per draw — irrelevant for simulation).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+/// Uniform over `[lo, hi]` where the span fits in `u64`.
+fn int_inclusive(rng: &mut Rng, lo: i128, hi: i128) -> i128 {
+    assert!(lo <= hi, "cannot sample an empty range");
+    let span = (hi - lo) as u128;
+    if span == u64::MAX as u128 {
+        // full-width span: a raw draw is already uniform
+        lo + rng.next_u64() as i128
+    } else {
+        lo + rng.below(span as u64 + 1) as i128
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                int_inclusive(rng, self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                int_inclusive(rng, *self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // floating rounding can land exactly on `end`; clamp just inside
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a = r.gen_range(3u64..9);
+            assert!((3..9).contains(&a));
+            let b = r.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&b));
+            let c = r.gen_range(0usize..5);
+            assert!(c < 5);
+            let f = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_and_degenerate_ranges() {
+        let mut r = Rng::seed_from_u64(1);
+        assert_eq!(r.gen_range(5u64..=5), 5);
+        assert_eq!(r.gen_range(7i64..8), 7);
+        let wide = r.gen_range(0u64..=u64::MAX);
+        let _ = wide; // just must not panic or loop
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut buckets = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            buckets[r.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            let frac = b as f64 / n as f64;
+            assert!((0.08..0.12).contains(&frac), "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((0.28..0.32).contains(&frac), "observed {frac}");
+        assert!(!Rng::seed_from_u64(0).gen_bool(0.0));
+        assert!(Rng::seed_from_u64(0).gen_bool(1.0));
+    }
+
+    #[test]
+    fn next_f64_is_half_open_unit() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5u64..5);
+    }
+}

@@ -45,7 +45,11 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
         if var_to_comp.insert(c.var.clone(), ix).is_some() {
             return Err(AnalyzeError::DuplicateVariable(c.var.clone()));
         }
-        components.push(Component { var: c.var.clone(), types, negated: c.negated });
+        components.push(Component {
+            var: c.var.clone(),
+            types,
+            negated: c.negated,
+        });
     }
 
     let positives: Vec<usize> = components
@@ -68,7 +72,11 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
     if let Some(filter) = &ast.filter {
         split_conjuncts(filter, &mut conjuncts);
     }
-    let resolver = Resolver { registry, components: &components, var_to_comp: &var_to_comp };
+    let resolver = Resolver {
+        registry,
+        components: &components,
+        var_to_comp: &var_to_comp,
+    };
     let mut predicates = Vec::new();
     let mut neg_predicates: HashMap<usize, Vec<Predicate>> = HashMap::new();
     for conjunct in conjuncts {
@@ -81,7 +89,10 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
             .collect();
         match negated_refs.len() {
             0 => predicates.push(pred),
-            1 => neg_predicates.entry(negated_refs[0]).or_default().push(pred),
+            1 => neg_predicates
+                .entry(negated_refs[0])
+                .or_default()
+                .push(pred),
             _ => return Err(AnalyzeError::PredicateSpansNegations),
         }
     }
@@ -112,7 +123,13 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
         if components[comp].negated {
             return Err(AnalyzeError::ProjectsNegated(p.var.clone()));
         }
-        projections.push(resolve_projection(registry, &components, comp, &p.var, &p.field)?);
+        projections.push(resolve_projection(
+            registry,
+            &components,
+            comp,
+            &p.var,
+            &p.field,
+        )?);
     }
 
     let partition = detect_partition(registry, &components, &positives, &negations, &predicates);
@@ -157,10 +174,12 @@ fn resolve_common_field(
     let mut resolved: Option<(FieldId, sequin_types::ValueKind)> = None;
     for &ty in &component.types {
         let schema = registry.schema(ty);
-        let (fid, kind) = schema.field(field).ok_or_else(|| AnalyzeError::UnknownField {
-            var: var.to_owned(),
-            field: field.to_owned(),
-        })?;
+        let (fid, kind) = schema
+            .field(field)
+            .ok_or_else(|| AnalyzeError::UnknownField {
+                var: var.to_owned(),
+                field: field.to_owned(),
+            })?;
         match resolved {
             None => resolved = Some((fid, kind)),
             Some(prev) if prev == (fid, kind) => {}
@@ -177,7 +196,11 @@ fn resolve_common_field(
 
 fn split_conjuncts<'a>(e: &'a ExprAst, out: &mut Vec<&'a ExprAst>) {
     match e {
-        ExprAst::Binary { op: BinaryOpAst::And, lhs, rhs } => {
+        ExprAst::Binary {
+            op: BinaryOpAst::And,
+            lhs,
+            rhs,
+        } => {
             split_conjuncts(lhs, out);
             split_conjuncts(rhs, out);
         }
@@ -267,9 +290,9 @@ pub(crate) fn detect_partition(
     let mut parent: Vec<usize> = Vec::new();
     let mut index: HashMap<(usize, FieldId), usize> = HashMap::new();
     let intern = |nodes: &mut Vec<(usize, FieldId)>,
-                      parent: &mut Vec<usize>,
-                      index: &mut HashMap<(usize, FieldId), usize>,
-                      key: (usize, FieldId)| {
+                  parent: &mut Vec<usize>,
+                  index: &mut HashMap<(usize, FieldId), usize>,
+                  key: (usize, FieldId)| {
         *index.entry(key).or_insert_with(|| {
             nodes.push(key);
             parent.push(nodes.len() - 1);
@@ -285,11 +308,26 @@ pub(crate) fn detect_partition(
     }
 
     // include negation predicates: they can extend the chain to negated comps
-    let all_preds = predicates.iter().chain(negations.iter().flat_map(|n| n.predicates.iter()));
+    let all_preds = predicates
+        .iter()
+        .chain(negations.iter().flat_map(|n| n.predicates.iter()));
     for pred in all_preds {
-        if let Expr::Binary { op: BinaryOp::Eq, lhs, rhs } = pred.expr() {
-            if let (Expr::Attr { comp: ca, field: fa }, Expr::Attr { comp: cb, field: fb }) =
-                (lhs.as_ref(), rhs.as_ref())
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            lhs,
+            rhs,
+        } = pred.expr()
+        {
+            if let (
+                Expr::Attr {
+                    comp: ca,
+                    field: fa,
+                },
+                Expr::Attr {
+                    comp: cb,
+                    field: fb,
+                },
+            ) = (lhs.as_ref(), rhs.as_ref())
             {
                 let a = intern(&mut nodes, &mut parent, &mut index, (*ca, *fa));
                 let b = intern(&mut nodes, &mut parent, &mut index, (*cb, *fb));
@@ -326,12 +364,7 @@ pub(crate) fn detect_partition(
             let _ = &components;
             let negation_fields = negations
                 .iter()
-                .map(|n| {
-                    members
-                        .iter()
-                        .find(|(c, _)| *c == n.comp)
-                        .map(|&(_, f)| f)
-                })
+                .map(|n| members.iter().find(|(c, _)| *c == n.comp).map(|&(_, f)| f))
                 .collect();
             return Some(PartitionScheme {
                 fields: fields.into_iter().map(Option::unwrap).collect(),
@@ -351,7 +384,8 @@ mod tests {
     fn registry() -> TypeRegistry {
         let mut reg = TypeRegistry::new();
         for name in ["A", "B", "C", "D"] {
-            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Str)]).unwrap();
+            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Str)])
+                .unwrap();
         }
         reg
     }
@@ -372,7 +406,10 @@ mod tests {
 
     #[test]
     fn unknown_type_rejected() {
-        assert_eq!(q("PATTERN SEQ(Z z) WITHIN 10").unwrap_err(), AnalyzeError::UnknownType("Z".into()));
+        assert_eq!(
+            q("PATTERN SEQ(Z z) WITHIN 10").unwrap_err(),
+            AnalyzeError::UnknownType("Z".into())
+        );
     }
 
     #[test]
@@ -401,7 +438,10 @@ mod tests {
 
     #[test]
     fn all_negated_rejected() {
-        assert_eq!(q("PATTERN SEQ(!A a) WITHIN 10").unwrap_err(), AnalyzeError::NoPositiveComponent);
+        assert_eq!(
+            q("PATTERN SEQ(!A a) WITHIN 10").unwrap_err(),
+            AnalyzeError::NoPositiveComponent
+        );
     }
 
     #[test]
@@ -414,7 +454,10 @@ mod tests {
 
     #[test]
     fn zero_window_rejected() {
-        assert_eq!(q("PATTERN SEQ(A a) WITHIN 0").unwrap_err(), AnalyzeError::ZeroWindow);
+        assert_eq!(
+            q("PATTERN SEQ(A a) WITHIN 0").unwrap_err(),
+            AnalyzeError::ZeroWindow
+        );
     }
 
     #[test]
@@ -489,10 +532,9 @@ mod tests {
 
     #[test]
     fn partition_extends_to_negations() {
-        let query = q(
-            "PATTERN SEQ(A a, !B n, C c) WHERE a.tag == c.tag AND n.tag == a.tag WITHIN 10",
-        )
-        .unwrap();
+        let query =
+            q("PATTERN SEQ(A a, !B n, C c) WHERE a.tag == c.tag AND n.tag == a.tag WITHIN 10")
+                .unwrap();
         let scheme = query.partition().expect("partition scheme");
         assert_eq!(scheme.negation_fields.len(), 1);
         assert!(scheme.negation_fields[0].is_some());
@@ -500,8 +542,7 @@ mod tests {
 
     #[test]
     fn local_and_join_predicate_classification() {
-        let query =
-            q("PATTERN SEQ(A a, B b) WHERE a.x > 1 AND a.x == b.x WITHIN 10").unwrap();
+        let query = q("PATTERN SEQ(A a, B b) WHERE a.x > 1 AND a.x == b.x WITHIN 10").unwrap();
         assert_eq!(query.local_predicates(0).len(), 1);
         assert_eq!(query.local_predicates(1).len(), 0);
         assert_eq!(query.join_predicates().len(), 1);
@@ -534,7 +575,8 @@ mod tests {
     fn alternation_field_must_be_common() {
         let mut reg = registry();
         // E has `x` at a different position than A/B/C/D (tag first)
-        reg.declare("E", &[("tag", ValueKind::Str), ("x", ValueKind::Int)]).unwrap();
+        reg.declare("E", &[("tag", ValueKind::Str), ("x", ValueKind::Int)])
+            .unwrap();
         let err = analyze(
             &parse_text("PATTERN SEQ(A|E ae) WHERE ae.x > 1 WITHIN 10").unwrap(),
             &reg,

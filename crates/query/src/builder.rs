@@ -40,7 +40,11 @@ pub mod pred {
 
     /// References `var.field` (also accepts the pseudo-fields `ts`/`id`).
     pub fn attr(var: &str, field: &str) -> PredExpr {
-        PredExpr(ExprAst::Attr { var: var.to_owned(), field: field.to_owned(), offset: 0 })
+        PredExpr(ExprAst::Attr {
+            var: var.to_owned(),
+            field: field.to_owned(),
+            offset: 0,
+        })
     }
 
     /// Integer literal.
@@ -110,12 +114,18 @@ pub mod pred {
     impl PredExpr {
         /// Logical negation.
         pub fn not(self) -> PredExpr {
-            PredExpr(ExprAst::Unary { op: UnaryOpAst::Not, expr: Box::new(self.0) })
+            PredExpr(ExprAst::Unary {
+                op: UnaryOpAst::Not,
+                expr: Box::new(self.0),
+            })
         }
 
         /// Arithmetic negation.
         pub fn neg(self) -> PredExpr {
-            PredExpr(ExprAst::Unary { op: UnaryOpAst::Neg, expr: Box::new(self.0) })
+            PredExpr(ExprAst::Unary {
+                op: UnaryOpAst::Neg,
+                expr: Box::new(self.0),
+            })
         }
     }
 }
@@ -222,7 +232,8 @@ mod tests {
     fn registry() -> TypeRegistry {
         let mut reg = TypeRegistry::new();
         for name in ["A", "B", "C"] {
-            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Str)]).unwrap();
+            reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Str)])
+                .unwrap();
         }
         reg
     }
@@ -251,18 +262,33 @@ mod tests {
     #[test]
     fn builder_propagates_analysis_errors() {
         let reg = registry();
-        let err = QueryBuilder::new().component("Nope", "n").within(5).build(&reg).unwrap_err();
+        let err = QueryBuilder::new()
+            .component("Nope", "n")
+            .within(5)
+            .build(&reg)
+            .unwrap_err();
         assert!(matches!(err, AnalyzeError::UnknownType(_)));
-        let err = QueryBuilder::new().component("A", "a").build(&reg).unwrap_err();
+        let err = QueryBuilder::new()
+            .component("A", "a")
+            .build(&reg)
+            .unwrap_err();
         assert_eq!(err, AnalyzeError::ZeroWindow);
     }
 
     #[test]
     fn pred_helpers_build_expected_shapes() {
-        let e = pred::int(1).add(pred::float(2.0)).le(pred::attr("a", "x")).or(pred::boolean(false).not());
+        let e = pred::int(1)
+            .add(pred::float(2.0))
+            .le(pred::attr("a", "x"))
+            .or(pred::boolean(false).not());
         // must analyze fine in a one-component query
         let reg = registry();
-        let q = QueryBuilder::new().component("A", "a").filter(e).within(5).build(&reg).unwrap();
+        let q = QueryBuilder::new()
+            .component("A", "a")
+            .filter(e)
+            .within(5)
+            .build(&reg)
+            .unwrap();
         assert_eq!(q.predicates().len(), 1);
     }
 

@@ -12,7 +12,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(offset: usize, message: impl Into<String>) -> ParseError {
-        ParseError { offset, message: message.into() }
+        ParseError {
+            offset,
+            message: message.into(),
+        }
     }
 
     /// Byte offset in the query text where the error was detected.
@@ -97,7 +100,10 @@ impl fmt::Display for AnalyzeError {
             }
             AnalyzeError::ZeroWindow => write!(f, "WITHIN window must be positive"),
             AnalyzeError::PredicateSpansNegations => {
-                write!(f, "a WHERE conjunct may reference at most one negated component")
+                write!(
+                    f,
+                    "a WHERE conjunct may reference at most one negated component"
+                )
             }
             AnalyzeError::AmbiguousField { var, field } => {
                 write!(
@@ -177,7 +183,10 @@ mod tests {
         for e in [
             AnalyzeError::UnknownType("A".into()),
             AnalyzeError::UnknownVariable("a".into()),
-            AnalyzeError::UnknownField { var: "a".into(), field: "x".into() },
+            AnalyzeError::UnknownField {
+                var: "a".into(),
+                field: "x".into(),
+            },
             AnalyzeError::DuplicateVariable("a".into()),
             AnalyzeError::NoPositiveComponent,
             AnalyzeError::AdjacentNegations,
@@ -185,7 +194,10 @@ mod tests {
             AnalyzeError::ProjectsNegated("n".into()),
             AnalyzeError::ZeroWindow,
             AnalyzeError::PredicateSpansNegations,
-            AnalyzeError::AmbiguousField { var: "a".into(), field: "x".into() },
+            AnalyzeError::AmbiguousField {
+                var: "a".into(),
+                field: "x".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

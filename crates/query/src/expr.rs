@@ -169,9 +169,7 @@ impl Expr {
                         };
                         Some(Value::Bool(holds))
                     }
-                    BinaryOp::And => {
-                        Some(Value::Bool(a.as_bool()? && b.as_bool()?))
-                    }
+                    BinaryOp::And => Some(Value::Bool(a.as_bool()? && b.as_bool()?)),
                     BinaryOp::Or => Some(Value::Bool(a.as_bool()? || b.as_bool()?)),
                 }
             }
@@ -183,7 +181,11 @@ impl Expr {
     /// evaluation failure on a *fully bound* expression; `None` when a
     /// referenced component is still unbound (undecided).
     pub fn eval_predicate(&self, binding: &Binding<'_>) -> Option<bool> {
-        if !self.components().iter_ones().all(|c| binding.get(c).copied().flatten().is_some()) {
+        if !self
+            .components()
+            .iter_ones()
+            .all(|c| binding.get(c).copied().flatten().is_some())
+        {
             return None;
         }
         Some(matches!(self.eval(binding), Some(Value::Bool(true))))
@@ -283,11 +285,18 @@ mod tests {
     }
 
     fn attr(comp: usize, ix: usize) -> Expr {
-        Expr::Attr { comp, field: FieldId::from_index(ix) }
+        Expr::Attr {
+            comp,
+            field: FieldId::from_index(ix),
+        }
     }
 
     fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
     }
 
     #[test]
@@ -354,10 +363,20 @@ mod tests {
         let t = Expr::Const(Value::Bool(true));
         let f = Expr::Const(Value::Bool(false));
         let binding: [Option<&EventRef>; 0] = [];
-        assert_eq!(bin(BinaryOp::And, t.clone(), f.clone()).eval(&binding), Some(Value::Bool(false)));
-        assert_eq!(bin(BinaryOp::Or, t.clone(), f.clone()).eval(&binding), Some(Value::Bool(true)));
         assert_eq!(
-            Expr::Unary { op: UnaryOp::Not, expr: Box::new(f) }.eval(&binding),
+            bin(BinaryOp::And, t.clone(), f.clone()).eval(&binding),
+            Some(Value::Bool(false))
+        );
+        assert_eq!(
+            bin(BinaryOp::Or, t.clone(), f.clone()).eval(&binding),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(f)
+            }
+            .eval(&binding),
             Some(Value::Bool(true))
         );
     }
@@ -365,13 +384,20 @@ mod tests {
     #[test]
     fn neg_overflow_yields_none() {
         let binding: [Option<&EventRef>; 0] = [];
-        let e = Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::Const(Value::Int(i64::MIN))) };
+        let e = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::Const(Value::Int(i64::MIN))),
+        };
         assert_eq!(e.eval(&binding), None);
     }
 
     #[test]
     fn component_mask_collects_refs() {
-        let expr = bin(BinaryOp::Add, attr(0, 0), bin(BinaryOp::Mul, attr(3, 0), Expr::Ts(2)));
+        let expr = bin(
+            BinaryOp::Add,
+            attr(0, 0),
+            bin(BinaryOp::Mul, attr(3, 0), Expr::Ts(2)),
+        );
         let mask = expr.components();
         assert!(mask.contains(0));
         assert!(!mask.contains(1));

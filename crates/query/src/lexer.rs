@@ -167,7 +167,10 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                     i += 2;
                     TokenKind::EqEq
                 } else {
-                    return Err(ParseError::new(start, "expected `==` (single `=` is not an operator)"));
+                    return Err(ParseError::new(
+                        start,
+                        "expected `==` (single `=` is not an operator)",
+                    ));
                 }
             }
             '<' => {
@@ -250,12 +253,21 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                 }
             }
             other => {
-                return Err(ParseError::new(start, format!("unexpected character `{other}`")));
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         };
-        out.push(Token { kind, offset: start });
+        out.push(Token {
+            kind,
+            offset: start,
+        });
     }
-    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(out)
 }
 
@@ -269,7 +281,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("pattern SeQ wHeRe")[..3], [TokenKind::Pattern, TokenKind::Seq, TokenKind::Where]);
+        assert_eq!(
+            kinds("pattern SeQ wHeRe")[..3],
+            [TokenKind::Pattern, TokenKind::Seq, TokenKind::Where]
+        );
     }
 
     #[test]
@@ -282,7 +297,14 @@ mod tests {
         assert_eq!(kinds("42")[0], TokenKind::Int(42));
         assert_eq!(kinds("4.5")[0], TokenKind::Float(4.5));
         // `4.` followed by ident is Int Dot Ident (field access), not a float
-        assert_eq!(kinds("a.x")[..3], [TokenKind::Ident("a".into()), TokenKind::Dot, TokenKind::Ident("x".into())]);
+        assert_eq!(
+            kinds("a.x")[..3],
+            [
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into())
+            ]
+        );
     }
 
     #[test]

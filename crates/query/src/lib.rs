@@ -45,8 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod ast;
 mod analyze;
+pub mod ast;
 mod builder;
 mod error;
 mod expr;

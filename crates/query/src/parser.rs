@@ -121,7 +121,12 @@ impl Parser {
                 returns.push(self.projection()?);
             }
         }
-        Ok(QueryAst { components, filter, within, returns })
+        Ok(QueryAst {
+            components,
+            filter,
+            within,
+            returns,
+        })
     }
 
     fn component(&mut self) -> Result<ComponentAst, ParseError> {
@@ -134,7 +139,12 @@ impl Parser {
             type_names.push(next);
         }
         let (var, _) = self.expect_ident("a variable name")?;
-        Ok(ComponentAst { negated, type_names, var, offset })
+        Ok(ComponentAst {
+            negated,
+            type_names,
+            var,
+            offset,
+        })
     }
 
     fn projection(&mut self) -> Result<ProjectionAst, ParseError> {
@@ -152,7 +162,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat(&TokenKind::Or) {
             let rhs = self.and_expr()?;
-            lhs = ExprAst::Binary { op: BinaryOpAst::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ExprAst::Binary {
+                op: BinaryOpAst::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -161,7 +175,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat(&TokenKind::And) {
             let rhs = self.not_expr()?;
-            lhs = ExprAst::Binary { op: BinaryOpAst::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ExprAst::Binary {
+                op: BinaryOpAst::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -169,7 +187,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<ExprAst, ParseError> {
         if self.eat(&TokenKind::Not) || self.eat(&TokenKind::Bang) {
             let inner = self.not_expr()?;
-            Ok(ExprAst::Unary { op: UnaryOpAst::Not, expr: Box::new(inner) })
+            Ok(ExprAst::Unary {
+                op: UnaryOpAst::Not,
+                expr: Box::new(inner),
+            })
         } else {
             self.cmp_expr()
         }
@@ -188,7 +209,11 @@ impl Parser {
         };
         self.advance();
         let rhs = self.add_expr()?;
-        Ok(ExprAst::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(ExprAst::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> Result<ExprAst, ParseError> {
@@ -201,7 +226,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.mul_expr()?;
-            lhs = ExprAst::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ExprAst::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -216,7 +245,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.unary_expr()?;
-            lhs = ExprAst::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ExprAst::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -224,7 +257,10 @@ impl Parser {
     fn unary_expr(&mut self) -> Result<ExprAst, ParseError> {
         if self.eat(&TokenKind::Minus) {
             let inner = self.unary_expr()?;
-            Ok(ExprAst::Unary { op: UnaryOpAst::Neg, expr: Box::new(inner) })
+            Ok(ExprAst::Unary {
+                op: UnaryOpAst::Neg,
+                expr: Box::new(inner),
+            })
         } else {
             self.primary()
         }
@@ -263,7 +299,11 @@ impl Parser {
                 self.advance();
                 self.expect(TokenKind::Dot)?;
                 let (field, _) = self.expect_ident("a field name")?;
-                Ok(ExprAst::Attr { var, field, offset: t.offset })
+                Ok(ExprAst::Attr {
+                    var,
+                    field,
+                    offset: t.offset,
+                })
             }
             _ => Err(self.unexpected("expected an expression")),
         }
@@ -286,7 +326,10 @@ mod tests {
     #[test]
     fn alternation_components() {
         let q = parse_text("PATTERN SEQ(A|B ab, !C|D cd, E e) WITHIN 10").unwrap();
-        assert_eq!(q.components[0].type_names, vec!["A".to_owned(), "B".to_owned()]);
+        assert_eq!(
+            q.components[0].type_names,
+            vec!["A".to_owned(), "B".to_owned()]
+        );
         assert!(q.components[1].negated);
         assert_eq!(q.components[1].type_names.len(), 2);
         assert_eq!(q.components[2].type_names, vec!["E".to_owned()]);
@@ -308,13 +351,31 @@ mod tests {
 
     #[test]
     fn where_clause_precedence() {
-        let q = parse_text("PATTERN SEQ(A a, B b) WHERE a.x + b.y * 2 > 3 AND a.x == b.y OR NOT a.z WITHIN 5")
-            .unwrap();
+        let q = parse_text(
+            "PATTERN SEQ(A a, B b) WHERE a.x + b.y * 2 > 3 AND a.x == b.y OR NOT a.z WITHIN 5",
+        )
+        .unwrap();
         // top level must be OR
         match q.filter.unwrap() {
-            ExprAst::Binary { op: BinaryOpAst::Or, lhs, rhs } => {
-                assert!(matches!(*lhs, ExprAst::Binary { op: BinaryOpAst::And, .. }));
-                assert!(matches!(*rhs, ExprAst::Unary { op: UnaryOpAst::Not, .. }));
+            ExprAst::Binary {
+                op: BinaryOpAst::Or,
+                lhs,
+                rhs,
+            } => {
+                assert!(matches!(
+                    *lhs,
+                    ExprAst::Binary {
+                        op: BinaryOpAst::And,
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    *rhs,
+                    ExprAst::Unary {
+                        op: UnaryOpAst::Not,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected tree: {other:?}"),
         }
@@ -324,9 +385,23 @@ mod tests {
     fn mul_binds_tighter_than_add() {
         let q = parse_text("PATTERN SEQ(A a) WHERE a.x + a.y * a.z == 0 WITHIN 5").unwrap();
         match q.filter.unwrap() {
-            ExprAst::Binary { op: BinaryOpAst::Eq, lhs, .. } => match *lhs {
-                ExprAst::Binary { op: BinaryOpAst::Add, rhs, .. } => {
-                    assert!(matches!(*rhs, ExprAst::Binary { op: BinaryOpAst::Mul, .. }));
+            ExprAst::Binary {
+                op: BinaryOpAst::Eq,
+                lhs,
+                ..
+            } => match *lhs {
+                ExprAst::Binary {
+                    op: BinaryOpAst::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(
+                        *rhs,
+                        ExprAst::Binary {
+                            op: BinaryOpAst::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected: {other:?}"),
             },
@@ -346,8 +421,18 @@ mod tests {
     fn parenthesized_expressions() {
         let q = parse_text("PATTERN SEQ(A a) WHERE (a.x + 1) * 2 == 4 WITHIN 5").unwrap();
         match q.filter.unwrap() {
-            ExprAst::Binary { op: BinaryOpAst::Eq, lhs, .. } => {
-                assert!(matches!(*lhs, ExprAst::Binary { op: BinaryOpAst::Mul, .. }));
+            ExprAst::Binary {
+                op: BinaryOpAst::Eq,
+                lhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *lhs,
+                    ExprAst::Binary {
+                        op: BinaryOpAst::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -357,8 +442,18 @@ mod tests {
     fn unary_minus() {
         let q = parse_text("PATTERN SEQ(A a) WHERE a.x > -5 WITHIN 5").unwrap();
         match q.filter.unwrap() {
-            ExprAst::Binary { op: BinaryOpAst::Gt, rhs, .. } => {
-                assert!(matches!(*rhs, ExprAst::Unary { op: UnaryOpAst::Neg, .. }));
+            ExprAst::Binary {
+                op: BinaryOpAst::Gt,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *rhs,
+                    ExprAst::Unary {
+                        op: UnaryOpAst::Neg,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }

@@ -211,8 +211,11 @@ impl Query {
 
     /// Event types the query is sensitive to (positive or negated).
     pub fn relevant_types(&self) -> Vec<EventTypeId> {
-        let mut tys: Vec<EventTypeId> =
-            self.components.iter().flat_map(|c| c.types.iter().copied()).collect();
+        let mut tys: Vec<EventTypeId> = self
+            .components
+            .iter()
+            .flat_map(|c| c.types.iter().copied())
+            .collect();
         tys.sort();
         tys.dedup();
         tys
@@ -230,7 +233,10 @@ impl Query {
     /// (the sequence-scan pre-filter optimization).
     pub fn local_predicates(&self, p: usize) -> Vec<&Predicate> {
         let comp = self.positives[p];
-        self.predicates.iter().filter(|q| q.is_local_to(comp)).collect()
+        self.predicates
+            .iter()
+            .filter(|q| q.is_local_to(comp))
+            .collect()
     }
 
     /// Predicates that reference more than one component (must be evaluated

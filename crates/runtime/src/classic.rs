@@ -119,7 +119,10 @@ impl ClassicSase {
                 } else {
                     Some(heights[slot - 1] - 1)
                 };
-                self.stacks[slot].push(Instance { event: Arc::clone(event), rip });
+                self.stacks[slot].push(Instance {
+                    event: Arc::clone(event),
+                    rip,
+                });
                 self.stats.insertions += 1;
             }
         }
@@ -145,7 +148,12 @@ impl ClassicSase {
     /// DFS down the RIP pointers from a terminator arrival. `heights` are
     /// the stack heights before this arrival's insertions, so a
     /// repeated-type terminator cannot chain through its own copy.
-    fn construct(&mut self, terminator: &EventRef, out: &mut Vec<Vec<EventRef>>, heights: &[usize]) {
+    fn construct(
+        &mut self,
+        terminator: &EventRef,
+        out: &mut Vec<Vec<EventRef>>,
+        heights: &[usize],
+    ) {
         let m = self.query.positive_len();
         let mut chosen: Vec<Option<EventRef>> = vec![None; m];
         chosen[m - 1] = Some(Arc::clone(terminator));
@@ -170,7 +178,11 @@ impl ClassicSase {
         chosen: &mut Vec<Option<EventRef>>,
         out: &mut Vec<Vec<EventRef>>,
     ) {
-        let anchor_ts = chosen.last().and_then(|c| c.as_ref()).expect("terminator bound").ts();
+        let anchor_ts = chosen
+            .last()
+            .and_then(|c| c.as_ref())
+            .expect("terminator bound")
+            .ts();
         let window = self.query.window();
         // newest-first, as SASE's stack DFS does
         for ix in (0..=rip).rev() {
@@ -213,8 +225,10 @@ impl ClassicSase {
     }
 
     fn emit(&mut self, chosen: &[Option<EventRef>], out: &mut Vec<Vec<EventRef>>) {
-        let events: Vec<EventRef> =
-            chosen.iter().map(|c| Arc::clone(c.as_ref().expect("complete"))).collect();
+        let events: Vec<EventRef> = chosen
+            .iter()
+            .map(|c| Arc::clone(c.as_ref().expect("complete")))
+            .collect();
         // window acceptance on the actual timestamps; a disordered (phantom)
         // sequence has last.ts <= first.ts and passes — the stack discipline
         // *implied* the order, it never checked it
@@ -240,9 +254,7 @@ impl ClassicSase {
             // fix pointers into the previous stack first
             if removed_prev > 0 {
                 for inst in &mut self.stacks[slot] {
-                    inst.rip = inst
-                        .rip
-                        .and_then(|r| r.checked_sub(removed_prev));
+                    inst.rip = inst.rip.and_then(|r| r.checked_sub(removed_prev));
                 }
             }
             let before = self.stacks[slot].len();
@@ -280,8 +292,10 @@ mod tests {
     }
 
     fn ids(matches: &[Vec<EventRef>]) -> Vec<Vec<u64>> {
-        let mut v: Vec<Vec<u64>> =
-            matches.iter().map(|m| m.iter().map(|e| e.id().get()).collect()).collect();
+        let mut v: Vec<Vec<u64>> = matches
+            .iter()
+            .map(|m| m.iter().map(|e| e.id().get()).collect())
+            .collect();
         v.sort();
         v
     }
@@ -300,7 +314,10 @@ mod tests {
         ] {
             all.extend(eng.ingest(&e));
         }
-        assert_eq!(ids(&all), vec![vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4]]);
+        assert_eq!(
+            ids(&all),
+            vec![vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4]]
+        );
     }
 
     #[test]
@@ -442,7 +459,11 @@ mod tests {
         let q = parse("PATTERN SEQ(A a1, A a2) WITHIN 100", &reg).unwrap();
         let mut eng = ClassicSase::new(q, PurgePolicy::NEVER);
         let mut all = Vec::new();
-        for e in [ev(&reg, "A", 1, 10, 0), ev(&reg, "A", 2, 20, 0), ev(&reg, "A", 3, 30, 0)] {
+        for e in [
+            ev(&reg, "A", 1, 10, 0),
+            ev(&reg, "A", 2, 20, 0),
+            ev(&reg, "A", 3, 30, 0),
+        ] {
             all.extend(eng.ingest(&e));
         }
         // an event must never pair with its own copy in the other slot

@@ -20,7 +20,9 @@ pub struct ConstructOpts {
 
 impl Default for ConstructOpts {
     fn default() -> Self {
-        ConstructOpts { window_cutoff: true }
+        ConstructOpts {
+            window_cutoff: true,
+        }
     }
 }
 
@@ -119,7 +121,10 @@ impl Walker<'_> {
         }
         let slot = filled_down_to - 1;
         let next_ts = chosen[slot + 1].as_ref().expect("slot above is bound").ts();
-        let anchor_ts = chosen[self.anchor_slot].as_ref().expect("anchor bound").ts();
+        let anchor_ts = chosen[self.anchor_slot]
+            .as_ref()
+            .expect("anchor bound")
+            .ts();
         // span <= W and last >= anchor force every prefix ts >= anchor - W
         let lo = anchor_ts.saturating_sub(self.window);
         let candidates: &[EventRef] = if self.opts.window_cutoff {
@@ -147,8 +152,10 @@ impl Walker<'_> {
     fn extend_suffix(&mut self, filled_up_to: usize, chosen: &mut [Option<EventRef>]) {
         let m = self.query.positive_len();
         if filled_up_to == m - 1 {
-            let events: Vec<EventRef> =
-                chosen.iter().map(|c| Arc::clone(c.as_ref().expect("complete"))).collect();
+            let events: Vec<EventRef> = chosen
+                .iter()
+                .map(|c| Arc::clone(c.as_ref().expect("complete")))
+                .collect();
             self.stats.matches_constructed += 1;
             self.out.push(events);
             return;
@@ -158,7 +165,9 @@ impl Walker<'_> {
         let first_ts = chosen[0].as_ref().expect("prefix complete").ts();
         // strict sequence order and span <= W: prev < ts <= first + W
         let lo = prev_ts.saturating_add(Duration::new(1));
-        let hi = first_ts.saturating_add(self.window).saturating_add(Duration::new(1));
+        let hi = first_ts
+            .saturating_add(self.window)
+            .saturating_add(Duration::new(1));
         let candidates: &[EventRef] = if self.opts.window_cutoff {
             self.stacks[slot].range(lo, hi)
         } else {
@@ -248,12 +257,19 @@ mod tests {
         anchor: &EventRef,
         cutoff: bool,
     ) -> Vec<Vec<u64>> {
-        let ctor = Constructor::new(Arc::clone(query), ConstructOpts { window_cutoff: cutoff });
+        let ctor = Constructor::new(
+            Arc::clone(query),
+            ConstructOpts {
+                window_cutoff: cutoff,
+            },
+        );
         let mut stats = RuntimeStats::default();
         let mut out = Vec::new();
         ctor.matches_with(stacks, slot, anchor, &mut stats, &mut out);
-        let mut ids: Vec<Vec<u64>> =
-            out.iter().map(|m| m.iter().map(|e| e.id().get()).collect()).collect();
+        let mut ids: Vec<Vec<u64>> = out
+            .iter()
+            .map(|m| m.iter().map(|e| e.id().get()).collect())
+            .collect();
         ids.sort();
         ids
     }
@@ -278,7 +294,10 @@ mod tests {
         let c1 = ev(&reg, "C", 3, 30, 0);
         let c2 = ev(&reg, "C", 4, 40, 0);
         let stacks = stacks_for(&q, &[a, Arc::clone(&b), c1, c2]);
-        assert_eq!(run(&q, &stacks, 1, &b, true), vec![vec![1, 2, 3], vec![1, 2, 4]]);
+        assert_eq!(
+            run(&q, &stacks, 1, &b, true),
+            vec![vec![1, 2, 3], vec![1, 2, 4]]
+        );
     }
 
     #[test]
@@ -371,11 +390,21 @@ mod tests {
         let mut s1 = RuntimeStats::default();
         let mut s2 = RuntimeStats::default();
         let mut out = Vec::new();
-        Constructor::new(Arc::clone(&q), ConstructOpts { window_cutoff: true })
-            .matches_with(&stacks, 1, &b, &mut s1, &mut out);
+        Constructor::new(
+            Arc::clone(&q),
+            ConstructOpts {
+                window_cutoff: true,
+            },
+        )
+        .matches_with(&stacks, 1, &b, &mut s1, &mut out);
         out.clear();
-        Constructor::new(Arc::clone(&q), ConstructOpts { window_cutoff: false })
-            .matches_with(&stacks, 1, &b, &mut s2, &mut out);
+        Constructor::new(
+            Arc::clone(&q),
+            ConstructOpts {
+                window_cutoff: false,
+            },
+        )
+        .matches_with(&stacks, 1, &b, &mut s2, &mut out);
         assert!(s1.dfs_steps < s2.dfs_steps);
     }
 

@@ -71,7 +71,10 @@ impl Match {
 
     /// Occurrence timestamp of the first positive component.
     pub fn first_ts(&self) -> Timestamp {
-        self.events.first().map(|e| e.ts()).unwrap_or(Timestamp::MIN)
+        self.events
+            .first()
+            .map(|e| e.ts())
+            .unwrap_or(Timestamp::MIN)
     }
 
     /// Occurrence timestamp of the last positive component.
@@ -82,7 +85,11 @@ impl Match {
     /// The latest *arrival* among the constituents — the moment the match
     /// became physically constructible. Latency metrics measure from here.
     pub fn completion_arrival(&self) -> sequin_types::ArrivalSeq {
-        self.events.iter().map(|e| e.arrival()).max().unwrap_or_default()
+        self.events
+            .iter()
+            .map(|e| e.arrival())
+            .max()
+            .unwrap_or_default()
     }
 }
 
@@ -96,6 +103,18 @@ impl fmt::Display for Match {
             write!(f, "{v}")?;
         }
         write!(f, ")")
+    }
+}
+
+impl sequin_types::Encode for MatchKey {
+    fn encode(&self, w: &mut sequin_types::Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl sequin_types::Decode for MatchKey {
+    fn decode(r: &mut sequin_types::Reader<'_>) -> Result<Self, sequin_types::CodecError> {
+        Ok(MatchKey(Vec::decode(r)?))
     }
 }
 

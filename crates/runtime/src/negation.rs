@@ -46,7 +46,10 @@ impl Region {
 /// in [`Query::negations`] order.
 pub fn regions(query: &Query, events: &[EventRef]) -> Vec<Region> {
     let window = query.window();
-    let first = events.first().expect("match has at least one positive").ts();
+    let first = events
+        .first()
+        .expect("match has at least one positive")
+        .ts();
     let last = events.last().expect("match has at least one positive").ts();
     query
         .negations()
@@ -58,11 +61,16 @@ pub fn regions(query: &Query, events: &[EventRef]) -> Vec<Region> {
             },
             (None, Some(r)) => {
                 debug_assert_eq!(r, 0);
-                Region { start: first.saturating_sub(window), end: events[r].ts() }
+                Region {
+                    start: first.saturating_sub(window),
+                    end: events[r].ts(),
+                }
             }
             (Some(_), None) => Region {
                 start: last.saturating_add(Duration::new(1)),
-                end: first.saturating_add(window).saturating_add(Duration::new(1)),
+                end: first
+                    .saturating_add(window)
+                    .saturating_add(Duration::new(1)),
             },
             (None, None) => unreachable!("negation with no positive flank"),
         })
@@ -100,8 +108,7 @@ impl NegationIndex {
             if !neg.matches_type(event.event_type()) {
                 continue;
             }
-            let mut binding: Vec<Option<&EventRef>> =
-                vec![None; self.query.components().len()];
+            let mut binding: Vec<Option<&EventRef>> = vec![None; self.query.components().len()];
             binding[neg.comp] = Some(event);
             let locally_ok = neg.predicates.iter().all(|p| {
                 // only local predicates are decidable with just the negative
@@ -149,7 +156,11 @@ impl NegationIndex {
 
     /// Purges negative events below `threshold` from every stack.
     pub fn purge_before(&mut self, threshold: Timestamp, stats: &mut RuntimeStats) -> usize {
-        let purged: usize = self.stacks.iter_mut().map(|s| s.purge_before(threshold)).sum();
+        let purged: usize = self
+            .stacks
+            .iter_mut()
+            .map(|s| s.purge_before(threshold))
+            .sum();
         stats.purged += purged as u64;
         purged
     }
@@ -162,6 +173,32 @@ impl NegationIndex {
     /// True when no negative events are stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl NegationIndex {
+    /// Serializes the stored negative events (the query itself is not
+    /// serialized — restore re-binds to the live query object).
+    pub fn snapshot_into(&self, w: &mut sequin_types::Writer) {
+        use sequin_types::Encode as _;
+        self.stacks.encode(w);
+    }
+
+    /// Rebuilds an index for `query` from bytes written by
+    /// [`NegationIndex::snapshot_into`]. Rejects snapshots whose stack
+    /// count disagrees with the query's negation count.
+    pub fn restore(
+        query: Arc<Query>,
+        r: &mut sequin_types::Reader<'_>,
+    ) -> Result<NegationIndex, sequin_types::CodecError> {
+        use sequin_types::Decode as _;
+        let stacks: Vec<AisStack> = Vec::decode(r)?;
+        if stacks.len() != query.negations().len() {
+            return Err(sequin_types::CodecError::SnapshotMismatch(
+                "query (negation count)",
+            ));
+        }
+        Ok(NegationIndex { query, stacks })
     }
 }
 
@@ -194,7 +231,13 @@ mod tests {
         let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
         let events = vec![ev(&reg, "A", 1, 10, 0), ev(&reg, "B", 2, 30, 0)];
         let rs = regions(&q, &events);
-        assert_eq!(rs, vec![Region { start: Timestamp::new(11), end: Timestamp::new(30) }]);
+        assert_eq!(
+            rs,
+            vec![Region {
+                start: Timestamp::new(11),
+                end: Timestamp::new(30)
+            }]
+        );
         assert_eq!(seal_deadline(&q, &events), Some(Timestamp::new(30)));
     }
 
@@ -205,9 +248,21 @@ mod tests {
         let events = vec![ev(&reg, "A", 1, 50, 0), ev(&reg, "B", 2, 60, 0)];
         let rs = regions(&q, &events);
         // leading: [first - W, first)
-        assert_eq!(rs[0], Region { start: Timestamp::new(30), end: Timestamp::new(50) });
+        assert_eq!(
+            rs[0],
+            Region {
+                start: Timestamp::new(30),
+                end: Timestamp::new(50)
+            }
+        );
         // trailing: (last, first + W]
-        assert_eq!(rs[1], Region { start: Timestamp::new(61), end: Timestamp::new(71) });
+        assert_eq!(
+            rs[1],
+            Region {
+                start: Timestamp::new(61),
+                end: Timestamp::new(71)
+            }
+        );
         assert_eq!(seal_deadline(&q, &events), Some(Timestamp::new(71)));
     }
 
@@ -217,16 +272,29 @@ mod tests {
         let q = parse("PATTERN SEQ(!N n, A a) WITHIN 100", &reg).unwrap();
         let events = vec![ev(&reg, "A", 1, 10, 0)];
         let rs = regions(&q, &events);
-        assert_eq!(rs[0], Region { start: Timestamp::MIN, end: Timestamp::new(10) });
+        assert_eq!(
+            rs[0],
+            Region {
+                start: Timestamp::MIN,
+                end: Timestamp::new(10)
+            }
+        );
     }
 
     #[test]
     fn region_sealing() {
-        let r = Region { start: Timestamp::new(10), end: Timestamp::new(20) };
+        let r = Region {
+            start: Timestamp::new(10),
+            end: Timestamp::new(20),
+        };
         assert!(!r.sealed_by(Timestamp::new(19)));
         assert!(r.sealed_by(Timestamp::new(20)));
         assert!(!r.is_empty());
-        assert!(Region { start: Timestamp::new(5), end: Timestamp::new(5) }.is_empty());
+        assert!(Region {
+            start: Timestamp::new(5),
+            end: Timestamp::new(5)
+        }
+        .is_empty());
     }
 
     #[test]
@@ -235,8 +303,14 @@ mod tests {
         let q = parse("PATTERN SEQ(A a, !N n, B b) WHERE n.x > 5 WITHIN 100", &reg).unwrap();
         let mut idx = NegationIndex::new(Arc::clone(&q));
         let mut stats = RuntimeStats::default();
-        assert!(!idx.offer(&ev(&reg, "A", 1, 10, 0), &mut stats), "wrong type ignored");
-        assert!(!idx.offer(&ev(&reg, "N", 2, 15, 3), &mut stats), "fails local predicate");
+        assert!(
+            !idx.offer(&ev(&reg, "A", 1, 10, 0), &mut stats),
+            "wrong type ignored"
+        );
+        assert!(
+            !idx.offer(&ev(&reg, "N", 2, 15, 3), &mut stats),
+            "fails local predicate"
+        );
         assert!(idx.offer(&ev(&reg, "N", 3, 15, 9), &mut stats));
         assert_eq!(idx.len(), 1);
     }
@@ -244,7 +318,11 @@ mod tests {
     #[test]
     fn violates_checks_region_and_predicates() {
         let reg = registry();
-        let q = parse("PATTERN SEQ(A a, !N n, B b) WHERE n.x == a.x WITHIN 100", &reg).unwrap();
+        let q = parse(
+            "PATTERN SEQ(A a, !N n, B b) WHERE n.x == a.x WITHIN 100",
+            &reg,
+        )
+        .unwrap();
         let mut idx = NegationIndex::new(Arc::clone(&q));
         let mut stats = RuntimeStats::default();
         idx.offer(&ev(&reg, "N", 10, 20, 7), &mut stats);

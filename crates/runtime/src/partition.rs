@@ -17,7 +17,7 @@ use sequin_types::Value;
 /// Floats are rejected (no sane hash/equality), which analysis tolerates:
 /// an equality chain on float attributes simply disables partitioning for
 /// that event at runtime (routed to the unpartitionable overflow shard).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PartitionKey {
     /// Integer key.
     Int(i64),
@@ -49,7 +49,9 @@ pub struct PartitionMap<T> {
 impl<T> PartitionMap<T> {
     /// Creates an empty map.
     pub fn new() -> PartitionMap<T> {
-        PartitionMap { shards: HashMap::new() }
+        PartitionMap {
+            shards: HashMap::new(),
+        }
     }
 
     /// Returns the shard for `key`, creating it with `make` on first use.
@@ -100,18 +102,101 @@ impl<T> Default for PartitionMap<T> {
     }
 }
 
+impl sequin_types::Encode for PartitionKey {
+    fn encode(&self, w: &mut sequin_types::Writer) {
+        match self {
+            PartitionKey::Int(v) => {
+                w.put_u8(0);
+                w.put_i64(*v);
+            }
+            PartitionKey::Str(s) => {
+                w.put_u8(1);
+                w.put_str(s);
+            }
+            PartitionKey::Bool(b) => {
+                w.put_u8(2);
+                w.put_bool(*b);
+            }
+        }
+    }
+}
+
+impl sequin_types::Decode for PartitionKey {
+    fn decode(r: &mut sequin_types::Reader<'_>) -> Result<Self, sequin_types::CodecError> {
+        match r.get_u8()? {
+            0 => Ok(PartitionKey::Int(r.get_i64()?)),
+            1 => Ok(PartitionKey::Str(Arc::from(&*r.get_str()?))),
+            2 => Ok(PartitionKey::Bool(r.get_bool()?)),
+            tag => Err(sequin_types::CodecError::InvalidTag {
+                what: "PartitionKey",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T> PartitionMap<T> {
+    /// Serializes the map with `encode_shard` for the per-shard state.
+    ///
+    /// Shards are written in sorted key order so the same state always
+    /// yields the same bytes regardless of hash-map iteration order.
+    pub fn snapshot_into(
+        &self,
+        w: &mut sequin_types::Writer,
+        mut encode_shard: impl FnMut(&T, &mut sequin_types::Writer),
+    ) {
+        use sequin_types::Encode as _;
+        let mut keys: Vec<&PartitionKey> = self.shards.keys().collect();
+        keys.sort();
+        w.put_u64(keys.len() as u64);
+        for k in keys {
+            k.encode(w);
+            encode_shard(&self.shards[k], w);
+        }
+    }
+
+    /// Rebuilds a map from bytes written by
+    /// [`PartitionMap::snapshot_into`], using `decode_shard` for the
+    /// per-shard state.
+    pub fn restore(
+        r: &mut sequin_types::Reader<'_>,
+        mut decode_shard: impl FnMut(
+            &mut sequin_types::Reader<'_>,
+        ) -> Result<T, sequin_types::CodecError>,
+    ) -> Result<PartitionMap<T>, sequin_types::CodecError> {
+        use sequin_types::Decode as _;
+        let n = r.get_u64()?;
+        if n > r.remaining() as u64 {
+            return Err(sequin_types::CodecError::BadLength);
+        }
+        let mut map = PartitionMap::new();
+        for _ in 0..n {
+            let key = PartitionKey::decode(r)?;
+            let shard = decode_shard(r)?;
+            map.shards.insert(key, shard);
+        }
+        Ok(map)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn key_from_value() {
-        assert_eq!(PartitionKey::from_value(&Value::Int(3)), Some(PartitionKey::Int(3)));
+        assert_eq!(
+            PartitionKey::from_value(&Value::Int(3)),
+            Some(PartitionKey::Int(3))
+        );
         assert_eq!(
             PartitionKey::from_value(&Value::str("t")),
             Some(PartitionKey::Str(Arc::from("t")))
         );
-        assert_eq!(PartitionKey::from_value(&Value::Bool(true)), Some(PartitionKey::Bool(true)));
+        assert_eq!(
+            PartitionKey::from_value(&Value::Bool(true)),
+            Some(PartitionKey::Bool(true))
+        );
         assert_eq!(PartitionKey::from_value(&Value::Float(1.0)), None);
     }
 

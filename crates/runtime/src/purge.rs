@@ -46,7 +46,10 @@ pub fn final_threshold(watermark: Timestamp) -> Timestamp {
 /// `ts < watermark − (2W + 1)` can no longer fall inside any unsealed
 /// negation region (see the module docs for the derivation).
 pub fn negative_threshold(watermark: Timestamp, window: Duration) -> Timestamp {
-    watermark.saturating_sub(window).saturating_sub(window).saturating_sub(Duration::new(1))
+    watermark
+        .saturating_sub(window)
+        .saturating_sub(window)
+        .saturating_sub(Duration::new(1))
 }
 
 /// Batching policy for purge passes.
@@ -98,8 +101,14 @@ mod tests {
 
     #[test]
     fn watermark_is_clock_minus_k() {
-        assert_eq!(watermark(Timestamp::new(100), Duration::new(30)), Timestamp::new(70));
-        assert_eq!(watermark(Timestamp::new(10), Duration::new(30)), Timestamp::MIN);
+        assert_eq!(
+            watermark(Timestamp::new(100), Duration::new(30)),
+            Timestamp::new(70)
+        );
+        assert_eq!(
+            watermark(Timestamp::new(10), Duration::new(30)),
+            Timestamp::MIN
+        );
     }
 
     #[test]
@@ -107,7 +116,10 @@ mod tests {
         let wm = Timestamp::new(100);
         assert_eq!(prefix_threshold(wm, Duration::new(40)), Timestamp::new(60));
         assert_eq!(final_threshold(wm), wm);
-        assert_eq!(prefix_threshold(Timestamp::new(5), Duration::new(40)), Timestamp::MIN);
+        assert_eq!(
+            prefix_threshold(Timestamp::new(5), Duration::new(40)),
+            Timestamp::MIN
+        );
     }
 
     #[test]

@@ -128,7 +128,9 @@ impl AisStack {
 
     /// True if an event with this `(ts, id)` is present.
     pub fn contains(&self, ts: Timestamp, id: EventId) -> bool {
-        self.events.binary_search_by_key(&(ts, id), Self::sort_key).is_ok()
+        self.events
+            .binary_search_by_key(&(ts, id), Self::sort_key)
+            .is_ok()
     }
 
     /// Iterates the instances in timestamp order.
@@ -138,7 +140,29 @@ impl AisStack {
 
     /// Checks the sortedness invariant (used by tests and debug assertions).
     pub fn is_sorted(&self) -> bool {
-        self.events.windows(2).all(|w| Self::sort_key(&w[0]) < Self::sort_key(&w[1]))
+        self.events
+            .windows(2)
+            .all(|w| Self::sort_key(&w[0]) < Self::sort_key(&w[1]))
+    }
+}
+
+impl sequin_types::Encode for AisStack {
+    fn encode(&self, w: &mut sequin_types::Writer) {
+        self.events.encode(w);
+    }
+}
+
+impl sequin_types::Decode for AisStack {
+    fn decode(r: &mut sequin_types::Reader<'_>) -> Result<Self, sequin_types::CodecError> {
+        let events: Vec<EventRef> = Vec::decode(r)?;
+        let mut stack = AisStack::new();
+        for e in events {
+            // re-inserting (rather than trusting the byte order) keeps the
+            // sorted-and-deduped invariant unconditionally; snapshots are
+            // written in order, so this is the O(1) append fast path
+            stack.insert(e);
+        }
+        Ok(stack)
     }
 }
 
@@ -221,8 +245,12 @@ mod tests {
             .map(|e| e.ts().ticks())
             .collect();
         assert_eq!(mid, [20, 30]);
-        assert!(s.between_exclusive(Timestamp::new(20), Timestamp::new(20)).is_empty());
-        assert!(s.between_exclusive(Timestamp::new(40), Timestamp::new(10)).is_empty());
+        assert!(s
+            .between_exclusive(Timestamp::new(20), Timestamp::new(20))
+            .is_empty());
+        assert!(s
+            .between_exclusive(Timestamp::new(40), Timestamp::new(10))
+            .is_empty());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::ops::AddAssign;
 
+use sequin_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+
 /// Counters accumulated by the physical operators, used by the evaluation
 /// harness to attribute CPU cost (sequence scan vs. construction vs. purge)
 /// and to validate the optimization ablations.
@@ -27,6 +29,13 @@ pub struct RuntimeStats {
     /// Events dropped because they violated the disorder bound (arrived
     /// after state they needed was already purged).
     pub late_drops: u64,
+    /// Checkpoints successfully written by a `Checkpointer`.
+    pub checkpoints_written: u64,
+    /// Checkpoints rejected at restore time (corruption, version skew).
+    pub checkpoints_rejected: u64,
+    /// Outputs suppressed during post-restore replay because the dedup
+    /// log showed they were already delivered (exactly-once recovery).
+    pub replayed_suppressed: u64,
 }
 
 impl RuntimeStats {
@@ -47,6 +56,57 @@ impl AddAssign for RuntimeStats {
         self.purged += rhs.purged;
         self.purge_runs += rhs.purge_runs;
         self.late_drops += rhs.late_drops;
+        self.checkpoints_written += rhs.checkpoints_written;
+        self.checkpoints_rejected += rhs.checkpoints_rejected;
+        self.replayed_suppressed += rhs.replayed_suppressed;
+    }
+}
+
+impl RuntimeStats {
+    /// Field-order list used by the codec and the metrics tables; keep in
+    /// sync with the struct definition.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 12] {
+        [
+            ("insertions", self.insertions),
+            ("ooo_insertions", self.ooo_insertions),
+            ("dfs_steps", self.dfs_steps),
+            ("predicate_evals", self.predicate_evals),
+            ("matches_constructed", self.matches_constructed),
+            ("negated_matches", self.negated_matches),
+            ("purged", self.purged),
+            ("purge_runs", self.purge_runs),
+            ("late_drops", self.late_drops),
+            ("checkpoints_written", self.checkpoints_written),
+            ("checkpoints_rejected", self.checkpoints_rejected),
+            ("replayed_suppressed", self.replayed_suppressed),
+        ]
+    }
+}
+
+impl Encode for RuntimeStats {
+    fn encode(&self, w: &mut Writer) {
+        for (_, v) in self.as_pairs() {
+            w.put_u64(v);
+        }
+    }
+}
+
+impl Decode for RuntimeStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RuntimeStats {
+            insertions: r.get_u64()?,
+            ooo_insertions: r.get_u64()?,
+            dfs_steps: r.get_u64()?,
+            predicate_evals: r.get_u64()?,
+            matches_constructed: r.get_u64()?,
+            negated_matches: r.get_u64()?,
+            purged: r.get_u64()?,
+            purge_runs: r.get_u64()?,
+            late_drops: r.get_u64()?,
+            checkpoints_written: r.get_u64()?,
+            checkpoints_rejected: r.get_u64()?,
+            replayed_suppressed: r.get_u64()?,
+        })
     }
 }
 
@@ -56,17 +116,66 @@ mod tests {
 
     #[test]
     fn add_assign_sums_fields() {
-        let mut a = RuntimeStats { insertions: 1, dfs_steps: 2, ..Default::default() };
-        let b = RuntimeStats { insertions: 10, purged: 5, ..Default::default() };
+        let mut a = RuntimeStats {
+            insertions: 1,
+            dfs_steps: 2,
+            ..Default::default()
+        };
+        let b = RuntimeStats {
+            insertions: 10,
+            purged: 5,
+            checkpoints_written: 2,
+            checkpoints_rejected: 1,
+            replayed_suppressed: 4,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.insertions, 11);
         assert_eq!(a.dfs_steps, 2);
         assert_eq!(a.purged, 5);
+        assert_eq!(a.checkpoints_written, 2);
+        assert_eq!(a.checkpoints_rejected, 1);
+        assert_eq!(a.replayed_suppressed, 4);
+    }
+
+    #[test]
+    fn codec_round_trip_covers_every_field() {
+        // fill each counter with a distinct value so a field-order bug in
+        // either direction cannot cancel out
+        let s = RuntimeStats {
+            insertions: 1,
+            ooo_insertions: 2,
+            dfs_steps: 3,
+            predicate_evals: 4,
+            matches_constructed: 5,
+            negated_matches: 6,
+            purged: 7,
+            purge_runs: 8,
+            late_drops: 9,
+            checkpoints_written: 10,
+            checkpoints_rejected: 11,
+            replayed_suppressed: 12,
+        };
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(RuntimeStats::decode(&mut r).unwrap(), s);
+        r.finish().unwrap();
+        // the pair view must agree with the struct values 1..=12
+        let pairs = s.as_pairs();
+        assert_eq!(pairs.len(), 12);
+        for (i, (_, v)) in pairs.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
     }
 
     #[test]
     fn reset_zeroes() {
-        let mut a = RuntimeStats { late_drops: 3, ..Default::default() };
+        let mut a = RuntimeStats {
+            late_drops: 3,
+            ..Default::default()
+        };
         a.reset();
         assert_eq!(a, RuntimeStats::default());
     }

@@ -1,0 +1,767 @@
+//! Hand-rolled, versioned, checksummed binary codec for checkpoints.
+//!
+//! The workspace must stay offline-buildable, so checkpoint serialization
+//! cannot pull in `serde`/`bincode`. This module provides the small amount
+//! of machinery the checkpoint subsystem actually needs:
+//!
+//! * [`Writer`] / [`Reader`] — little-endian primitive encoding with
+//!   length-prefixed strings and sequences;
+//! * [`Encode`] / [`Decode`] — implemented for the core data model
+//!   ([`Value`], [`Event`], timestamps, ids, `Vec<T>`, `Option<T>`), and
+//!   by the runtime/engine crates for their stateful structures;
+//! * a checksummed **envelope** ([`seal_envelope`] / [`open_envelope`]):
+//!   `magic ‖ version ‖ payload-length ‖ payload ‖ fnv1a-64` — any
+//!   truncation or bit flip is detected before a single payload byte is
+//!   interpreted, so a corrupted checkpoint is *rejected*, never restored
+//!   into silently wrong state.
+//!
+//! ## Versioning
+//!
+//! [`CODEC_VERSION`] is bumped on any layout change. [`open_envelope`]
+//! rejects both unknown versions and checksum mismatches with a typed
+//! [`CodecError`], which the restore path maps onto its fallback ladder
+//! (previous good checkpoint, then cold start).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::{Event, EventRef};
+use crate::schema::{EventTypeId, FieldId};
+use crate::time::{ArrivalSeq, Duration, Timestamp};
+use crate::value::Value;
+
+/// Current checkpoint wire-format version.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Envelope magic: "SQCK" (sequin checkpoint).
+pub const MAGIC: [u8; 4] = *b"SQCK";
+
+/// A decoding or envelope-validation failure.
+///
+/// Every variant is a *rejection*: the bytes are not trusted and no
+/// partial state escapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes mid-field (truncation).
+    UnexpectedEof,
+    /// The envelope does not start with [`MAGIC`].
+    BadMagic,
+    /// The envelope version is not one this build can read.
+    UnsupportedVersion(u16),
+    /// The envelope checksum does not match its contents (bit corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the envelope.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// A discriminant byte was out of range for the type being decoded.
+    InvalidTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A declared length exceeds the bytes actually present.
+    BadLength,
+    /// Bytes were left over after the value was fully decoded.
+    TrailingBytes(usize),
+    /// The snapshot belongs to a different query/configuration.
+    SnapshotMismatch(&'static str),
+    /// The operation is not supported by this engine/structure.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of checkpoint data"),
+            CodecError::BadMagic => write!(f, "not a sequin checkpoint (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {CODEC_VERSION})"
+                )
+            }
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            CodecError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag byte {tag:#04x} while decoding {what}")
+            }
+            CodecError::BadLength => write!(f, "declared length exceeds available bytes"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            CodecError::SnapshotMismatch(what) => {
+                write!(f, "snapshot was taken under a different {what}")
+            }
+            CodecError::Unsupported(what) => write!(f, "{what} does not support snapshots"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a 64-bit hash — the envelope checksum. Not cryptographic; it
+/// exists to catch truncation and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed byte blob (e.g. a nested envelope).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Cursor over encoded bytes for decoding.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`CodecError::TrailingBytes`] unless fully consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    /// Consumes exactly `n` bytes, borrowing them from the input.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool byte (strict: only 0 or 1 are valid).
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::InvalidTag { what: "bool", tag }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadLength)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a `u64` length prefix, bounds-checked against the remaining
+    /// bytes so corrupted lengths cannot trigger huge allocations.
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.get_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        Ok(len as usize)
+    }
+}
+
+/// Types that can write themselves to a [`Writer`].
+pub trait Encode {
+    /// Appends this value's encoding.
+    fn encode(&self, w: &mut Writer);
+}
+
+/// Types that can reconstruct themselves from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value, advancing the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_u64()
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i64(*self);
+    }
+}
+
+impl Decode for i64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_i64()
+    }
+}
+
+impl Encode for Timestamp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.ticks());
+    }
+}
+
+impl Decode for Timestamp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Timestamp::new(r.get_u64()?))
+    }
+}
+
+impl Encode for Duration {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.ticks());
+    }
+}
+
+impl Decode for Duration {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Duration::new(r.get_u64()?))
+    }
+}
+
+impl Encode for ArrivalSeq {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.get());
+    }
+}
+
+impl Decode for ArrivalSeq {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ArrivalSeq::new(r.get_u64()?))
+    }
+}
+
+impl Encode for crate::EventId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.get());
+    }
+}
+
+impl Decode for crate::EventId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(crate::EventId::new(r.get_u64()?))
+    }
+}
+
+impl Encode for EventTypeId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.index() as u32);
+    }
+}
+
+impl Decode for EventTypeId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(EventTypeId::from_index(r.get_u32()? as usize))
+    }
+}
+
+impl Encode for FieldId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.index() as u16);
+    }
+}
+
+impl Decode for FieldId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(FieldId::from_index(r.get_u16()? as usize))
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Int(v) => {
+                w.put_u8(0);
+                w.put_i64(*v);
+            }
+            Value::Float(v) => {
+                w.put_u8(1);
+                w.put_f64(*v);
+            }
+            Value::Str(s) => {
+                w.put_u8(2);
+                w.put_str(s);
+            }
+            Value::Bool(b) => {
+                w.put_u8(3);
+                w.put_bool(*b);
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(Value::Int(r.get_i64()?)),
+            1 => Ok(Value::Float(r.get_f64()?)),
+            2 => Ok(Value::str(&*r.get_str()?)),
+            3 => Ok(Value::Bool(r.get_bool()?)),
+            tag => Err(CodecError::InvalidTag { what: "Value", tag }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(CodecError::InvalidTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for v in self {
+            v.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.get_u64()?;
+        // every element costs ≥ 1 byte, so a corrupt length is caught
+        // before allocation
+        if len > r.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for Event {
+    fn encode(&self, w: &mut Writer) {
+        self.id().encode(w);
+        self.event_type().encode(w);
+        self.ts().encode(w);
+        self.arrival().encode(w);
+        w.put_u64(self.attrs().len() as u64);
+        for a in self.attrs() {
+            a.encode(w);
+        }
+    }
+}
+
+impl Decode for Event {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let id = crate::EventId::decode(r)?;
+        let ty = EventTypeId::decode(r)?;
+        let ts = Timestamp::decode(r)?;
+        let seq = ArrivalSeq::decode(r)?;
+        let n = r.get_u64()?;
+        if n > r.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        let mut b = Event::builder(ty, ts).id(id);
+        for _ in 0..n {
+            b = b.attr(Value::decode(r)?);
+        }
+        Ok(b.build().with_arrival(seq))
+    }
+}
+
+impl Encode for EventRef {
+    fn encode(&self, w: &mut Writer) {
+        (**self).encode(w);
+    }
+}
+
+impl Decode for EventRef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Arc::new(Event::decode(r)?))
+    }
+}
+
+/// Wraps an encoded payload in the checksummed, versioned envelope.
+pub fn seal_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 22);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates an envelope and returns its payload slice.
+///
+/// Rejects (in order): short header, wrong magic, unknown version,
+/// truncated payload, and checksum mismatch. Only after all five checks
+/// pass is a single payload byte handed to a decoder.
+pub fn open_envelope(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    const HEADER: usize = 4 + 2 + 8;
+    if bytes.len() < HEADER + 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2"));
+    if version != CODEC_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[6..HEADER].try_into().expect("len 8"));
+    let expected_total = HEADER as u64 + len + 8;
+    if bytes.len() as u64 != expected_total {
+        return Err(CodecError::BadLength);
+    }
+    let body_end = HEADER + len as usize;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("len 8"));
+    let computed = fnv1a64(&bytes[..body_end]);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(&bytes[HEADER..body_end])
+}
+
+/// Encodes a value and seals it in the envelope in one step.
+pub fn encode_sealed<T: Encode>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    seal_envelope(&w.into_bytes())
+}
+
+/// Opens an envelope and decodes exactly one value from its payload.
+pub fn decode_sealed<T: Decode>(bytes: &[u8]) -> Result<T, CodecError> {
+    let payload = open_envelope(bytes)?;
+    let mut r = Reader::new(payload);
+    let v = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> Event {
+        Event::builder(EventTypeId::from_index(3), Timestamp::new(1234))
+            .id(crate::EventId::new(77))
+            .attr(Value::Int(-5))
+            .attr(Value::Float(2.5))
+            .attr(Value::str("hello"))
+            .attr(Value::Bool(true))
+            .build()
+            .with_arrival(ArrivalSeq::new(9))
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(1.5);
+        w.put_bool(true);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 1.5);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn value_variants_round_trip() {
+        for v in [
+            Value::Int(-1),
+            Value::Float(0.25),
+            Value::str("x"),
+            Value::Bool(false),
+        ] {
+            let mut w = Writer::new();
+            v.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(Value::decode(&mut r).unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn event_round_trips_with_all_bookkeeping() {
+        let e = sample_event();
+        let mut w = Writer::new();
+        e.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Event::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.id(), e.id());
+        assert_eq!(back.event_type(), e.event_type());
+        assert_eq!(back.ts(), e.ts());
+        assert_eq!(back.arrival(), e.arrival());
+        assert_eq!(back.attrs(), e.attrs());
+    }
+
+    #[test]
+    fn vec_and_option_round_trip() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(3)];
+        let bytes = encode_sealed(&v);
+        let back: Vec<Option<u64>> = decode_sealed(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn envelope_accepts_intact_bytes() {
+        let sealed = seal_envelope(b"payload");
+        assert_eq!(open_envelope(&sealed).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn envelope_rejects_every_single_bit_flip() {
+        let sealed = seal_envelope(b"some checkpoint payload");
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut bad = sealed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    open_envelope(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_every_truncation() {
+        let sealed = seal_envelope(b"some checkpoint payload");
+        for keep in 0..sealed.len() {
+            assert!(
+                open_envelope(&sealed[..keep]).is_err(),
+                "truncation to {keep} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_version_and_magic() {
+        let mut sealed = seal_envelope(b"x");
+        sealed[4] = 0xFF; // version byte
+        assert!(matches!(
+            open_envelope(&sealed),
+            Err(CodecError::UnsupportedVersion(_))
+        ));
+        let mut sealed = seal_envelope(b"x");
+        sealed[0] = b'Z';
+        assert!(matches!(open_envelope(&sealed), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_do_not_allocate() {
+        // a Vec<u64> whose length claims more elements than bytes remain
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Vec::<u64>::decode(&mut r), Err(CodecError::BadLength));
+        // same for strings
+        let mut w = Writer::new();
+        w.put_u64(1 << 40);
+        w.put_u8(b'a');
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_str(), Err(CodecError::BadLength));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut w = Writer::new();
+        42u64.encode(&mut w);
+        w.put_u8(0xAA);
+        let sealed = seal_envelope(&w.into_bytes());
+        assert_eq!(
+            decode_sealed::<u64>(&sealed),
+            Err(CodecError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn errors_display_distinctly() {
+        let errs: Vec<CodecError> = vec![
+            CodecError::UnexpectedEof,
+            CodecError::BadMagic,
+            CodecError::UnsupportedVersion(9),
+            CodecError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            CodecError::InvalidTag {
+                what: "Value",
+                tag: 9,
+            },
+            CodecError::BadLength,
+            CodecError::TrailingBytes(3),
+            CodecError::SnapshotMismatch("query"),
+            CodecError::Unsupported("in-order engine"),
+        ];
+        let texts: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        for (i, a) in texts.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in &texts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -51,9 +51,17 @@ mod tests {
     fn display_messages_are_lowercase_and_specific() {
         let msgs = [
             TypeError::DuplicateType("A".into()).to_string(),
-            TypeError::DuplicateField { ty: "A".into(), field: "x".into() }.to_string(),
+            TypeError::DuplicateField {
+                ty: "A".into(),
+                field: "x".into(),
+            }
+            .to_string(),
             TypeError::UnknownType("B".into()).to_string(),
-            TypeError::UnknownField { ty: "A".into(), field: "y".into() }.to_string(),
+            TypeError::UnknownField {
+                ty: "A".into(),
+                field: "y".into(),
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

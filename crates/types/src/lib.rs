@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod error;
 mod event;
 mod schema;
@@ -37,6 +38,7 @@ mod stream;
 mod time;
 mod value;
 
+pub use codec::{CodecError, Decode, Encode, Reader, Writer};
 pub use error::TypeError;
 pub use event::{Event, EventBuilder, EventId, EventRef};
 pub use schema::{EventTypeId, FieldId, Schema, TypeRegistry};

@@ -148,10 +148,7 @@ impl TypeRegistry {
         let name: Arc<str> = Arc::from(name);
         self.schemas.push(Schema {
             name: Arc::clone(&name),
-            fields: fields
-                .iter()
-                .map(|(n, k)| (Arc::from(*n), *k))
-                .collect(),
+            fields: fields.iter().map(|(n, k)| (Arc::from(*n), *k)).collect(),
         });
         self.by_name.insert(name, id);
         Ok(id)
@@ -206,7 +203,9 @@ mod tests {
     #[test]
     fn declare_and_lookup() {
         let mut reg = TypeRegistry::new();
-        let a = reg.declare("A", &[("x", ValueKind::Int), ("y", ValueKind::Str)]).unwrap();
+        let a = reg
+            .declare("A", &[("x", ValueKind::Int), ("y", ValueKind::Str)])
+            .unwrap();
         let b = reg.declare("B", &[]).unwrap();
         assert_ne!(a, b);
         assert_eq!(reg.lookup("A"), Some(a));
@@ -236,7 +235,9 @@ mod tests {
     #[test]
     fn schema_field_resolution() {
         let mut reg = TypeRegistry::new();
-        let a = reg.declare("A", &[("x", ValueKind::Int), ("y", ValueKind::Float)]).unwrap();
+        let a = reg
+            .declare("A", &[("x", ValueKind::Int), ("y", ValueKind::Float)])
+            .unwrap();
         let schema = reg.schema(a);
         assert_eq!(schema.arity(), 2);
         let (fx, kx) = schema.field("x").unwrap();
@@ -244,7 +245,10 @@ mod tests {
         assert_eq!(kx, ValueKind::Int);
         assert_eq!(schema.field("z"), None);
         assert_eq!(schema.field_name(FieldId::from_index(1)), Some("y"));
-        assert_eq!(schema.field_kind(FieldId::from_index(1)), Some(ValueKind::Float));
+        assert_eq!(
+            schema.field_kind(FieldId::from_index(1)),
+            Some(ValueKind::Float)
+        );
         assert_eq!(schema.field_kind(FieldId::from_index(9)), None);
     }
 
@@ -268,7 +272,9 @@ mod tests {
     #[test]
     fn schema_iter_yields_fields_in_order() {
         let mut reg = TypeRegistry::new();
-        let a = reg.declare("A", &[("x", ValueKind::Int), ("y", ValueKind::Bool)]).unwrap();
+        let a = reg
+            .declare("A", &[("x", ValueKind::Int), ("y", ValueKind::Bool)])
+            .unwrap();
         let fields: Vec<_> = reg.schema(a).iter().collect();
         assert_eq!(fields, [("x", ValueKind::Int), ("y", ValueKind::Bool)]);
     }

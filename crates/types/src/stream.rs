@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        assert!(!StreamItem::Punctuation(Timestamp::new(1)).to_string().is_empty());
+        assert!(!StreamItem::Punctuation(Timestamp::new(1))
+            .to_string()
+            .is_empty());
         assert!(!StreamItem::from(ev(1, 1)).to_string().is_empty());
     }
 }

@@ -199,7 +199,10 @@ mod tests {
 
     #[test]
     fn saturating_add_clamps_at_max() {
-        assert_eq!(Timestamp::MAX.saturating_add(Duration::new(1)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::new(1)),
+            Timestamp::MAX
+        );
     }
 
     #[test]
@@ -233,6 +236,9 @@ mod tests {
     #[test]
     fn duration_addition() {
         assert_eq!(Duration::new(2) + Duration::new(3), Duration::new(5));
-        assert_eq!(Duration::MAX.saturating_add(Duration::new(1)), Duration::MAX);
+        assert_eq!(
+            Duration::MAX.saturating_add(Duration::new(1)),
+            Duration::MAX
+        );
     }
 }

@@ -214,8 +214,14 @@ mod tests {
 
     #[test]
     fn numeric_cross_kind_comparison() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(1.5).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).compare(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
         assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
     }
 
@@ -228,7 +234,10 @@ mod tests {
 
     #[test]
     fn string_comparison_is_lexicographic() {
-        assert_eq!(Value::str("abc").compare(&Value::str("abd")), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("abc").compare(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -244,7 +253,10 @@ mod tests {
 
     #[test]
     fn arithmetic_mixes_to_float() {
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Some(Value::Float(2.5)));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)),
+            Some(Value::Float(2.5))
+        );
     }
 
     #[test]

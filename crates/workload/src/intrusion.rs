@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sequin_prng::Rng;
 use sequin_query::{parse, Query};
-use sequin_types::{Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind};
+use sequin_types::{
+    Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind,
+};
 
 /// Login telemetry for a fleet of users: a classic brute-force signature
 /// is two failed logins, a success, then a privilege escalation, all for
@@ -26,10 +27,21 @@ impl Intrusion {
     pub fn new() -> Intrusion {
         let mut registry = TypeRegistry::new();
         let fields: &[(&str, ValueKind)] = &[("user", ValueKind::Int), ("ip", ValueKind::Int)];
-        let fail = registry.declare("LOGIN_FAIL", fields).expect("fresh registry");
-        let ok = registry.declare("LOGIN_OK", fields).expect("fresh registry");
-        let esc = registry.declare("PRIV_ESC", fields).expect("fresh registry");
-        Intrusion { registry: Arc::new(registry), fail, ok, esc }
+        let fail = registry
+            .declare("LOGIN_FAIL", fields)
+            .expect("fresh registry");
+        let ok = registry
+            .declare("LOGIN_OK", fields)
+            .expect("fresh registry");
+        let esc = registry
+            .declare("PRIV_ESC", fields)
+            .expect("fresh registry");
+        Intrusion {
+            registry: Arc::new(registry),
+            fail,
+            ok,
+            esc,
+        }
     }
 
     /// The workload's type registry.
@@ -40,16 +52,22 @@ impl Intrusion {
     /// Generates `n` background telemetry events over `num_users` users
     /// and splices in `num_attacks` brute-force signatures. Returns the
     /// timestamp-ordered history.
-    pub fn generate(&self, n: usize, num_users: i64, num_attacks: usize, seed: u64) -> Vec<EventRef> {
-        let mut rng = StdRng::seed_from_u64(seed);
+    pub fn generate(
+        &self,
+        n: usize,
+        num_users: i64,
+        num_attacks: usize,
+        seed: u64,
+    ) -> Vec<EventRef> {
+        let mut rng = Rng::seed_from_u64(seed);
         let mut events: Vec<EventRef> = Vec::with_capacity(n + num_attacks * 4);
         let mut next_id = 0u64;
         let push = |events: &mut Vec<EventRef>,
-                        next_id: &mut u64,
-                        ty: EventTypeId,
-                        ts: u64,
-                        user: i64,
-                        ip: i64| {
+                    next_id: &mut u64,
+                    ty: EventTypeId,
+                    ts: u64,
+                    user: i64,
+                    ip: i64| {
             events.push(Arc::new(
                 Event::builder(ty, Timestamp::new(ts))
                     .id(EventId::new(*next_id))
@@ -63,10 +81,10 @@ impl Intrusion {
         // legitimate escalations
         let mut ts = 0u64;
         for _ in 0..n {
-            ts += rng.gen_range(1..=3);
+            ts += rng.gen_range(1u64..=3);
             let user = rng.gen_range(0..num_users);
-            let ip = rng.gen_range(0..1000);
-            let roll: f64 = rng.gen();
+            let ip = rng.gen_range(0i64..1000);
+            let roll: f64 = rng.next_f64();
             let ty = if roll < 0.70 {
                 self.ok
             } else if roll < 0.95 {
@@ -80,7 +98,7 @@ impl Intrusion {
         let horizon = ts.max(100);
         for _ in 0..num_attacks {
             let user = rng.gen_range(0..num_users);
-            let ip = rng.gen_range(0..1000);
+            let ip = rng.gen_range(0i64..1000);
             let t0 = rng.gen_range(1..=horizon);
             push(&mut events, &mut next_id, self.fail, t0, user, ip);
             push(&mut events, &mut next_id, self.fail, t0 + 1, user, ip);

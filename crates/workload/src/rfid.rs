@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sequin_prng::Rng;
 use sequin_query::{parse, Query};
-use sequin_types::{Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind};
+use sequin_types::{
+    Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind,
+};
 
 /// Supply-chain telemetry: tagged items are `SHIPPED` from a warehouse,
 /// should be `SCANNED` at a checkpoint, and are finally `RECEIVED` at a
@@ -26,12 +27,18 @@ impl Rfid {
     /// Declares the supply-chain event types.
     pub fn new() -> Rfid {
         let mut registry = TypeRegistry::new();
-        let fields: &[(&str, ValueKind)] =
-            &[("tag", ValueKind::Int), ("location", ValueKind::Int)];
+        let fields: &[(&str, ValueKind)] = &[("tag", ValueKind::Int), ("location", ValueKind::Int)];
         let shipped = registry.declare("SHIPPED", fields).expect("fresh registry");
         let scanned = registry.declare("SCANNED", fields).expect("fresh registry");
-        let received = registry.declare("RECEIVED", fields).expect("fresh registry");
-        Rfid { registry: Arc::new(registry), shipped, scanned, received }
+        let received = registry
+            .declare("RECEIVED", fields)
+            .expect("fresh registry");
+        Rfid {
+            registry: Arc::new(registry),
+            shipped,
+            scanned,
+            received,
+        }
     }
 
     /// The workload's type registry.
@@ -51,19 +58,24 @@ impl Rfid {
     /// # Panics
     ///
     /// Panics if `skip_probability` is outside `[0, 1]`.
-    pub fn generate(&self, num_tags: usize, skip_probability: f64, seed: u64) -> (Vec<EventRef>, usize) {
+    pub fn generate(
+        &self,
+        num_tags: usize,
+        skip_probability: f64,
+        seed: u64,
+    ) -> (Vec<EventRef>, usize) {
         assert!((0.0..=1.0).contains(&skip_probability));
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut events: Vec<EventRef> = Vec::with_capacity(num_tags * 3);
         let mut next_id = 0u64;
         let mut start = 0u64;
         let mut skipped = 0usize;
         let push = |events: &mut Vec<EventRef>,
-                        next_id: &mut u64,
-                        ty: EventTypeId,
-                        ts: u64,
-                        tag: i64,
-                        loc: i64| {
+                    next_id: &mut u64,
+                    ty: EventTypeId,
+                    ts: u64,
+                    tag: i64,
+                    loc: i64| {
             events.push(Arc::new(
                 Event::builder(ty, Timestamp::new(ts))
                     .id(EventId::new(*next_id))
@@ -74,10 +86,10 @@ impl Rfid {
             *next_id += 1;
         };
         for tag in 0..num_tags as i64 {
-            start += rng.gen_range(1..=5);
+            start += rng.gen_range(1u64..=5);
             let ship_ts = start;
-            let scan_ts = ship_ts + rng.gen_range(1..=20);
-            let recv_ts = scan_ts + rng.gen_range(1..=20);
+            let scan_ts = ship_ts + rng.gen_range(1u64..=20);
+            let recv_ts = scan_ts + rng.gen_range(1u64..=20);
             push(&mut events, &mut next_id, self.shipped, ship_ts, tag, 1);
             if rng.gen_bool(skip_probability) {
                 skipped += 1;

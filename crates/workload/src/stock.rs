@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sequin_prng::Rng;
 use sequin_query::{parse, Query};
-use sequin_types::{Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind};
+use sequin_types::{
+    Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind,
+};
 
 /// Per-symbol random-walk stock ticks (`STOCK { sym, price, volume }`).
 ///
@@ -33,7 +34,10 @@ impl Stock {
                 ],
             )
             .expect("fresh registry");
-        Stock { registry: Arc::new(registry), stock }
+        Stock {
+            registry: Arc::new(registry),
+            stock,
+        }
     }
 
     /// The workload's type registry.
@@ -44,12 +48,12 @@ impl Stock {
     /// Generates `n` ticks across `num_symbols` random-walking symbols
     /// (prices start at 100, move ±3 per tick, floored at 1).
     pub fn generate(&self, n: usize, num_symbols: usize, seed: u64) -> Vec<EventRef> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut prices = vec![100i64; num_symbols];
         let mut out = Vec::with_capacity(n);
         let mut ts = 0u64;
         for i in 0..n {
-            ts += rng.gen_range(1..=2);
+            ts += rng.gen_range(1u64..=2);
             let sym = rng.gen_range(0..num_symbols);
             let step = rng.gen_range(-3i64..=3);
             prices[sym] = (prices[sym] + step).max(1);
@@ -58,7 +62,7 @@ impl Stock {
                     .id(EventId::new(i as u64))
                     .attr(Value::Int(sym as i64))
                     .attr(Value::Int(prices[sym]))
-                    .attr(Value::Int(rng.gen_range(1..1000)))
+                    .attr(Value::Int(rng.gen_range(1i64..1000)))
                     .build(),
             ));
         }

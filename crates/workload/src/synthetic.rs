@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sequin_prng::Rng;
 use sequin_query::{parse, Query};
-use sequin_types::{Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind};
+use sequin_types::{
+    Event, EventId, EventRef, EventTypeId, Timestamp, TypeRegistry, Value, ValueKind,
+};
 
 /// Parameters of the [`Synthetic`] workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +24,12 @@ pub struct SyntheticConfig {
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        SyntheticConfig { num_types: 4, tag_cardinality: 50, value_range: 100, mean_gap: 2 }
+        SyntheticConfig {
+            num_types: 4,
+            tag_cardinality: 50,
+            value_range: 100,
+            mean_gap: 2,
+        }
     }
 }
 
@@ -49,11 +55,18 @@ impl Synthetic {
         let types = (0..config.num_types)
             .map(|i| {
                 registry
-                    .declare(&format!("T{i}"), &[("x", ValueKind::Int), ("tag", ValueKind::Int)])
+                    .declare(
+                        &format!("T{i}"),
+                        &[("x", ValueKind::Int), ("tag", ValueKind::Int)],
+                    )
                     .expect("unique names")
             })
             .collect();
-        Synthetic { registry: Arc::new(registry), types, config }
+        Synthetic {
+            registry: Arc::new(registry),
+            types,
+            config,
+        }
     }
 
     /// The workload's type registry.
@@ -68,7 +81,7 @@ impl Synthetic {
 
     /// Generates `n` events in strictly increasing timestamp order.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<EventRef> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut ts = 0u64;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
@@ -94,8 +107,7 @@ impl Synthetic {
     /// Panics if `len` exceeds the alphabet or is zero.
     pub fn seq_query(&self, len: usize, window: u64) -> Arc<Query> {
         assert!(len >= 1 && len <= self.types.len(), "length out of range");
-        let comps: Vec<String> =
-            (0..len).map(|i| format!("T{i} v{i}")).collect();
+        let comps: Vec<String> = (0..len).map(|i| format!("T{i} v{i}")).collect();
         let text = format!("PATTERN SEQ({}) WITHIN {window}", comps.join(", "));
         parse(&text, &self.registry).expect("well-formed query")
     }
@@ -128,8 +140,9 @@ impl Synthetic {
     pub fn partitioned_query(&self, len: usize, window: u64) -> Arc<Query> {
         assert!(len >= 2 && len <= self.types.len(), "length out of range");
         let comps: Vec<String> = (0..len).map(|i| format!("T{i} v{i}")).collect();
-        let preds: Vec<String> =
-            (1..len).map(|i| format!("v{}.tag == v{i}.tag", i - 1)).collect();
+        let preds: Vec<String> = (1..len)
+            .map(|i| format!("v{}.tag == v{i}.tag", i - 1))
+            .collect();
         let text = format!(
             "PATTERN SEQ({}) WHERE {} WITHIN {window}",
             comps.join(", "),
@@ -168,7 +181,10 @@ mod tests {
 
     #[test]
     fn queries_compile() {
-        let w = Synthetic::new(SyntheticConfig { num_types: 6, ..Default::default() });
+        let w = Synthetic::new(SyntheticConfig {
+            num_types: 6,
+            ..Default::default()
+        });
         assert_eq!(w.seq_query(3, 100).positive_len(), 3);
         assert_eq!(w.selective_query(2, 50, 10).predicates().len(), 2);
         assert!(w.negation_query(50).has_negation());
@@ -177,7 +193,10 @@ mod tests {
 
     #[test]
     fn all_types_appear() {
-        let w = Synthetic::new(SyntheticConfig { num_types: 4, ..Default::default() });
+        let w = Synthetic::new(SyntheticConfig {
+            num_types: 4,
+            ..Default::default()
+        });
         let events = w.generate(1000, 5);
         let mut seen = [false; 4];
         for e in &events {

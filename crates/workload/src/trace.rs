@@ -48,7 +48,12 @@ pub fn write_trace(
 ) -> std::io::Result<()> {
     writeln!(out, "# sequin trace: <ts> <TYPE> <attrs...>")?;
     for e in events {
-        write!(out, "{} {}", e.ts().ticks(), registry.schema(e.event_type()).name())?;
+        write!(
+            out,
+            "{} {}",
+            e.ts().ticks(),
+            registry.schema(e.event_type()).name()
+        )?;
         for v in e.attrs() {
             match v {
                 Value::Int(i) => write!(out, " {i}")?,
@@ -77,7 +82,10 @@ pub fn read_trace(
     let mut next_id = 0u64;
     for (ix, line) in input.lines().enumerate() {
         let lineno = ix + 1;
-        let line = line.map_err(|e| TraceError { line: 0, message: e.to_string() })?;
+        let line = line.map_err(|e| TraceError {
+            line: 0,
+            message: e.to_string(),
+        })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -87,10 +95,14 @@ pub fn read_trace(
             .next()
             .expect("nonempty line has a first token")
             .parse()
-            .map_err(|_| TraceError { line: lineno, message: "invalid timestamp".into() })?;
-        let type_name = parts
-            .next()
-            .ok_or_else(|| TraceError { line: lineno, message: "missing event type".into() })?;
+            .map_err(|_| TraceError {
+                line: lineno,
+                message: "invalid timestamp".into(),
+            })?;
+        let type_name = parts.next().ok_or_else(|| TraceError {
+            line: lineno,
+            message: "missing event type".into(),
+        })?;
         let ty = registry.lookup(type_name).ok_or_else(|| TraceError {
             line: lineno,
             message: format!("unknown event type `{type_name}`"),
@@ -113,15 +125,31 @@ pub fn read_trace(
                 .field_kind(sequin_types::FieldId::from_index(fx))
                 .expect("arity checked");
             let value = match kind {
-                ValueKind::Int => token.parse::<i64>().map(Value::Int).map_err(|_| {
-                    TraceError { line: lineno, message: format!("invalid int `{token}`") }
-                })?,
-                ValueKind::Float => token.parse::<f64>().map(Value::Float).map_err(|_| {
-                    TraceError { line: lineno, message: format!("invalid float `{token}`") }
-                })?,
-                ValueKind::Bool => token.parse::<bool>().map(Value::Bool).map_err(|_| {
-                    TraceError { line: lineno, message: format!("invalid bool `{token}`") }
-                })?,
+                ValueKind::Int => token
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| TraceError {
+                        line: lineno,
+                        message: format!("invalid int `{token}`"),
+                    })?,
+                ValueKind::Float => {
+                    token
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| TraceError {
+                            line: lineno,
+                            message: format!("invalid float `{token}`"),
+                        })?
+                }
+                ValueKind::Bool => {
+                    token
+                        .parse::<bool>()
+                        .map(Value::Bool)
+                        .map_err(|_| TraceError {
+                            line: lineno,
+                            message: format!("invalid bool `{token}`"),
+                        })?
+                }
                 ValueKind::Str => Value::str(*token),
             };
             attrs.push(value);
@@ -186,7 +214,12 @@ mod tests {
             read_trace(BufReader::new("7 M -3 2.5 true hello\n".as_bytes()), &reg).unwrap();
         assert_eq!(
             events[0].attrs(),
-            &[Value::Int(-3), Value::Float(2.5), Value::Bool(true), Value::str("hello")]
+            &[
+                Value::Int(-3),
+                Value::Float(2.5),
+                Value::Bool(true),
+                Value::str("hello")
+            ]
         );
     }
 

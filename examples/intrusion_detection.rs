@@ -19,7 +19,10 @@ use sequin::workload::Intrusion;
 fn main() {
     let telemetry = Intrusion::new();
     let history = telemetry.generate(20_000, 200, 25, 99);
-    println!("generated {} telemetry events (25 injected attacks)", history.len());
+    println!(
+        "generated {} telemetry events (25 injected attacks)",
+        history.len()
+    );
 
     // collectors add jitter: 15% of events are late by up to 120 ticks
     let stream = delay_shuffle(&history, 0.15, 120, 5);
@@ -39,8 +42,11 @@ fn main() {
         "strategy", "alerts", "mean delay", "p99 delay", "ev/s"
     );
     for strategy in [Strategy::Buffered, Strategy::Native] {
-        let mut engine =
-            make_engine(strategy, query.clone(), EngineConfig::with_k(Duration::new(k)));
+        let mut engine = make_engine(
+            strategy,
+            query.clone(),
+            EngineConfig::with_k(Duration::new(k)),
+        );
         let mut report = run_engine(engine.as_mut(), &stream, 64);
         println!(
             "{:>16}  {:>7}  {:>10.1} evs  {:>9} evs  {:>10.0}",

@@ -8,13 +8,21 @@ use std::sync::Arc;
 
 use sequin::engine::{Engine, EngineConfig, NativeEngine};
 use sequin::query::parse;
-use sequin::types::{Duration, Event, EventId, StreamItem, Timestamp, TypeRegistry, Value, ValueKind};
+use sequin::types::{
+    Duration, Event, EventId, StreamItem, Timestamp, TypeRegistry, Value, ValueKind,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. declare the event types your stream carries
     let mut registry = TypeRegistry::new();
-    registry.declare("ORDER", &[("customer", ValueKind::Int), ("amount", ValueKind::Int)])?;
-    registry.declare("PAYMENT", &[("customer", ValueKind::Int), ("amount", ValueKind::Int)])?;
+    registry.declare(
+        "ORDER",
+        &[("customer", ValueKind::Int), ("amount", ValueKind::Int)],
+    )?;
+    registry.declare(
+        "PAYMENT",
+        &[("customer", ValueKind::Int), ("amount", ValueKind::Int)],
+    )?;
 
     // 2. write a sequence pattern query over those types
     let query = parse(

@@ -10,9 +10,7 @@
 //! cargo run --example rfid_supply_chain
 //! ```
 
-use sequin::engine::{
-    make_engine, EngineConfig, Strategy,
-};
+use sequin::engine::{make_engine, EngineConfig, Strategy};
 use sequin::metrics::{compare_outputs, run_engine};
 use sequin::netsim::{measure_disorder, DelayModel, Network, Source};
 use sequin::types::{sort_by_timestamp, Duration, StreamItem};
@@ -30,8 +28,14 @@ fn main() {
     let mid = history.len() / 2;
     let net = Network::new(
         vec![
-            Source::new(history[..mid].to_vec(), DelayModel::Uniform { lo: 0, hi: 15 }),
-            Source::new(history[mid..].to_vec(), DelayModel::Exponential { mean: 10.0 }),
+            Source::new(
+                history[..mid].to_vec(),
+                DelayModel::Uniform { lo: 0, hi: 15 },
+            ),
+            Source::new(
+                history[mid..].to_vec(),
+                DelayModel::Exponential { mean: 10.0 },
+            ),
         ],
         7,
     );

@@ -26,7 +26,10 @@ fn main() {
     let market = Stock::new();
     let ticks = market.generate(30_000, 8, 11);
     let stream = delay_shuffle(&ticks, 0.1, 40, 3);
-    println!("streaming {} ticks over 8 symbols (10% late, delay <= 40)\n", ticks.len());
+    println!(
+        "streaming {} ticks over 8 symbols (10% late, delay <= 40)\n",
+        ticks.len()
+    );
 
     // --- 1. rising streaks: negation-free, zero-latency emission ---------
     let rising = market.rising_query(20);
@@ -80,7 +83,11 @@ fn main() {
         }
     }
     alerts += engine.finish().len();
-    let mean_hold = if emitted == 0 { 0.0 } else { held as f64 / emitted as f64 };
+    let mean_hold = if emitted == 0 {
+        0.0
+    } else {
+        held as f64 / emitted as f64
+    };
     println!(
         "spike alerts (conservative): {alerts} confirmed alerts, held {mean_hold:.1} \
          arrivals on average until their negation region sealed"

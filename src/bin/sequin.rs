@@ -36,6 +36,10 @@ options:
   --k K             disorder bound / adaptive floor (default 100)
   --adaptive F      estimate K from observed lateness, safety factor F
   --punctuate N     inject a punctuation every N events
+  --checkpoint-every N  checkpoint engine state every N events
+  --resume-from FILE    resume from (and save to) a checkpoint store;
+                        rerun with the same workload/seed for
+                        exactly-once continuation
 
 schema DSL: 'TYPE(field:kind,...) ...' with kinds int|float|str|bool";
 
@@ -67,27 +71,50 @@ fn run(args: &[String]) -> Result<String, String> {
                    default: f64|
      -> Result<f64, String> {
         match flags.get(name) {
-            Some(v) => v.parse::<f64>().map_err(|_| format!("--{name} expects a number")),
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| format!("--{name} expects a number")),
             None => Ok(default),
         }
     };
 
     let opts = cli::RunOptions {
-        strategy: cli::parse_strategy(flags.get("strategy").map(String::as_str).unwrap_or("native"))?,
+        strategy: cli::parse_strategy(
+            flags
+                .get("strategy")
+                .map(String::as_str)
+                .unwrap_or("native"),
+        )?,
         k: get_num(&flags, "k", 100.0)? as u64,
         adaptive: flags
             .get("adaptive")
-            .map(|v| v.parse::<f64>().map_err(|_| "--adaptive expects a factor".to_owned()))
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| "--adaptive expects a factor".to_owned())
+            })
             .transpose()?,
         punctuate_every: flags
             .get("punctuate")
-            .map(|v| v.parse::<usize>().map_err(|_| "--punctuate expects a count".to_owned()))
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| "--punctuate expects a count".to_owned())
+            })
             .transpose()?,
+        checkpoint_every: flags
+            .get("checkpoint-every")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| "--checkpoint-every expects a count".to_owned())
+            })
+            .transpose()?,
+        resume_from: flags.get("resume-from").cloned(),
     };
 
     match command.as_str() {
         "explain" => {
-            let schema = flags.get("types").ok_or("explain needs --types '<schema>'")?;
+            let schema = flags
+                .get("types")
+                .ok_or("explain needs --types '<schema>'")?;
             let query = positional.first().ok_or("explain needs a query argument")?;
             cli::explain(schema, query)
         }
@@ -105,7 +132,9 @@ fn run(args: &[String]) -> Result<String, String> {
             )
         }
         "replay" => {
-            let schema = flags.get("types").ok_or("replay needs --types '<schema>'")?;
+            let schema = flags
+                .get("types")
+                .ok_or("replay needs --types '<schema>'")?;
             let path = flags.get("trace").ok_or("replay needs --trace <file>")?;
             let query = positional.first().ok_or("replay needs a query argument")?;
             let text = std::fs::read_to_string(path)

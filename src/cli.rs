@@ -1,9 +1,12 @@
 //! Logic behind the `sequin` command-line tool (kept in the library so it
 //! is unit-testable; `src/bin/sequin.rs` is a thin wrapper).
 
+use std::path::Path;
 use std::sync::Arc;
 
-use sequin_engine::{make_engine, EngineConfig, Strategy};
+use sequin_engine::{
+    make_engine, CheckpointPolicy, CheckpointStore, Checkpointer, EngineConfig, Strategy,
+};
 use sequin_metrics::run_engine;
 use sequin_netsim::{delay_shuffle, measure_disorder, punctuate};
 use sequin_query::parse;
@@ -25,7 +28,9 @@ pub fn parse_schema(text: &str) -> Result<TypeRegistry, String> {
     let mut registry = TypeRegistry::new();
     let mut rest = text.trim();
     while !rest.is_empty() {
-        let open = rest.find('(').ok_or_else(|| format!("expected `(` after type name in `{rest}`"))?;
+        let open = rest
+            .find('(')
+            .ok_or_else(|| format!("expected `(` after type name in `{rest}`"))?;
         let name = rest[..open].trim();
         if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
             return Err(format!("invalid type name `{name}`"));
@@ -74,9 +79,17 @@ pub fn explain(schema: &str, query_text: &str) -> Result<String, String> {
         .components()
         .iter()
         .map(|c| {
-            let types: Vec<String> =
-                c.types.iter().map(|&t| registry.schema(t).name().to_owned()).collect();
-            format!("{}{} {}", if c.negated { "!" } else { "" }, types.join("|"), c.var)
+            let types: Vec<String> = c
+                .types
+                .iter()
+                .map(|&t| registry.schema(t).name().to_owned())
+                .collect();
+            format!(
+                "{}{} {}",
+                if c.negated { "!" } else { "" },
+                types.join("|"),
+                c.var
+            )
         })
         .collect();
     out.push_str(&format!("pattern      : SEQ({})\n", pattern.join(", ")));
@@ -96,8 +109,11 @@ pub fn explain(schema: &str, query_text: &str) -> Result<String, String> {
         ));
     }
     for neg in query.negations() {
-        let types: Vec<String> =
-            neg.types.iter().map(|&t| registry.schema(t).name().to_owned()).collect();
+        let types: Vec<String> = neg
+            .types
+            .iter()
+            .map(|&t| registry.schema(t).name().to_owned())
+            .collect();
         let place = match (neg.left, neg.right) {
             (None, Some(_)) => "leading".to_owned(),
             (Some(_), None) => "trailing (sealed emission required)".to_owned(),
@@ -122,7 +138,11 @@ pub fn explain(schema: &str, query_text: &str) -> Result<String, String> {
     }
     out.push_str(&format!(
         "projection   : {}\n",
-        if query.projections().is_empty() { "event ids (default)" } else { "RETURN clause" }
+        if query.projections().is_empty() {
+            "event ids (default)"
+        } else {
+            "RETURN clause"
+        }
     ));
     Ok(out)
 }
@@ -138,11 +158,25 @@ pub struct RunOptions {
     pub adaptive: Option<f64>,
     /// Inject a punctuation every `n` events (simulator-omniscient).
     pub punctuate_every: Option<usize>,
+    /// Checkpoint the engine every `n` events (implies wrapping the engine
+    /// in a [`Checkpointer`]).
+    pub checkpoint_every: Option<u64>,
+    /// Path of a checkpoint-store file to resume from and to save new
+    /// checkpoints into. Resuming replays the regenerated stream suffix
+    /// with exactly-once dedup, so the same seed/workload must be used.
+    pub resume_from: Option<String>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { strategy: Strategy::Native, k: 100, adaptive: None, punctuate_every: None }
+        RunOptions {
+            strategy: Strategy::Native,
+            k: 100,
+            adaptive: None,
+            punctuate_every: None,
+            checkpoint_every: None,
+            resume_from: None,
+        }
     }
 }
 
@@ -218,7 +252,11 @@ pub fn run_workload(
                 ))
             }
         };
-    let text = if query_text.trim().is_empty() { &default_query } else { query_text };
+    let text = if query_text.trim().is_empty() {
+        &default_query
+    } else {
+        query_text
+    };
     let query = parse(text, &registry).map_err(|e| e.to_string())?;
     let stream = delay_shuffle(&history, ooo, max_delay.max(1), seed);
     run_stream(&stream, query, opts)
@@ -263,8 +301,41 @@ fn run_stream(
     if opts.punctuate_every.is_some() {
         config.watermark = sequin_engine::WatermarkSource::Both;
     }
-    let mut engine = make_engine(opts.strategy, query, config);
-    let mut report = run_engine(engine.as_mut(), stream, 64);
+    let engine = make_engine(opts.strategy, query, config);
+    let use_checkpoints = opts.checkpoint_every.is_some() || opts.resume_from.is_some();
+    let mut resume_note = None;
+    let mut report = if use_checkpoints {
+        let policy = match opts.checkpoint_every {
+            Some(n) => CheckpointPolicy::every(n.max(1)),
+            None => CheckpointPolicy::default(),
+        };
+        let (mut ck, replay_from) = match opts.resume_from.as_deref().map(Path::new) {
+            Some(path) if path.exists() => match CheckpointStore::load(path) {
+                Ok(store) => Checkpointer::resume(engine, policy, store),
+                Err(e) => {
+                    // graceful degradation: a rotted store file means cold
+                    // start, never a crash or silently wrong state
+                    resume_note = Some(format!("checkpoint file unreadable ({e}): cold start"));
+                    (Checkpointer::new(engine, policy), 0)
+                }
+            },
+            _ => (Checkpointer::new(engine, policy), 0),
+        };
+        let suffix = &stream[(replay_from as usize).min(stream.len())..];
+        let report = run_engine(&mut ck, suffix, 64);
+        if replay_from > 0 {
+            resume_note = Some(format!("resumed at item {replay_from}"));
+        }
+        if let Some(path) = opts.resume_from.as_deref() {
+            ck.store()
+                .save(Path::new(path))
+                .map_err(|e| format!("cannot save checkpoint `{path}`: {e}"))?;
+        }
+        report
+    } else {
+        let mut engine = engine;
+        run_engine(engine.as_mut(), stream, 64)
+    };
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -290,9 +361,22 @@ fn run_stream(
     ));
     out.push_str(&format!(
         "counters     : {} insertions, {} dfs steps, {} purged, {} beyond-K arrivals\n",
-        report.stats.insertions, report.stats.dfs_steps, report.stats.purged,
+        report.stats.insertions,
+        report.stats.dfs_steps,
+        report.stats.purged,
         report.stats.late_drops
     ));
+    if use_checkpoints {
+        out.push_str(&format!(
+            "checkpoints  : {} written, {} rejected, {} replay-suppressed\n",
+            report.stats.checkpoints_written,
+            report.stats.checkpoints_rejected,
+            report.stats.replayed_suppressed
+        ));
+        if let Some(note) = resume_note {
+            out.push_str(&format!("recovery     : {note}\n"));
+        }
+    }
     Ok(out)
 }
 
@@ -306,7 +390,9 @@ pub fn parse_strategy(name: &str) -> Result<Strategy, String> {
         "native" | "native-ooo" => Ok(Strategy::Native),
         "buffered" | "k-slack" | "k-slack-buffer" => Ok(Strategy::Buffered),
         "inorder" | "in-order" => Ok(Strategy::InOrder),
-        other => Err(format!("unknown strategy `{other}` (native|buffered|inorder)")),
+        other => Err(format!(
+            "unknown strategy `{other}` (native|buffered|inorder)"
+        )),
     }
 }
 
@@ -395,8 +481,51 @@ mod tests {
             k: 50,
             adaptive: Some(2.0),
             punctuate_every: Some(100),
+            ..RunOptions::default()
         };
         let out = run_workload("synthetic", "", 2000, 0.2, 50, 3, &opts).unwrap();
         assert!(out.contains("state"));
+    }
+
+    #[test]
+    fn checkpointed_run_reports_counters_and_resumes() {
+        let path = "target/test-cli-resume.ckpt";
+        let _ = std::fs::remove_file(path);
+        let opts = RunOptions {
+            checkpoint_every: Some(500),
+            resume_from: Some(path.to_owned()),
+            ..RunOptions::default()
+        };
+        let out = run_workload("synthetic", "", 2000, 0.2, 50, 9, &opts).unwrap();
+        assert!(out.contains("checkpoints  :"), "{out}");
+        assert!(!out.contains("0 written"), "{out}");
+        assert!(
+            std::path::Path::new(path).exists(),
+            "store saved for next run"
+        );
+
+        // second run with the identical workload resumes from the store
+        // and re-delivers nothing that was already delivered
+        let out2 = run_workload("synthetic", "", 2000, 0.2, 50, 9, &opts).unwrap();
+        assert!(out2.contains("recovery     : resumed at item"), "{out2}");
+        assert!(out2.contains("matches      : 0 (net)"), "{out2}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_file_degrades_to_cold_start() {
+        let path = "target/test-cli-corrupt.ckpt";
+        std::fs::write(path, b"not a checkpoint store").unwrap();
+        let opts = RunOptions {
+            resume_from: Some(path.to_owned()),
+            ..RunOptions::default()
+        };
+        let out = run_workload("synthetic", "", 1000, 0.2, 50, 5, &opts).unwrap();
+        assert!(out.contains("cold start"), "{out}");
+        assert!(
+            out.contains("matches"),
+            "the run itself still completes: {out}"
+        );
+        std::fs::remove_file(path).ok();
     }
 }

@@ -59,7 +59,8 @@ fn watermark_is_monotone_through_public_api() {
     let events = w.generate(5_000, 17);
     let stream = delay_shuffle(&events, 0.4, 150, 9);
     let query = w.seq_query(2, 100);
-    let mut engine = NativeEngine::new(query, EngineConfig::with_adaptive_k(Duration::new(10), 1.5));
+    let mut engine =
+        NativeEngine::new(query, EngineConfig::with_adaptive_k(Duration::new(10), 1.5));
     let mut last = engine.watermark();
     for item in &stream {
         engine.ingest(item);
@@ -82,5 +83,8 @@ fn never_purge_grows_with_stream_length_as_contrast() {
     for e in events {
         engine.ingest(&StreamItem::Event(e));
     }
-    assert!(engine.state_size() > 1_000, "unpurged state tracks the stream");
+    assert!(
+        engine.state_size() > 1_000,
+        "unpurged state tracks the stream"
+    );
 }

@@ -38,8 +38,10 @@ fn recurse(
 ) {
     let m = query.positive_len();
     if slot == m {
-        let bound: Vec<EventRef> =
-            chosen.iter().map(|c| Arc::clone(c.as_ref().expect("full"))).collect();
+        let bound: Vec<EventRef> = chosen
+            .iter()
+            .map(|c| Arc::clone(c.as_ref().expect("full")))
+            .collect();
         if accepts(query, &bound, events) {
             out.insert(bound.iter().map(|e| e.id().get()).collect());
         }
@@ -69,7 +71,11 @@ fn accepts(query: &Query, bound: &[EventRef], events: &[EventRef]) -> bool {
         return false;
     }
     let binding = query.binding_from_positives(bound);
-    if !query.predicates().iter().all(|p| p.eval(&binding) == Some(true)) {
+    if !query
+        .predicates()
+        .iter()
+        .all(|p| p.eval(&binding) == Some(true))
+    {
         return false;
     }
     let regions: Vec<Region> = regions(query, bound);

@@ -1,0 +1,260 @@
+//! Checkpoint/restore property tests: crash the engine at **every**
+//! watermark advance of a disordered synthetic stream, resume from the
+//! persisted [`CheckpointStore`], and require that the union of pre- and
+//! post-crash deliveries equals the in-order oracle *exactly once* — no
+//! lost matches, no duplicates — under both emission policies. Plus
+//! storage-fault injection: corrupted checkpoints must be detected and
+//! recovery must degrade gracefully (older checkpoint, then cold start),
+//! never restore silently-wrong state.
+
+mod common;
+
+use common::{net_keys, reference_matches};
+use sequin::engine::{
+    make_engine, CheckpointPolicy, CheckpointStore, Checkpointer, EmissionPolicy, Engine,
+    EngineConfig, OutputItem, OutputKind, Strategy,
+};
+use sequin::netsim::fault::{bit_flip, truncate};
+use sequin::netsim::{delay_shuffle, measure_disorder, Crash};
+use sequin::query::Query;
+use sequin::types::{Duration, StreamItem};
+use sequin::workload::{Synthetic, SyntheticConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn synthetic() -> Synthetic {
+    Synthetic::new(SyntheticConfig {
+        num_types: 3,
+        tag_cardinality: 4,
+        value_range: 10,
+        mean_gap: 3,
+    })
+}
+
+struct Scenario {
+    query: Arc<Query>,
+    config: EngineConfig,
+    stream: Vec<StreamItem>,
+    oracle: std::collections::BTreeSet<Vec<u64>>,
+}
+
+fn scenario(emission: EmissionPolicy, seed: u64) -> Scenario {
+    let w = synthetic();
+    let events = w.generate(120, seed);
+    let query = w.negation_query(40);
+    let oracle = reference_matches(&query, &events);
+    assert!(
+        !oracle.is_empty(),
+        "scenario must produce matches (seed {seed})"
+    );
+    let stream = delay_shuffle(&events, 0.3, 30, seed ^ 0x5A5A);
+    let disorder = measure_disorder(&stream);
+    assert!(
+        disorder.late_events > 0,
+        "stream must actually be disordered (seed {seed})"
+    );
+    let mut config = EngineConfig::with_k(Duration::new(disorder.max_lateness.ticks().max(1)));
+    config.emission = emission;
+    Scenario {
+        query,
+        config,
+        stream,
+        oracle,
+    }
+}
+
+fn fresh(s: &Scenario) -> Box<dyn Engine> {
+    make_engine(Strategy::Native, Arc::clone(&s.query), s.config)
+}
+
+/// Every `(kind, match)` pair may be delivered at most once across the
+/// whole (pre ∪ post) output — the "no duplicates" half of exactly-once.
+fn assert_no_duplicate_deliveries(delivered: &[OutputItem], ctx: &str) {
+    let mut counts: BTreeMap<(bool, Vec<u64>), usize> = BTreeMap::new();
+    for o in delivered {
+        let key: Vec<u64> = o.m.events().iter().map(|e| e.id().get()).collect();
+        *counts
+            .entry((o.kind == OutputKind::Insert, key))
+            .or_insert(0) += 1;
+    }
+    for ((insert, key), n) in &counts {
+        assert_eq!(
+            *n,
+            1,
+            "{ctx}: {} of match {key:?} delivered {n} times",
+            if *insert { "insert" } else { "retract" }
+        );
+    }
+}
+
+/// The checkpoints a full run writes, as crash points: the stream index
+/// right after each watermark advance the policy checkpointed on.
+fn watermark_advance_points(s: &Scenario) -> Vec<u64> {
+    let mut probe = Checkpointer::new(fresh(s), CheckpointPolicy::default());
+    let mut points = Vec::new();
+    let mut written = 0;
+    for (ix, item) in s.stream.iter().enumerate() {
+        probe.ingest(item);
+        let now = probe.stats().checkpoints_written;
+        if now > written {
+            written = now;
+            points.push(ix as u64 + 1);
+        }
+    }
+    points
+}
+
+/// Run to the crash point, persist, die, resume, replay the suffix, and
+/// return everything that was ever delivered downstream.
+fn crash_and_recover(
+    s: &Scenario,
+    crash: Crash,
+    sabotage: impl FnOnce(&mut CheckpointStore),
+) -> (Vec<OutputItem>, sequin::runtime::RuntimeStats) {
+    let (pre_items, crash_ix) = crash.split(&s.stream);
+    let mut ck = Checkpointer::new(fresh(s), CheckpointPolicy::default());
+    let mut delivered = Vec::new();
+    for item in pre_items {
+        delivered.extend(ck.ingest(item));
+    }
+    let mut saved = ck.store().clone();
+    drop(ck); // the crash: only `saved` survives
+    sabotage(&mut saved);
+
+    let (mut ck, replay_from) = Checkpointer::resume(fresh(s), CheckpointPolicy::default(), saved);
+    assert!(replay_from <= crash_ix, "resume cannot skip unseen input");
+    for item in &s.stream[replay_from as usize..] {
+        delivered.extend(ck.ingest(item));
+    }
+    delivered.extend(ck.finish());
+    (delivered, ck.stats())
+}
+
+fn crash_at_every_watermark_advance(emission: EmissionPolicy, seed: u64) {
+    let s = scenario(emission, seed);
+    let points = watermark_advance_points(&s);
+    assert!(
+        points.len() > 10,
+        "expected many watermark advances, got {}",
+        points.len()
+    );
+    for &p in &points {
+        let ctx = format!("{emission:?} seed {seed} crash after item {p}");
+        let (delivered, _) = crash_and_recover(&s, Crash::AfterEvents(p), |_| {});
+        assert_no_duplicate_deliveries(&delivered, &ctx);
+        if emission == EmissionPolicy::Conservative {
+            assert!(
+                delivered.iter().all(|o| o.kind == OutputKind::Insert),
+                "{ctx}: conservative emission never retracts"
+            );
+        }
+        assert_eq!(
+            net_keys(&delivered),
+            s.oracle,
+            "{ctx}: union of pre/post-crash output"
+        );
+    }
+}
+
+#[test]
+fn crash_at_every_watermark_advance_is_exactly_once_conservative() {
+    for seed in [41, 42] {
+        crash_at_every_watermark_advance(EmissionPolicy::Conservative, seed);
+    }
+}
+
+#[test]
+fn crash_at_every_watermark_advance_is_exactly_once_aggressive() {
+    for seed in [43, 44] {
+        crash_at_every_watermark_advance(EmissionPolicy::Aggressive, seed);
+    }
+}
+
+#[test]
+fn crash_at_watermark_trigger_matches_oracle() {
+    let s = scenario(EmissionPolicy::Conservative, 45);
+    // crash the moment the stream clock reaches the middle of the history
+    let mid = match &s.stream[s.stream.len() / 2] {
+        StreamItem::Event(e) => e.ts(),
+        StreamItem::Punctuation(t) => *t,
+    };
+    let (delivered, stats) = crash_and_recover(&s, Crash::AtWatermark(mid), |_| {});
+    assert_no_duplicate_deliveries(&delivered, "AtWatermark crash");
+    assert_eq!(net_keys(&delivered), s.oracle);
+    assert!(stats.checkpoints_written > 0);
+}
+
+#[test]
+fn bit_flipped_checkpoint_is_rejected_and_recovery_falls_back() {
+    let s = scenario(EmissionPolicy::Conservative, 46);
+    let crash = Crash::AfterEvents(s.stream.len() as u64 * 2 / 3);
+    let (delivered, stats) = crash_and_recover(&s, crash, |store| {
+        assert!(store.checkpoint_count() >= 2, "need a fallback checkpoint");
+        bit_flip(store.checkpoint_mut(0).unwrap(), 12345);
+    });
+    assert_eq!(stats.checkpoints_rejected, 1, "checksum caught the flip");
+    assert_no_duplicate_deliveries(&delivered, "bit-flip fallback");
+    assert_eq!(
+        net_keys(&delivered),
+        s.oracle,
+        "older checkpoint recovered correctly"
+    );
+}
+
+#[test]
+fn truncating_every_checkpoint_degrades_to_cold_start() {
+    let s = scenario(EmissionPolicy::Aggressive, 47);
+    let crash = Crash::AfterEvents(s.stream.len() as u64 * 2 / 3);
+    let mut corrupted = 0u64;
+    let (delivered, stats) = crash_and_recover(&s, crash, |store| {
+        for ix in 0..store.checkpoint_count() {
+            let bytes = store.checkpoint_mut(ix).unwrap();
+            let keep = bytes.len() / 3;
+            truncate(bytes, keep);
+            corrupted += 1;
+        }
+    });
+    assert_eq!(stats.checkpoints_rejected, corrupted);
+    assert!(
+        stats.replayed_suppressed > 0,
+        "cold-start replay suppressed prior deliveries"
+    );
+    assert_no_duplicate_deliveries(&delivered, "cold start");
+    assert_eq!(
+        net_keys(&delivered),
+        s.oracle,
+        "cold start still exactly-once"
+    );
+}
+
+#[test]
+fn checkpoint_file_survives_a_process_boundary() {
+    let s = scenario(EmissionPolicy::Conservative, 48);
+    let crash = Crash::AfterEvents(80);
+    let (pre_items, _) = crash.split(&s.stream);
+    let mut ck = Checkpointer::new(fresh(&s), CheckpointPolicy::default());
+    let mut delivered = Vec::new();
+    for item in pre_items {
+        delivered.extend(ck.ingest(item));
+    }
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("crash_recovery.ckpt");
+    ck.store().save(&path).unwrap();
+    drop(ck);
+
+    let loaded = CheckpointStore::load(&path).unwrap();
+    let (mut ck, replay_from) =
+        Checkpointer::resume(fresh(&s), CheckpointPolicy::default(), loaded);
+    for item in &s.stream[replay_from as usize..] {
+        delivered.extend(ck.ingest(item));
+    }
+    delivered.extend(ck.finish());
+    assert_no_duplicate_deliveries(&delivered, "file round trip");
+    assert_eq!(net_keys(&delivered), s.oracle);
+
+    // a rotted file is detected at load time, not restored
+    let mut bytes = std::fs::read(&path).unwrap();
+    bit_flip(&mut bytes, 999);
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(CheckpointStore::load(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -44,15 +44,24 @@ fn intrusion_alerts_fire_for_injected_attacks() {
     let q = telemetry.brute_force_query(40);
     let stream = delay_shuffle(&events, 0.2, 40, 5);
     let k = measure_disorder(&stream).max_lateness.ticks().max(1);
-    let mut engine =
-        make_engine(Strategy::Native, Arc::clone(&q), EngineConfig::with_k(Duration::new(k)));
+    let mut engine = make_engine(
+        Strategy::Native,
+        Arc::clone(&q),
+        EngineConfig::with_k(Duration::new(k)),
+    );
     let outputs = drive(engine.as_mut(), &stream);
     assert!(!outputs.is_empty(), "injected attacks must be detected");
     // every alert's four events belong to one user, in timestamp order
     for o in &outputs {
         let users: Vec<i64> =
-            o.m.events().iter().map(|e| e.attr(0).unwrap().as_int().unwrap()).collect();
-        assert!(users.windows(2).all(|w| w[0] == w[1]), "correlated on one user");
+            o.m.events()
+                .iter()
+                .map(|e| e.attr(0).unwrap().as_int().unwrap())
+                .collect();
+        assert!(
+            users.windows(2).all(|w| w[0] == w[1]),
+            "correlated on one user"
+        );
         assert!(o.m.events().windows(2).all(|w| w[0].ts() < w[1].ts()));
         let span = o.m.last_ts() - o.m.first_ts();
         assert!(span <= Duration::new(40));
@@ -71,11 +80,23 @@ fn stock_signals_are_strictly_rising() {
     assert!(!outputs.is_empty());
     for o in &outputs {
         let prices: Vec<i64> =
-            o.m.events().iter().map(|e| e.attr(1).unwrap().as_int().unwrap()).collect();
-        assert!(prices.windows(2).all(|w| w[0] < w[1]), "prices strictly rise: {prices:?}");
+            o.m.events()
+                .iter()
+                .map(|e| e.attr(1).unwrap().as_int().unwrap())
+                .collect();
+        assert!(
+            prices.windows(2).all(|w| w[0] < w[1]),
+            "prices strictly rise: {prices:?}"
+        );
         let syms: Vec<i64> =
-            o.m.events().iter().map(|e| e.attr(0).unwrap().as_int().unwrap()).collect();
-        assert!(syms.windows(2).all(|w| w[0] == w[1]), "one symbol per signal");
+            o.m.events()
+                .iter()
+                .map(|e| e.attr(0).unwrap().as_int().unwrap())
+                .collect();
+        assert!(
+            syms.windows(2).all(|w| w[0] == w[1]),
+            "one symbol per signal"
+        );
     }
 }
 
@@ -87,11 +108,19 @@ fn run_report_latency_is_zero_for_native_and_positive_for_buffered() {
     let stream = delay_shuffle(&events, 0.2, 30, 7);
     let k = measure_disorder(&stream).max_lateness.ticks().max(1);
 
-    let mut native = make_engine(Strategy::Native, Arc::clone(&q), EngineConfig::with_k(Duration::new(k)));
+    let mut native = make_engine(
+        Strategy::Native,
+        Arc::clone(&q),
+        EngineConfig::with_k(Duration::new(k)),
+    );
     let native_report = run_engine(native.as_mut(), &stream, 32);
     assert_eq!(native_report.arrival_latency.max(), 0);
 
-    let mut buffered = make_engine(Strategy::Buffered, q, EngineConfig::with_k(Duration::new(k)));
+    let mut buffered = make_engine(
+        Strategy::Buffered,
+        q,
+        EngineConfig::with_k(Duration::new(k)),
+    );
     let buffered_report = run_engine(buffered.as_mut(), &stream, 32);
     assert!(buffered_report.arrival_latency.mean() > 0.0);
     assert_eq!(native_report.net_matches(), buffered_report.net_matches());
@@ -112,8 +141,11 @@ fn accuracy_metrics_match_reference_counts() {
     let mut sorted = events.clone();
     sort_by_timestamp(&mut sorted);
     let sorted_stream: Vec<StreamItem> = sorted.into_iter().map(StreamItem::Event).collect();
-    let mut oracle_engine =
-        make_engine(Strategy::Native, Arc::clone(&q), EngineConfig::with_k(Duration::new(1)));
+    let mut oracle_engine = make_engine(
+        Strategy::Native,
+        Arc::clone(&q),
+        EngineConfig::with_k(Duration::new(1)),
+    );
     let oracle_outputs = drive(oracle_engine.as_mut(), &sorted_stream);
     assert_eq!(net_keys(&oracle_outputs).len(), oracle_keys.len());
 
@@ -126,7 +158,10 @@ fn accuracy_metrics_match_reference_counts() {
         oracle_keys.len(),
         "accuracy counts partition the oracle set"
     );
-    assert_eq!(acc.true_positives + acc.false_positives, net_keys(&broken_outputs).len());
+    assert_eq!(
+        acc.true_positives + acc.false_positives,
+        net_keys(&broken_outputs).len()
+    );
 }
 
 #[test]
@@ -139,7 +174,10 @@ fn projection_defaults_to_event_ids() {
     let outputs = drive(engine.as_mut(), &stream);
     for o in &outputs {
         let ids: Vec<Value> =
-            o.m.events().iter().map(|e| Value::Int(e.id().get() as i64)).collect();
+            o.m.events()
+                .iter()
+                .map(|e| Value::Int(e.id().get() as i64))
+                .collect();
         assert_eq!(o.m.output(), ids.as_slice());
     }
 }
@@ -150,7 +188,11 @@ fn latency_histogram_quantiles_are_monotonic() {
     let events = w.generate(4_000, 83);
     let q = w.seq_query(2, 50);
     let stream = delay_shuffle(&events, 0.3, 100, 10);
-    let mut engine = make_engine(Strategy::Buffered, q, EngineConfig::with_k(Duration::new(100)));
+    let mut engine = make_engine(
+        Strategy::Buffered,
+        q,
+        EngineConfig::with_k(Duration::new(100)),
+    );
     let mut report = run_engine(engine.as_mut(), &stream, 32);
     let h: &mut Histogram = &mut report.arrival_latency;
     assert!(h.p50() <= h.p95());

@@ -7,9 +7,7 @@
 mod common;
 
 use common::{drive, net_keys, reference_matches, stream_of};
-use sequin::engine::{
-    make_engine, EmissionPolicy, EngineConfig, Strategy,
-};
+use sequin::engine::{make_engine, EmissionPolicy, EngineConfig, Strategy};
 use sequin::netsim::{delay_shuffle, measure_disorder};
 use sequin::query::Query;
 use sequin::types::{sort_by_timestamp, Duration, EventRef};
@@ -51,10 +49,16 @@ fn check_equivalence(query: &Arc<Query>, events: &[EventRef], tag: &str) {
     }
 
     // the classic engine is correct on sorted input
-    let mut engine =
-        make_engine(Strategy::InOrder, Arc::clone(query), EngineConfig::with_k(Duration::new(1)));
+    let mut engine = make_engine(
+        Strategy::InOrder,
+        Arc::clone(query),
+        EngineConfig::with_k(Duration::new(1)),
+    );
     let got = net_keys(&drive(engine.as_mut(), &sorted_stream(events)));
-    assert_eq!(got, oracle, "{tag}: classic-on-sorted diverged from reference");
+    assert_eq!(
+        got, oracle,
+        "{tag}: classic-on-sorted diverged from reference"
+    );
 }
 
 fn synthetic() -> Synthetic {
@@ -141,8 +145,11 @@ fn leading_and_trailing_negation() {
         for (ooo, delay, seed) in [(0.0, 1, 1u64), (0.3, 80, 2)] {
             let stream = delay_shuffle(&events, ooo, delay, seed);
             let k = measure_disorder(&stream).max_lateness.ticks().max(1);
-            let mut engine =
-                make_engine(Strategy::Native, Arc::clone(&q), EngineConfig::with_k(Duration::new(k)));
+            let mut engine = make_engine(
+                Strategy::Native,
+                Arc::clone(&q),
+                EngineConfig::with_k(Duration::new(k)),
+            );
             let got = net_keys(&drive(engine.as_mut(), &stream));
             assert_eq!(got, oracle, "{tag} negation diverged at ooo={ooo}");
         }
@@ -166,9 +173,15 @@ fn alternation_query_equivalence() {
     for (tag, text) in [
         ("alt-positive", "PATTERN SEQ(T0|T1 ab, T2 c) WITHIN 50"),
         ("alt-negated", "PATTERN SEQ(T0 a, !T1|T3 n, T2 c) WITHIN 50"),
-        ("alt-predicated", "PATTERN SEQ(T0|T1 ab, T2 c) WHERE ab.x == c.x WITHIN 50"),
+        (
+            "alt-predicated",
+            "PATTERN SEQ(T0|T1 ab, T2 c) WHERE ab.x == c.x WITHIN 50",
+        ),
         ("self-negated", "PATTERN SEQ(T0 a, !T0 n, T1 b) WITHIN 50"),
-        ("self-negated-adjacent", "PATTERN SEQ(T0 a1, !T0 n, T0 a2) WITHIN 50"),
+        (
+            "self-negated-adjacent",
+            "PATTERN SEQ(T0 a1, !T0 n, T0 a2) WITHIN 50",
+        ),
     ] {
         let q = sequin::query::parse(text, reg).unwrap();
         check_equivalence(&q, &events, tag);
@@ -210,8 +223,11 @@ fn large_scale_engine_vs_engine() {
     });
     let events = w.generate(20_000, 22);
     let q = w.partitioned_query(3, 200);
-    let mut oracle_engine =
-        make_engine(Strategy::InOrder, Arc::clone(&q), EngineConfig::with_k(Duration::new(1)));
+    let mut oracle_engine = make_engine(
+        Strategy::InOrder,
+        Arc::clone(&q),
+        EngineConfig::with_k(Duration::new(1)),
+    );
     let oracle = net_keys(&drive(oracle_engine.as_mut(), &sorted_stream(&events)));
     assert!(!oracle.is_empty());
 
@@ -222,7 +238,10 @@ fn large_scale_engine_vs_engine() {
         cfg.partitioned = partitioned;
         let mut engine = make_engine(Strategy::Native, Arc::clone(&q), cfg);
         let got = net_keys(&drive(engine.as_mut(), &stream));
-        assert_eq!(got, oracle, "native (partitioned={partitioned}) diverged at scale");
+        assert_eq!(
+            got, oracle,
+            "native (partitioned={partitioned}) diverged at scale"
+        );
     }
 }
 
@@ -236,5 +255,8 @@ fn in_order_engine_fails_under_disorder() {
     let stream = delay_shuffle(&events, 0.4, 100, 6);
     let mut engine = make_engine(Strategy::InOrder, q, EngineConfig::with_k(Duration::new(1)));
     let got = net_keys(&drive(engine.as_mut(), &stream));
-    assert_ne!(got, oracle, "the classic engine should diverge under heavy disorder");
+    assert_ne!(
+        got, oracle,
+        "the classic engine should diverge under heavy disorder"
+    );
 }

@@ -4,9 +4,7 @@
 mod common;
 
 use common::{drive, net_keys};
-use sequin::engine::{
-    make_engine, EmissionPolicy, EngineConfig, MultiEngine, Strategy,
-};
+use sequin::engine::{make_engine, EmissionPolicy, EngineConfig, MultiEngine, Strategy};
 use sequin::netsim::{delay_shuffle, measure_disorder};
 use sequin::types::Duration;
 use sequin::workload::Rfid;
@@ -21,7 +19,7 @@ fn shared_stream_matches_standalone_evaluation() {
     let k = measure_disorder(&stream).max_lateness.ticks().max(1);
     let cfg = EngineConfig::with_k(Duration::new(k));
 
-    let queries = vec![rfid.skipped_scan_query(120), rfid.lifecycle_query(120)];
+    let queries = [rfid.skipped_scan_query(120), rfid.lifecycle_query(120)];
 
     // standalone runs
     let standalone: Vec<BTreeSet<Vec<u64>>> = queries
@@ -35,8 +33,10 @@ fn shared_stream_matches_standalone_evaluation() {
 
     // multi-engine run
     let mut multi = MultiEngine::new();
-    let ids: Vec<_> =
-        queries.iter().map(|q| multi.register(Arc::clone(q), Strategy::Native, cfg)).collect();
+    let ids: Vec<_> = queries
+        .iter()
+        .map(|q| multi.register(Arc::clone(q), Strategy::Native, cfg))
+        .collect();
     let mut tagged = Vec::new();
     for item in &stream {
         tagged.extend(multi.ingest(item));
@@ -44,9 +44,16 @@ fn shared_stream_matches_standalone_evaluation() {
     tagged.extend(multi.finish());
 
     for (qx, qid) in ids.iter().enumerate() {
-        let outputs: Vec<_> =
-            tagged.iter().filter(|(id, _)| id == qid).map(|(_, o)| o.clone()).collect();
-        assert_eq!(net_keys(&outputs), standalone[qx], "query {qx} diverged under multi");
+        let outputs: Vec<_> = tagged
+            .iter()
+            .filter(|(id, _)| id == qid)
+            .map(|(_, o)| o.clone())
+            .collect();
+        assert_eq!(
+            net_keys(&outputs),
+            standalone[qx],
+            "query {qx} diverged under multi"
+        );
     }
 }
 
@@ -81,8 +88,11 @@ fn mixed_strategies_and_policies_coexist() {
     tagged.extend(multi.finish());
 
     let per = |qid| {
-        let outputs: Vec<_> =
-            tagged.iter().filter(|(id, _)| *id == qid).map(|(_, o)| o.clone()).collect();
+        let outputs: Vec<_> = tagged
+            .iter()
+            .filter(|(id, _)| *id == qid)
+            .map(|(_, o)| o.clone())
+            .collect();
         net_keys(&outputs)
     };
     // both emission policies agree on the net skipped-scan alerts

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) for the core invariants:
+//! Randomized-history tests (seeded, deterministic) for the core
+//! invariants:
 //!
 //! 1. the native engine's output equals the brute-force reference on any
 //!    bounded shuffle of any history, for a family of query shapes;
@@ -9,15 +10,20 @@
 //! 5. the K-slack reorder buffer releases in timestamp order and loses
 //!    nothing;
 //! 6. stack insertion keeps instances sorted for any insertion order.
+//!
+//! Histories are generated from an explicit seed with the workspace's own
+//! [`sequin::prng::Rng`], so every failing case is reproducible by seed —
+//! the same coverage style the previous proptest suite provided, without
+//! the external dependency.
 
 mod common;
 
 use common::{drive, net_keys, reference_matches};
-use proptest::prelude::*;
 use sequin::engine::{
     make_engine, EmissionPolicy, EngineConfig, KSlackBuffer, Strategy as EngineStrategy,
 };
 use sequin::netsim::{delay_shuffle, measure_disorder};
+use sequin::prng::Rng;
 use sequin::query::parse;
 use sequin::runtime::purge::PurgePolicy;
 use sequin::runtime::AisStack;
@@ -27,10 +33,13 @@ use sequin::types::{
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+const CASES: u64 = 48;
+
 fn registry() -> TypeRegistry {
     let mut reg = TypeRegistry::new();
     for name in ["T0", "T1", "T2", "T3"] {
-        reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Int)]).unwrap();
+        reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Int)])
+            .unwrap();
     }
     reg
 }
@@ -51,10 +60,19 @@ const QUERIES: &[&str] = &[
 ];
 
 /// A random history: unique, strictly increasing timestamps; random types
-/// and small attribute domains.
-fn history_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, u8)>> {
-    // (type, gap, x, tag) per event
-    prop::collection::vec((0u8..4, 1u8..6, 0u8..5, 0u8..3), 4..36)
+/// and small attribute domains. `(type, gap, x, tag)` per event.
+fn gen_history(rng: &mut Rng) -> Vec<(u8, u8, u8, u8)> {
+    let n = rng.gen_range(4usize..36);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0u8..4),
+                rng.gen_range(1u8..6),
+                rng.gen_range(0u8..5),
+                rng.gen_range(0u8..3),
+            )
+        })
+        .collect()
 }
 
 fn build_events(reg: &TypeRegistry, raw: &[(u8, u8, u8, u8)]) -> Vec<EventRef> {
@@ -77,40 +95,41 @@ fn build_events(reg: &TypeRegistry, raw: &[(u8, u8, u8, u8)]) -> Vec<EventRef> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn native_matches_reference_on_any_shuffle(
-        raw in history_strategy(),
-        query_ix in 0usize..QUERIES.len(),
-        ooo in 0.0f64..0.6,
-        delay in 1u64..120,
-        seed in 0u64..1000,
-    ) {
-        let reg = registry();
+#[test]
+fn native_matches_reference_on_any_shuffle() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0001 + case);
+        let raw = gen_history(&mut rng);
         let events = build_events(&reg, &raw);
-        let query = parse(QUERIES[query_ix], &reg).unwrap();
+        let query = parse(QUERIES[rng.gen_range(0usize..QUERIES.len())], &reg).unwrap();
         let oracle = reference_matches(&query, &events);
 
+        let ooo = rng.gen_range(0.0f64..0.6);
+        let delay = rng.gen_range(1u64..120);
+        let seed = rng.gen_range(0u64..1000);
         let stream = delay_shuffle(&events, ooo, delay, seed);
         let k = measure_disorder(&stream).max_lateness.ticks().max(1);
-        let mut engine =
-            make_engine(EngineStrategy::Native, Arc::clone(&query), EngineConfig::with_k(Duration::new(k)));
+        let mut engine = make_engine(
+            EngineStrategy::Native,
+            Arc::clone(&query),
+            EngineConfig::with_k(Duration::new(k)),
+        );
         let got = net_keys(&drive(engine.as_mut(), &stream));
-        prop_assert_eq!(got, oracle);
+        assert_eq!(got, oracle, "case {case}: query {query}");
     }
+}
 
-    #[test]
-    fn output_is_permutation_invariant(
-        raw in history_strategy(),
-        query_ix in 0usize..QUERIES.len(),
-        seed_a in 0u64..500,
-        seed_b in 500u64..1000,
-    ) {
-        let reg = registry();
+#[test]
+fn output_is_permutation_invariant() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0002 + case);
+        let raw = gen_history(&mut rng);
         let events = build_events(&reg, &raw);
-        let query = parse(QUERIES[query_ix], &reg).unwrap();
+        let query = parse(QUERIES[rng.gen_range(0usize..QUERIES.len())], &reg).unwrap();
+        let seed_a = rng.gen_range(0u64..500);
+        let seed_b = rng.gen_range(500u64..1000);
         let mut results = Vec::new();
         for seed in [seed_a, seed_b] {
             let stream = delay_shuffle(&events, 0.4, 80, seed);
@@ -122,42 +141,46 @@ proptest! {
             );
             results.push(net_keys(&drive(engine.as_mut(), &stream)));
         }
-        prop_assert_eq!(&results[0], &results[1]);
+        assert_eq!(results[0], results[1], "case {case}: query {query}");
     }
+}
 
-    #[test]
-    fn purge_never_changes_output(
-        raw in history_strategy(),
-        query_ix in 0usize..QUERIES.len(),
-        seed in 0u64..1000,
-        batch in 1u32..64,
-    ) {
-        let reg = registry();
+#[test]
+fn purge_never_changes_output() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0003 + case);
+        let raw = gen_history(&mut rng);
         let events = build_events(&reg, &raw);
-        let query = parse(QUERIES[query_ix], &reg).unwrap();
-        let stream = delay_shuffle(&events, 0.3, 60, seed);
+        let query = parse(QUERIES[rng.gen_range(0usize..QUERIES.len())], &reg).unwrap();
+        let stream = delay_shuffle(&events, 0.3, 60, rng.gen_range(0u64..1000));
         let k = measure_disorder(&stream).max_lateness.ticks().max(1);
+        let batch = rng.gen_range(1u32..64);
         let mut results = Vec::new();
-        for policy in [PurgePolicy::NEVER, PurgePolicy::EAGER, PurgePolicy::batched(batch)] {
+        for policy in [
+            PurgePolicy::NEVER,
+            PurgePolicy::EAGER,
+            PurgePolicy::batched(batch),
+        ] {
             let mut cfg = EngineConfig::with_k(Duration::new(k));
             cfg.purge = policy;
             let mut engine = make_engine(EngineStrategy::Native, Arc::clone(&query), cfg);
             results.push(net_keys(&drive(engine.as_mut(), &stream)));
         }
-        prop_assert_eq!(&results[0], &results[1]);
-        prop_assert_eq!(&results[0], &results[2]);
+        assert_eq!(results[0], results[1], "case {case}: query {query}");
+        assert_eq!(results[0], results[2], "case {case}: query {query}");
     }
+}
 
-    #[test]
-    fn aggressive_nets_to_conservative(
-        raw in history_strategy(),
-        query_ix in 0usize..QUERIES.len(),
-        seed in 0u64..1000,
-    ) {
-        let reg = registry();
+#[test]
+fn aggressive_nets_to_conservative() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0004 + case);
+        let raw = gen_history(&mut rng);
         let events = build_events(&reg, &raw);
-        let query = parse(QUERIES[query_ix], &reg).unwrap();
-        let stream = delay_shuffle(&events, 0.3, 60, seed);
+        let query = parse(QUERIES[rng.gen_range(0usize..QUERIES.len())], &reg).unwrap();
+        let stream = delay_shuffle(&events, 0.3, 60, rng.gen_range(0u64..1000));
         let k = measure_disorder(&stream).max_lateness.ticks().max(1);
         let mut results = Vec::new();
         for emission in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
@@ -166,22 +189,24 @@ proptest! {
             let mut engine = make_engine(EngineStrategy::Native, Arc::clone(&query), cfg);
             results.push(net_keys(&drive(engine.as_mut(), &stream)));
         }
-        prop_assert_eq!(&results[0], &results[1]);
+        assert_eq!(results[0], results[1], "case {case}: query {query}");
     }
+}
 
-    #[test]
-    fn buffered_equals_native_on_tie_free_histories(
-        raw in history_strategy(),
-        query_ix in 0usize..QUERIES.len(),
-        seed in 0u64..1000,
-    ) {
-        let reg = registry();
+#[test]
+fn buffered_equals_native_on_tie_free_histories() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0005 + case);
+        let raw = gen_history(&mut rng);
         let events = build_events(&reg, &raw);
-        let query = parse(QUERIES[query_ix], &reg).unwrap();
+        let query = parse(QUERIES[rng.gen_range(0usize..QUERIES.len())], &reg).unwrap();
         // trailing negation cannot be evaluated exactly by the eager
         // classic pipeline; skip those queries for the buffered engine
-        prop_assume!(query.negations().iter().all(|n| n.right.is_some()));
-        let stream = delay_shuffle(&events, 0.3, 60, seed);
+        if !query.negations().iter().all(|n| n.right.is_some()) {
+            continue;
+        }
+        let stream = delay_shuffle(&events, 0.3, 60, rng.gen_range(0u64..1000));
         let k = measure_disorder(&stream).max_lateness.ticks().max(1);
         let mut results = Vec::new();
         for strategy in [EngineStrategy::Buffered, EngineStrategy::Native] {
@@ -192,60 +217,77 @@ proptest! {
             );
             results.push(net_keys(&drive(engine.as_mut(), &stream)));
         }
-        prop_assert_eq!(&results[0], &results[1]);
+        assert_eq!(results[0], results[1], "case {case}: query {query}");
     }
+}
 
-    #[test]
-    fn kslack_buffer_releases_sorted_and_complete(
-        raw in history_strategy(),
-        watermarks in prop::collection::vec(0u64..200, 1..10),
-    ) {
-        let reg = registry();
+#[test]
+fn kslack_buffer_releases_sorted_and_complete() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0006 + case);
+        let raw = gen_history(&mut rng);
         let events = build_events(&reg, &raw);
+        let n_marks = rng.gen_range(1usize..10);
+        let mut watermarks: Vec<u64> = (0..n_marks).map(|_| rng.gen_range(0u64..200)).collect();
         let mut buf = KSlackBuffer::new();
         for (i, e) in events.iter().enumerate() {
             buf.push(Arc::clone(e), ArrivalSeq::new(i as u64));
         }
         let mut released: Vec<EventRef> = Vec::new();
-        let mut sorted_marks = watermarks.clone();
-        sorted_marks.sort_unstable();
-        for wm in sorted_marks {
+        watermarks.sort_unstable();
+        for wm in watermarks {
             released.extend(buf.release(Timestamp::new(wm)));
         }
         released.extend(buf.drain_all());
         // complete
-        prop_assert_eq!(released.len(), events.len());
+        assert_eq!(released.len(), events.len(), "case {case}");
         // sorted by (ts, id)
-        prop_assert!(released
-            .windows(2)
-            .all(|p| (p[0].ts(), p[0].id()) < (p[1].ts(), p[1].id())));
-        prop_assert!(buf.is_empty());
+        assert!(
+            released
+                .windows(2)
+                .all(|p| (p[0].ts(), p[0].id()) < (p[1].ts(), p[1].id())),
+            "case {case}"
+        );
+        assert!(buf.is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn stack_stays_sorted_under_any_insertion_order(
-        tss in prop::collection::vec((0u64..100, 0u64..1000), 1..60),
-        purge_at in 0u64..120,
-    ) {
-        let reg = registry();
-        let ty = reg.lookup("T0").unwrap();
+#[test]
+fn stack_stays_sorted_under_any_insertion_order() {
+    let reg = registry();
+    let ty = reg.lookup("T0").unwrap();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0007 + case);
+        let n = rng.gen_range(1usize..60);
+        let tss: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..100), rng.gen_range(0u64..1000)))
+            .collect();
+        let purge_at = rng.gen_range(0u64..120);
         let mut stack = AisStack::new();
         let mut expected: BTreeSet<(Timestamp, EventId)> = BTreeSet::new();
         for &(ts, id) in &tss {
-            let e = Arc::new(Event::builder(ty, Timestamp::new(ts)).id(EventId::new(id)).build());
+            let e = Arc::new(
+                Event::builder(ty, Timestamp::new(ts))
+                    .id(EventId::new(id))
+                    .build(),
+            );
             let inserted = stack.insert(Arc::clone(&e));
-            prop_assert_eq!(
+            assert_eq!(
                 inserted.is_some(),
                 expected.insert((Timestamp::new(ts), EventId::new(id))),
-                "insert succeeds iff (ts, id) is new"
+                "insert succeeds iff (ts, id) is new (case {case})"
             );
-            prop_assert!(stack.is_sorted());
+            assert!(stack.is_sorted());
         }
         let purged = stack.purge_before(Timestamp::new(purge_at));
-        let survivors: BTreeSet<_> =
-            expected.iter().filter(|(ts, _)| *ts >= Timestamp::new(purge_at)).cloned().collect();
-        prop_assert!(stack.is_sorted());
-        prop_assert_eq!(stack.len(), survivors.len());
-        prop_assert_eq!(purged, expected.len() - survivors.len());
+        let survivors: BTreeSet<_> = expected
+            .iter()
+            .filter(|(ts, _)| *ts >= Timestamp::new(purge_at))
+            .cloned()
+            .collect();
+        assert!(stack.is_sorted());
+        assert_eq!(stack.len(), survivors.len(), "case {case}");
+        assert_eq!(purged, expected.len() - survivors.len(), "case {case}");
     }
 }
