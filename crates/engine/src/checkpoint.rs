@@ -134,9 +134,22 @@ impl CheckpointStore {
         self.log.len()
     }
 
-    /// Appends an emission-log record.
-    fn append_log(&mut self, record: Vec<u8>) {
+    /// Appends an emission-log record (a sealed envelope; the caller
+    /// defines the payload). Exposed so wrappers outside this module — the
+    /// server's multi-query checkpointer — can reuse the store's dedup log.
+    pub fn append_log(&mut self, record: Vec<u8>) {
         self.log.push(record);
+    }
+
+    /// Iterates retained checkpoints newest first (the restore fallback
+    /// ladder's probe order).
+    pub fn checkpoints_newest_first(&self) -> impl Iterator<Item = &[u8]> {
+        self.checkpoints.iter().rev().map(Vec::as_slice)
+    }
+
+    /// Iterates emission-log records oldest first.
+    pub fn log_records(&self) -> impl Iterator<Item = &[u8]> {
+        self.log.iter().map(Vec::as_slice)
     }
 
     /// Mutable access to a retained checkpoint, newest first (index 0 is

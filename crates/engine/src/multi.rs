@@ -138,6 +138,14 @@ impl MultiEngine {
         self.engines[id.0].as_ref()
     }
 
+    /// The low-watermark the *whole* multi-query evaluation has reached:
+    /// the minimum over registered engines that track one (`None` when no
+    /// engine does). Used by checkpoint policies that trigger on watermark
+    /// advance.
+    pub fn watermark(&self) -> Option<sequin_types::Timestamp> {
+        self.engines.iter().filter_map(|e| e.watermark()).min()
+    }
+
     /// Serializes every registered engine's state into one checksummed
     /// envelope (fails if any engine lacks snapshot support).
     pub fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
@@ -254,5 +262,14 @@ mod tests {
         assert!(multi.is_empty());
         assert!(multi.finish().is_empty());
         assert_eq!(multi.state_size(), 0);
+        assert_eq!(multi.watermark(), None);
+    }
+
+    #[test]
+    fn watermark_is_minimum_over_engines() {
+        let (reg, mut multi, _, _) = setup();
+        multi.ingest(&item(&reg, "A", 1, 500));
+        // both engines share K = 50, so both watermarks sit at 450
+        assert_eq!(multi.watermark(), Some(Timestamp::new(450)));
     }
 }

@@ -40,7 +40,12 @@ impl fmt::Display for Strategy {
 ///
 /// Implementations stamp arrival sequence numbers internally; callers feed
 /// raw [`StreamItem`]s in arrival order and collect [`OutputItem`]s.
-pub trait Engine {
+///
+/// `Send` is a supertrait so engines (and the [`crate::MultiEngine`]
+/// built from them) can be handed to a dedicated evaluation thread, as the
+/// server crate does; engine state is plain owned data, so every
+/// implementation satisfies it for free.
+pub trait Engine: Send {
     /// Ingests one arrival (event or punctuation); returns the output it
     /// triggered.
     fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem>;

@@ -86,14 +86,21 @@ pub fn f1(v: f64) -> String {
     format!("{v:.1}")
 }
 
-/// Renders every [`RuntimeStats`](sequin_runtime::RuntimeStats) counter —
-/// including the checkpoint/recovery counters — as a two-column table.
-pub fn stats_table(stats: &sequin_runtime::RuntimeStats) -> Table {
+/// Renders any named-counter list as a two-column `counter`/`value` table.
+/// Used for [`RuntimeStats`](sequin_runtime::RuntimeStats) and for the
+/// server crate's connection/frame counters.
+pub fn pairs_table<'a>(pairs: impl IntoIterator<Item = (&'a str, u64)>) -> Table {
     let mut t = Table::new(&["counter", "value"]);
-    for (name, value) in stats.as_pairs() {
+    for (name, value) in pairs {
         t.row(&[name.to_owned(), value.to_string()]);
     }
     t
+}
+
+/// Renders every [`RuntimeStats`](sequin_runtime::RuntimeStats) counter —
+/// including the checkpoint/recovery counters — as a two-column table.
+pub fn stats_table(stats: &sequin_runtime::RuntimeStats) -> Table {
+    pairs_table(stats.as_pairs())
 }
 
 #[cfg(test)]
@@ -135,6 +142,15 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn mismatched_row_panics() {
         Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn pairs_table_renders_arbitrary_counters() {
+        let t = pairs_table([("frames_received", 12u64), ("busy_frames_sent", 3)]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("frames_received"));
+        assert!(s.contains("busy_frames_sent"));
     }
 
     #[test]

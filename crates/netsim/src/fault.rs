@@ -48,6 +48,84 @@ impl Crash {
     }
 }
 
+/// A schedule of transport-level faults, keyed by the 0-based index of the
+/// frame in one direction of a connection.
+///
+/// This is the frame-granular counterpart of [`Crash`]: where `Crash`
+/// models a process dying, `FramePlan` models the *link* misbehaving —
+/// bits flipping in flight, writes truncating, and frames being delayed
+/// past their successors (the transport-induced disorder that out-of-order
+/// processing exists to absorb). The server crate's in-memory transport
+/// applies a plan to each frame it carries, so protocol-level corruption
+/// rejection and reordering tolerance are testable without sockets.
+#[derive(Debug, Clone, Default)]
+pub struct FramePlan {
+    /// `(frame index, bit index)` pairs: flip that bit of that frame.
+    pub bit_flips: Vec<(u64, usize)>,
+    /// `(frame index, keep)` pairs: truncate that frame to `keep` bytes.
+    pub truncations: Vec<(u64, usize)>,
+    /// `(frame index, hold)` pairs: deliver that frame only after `hold`
+    /// subsequent frames have been sent (reordering/delay).
+    pub delays: Vec<(u64, usize)>,
+}
+
+impl FramePlan {
+    /// A plan that injects no faults.
+    pub fn clean() -> FramePlan {
+        FramePlan::default()
+    }
+
+    /// Schedules a single bit flip in frame `ix` (builder-style).
+    pub fn flip_frame(mut self, ix: u64, bit: usize) -> FramePlan {
+        self.bit_flips.push((ix, bit));
+        self
+    }
+
+    /// Schedules truncating frame `ix` to `keep` bytes (builder-style).
+    pub fn truncate_frame(mut self, ix: u64, keep: usize) -> FramePlan {
+        self.truncations.push((ix, keep));
+        self
+    }
+
+    /// Schedules delaying frame `ix` until `hold` later frames have been
+    /// sent (builder-style).
+    pub fn delay_frame(mut self, ix: u64, hold: usize) -> FramePlan {
+        self.delays.push((ix, hold));
+        self
+    }
+
+    /// Applies the scheduled corruptions (bit flips, then truncations) to
+    /// frame `ix` in place.
+    pub fn corrupt(&self, ix: u64, bytes: &mut Vec<u8>) {
+        for &(at, bit) in &self.bit_flips {
+            if at == ix {
+                bit_flip(bytes, bit);
+            }
+        }
+        for &(at, keep) in &self.truncations {
+            if at == ix {
+                truncate(bytes, keep);
+            }
+        }
+    }
+
+    /// How many subsequent frames must be sent before frame `ix` is
+    /// delivered (0 = deliver immediately).
+    pub fn hold_for(&self, ix: u64) -> usize {
+        self.delays
+            .iter()
+            .filter(|(at, _)| *at == ix)
+            .map(|(_, hold)| *hold)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when the plan injects no faults at all.
+    pub fn is_clean(&self) -> bool {
+        self.bit_flips.is_empty() && self.truncations.is_empty() && self.delays.is_empty()
+    }
+}
+
 /// Truncated write: keeps only the first `keep` bytes.
 pub fn truncate(bytes: &mut Vec<u8>, keep: usize) {
     bytes.truncate(keep.min(bytes.len()));
@@ -102,6 +180,36 @@ mod tests {
         let (pre, resume) = Crash::AfterEvents(10).split(&items);
         assert_eq!(pre.len(), 2);
         assert_eq!(resume, 2);
+    }
+
+    #[test]
+    fn frame_plan_targets_only_named_frames() {
+        let plan = FramePlan {
+            bit_flips: vec![(2, 0)],
+            truncations: vec![(3, 1)],
+            delays: vec![(1, 4)],
+        };
+        assert!(!plan.is_clean());
+        assert!(FramePlan::clean().is_clean());
+
+        let mut frame0 = vec![0xAAu8, 0xBB];
+        plan.corrupt(0, &mut frame0);
+        assert_eq!(frame0, vec![0xAA, 0xBB], "frame 0 untouched");
+
+        let mut frame2 = vec![0xAAu8, 0xBB];
+        plan.corrupt(2, &mut frame2);
+        assert_eq!(frame2, vec![0xAB, 0xBB], "bit 0 flipped");
+
+        let mut frame3 = vec![0xAAu8, 0xBB];
+        plan.corrupt(3, &mut frame3);
+        assert_eq!(frame3, vec![0xAA], "truncated to 1 byte");
+
+        assert_eq!(plan.hold_for(1), 4);
+        assert_eq!(plan.hold_for(2), 0);
+        assert_eq!(FramePlan::clean().delay_frame(7, 2).hold_for(7), 2);
+        let chained = FramePlan::clean().flip_frame(5, 3).truncate_frame(5, 9);
+        assert_eq!(chained.bit_flips, vec![(5, 3)]);
+        assert_eq!(chained.truncations, vec![(5, 9)]);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`DisorderReport`] — empirical disorder metrics (late fraction,
 //!   max/mean lateness) of an arrival stream;
 //! * [`Crash`] and the corruption helpers in [`fault`] — simulated
-//!   process deaths and storage rot for checkpoint/recovery testing.
+//!   process deaths and storage rot for checkpoint/recovery testing;
+//! * [`FramePlan`] — frame-indexed link faults (bit flips, truncation,
+//!   delay/reorder) applied by the server crate's in-memory transport to
+//!   exercise wire-protocol corruption rejection without sockets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,6 @@ mod punctuate;
 
 pub use delay::DelayModel;
 pub use disorder::{measure_disorder, DisorderReport};
-pub use fault::Crash;
+pub use fault::{Crash, FramePlan};
 pub use network::{delay_shuffle, Network, Outage, Source};
 pub use punctuate::punctuate;

@@ -1,0 +1,575 @@
+//! The server's single-threaded evaluation core.
+//!
+//! [`EngineCore`] owns everything the engine thread touches: a
+//! [`MultiEngine`] fanning the shared arrival stream out to every
+//! registered query, the text→id subscription table, and — when
+//! durability is configured — a multi-query adaptation of the
+//! checkpoint/exactly-once machinery from [`sequin_engine::Checkpointer`].
+//! Keeping it free of threads and sockets makes the recovery semantics
+//! testable in isolation; `server.rs` is then only plumbing.
+//!
+//! ## Durability model
+//!
+//! A checkpoint is one sealed envelope holding the ingest position, the
+//! emission-log high-water mark, the registered query *texts*, and the
+//! [`MultiEngine::snapshot`] blob. Persisting the texts makes a restart
+//! self-contained: resume re-parses and re-registers the same queries in
+//! the same order (ids are dense registration indices, so they are stable)
+//! before restoring operator state. The emission log records
+//! `(query id, output kind, match key)` per delivered output; on resume
+//! the suffix past the checkpoint's mark seeds a suppression multiset that
+//! swallows replayed duplicates — the same exactly-once construction the
+//! single-engine `Checkpointer` uses, extended with the query id.
+//!
+//! Subscribing a *new* query immediately takes a checkpoint (when durable)
+//! so registrations survive a crash even if no event has arrived since.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sequin_engine::{CheckpointStore, EngineConfig, MultiEngine, OutputItem, QueryId, Strategy};
+use sequin_query::parse;
+use sequin_runtime::{MatchKey, RuntimeStats};
+use sequin_types::codec::{open_envelope, seal_envelope};
+use sequin_types::{
+    CodecError, Decode, Encode, Reader, StreamItem, Timestamp, TypeRegistry, Writer,
+};
+
+use crate::frame::kind_tag;
+
+/// Evaluation settings shared by every query the core registers.
+#[derive(Clone)]
+pub struct CoreConfig {
+    /// Schema the server negotiates with clients (fingerprint) and parses
+    /// query texts against.
+    pub registry: Arc<TypeRegistry>,
+    /// Engine strategy used for every registered query.
+    pub strategy: Strategy,
+    /// Per-engine configuration (disorder bound, emission policy, ...).
+    pub engine: EngineConfig,
+    /// `Some(n)` checkpoints every `n` ingested stream items and maintains
+    /// the emission log for exactly-once restarts; `None` disables
+    /// durability entirely (no log, no suppression).
+    pub checkpoint_every: Option<u64>,
+}
+
+impl CoreConfig {
+    /// A volatile (non-durable) core over `registry` with the given
+    /// strategy and engine settings.
+    pub fn new(
+        registry: Arc<TypeRegistry>,
+        strategy: Strategy,
+        engine: EngineConfig,
+    ) -> CoreConfig {
+        CoreConfig {
+            registry,
+            strategy,
+            engine,
+            checkpoint_every: None,
+        }
+    }
+}
+
+fn encode_log_record(qid: QueryId, kind_tag: u8, key: &MatchKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(qid.index() as u64);
+    w.put_u8(kind_tag);
+    key.encode(&mut w);
+    seal_envelope(&w.into_bytes())
+}
+
+fn decode_log_record(bytes: &[u8]) -> Result<(u64, u8, MatchKey), CodecError> {
+    let payload = open_envelope(bytes)?;
+    let mut r = Reader::new(payload);
+    let qid = r.get_u64()?;
+    let tag = r.get_u8()?;
+    if tag > 1 {
+        return Err(CodecError::InvalidTag {
+            what: "OutputKind",
+            tag,
+        });
+    }
+    let key = MatchKey::decode(&mut r)?;
+    r.finish()?;
+    Ok((qid, tag, key))
+}
+
+/// The engine thread's state: subscriptions, evaluation, durability.
+pub struct EngineCore {
+    cfg: CoreConfig,
+    multi: MultiEngine,
+    /// `(query text, id)` in registration order.
+    queries: Vec<(String, QueryId)>,
+    store: CheckpointStore,
+    /// Stream items ingested so far (the clients' replay cursor).
+    position: u64,
+    last_ckpt_position: u64,
+    /// Replay-dedup multiset: outputs the pre-crash process delivered that
+    /// deterministic replay will regenerate.
+    suppress: BTreeMap<(u64, u8, MatchKey), u64>,
+    /// Checkpoint counters describing *this* process (not the snapshot).
+    extra: RuntimeStats,
+    /// Set when the log or checkpoints changed since the last
+    /// [`EngineCore::take_dirty`] — the server's cue to persist the store.
+    dirty: bool,
+    drained: bool,
+}
+
+impl std::fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("queries", &self.queries.len())
+            .field("position", &self.position)
+            .field("checkpoints", &self.store.checkpoint_count())
+            .field("log_len", &self.store.log_len())
+            .field("drained", &self.drained)
+            .finish()
+    }
+}
+
+impl EngineCore {
+    /// A fresh core with no queries and an empty store.
+    pub fn new(cfg: CoreConfig) -> EngineCore {
+        EngineCore {
+            cfg,
+            multi: MultiEngine::new(),
+            queries: Vec::new(),
+            store: CheckpointStore::new(),
+            position: 0,
+            last_ckpt_position: 0,
+            suppress: BTreeMap::new(),
+            extra: RuntimeStats::default(),
+            dirty: false,
+            drained: false,
+        }
+    }
+
+    /// Recovers from persisted artifacts. Returns the core plus the stream
+    /// position clients must replay from (0 on a cold start).
+    ///
+    /// The fallback ladder mirrors [`sequin_engine::Checkpointer::resume`]:
+    /// newest intact checkpoint wins; corrupted, version-skewed, or
+    /// unparsable ones are counted in
+    /// [`RuntimeStats::checkpoints_rejected`] and skipped; if none survive,
+    /// recovery degrades to a cold start. The emission-log suffix past the
+    /// accepted checkpoint's mark then seeds replay suppression.
+    pub fn resume(cfg: CoreConfig, store: CheckpointStore) -> (EngineCore, u64) {
+        let mut rejected = 0u64;
+        let mut accepted = None;
+        for ckpt in store.checkpoints_newest_first() {
+            match Self::open_checkpoint(&cfg, ckpt, store.log_len()) {
+                Ok(ok) => {
+                    accepted = Some(ok);
+                    break;
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        let (position, log_mark, multi, queries) =
+            accepted.unwrap_or_else(|| (0, 0, MultiEngine::new(), Vec::new()));
+        let mut suppress: BTreeMap<(u64, u8, MatchKey), u64> = BTreeMap::new();
+        for rec in store.log_records().skip(log_mark) {
+            match decode_log_record(rec) {
+                Ok((qid, tag, key)) => *suppress.entry((qid, tag, key)).or_insert(0) += 1,
+                Err(_) => rejected += 1, // corrupt log record: cannot dedup it
+            }
+        }
+        let core = EngineCore {
+            cfg,
+            multi,
+            queries,
+            store,
+            position,
+            last_ckpt_position: position,
+            suppress,
+            extra: RuntimeStats {
+                checkpoints_rejected: rejected,
+                ..RuntimeStats::default()
+            },
+            dirty: false,
+            drained: false,
+        };
+        (core, position)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn open_checkpoint(
+        cfg: &CoreConfig,
+        bytes: &[u8],
+        log_len: usize,
+    ) -> Result<(u64, usize, MultiEngine, Vec<(String, QueryId)>), CodecError> {
+        let payload = open_envelope(bytes)?;
+        let mut r = Reader::new(payload);
+        let position = r.get_u64()?;
+        let log_mark = r.get_u64()? as usize;
+        if log_mark > log_len {
+            return Err(CodecError::SnapshotMismatch("emission log length"));
+        }
+        let n = r.get_u64()?;
+        if n > r.remaining() as u64 {
+            return Err(CodecError::BadLength);
+        }
+        let mut texts = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            texts.push(r.get_str()?);
+        }
+        let blob = r.get_bytes()?;
+        r.finish()?;
+        let mut multi = MultiEngine::new();
+        let mut queries = Vec::with_capacity(texts.len());
+        for text in texts {
+            let q = parse(&text, &cfg.registry)
+                .map_err(|_| CodecError::SnapshotMismatch("persisted query text"))?;
+            let id = multi.register(q, cfg.strategy, cfg.engine);
+            queries.push((text, id));
+        }
+        multi.restore(&blob)?;
+        Ok((position, log_mark, multi, queries))
+    }
+
+    fn durable(&self) -> bool {
+        self.cfg.checkpoint_every.is_some()
+    }
+
+    /// Registers `text` as a query, or returns the existing id when the
+    /// identical text is already registered (clients re-subscribing after
+    /// a reconnect land on their old query and its retained state).
+    pub fn subscribe(&mut self, text: &str) -> Result<QueryId, String> {
+        if let Some((_, id)) = self.queries.iter().find(|(t, _)| t == text) {
+            return Ok(*id);
+        }
+        let q = parse(text, &self.cfg.registry).map_err(|e| e.to_string())?;
+        let id = self.multi.register(q, self.cfg.strategy, self.cfg.engine);
+        self.queries.push((text.to_owned(), id));
+        if self.durable() {
+            // make the registration itself crash-safe
+            self.checkpoint_now();
+        }
+        Ok(id)
+    }
+
+    /// Ingests one arrival into every query; returns the outputs to
+    /// deliver (replay duplicates already swallowed). Ignored after
+    /// [`EngineCore::finish`].
+    pub fn ingest(&mut self, item: &StreamItem) -> Vec<(QueryId, OutputItem)> {
+        if self.drained {
+            return Vec::new();
+        }
+        let raw = self.multi.ingest(item);
+        self.position += 1;
+        let out = self.filter_and_log(raw);
+        if let Some(n) = self.cfg.checkpoint_every {
+            if self.position.saturating_sub(self.last_ckpt_position) >= n {
+                self.checkpoint_now();
+            }
+        }
+        out
+    }
+
+    /// Flushes every query's held state (end-of-stream) and marks the core
+    /// drained; later ingests are dropped.
+    pub fn finish(&mut self) -> Vec<(QueryId, OutputItem)> {
+        if self.drained {
+            return Vec::new();
+        }
+        let raw = self.multi.finish();
+        let out = self.filter_and_log(raw);
+        self.drained = true;
+        if self.durable() {
+            self.checkpoint_now();
+        }
+        out
+    }
+
+    fn filter_and_log(&mut self, raw: Vec<(QueryId, OutputItem)>) -> Vec<(QueryId, OutputItem)> {
+        if !self.durable() {
+            return raw;
+        }
+        let mut out = Vec::with_capacity(raw.len());
+        for (qid, o) in raw {
+            let tag = kind_tag(o.kind);
+            let key = (qid.index() as u64, tag, o.m.key());
+            if let Some(n) = self.suppress.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.suppress.remove(&key);
+                }
+                self.extra.replayed_suppressed += 1;
+                continue;
+            }
+            self.store.append_log(encode_log_record(qid, tag, &key.2));
+            self.dirty = true;
+            out.push((qid, o));
+        }
+        out
+    }
+
+    /// Takes a checkpoint immediately (no-op when any engine lacks
+    /// snapshot support).
+    pub fn checkpoint_now(&mut self) {
+        let Ok(blob) = self.multi.snapshot() else {
+            return;
+        };
+        let mut w = Writer::new();
+        w.put_u64(self.position);
+        w.put_u64(self.store.log_len() as u64);
+        w.put_u64(self.queries.len() as u64);
+        for (text, _) in &self.queries {
+            w.put_str(text);
+        }
+        w.put_bytes(&blob);
+        self.store.push_checkpoint(seal_envelope(&w.into_bytes()));
+        self.extra.checkpoints_written += 1;
+        self.last_ckpt_position = self.position;
+        self.dirty = true;
+    }
+
+    /// The durable artifacts (what a crash survives).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Returns whether the store changed since the last call, clearing the
+    /// flag — the engine thread's cue to persist to disk.
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::replace(&mut self.dirty, false)
+    }
+
+    /// Stream items ingested so far.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> u64 {
+        self.queries.len() as u64
+    }
+
+    /// True once [`EngineCore::finish`] has run.
+    pub fn drained(&self) -> bool {
+        self.drained
+    }
+
+    /// The schema fingerprint this core negotiates sessions against.
+    pub fn fingerprint(&self) -> u64 {
+        self.cfg.registry.fingerprint()
+    }
+
+    /// The minimum low-watermark across registered queries.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.multi.watermark()
+    }
+
+    /// Aggregate operator counters across every query, plus this process's
+    /// checkpoint/recovery counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut total = self.extra;
+        for s in self.multi.stats() {
+            total += s;
+        }
+        total
+    }
+
+    /// Replayed-but-not-yet-seen suppressions still outstanding.
+    pub fn pending_suppressions(&self) -> usize {
+        self.suppress.values().map(|n| *n as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_engine::OutputKind;
+    use sequin_types::{Duration, Event, EventId, Value, ValueKind};
+
+    fn registry() -> Arc<TypeRegistry> {
+        let mut reg = TypeRegistry::new();
+        for name in ["A", "B"] {
+            reg.declare(name, &[("x", ValueKind::Int)]).unwrap();
+        }
+        Arc::new(reg)
+    }
+
+    fn cfg(reg: &Arc<TypeRegistry>, every: Option<u64>) -> CoreConfig {
+        CoreConfig {
+            registry: reg.clone(),
+            strategy: Strategy::Native,
+            engine: EngineConfig::with_k(Duration::new(10)),
+            checkpoint_every: every,
+        }
+    }
+
+    fn item(reg: &TypeRegistry, ty: &str, id: u64, ts: u64) -> StreamItem {
+        StreamItem::Event(Arc::new(
+            Event::builder(reg.lookup(ty).unwrap(), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .attr(Value::Int(0))
+                .build(),
+        ))
+    }
+
+    fn stream(reg: &TypeRegistry) -> Vec<StreamItem> {
+        let mut items = Vec::new();
+        let mut id = 0;
+        for t in 0..60u64 {
+            id += 1;
+            let ty = if t % 3 == 0 { "B" } else { "A" };
+            let ts = if t % 5 == 2 { t.saturating_sub(3) } else { t };
+            items.push(item(reg, ty, id, ts * 2));
+        }
+        items
+    }
+
+    const Q_AB: &str = "PATTERN SEQ(A a, B b) WITHIN 8";
+    const Q_BA: &str = "PATTERN SEQ(B b, A a) WITHIN 8";
+
+    fn net(out: &[(QueryId, OutputItem)]) -> Vec<(usize, bool, Vec<u64>)> {
+        let mut v: Vec<(usize, bool, Vec<u64>)> = out
+            .iter()
+            .map(|(q, o)| {
+                (
+                    q.index(),
+                    o.kind == OutputKind::Insert,
+                    o.m.events().iter().map(|e| e.id().get()).collect(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn subscribe_dedups_identical_text() {
+        let reg = registry();
+        let mut core = EngineCore::new(cfg(&reg, None));
+        let a = core.subscribe(Q_AB).unwrap();
+        let b = core.subscribe(Q_BA).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(core.subscribe(Q_AB).unwrap(), a, "same text, same id");
+        assert_eq!(core.query_count(), 2);
+        assert!(core.subscribe("PATTERN nonsense").is_err());
+        assert_eq!(core.query_count(), 2, "failed parse registers nothing");
+    }
+
+    #[test]
+    fn drained_core_ignores_further_input() {
+        let reg = registry();
+        let mut core = EngineCore::new(cfg(&reg, None));
+        core.subscribe(Q_AB).unwrap();
+        let items = stream(&reg);
+        let mut out = Vec::new();
+        for it in &items {
+            out.extend(core.ingest(it));
+        }
+        out.extend(core.finish());
+        assert!(core.drained());
+        assert!(!out.is_empty());
+        assert!(core.ingest(&items[0]).is_empty());
+        assert!(core.finish().is_empty(), "second finish is a no-op");
+    }
+
+    #[test]
+    fn crash_and_resume_is_exactly_once_across_queries() {
+        let reg = registry();
+        let items = stream(&reg);
+
+        // oracle: one uninterrupted run
+        let mut oracle = EngineCore::new(cfg(&reg, None));
+        oracle.subscribe(Q_AB).unwrap();
+        oracle.subscribe(Q_BA).unwrap();
+        let mut baseline = Vec::new();
+        for it in &items {
+            baseline.extend(oracle.ingest(it));
+        }
+        baseline.extend(oracle.finish());
+
+        // durable run, crash after 40 items
+        let mut core = EngineCore::new(cfg(&reg, Some(25)));
+        core.subscribe(Q_AB).unwrap();
+        core.subscribe(Q_BA).unwrap();
+        let mut delivered = Vec::new();
+        for it in &items[..40] {
+            delivered.extend(core.ingest(it));
+        }
+        let saved = core.store().clone();
+        drop(core); // crash
+
+        let (mut core, replay_from) = EngineCore::resume(cfg(&reg, Some(25)), saved);
+        assert!(replay_from > 0, "a checkpoint was accepted");
+        assert_eq!(core.query_count(), 2, "queries rebuilt from the snapshot");
+        for it in &items[replay_from as usize..] {
+            delivered.extend(core.ingest(it));
+        }
+        delivered.extend(core.finish());
+        assert_eq!(net(&delivered), net(&baseline));
+        assert!(core.stats().replayed_suppressed > 0);
+        assert_eq!(core.pending_suppressions(), 0);
+    }
+
+    #[test]
+    fn corrupted_latest_checkpoint_falls_back_then_cold_start() {
+        let reg = registry();
+        let items = stream(&reg);
+
+        let mut oracle = EngineCore::new(cfg(&reg, None));
+        oracle.subscribe(Q_AB).unwrap();
+        let mut baseline = Vec::new();
+        for it in &items {
+            baseline.extend(oracle.ingest(it));
+        }
+        baseline.extend(oracle.finish());
+
+        let mut core = EngineCore::new(cfg(&reg, Some(15)));
+        core.subscribe(Q_AB).unwrap();
+        let mut pre_crash = Vec::new();
+        for it in &items[..40] {
+            pre_crash.extend(core.ingest(it));
+        }
+        let mut saved = core.store().clone();
+        assert!(saved.checkpoint_count() >= 2);
+        saved.checkpoint_mut(0).unwrap()[25] ^= 0x10;
+        drop(core);
+
+        let (mut core, replay_from) = EngineCore::resume(cfg(&reg, Some(15)), saved.clone());
+        assert_eq!(core.stats().checkpoints_rejected, 1, "latest rejected");
+        let mut delivered = pre_crash.clone();
+        for it in &items[replay_from as usize..] {
+            delivered.extend(core.ingest(it));
+        }
+        delivered.extend(core.finish());
+        assert_eq!(net(&delivered), net(&baseline));
+
+        // now corrupt every checkpoint: cold start, still exactly-once
+        let count = saved.checkpoint_count();
+        for ix in 0..count {
+            let bytes = saved.checkpoint_mut(ix).unwrap();
+            let keep = bytes.len() / 2;
+            bytes.truncate(keep);
+        }
+        let (mut core, replay_from) = EngineCore::resume(cfg(&reg, Some(15)), saved);
+        assert_eq!(replay_from, 0, "cold start");
+        // a cold core has no queries yet; the server re-subscribes
+        assert_eq!(core.subscribe(Q_AB).unwrap().index(), 0);
+        let mut delivered2 = pre_crash;
+        for it in &items {
+            delivered2.extend(core.ingest(it));
+        }
+        delivered2.extend(core.finish());
+        assert_eq!(net(&delivered2), net(&baseline));
+        assert_eq!(core.pending_suppressions(), 0);
+    }
+
+    #[test]
+    fn subscription_is_durable_immediately() {
+        let reg = registry();
+        let mut core = EngineCore::new(cfg(&reg, Some(1000)));
+        core.subscribe(Q_AB).unwrap();
+        assert!(core.take_dirty());
+        let saved = core.store().clone();
+        drop(core); // crash before any event
+
+        let (core, replay_from) = EngineCore::resume(cfg(&reg, Some(1000)), saved);
+        assert_eq!(replay_from, 0);
+        assert_eq!(core.query_count(), 1, "registration survived the crash");
+    }
+}

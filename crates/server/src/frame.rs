@@ -1,0 +1,591 @@
+//! The framed wire protocol.
+//!
+//! Every message on a connection is one **frame**: a little-endian `u32`
+//! length prefix followed by that many bytes of a sealed envelope from
+//! [`sequin_types::codec`] (`magic ‖ version ‖ length ‖ payload ‖
+//! fnv1a-64`). The envelope payload is a one-byte frame tag plus the
+//! frame body. Reusing the checkpoint codec means the protocol inherits
+//! its corruption guarantees for free: any truncation or bit flip in
+//! flight is detected before a single payload byte is interpreted, and a
+//! corrupted frame is *rejected with a typed error*, never decoded into
+//! silently wrong events.
+//!
+//! ## Conversation shape
+//!
+//! ```text
+//! client                                server
+//!   | -- HELLO(fingerprint) ------------> |   schema negotiation
+//!   | <-- HELLO_ACK(fp, resume_from) ---- |   (or ERROR + close)
+//!   | -- SUBSCRIBE(query text) ---------> |
+//!   | <-- SUB_ACK(query_id) ------------- |
+//!   | -- EVENT / EVENT_BATCH / PUNCT --> |   fire-and-forget ingestion
+//!   | <-- OUTPUT(query_id, match) ------- |   streamed as produced
+//!   | <-- BUSY(queued) ------------------ |   backpressure advisory
+//!   | -- STATS_REQ ---------------------> |
+//!   | <-- STATS_REPLY(server, engine) --- |
+//!   | -- DRAIN -------------------------> |   end-of-stream
+//!   | <-- OUTPUT... <-- DRAIN_ACK ------- |   sealed results, then ack
+//!   | -- BYE ---------------------------> |
+//! ```
+//!
+//! `resume_from` in HELLO_ACK is the server's ingest position (stream
+//! items accepted so far); after a reconnect or a server restart from a
+//! checkpoint, the client replays its stream starting at that index and
+//! the server's emission log suppresses anything already delivered.
+
+use std::io::{self, Read, Write};
+
+use sequin_engine::OutputKind;
+use sequin_runtime::RuntimeStats;
+use sequin_types::codec::{open_envelope, seal_envelope};
+use sequin_types::{ArrivalSeq, CodecError, Decode, Encode, EventRef, Reader, Timestamp, Writer};
+
+use crate::stats::ServerStats;
+
+/// Upper bound on a single frame's envelope, enforced before allocation so
+/// a corrupted or hostile length prefix cannot exhaust memory.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Machine-readable reason carried by an [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame failed envelope validation or body decoding.
+    BadFrame,
+    /// HELLO was malformed, duplicated, or required but missing.
+    BadHello,
+    /// Client and server [`sequin_types::TypeRegistry`] fingerprints
+    /// differ; events would be misinterpreted, so the session is refused.
+    SchemaMismatch,
+    /// A SUBSCRIBE query failed to parse/compile on the server.
+    BadQuery,
+    /// The frame kind is not valid in this direction or session state.
+    Unexpected,
+    /// The server has drained and no longer accepts ingestion.
+    Draining,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 0,
+            ErrorCode::BadHello => 1,
+            ErrorCode::SchemaMismatch => 2,
+            ErrorCode::BadQuery => 3,
+            ErrorCode::Unexpected => 4,
+            ErrorCode::Draining => 5,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<ErrorCode, CodecError> {
+        Ok(match tag {
+            0 => ErrorCode::BadFrame,
+            1 => ErrorCode::BadHello,
+            2 => ErrorCode::SchemaMismatch,
+            3 => ErrorCode::BadQuery,
+            4 => ErrorCode::Unexpected,
+            5 => ErrorCode::Draining,
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "ErrorCode",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::BadHello => "bad-hello",
+            ErrorCode::SchemaMismatch => "schema-mismatch",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::Unexpected => "unexpected-frame",
+            ErrorCode::Draining => "draining",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One streamed result: a match (or retraction) produced by the query the
+/// subscriber registered, with the same latency bookkeeping the in-process
+/// [`sequin_engine::OutputItem`] carries. Deterministic ingestion order
+/// makes the encoding byte-identical to an in-process oracle run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputFrame {
+    /// Dense registration index of the query that produced the match.
+    pub query_id: u64,
+    /// Insert or retract.
+    pub kind: OutputKind,
+    /// The matched events, in slot order.
+    pub events: Vec<EventRef>,
+    /// Arrival sequence number at which the server emitted this.
+    pub emit_seq: ArrivalSeq,
+    /// The server engine clock at emission.
+    pub emit_clock: Timestamp,
+}
+
+/// Every message of the wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client→server session opener: schema fingerprint + display name.
+    Hello {
+        /// The client's [`sequin_types::TypeRegistry::fingerprint`].
+        fingerprint: u64,
+        /// Free-form client identification (diagnostics only).
+        client: String,
+    },
+    /// Server→client handshake acceptance.
+    HelloAck {
+        /// The server's registry fingerprint (matches the client's).
+        fingerprint: u64,
+        /// The server's current ingest position: replay your stream from
+        /// this item index to continue exactly-once.
+        resume_from: u64,
+        /// Number of queries currently registered.
+        queries: u64,
+    },
+    /// One event, fire-and-forget.
+    Event(EventRef),
+    /// A batch of events, fire-and-forget (amortizes framing overhead).
+    EventBatch(Vec<EventRef>),
+    /// A source-asserted low-watermark (see
+    /// [`sequin_types::StreamItem::Punctuation`]).
+    Punctuation(Timestamp),
+    /// Register (or attach to) a query; the server streams its outputs
+    /// back on this connection.
+    Subscribe {
+        /// Query text in the PATTERN language, parsed server-side.
+        query: String,
+    },
+    /// Subscription acknowledgement.
+    SubAck {
+        /// Dense id assigned to (or reused for) the query.
+        query_id: u64,
+    },
+    /// One streamed result.
+    Output(OutputFrame),
+    /// Ask for server + engine counters.
+    StatsReq,
+    /// Counters snapshot.
+    StatsReply {
+        /// Connection/frame/backpressure counters.
+        server: ServerStats,
+        /// Aggregated engine operator counters.
+        engine: RuntimeStats,
+    },
+    /// End-of-stream: flush all held state (reorder buffers, pending
+    /// negations), then acknowledge.
+    Drain,
+    /// All outputs triggered by the drain precede this on the wire.
+    DrainAck,
+    /// Backpressure advisory: the ingest queue crossed its high-water
+    /// mark; the sender keeps accepting (blocking), but a well-behaved
+    /// client should slow down.
+    Busy {
+        /// Queue depth observed when the advisory fired.
+        queued: u64,
+    },
+    /// Protocol failure; the sender closes the session after this frame.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Polite goodbye; the connection closes.
+    Bye,
+}
+
+pub(crate) fn kind_tag(kind: OutputKind) -> u8 {
+    match kind {
+        OutputKind::Insert => 0,
+        OutputKind::Retract => 1,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<OutputKind, CodecError> {
+    match tag {
+        0 => Ok(OutputKind::Insert),
+        1 => Ok(OutputKind::Retract),
+        tag => Err(CodecError::InvalidTag {
+            what: "OutputKind",
+            tag,
+        }),
+    }
+}
+
+/// Encodes a frame into its sealed envelope (the bytes a transport
+/// carries, *without* the `u32` length prefix).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    match frame {
+        Frame::Hello {
+            fingerprint,
+            client,
+        } => {
+            w.put_u8(0);
+            w.put_u64(*fingerprint);
+            w.put_str(client);
+        }
+        Frame::HelloAck {
+            fingerprint,
+            resume_from,
+            queries,
+        } => {
+            w.put_u8(1);
+            w.put_u64(*fingerprint);
+            w.put_u64(*resume_from);
+            w.put_u64(*queries);
+        }
+        Frame::Event(e) => {
+            w.put_u8(2);
+            e.encode(&mut w);
+        }
+        Frame::EventBatch(events) => {
+            w.put_u8(3);
+            events.encode(&mut w);
+        }
+        Frame::Punctuation(t) => {
+            w.put_u8(4);
+            t.encode(&mut w);
+        }
+        Frame::Subscribe { query } => {
+            w.put_u8(5);
+            w.put_str(query);
+        }
+        Frame::SubAck { query_id } => {
+            w.put_u8(6);
+            w.put_u64(*query_id);
+        }
+        Frame::Output(o) => {
+            w.put_u8(7);
+            w.put_u64(o.query_id);
+            w.put_u8(kind_tag(o.kind));
+            o.events.encode(&mut w);
+            o.emit_seq.encode(&mut w);
+            o.emit_clock.encode(&mut w);
+        }
+        Frame::StatsReq => {
+            w.put_u8(8);
+        }
+        Frame::StatsReply { server, engine } => {
+            w.put_u8(9);
+            server.encode(&mut w);
+            engine.encode(&mut w);
+        }
+        Frame::Drain => {
+            w.put_u8(10);
+        }
+        Frame::DrainAck => {
+            w.put_u8(11);
+        }
+        Frame::Busy { queued } => {
+            w.put_u8(12);
+            w.put_u64(*queued);
+        }
+        Frame::Error { code, message } => {
+            w.put_u8(13);
+            w.put_u8(code.tag());
+            w.put_str(message);
+        }
+        Frame::Bye => {
+            w.put_u8(14);
+        }
+    }
+    seal_envelope(&w.into_bytes())
+}
+
+/// Validates a sealed envelope and decodes the frame inside.
+///
+/// Every failure — truncation, bit flip, unknown tag, trailing bytes — is
+/// a typed [`CodecError`] rejection; this function never panics on
+/// arbitrary input.
+pub fn decode_frame(sealed: &[u8]) -> Result<Frame, CodecError> {
+    let payload = open_envelope(sealed)?;
+    let mut r = Reader::new(payload);
+    let frame = match r.get_u8()? {
+        0 => Frame::Hello {
+            fingerprint: r.get_u64()?,
+            client: r.get_str()?,
+        },
+        1 => Frame::HelloAck {
+            fingerprint: r.get_u64()?,
+            resume_from: r.get_u64()?,
+            queries: r.get_u64()?,
+        },
+        2 => Frame::Event(EventRef::decode(&mut r)?),
+        3 => Frame::EventBatch(Vec::<EventRef>::decode(&mut r)?),
+        4 => Frame::Punctuation(Timestamp::decode(&mut r)?),
+        5 => Frame::Subscribe {
+            query: r.get_str()?,
+        },
+        6 => Frame::SubAck {
+            query_id: r.get_u64()?,
+        },
+        7 => Frame::Output(OutputFrame {
+            query_id: r.get_u64()?,
+            kind: kind_from_tag(r.get_u8()?)?,
+            events: Vec::<EventRef>::decode(&mut r)?,
+            emit_seq: ArrivalSeq::decode(&mut r)?,
+            emit_clock: Timestamp::decode(&mut r)?,
+        }),
+        8 => Frame::StatsReq,
+        9 => Frame::StatsReply {
+            server: ServerStats::decode(&mut r)?,
+            engine: RuntimeStats::decode(&mut r)?,
+        },
+        10 => Frame::Drain,
+        11 => Frame::DrainAck,
+        12 => Frame::Busy {
+            queued: r.get_u64()?,
+        },
+        13 => Frame::Error {
+            code: ErrorCode::from_tag(r.get_u8()?)?,
+            message: r.get_str()?,
+        },
+        14 => Frame::Bye,
+        tag => return Err(CodecError::InvalidTag { what: "Frame", tag }),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Writes one length-prefixed frame (`u32` LE length, then the sealed
+/// envelope) and flushes.
+pub fn write_frame(w: &mut impl Write, sealed: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(sealed.len())
+        .ok()
+        .filter(|l| *l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME_LEN")
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(sealed)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary; EOF mid-frame is an [`io::ErrorKind::UnexpectedEof`]
+/// error (a torn write, distinguishable from an orderly close).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sequin_types::{Event, EventId, EventTypeId, Value};
+    use std::sync::Arc;
+
+    fn sample_event(id: u64, ts: u64) -> EventRef {
+        Arc::new(
+            Event::builder(EventTypeId::from_index(1), Timestamp::new(ts))
+                .id(EventId::new(id))
+                .attr(Value::Int(-3))
+                .attr(Value::str("wire"))
+                .build()
+                .with_arrival(ArrivalSeq::new(id)),
+        )
+    }
+
+    fn every_frame_kind() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                fingerprint: 0xDEAD_BEEF,
+                client: "test-client".into(),
+            },
+            Frame::HelloAck {
+                fingerprint: 0xDEAD_BEEF,
+                resume_from: 42,
+                queries: 3,
+            },
+            Frame::Event(sample_event(7, 100)),
+            Frame::EventBatch(vec![sample_event(8, 101), sample_event(9, 99)]),
+            Frame::Punctuation(Timestamp::new(77)),
+            Frame::Subscribe {
+                query: "PATTERN SEQ(A a, B b) WITHIN 10".into(),
+            },
+            Frame::SubAck { query_id: 2 },
+            Frame::Output(OutputFrame {
+                query_id: 1,
+                kind: OutputKind::Insert,
+                events: vec![sample_event(3, 50), sample_event(4, 60)],
+                emit_seq: ArrivalSeq::new(12),
+                emit_clock: Timestamp::new(65),
+            }),
+            Frame::Output(OutputFrame {
+                query_id: 0,
+                kind: OutputKind::Retract,
+                events: vec![sample_event(5, 55)],
+                emit_seq: ArrivalSeq::new(13),
+                emit_clock: Timestamp::new(70),
+            }),
+            Frame::StatsReq,
+            Frame::StatsReply {
+                server: ServerStats {
+                    frames_received: 9,
+                    busy_frames_sent: 2,
+                    ..ServerStats::default()
+                },
+                engine: RuntimeStats {
+                    insertions: 5,
+                    ..RuntimeStats::default()
+                },
+            },
+            Frame::Drain,
+            Frame::DrainAck,
+            Frame::Busy { queued: 512 },
+            Frame::Error {
+                code: ErrorCode::SchemaMismatch,
+                message: "fingerprints differ".into(),
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        for frame in every_frame_kind() {
+            let sealed = encode_frame(&frame);
+            let back = decode_frame(&sealed).unwrap_or_else(|e| panic!("{frame:?}: {e}"));
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn every_error_code_round_trips() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::BadHello,
+            ErrorCode::SchemaMismatch,
+            ErrorCode::BadQuery,
+            ErrorCode::Unexpected,
+            ErrorCode::Draining,
+        ] {
+            let sealed = encode_frame(&Frame::Error {
+                code,
+                message: code.to_string(),
+            });
+            match decode_frame(&sealed).unwrap() {
+                Frame::Error { code: back, .. } => assert_eq!(back, code),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked() {
+        for frame in every_frame_kind() {
+            let sealed = encode_frame(&frame);
+            for keep in 0..sealed.len() {
+                assert!(
+                    decode_frame(&sealed[..keep]).is_err(),
+                    "{frame:?} truncated to {keep} bytes must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flipped_frames_are_rejected_not_panicked() {
+        // every bit of every byte of every frame kind: the checksum (or a
+        // stricter structural check) must catch all of them
+        for frame in every_frame_kind() {
+            let sealed = encode_frame(&frame);
+            for byte in 0..sealed.len() {
+                for bit in 0..8 {
+                    let mut bad = sealed.clone();
+                    bad[byte] ^= 1 << bit;
+                    assert!(
+                        decode_frame(&bad).is_err(),
+                        "{frame:?} flip at byte {byte} bit {bit} must be rejected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_frame_tag_is_rejected() {
+        let sealed = seal_envelope(&[200u8]);
+        assert!(matches!(
+            decode_frame(&sealed),
+            Err(CodecError::InvalidTag { what: "Frame", .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(14); // Bye
+        w.put_u8(0xAA); // junk
+        let sealed = seal_envelope(&w.into_bytes());
+        assert_eq!(decode_frame(&sealed), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn wire_round_trip_and_eof_handling() {
+        let frames = every_frame_kind();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, &encode_frame(f)).unwrap();
+        }
+        let mut cursor = io::Cursor::new(&wire[..]);
+        for f in &frames {
+            let sealed = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(&decode_frame(&sealed).unwrap(), f);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        // EOF mid-frame (torn write) is an error, not a clean close
+        let torn = &wire[..wire.len() - 3];
+        let mut cursor = io::Cursor::new(torn);
+        let mut seen = 0;
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(Some(_)) => seen += 1,
+                Ok(None) => panic!("torn stream reported clean EOF"),
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+                    break;
+                }
+            }
+        }
+        assert_eq!(seen, frames.len() - 1);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(b"junk");
+        let mut cursor = io::Cursor::new(&wire[..]);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

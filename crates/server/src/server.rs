@@ -1,0 +1,589 @@
+//! The server: session readers, one engine thread, bounded backpressure.
+//!
+//! ## Threading model
+//!
+//! Each accepted connection gets a **reader thread** that performs the
+//! HELLO handshake itself, then decodes frames and forwards work to the
+//! single **engine thread** over one bounded `mpsc::sync_channel`. The
+//! engine thread is the only code touching [`EngineCore`], so evaluation
+//! needs no locks and output order is globally deterministic: every
+//! subscriber observes outputs in the exact order the engine produced
+//! them, and a `DRAIN_ACK` is written only after every output the drain
+//! triggered.
+//!
+//! ## Backpressure
+//!
+//! The queue is bounded. A reader first `try_send`s; on a full queue it
+//! counts a [`ServerStats::backpressure_stalls`] and falls back to a
+//! *blocking* send — TCP flow control then propagates the stall to the
+//! sender. Independently, when the queue depth crosses the configured
+//! high-water mark the reader sends the client one BUSY advisory (rearmed
+//! once depth falls below half the mark).
+//!
+//! ## Durability
+//!
+//! With [`CoreConfig::checkpoint_every`] set and a
+//! [`ServerConfig::store_path`], the engine thread persists the checkpoint
+//! store after processing any message that dirtied it — i.e. after
+//! delivering the outputs. A crash between delivery and persistence can
+//! therefore lose the *log record* of an output that was already sent
+//! (at-least-once for that sliver); everywhere else the restart is
+//! exactly-once, and [`Server::crash`] (the fault-injection kill) lands on
+//! a message boundary where no such window is open.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use sequin_engine::CheckpointStore;
+use sequin_types::StreamItem;
+
+use crate::core::{CoreConfig, EngineCore};
+use crate::frame::{decode_frame, encode_frame, ErrorCode, Frame, OutputFrame};
+use crate::stats::ServerStats;
+use crate::transport::{FrameSink, TcpTransport, Transport};
+
+/// Server deployment settings.
+pub struct ServerConfig {
+    /// Schema, strategy, per-engine settings, durability cadence.
+    pub core: CoreConfig,
+    /// Queries registered before the first connection is accepted (clients
+    /// may SUBSCRIBE more at runtime).
+    pub queries: Vec<String>,
+    /// Bound of the reader→engine queue.
+    pub queue_capacity: usize,
+    /// Queue depth at which readers send a BUSY advisory.
+    pub busy_high_water: usize,
+    /// Where the checkpoint store is persisted (and loaded from at
+    /// startup, resuming a previous incarnation). `None` keeps durability
+    /// artifacts in memory only.
+    pub store_path: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// Defaults: 1024-deep queue, BUSY at 768, no persistence.
+    pub fn new(core: CoreConfig) -> ServerConfig {
+        ServerConfig {
+            core,
+            queries: Vec::new(),
+            queue_capacity: 1024,
+            busy_high_water: 768,
+            store_path: None,
+        }
+    }
+}
+
+enum EngineMsg {
+    Ingest(StreamItem),
+    Subscribe {
+        conn: u64,
+        query: String,
+        sink: Arc<dyn FrameSink>,
+    },
+    Stats {
+        sink: Arc<dyn FrameSink>,
+    },
+    Drain {
+        sink: Arc<dyn FrameSink>,
+    },
+    Disconnect {
+        conn: u64,
+    },
+    /// Fault injection: die *now*, skipping every persistence path.
+    Crash,
+    /// Graceful stop: persist, then exit.
+    Shutdown,
+}
+
+struct Shared {
+    tx: SyncSender<EngineMsg>,
+    /// Ingest messages currently queued (readers increment, engine
+    /// decrements) — the BUSY advisory's trigger.
+    depth: AtomicUsize,
+    stats: Mutex<ServerStats>,
+    /// Mirror of the core's ingest position, served in HELLO_ACK.
+    resume_from: AtomicU64,
+    /// Mirror of the core's query count, served in HELLO_ACK.
+    query_count: AtomicU64,
+    fingerprint: u64,
+    busy_high_water: usize,
+    accepting: AtomicBool,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn with_stats(&self, f: impl FnOnce(&mut ServerStats)) {
+        let mut s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut s);
+    }
+
+    /// Sends a frame, counting it; delivery failures mean the peer is gone
+    /// and are ignored (the reader observes the close independently).
+    fn send(&self, sink: &Arc<dyn FrameSink>, frame: &Frame) {
+        if sink.send_frame(&encode_frame(frame)).is_ok() {
+            self.with_stats(|s| s.frames_sent += 1);
+        }
+    }
+}
+
+/// Handle to a running server (engine thread + optional TCP acceptor).
+pub struct Server {
+    shared: Arc<Shared>,
+    engine: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Starts the engine thread. If [`ServerConfig::store_path`] names an
+    /// existing store, the core resumes from it (replaying clients see the
+    /// resulting position in HELLO_ACK); otherwise it starts cold and
+    /// registers [`ServerConfig::queries`].
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let (tx, rx) = mpsc::sync_channel::<EngineMsg>(config.queue_capacity.max(1));
+        let fingerprint = config.core.registry.fingerprint();
+
+        let mut core = match &config.store_path {
+            Some(path) if path.exists() => {
+                let store = CheckpointStore::load(path).map_err(|e| e.to_string())?;
+                let (core, _replay_from) = EngineCore::resume(config.core.clone(), store);
+                core
+            }
+            _ => EngineCore::new(config.core.clone()),
+        };
+        for q in &config.queries {
+            core.subscribe(q).map_err(|e| format!("query {q:?}: {e}"))?;
+        }
+
+        let shared = Arc::new(Shared {
+            tx,
+            depth: AtomicUsize::new(0),
+            stats: Mutex::new(ServerStats::default()),
+            resume_from: AtomicU64::new(core.position()),
+            query_count: AtomicU64::new(core.query_count()),
+            fingerprint,
+            busy_high_water: config.busy_high_water.max(1),
+            accepting: AtomicBool::new(true),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let engine = {
+            let shared = shared.clone();
+            let store_path = config.store_path.clone();
+            std::thread::Builder::new()
+                .name("sequin-engine".into())
+                .spawn(move || engine_loop(core, rx, shared, store_path))
+                .map_err(|e| e.to_string())?
+        };
+
+        Ok(Server {
+            shared,
+            engine: Some(engine),
+            acceptor: None,
+            local_addr: None,
+        })
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and accepts TCP sessions until
+    /// shutdown. Returns the bound address.
+    pub fn listen(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = self.shared.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("sequin-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if !shared.accepting.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    match TcpTransport::new(stream) {
+                        Ok(t) => spawn_session(shared.clone(), Box::new(t)),
+                        Err(_) => continue,
+                    }
+                }
+            })?;
+        self.acceptor = Some(acceptor);
+        self.local_addr = Some(local);
+        Ok(local)
+    }
+
+    /// The TCP address [`Server::listen`] bound, if any.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Serves one pre-established transport (e.g. a
+    /// [`crate::transport::MemTransport`]) as a session.
+    pub fn attach(&self, transport: Box<dyn Transport>) {
+        spawn_session(self.shared.clone(), transport);
+    }
+
+    /// Snapshot of the connection/frame counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stop_acceptor(&mut self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        if let Some(addr) = self.local_addr {
+            // wake the blocking accept() so the thread observes the flag
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful stop: stops accepting, persists durable state, joins the
+    /// engine thread. Sessions still open simply find the queue closed.
+    pub fn shutdown(&mut self) {
+        self.stop_acceptor();
+        let _ = self.shared.tx.send(EngineMsg::Shutdown);
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Fault injection: kill the engine thread *without* any final
+    /// persistence, simulating a process crash. Whatever the store file
+    /// held at the last dirty-save is all a restart gets.
+    pub fn crash(&mut self) {
+        self.stop_acceptor();
+        let _ = self.shared.tx.send(EngineMsg::Crash);
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.engine.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn persist_if_dirty(core: &mut EngineCore, store_path: &Option<PathBuf>) {
+    if core.take_dirty() {
+        if let Some(path) = store_path {
+            let _ = core.store().save(path);
+        }
+    }
+}
+
+fn engine_loop(
+    mut core: EngineCore,
+    rx: mpsc::Receiver<EngineMsg>,
+    shared: Arc<Shared>,
+    store_path: Option<PathBuf>,
+) {
+    // conn id → (reply sink, queries that conn subscribed to)
+    let mut subscribers: HashMap<u64, (Arc<dyn FrameSink>, Vec<usize>)> = HashMap::new();
+
+    let deliver =
+        |subscribers: &HashMap<u64, (Arc<dyn FrameSink>, Vec<usize>)>,
+         shared: &Shared,
+         outputs: Vec<(sequin_engine::QueryId, sequin_engine::OutputItem)>| {
+            for (qid, item) in outputs {
+                let frame = Frame::Output(OutputFrame {
+                    query_id: qid.index() as u64,
+                    kind: item.kind,
+                    events: item.m.events().to_vec(),
+                    emit_seq: item.emit_seq,
+                    emit_clock: item.emit_clock,
+                });
+                for (sink, queries) in subscribers.values() {
+                    if queries.contains(&qid.index()) {
+                        shared.send(sink, &frame);
+                    }
+                }
+            }
+        };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            EngineMsg::Ingest(item) => {
+                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                let outputs = core.ingest(&item);
+                shared.resume_from.store(core.position(), Ordering::SeqCst);
+                deliver(&subscribers, &shared, outputs);
+                persist_if_dirty(&mut core, &store_path);
+            }
+            EngineMsg::Subscribe { conn, query, sink } => match core.subscribe(&query) {
+                Ok(qid) => {
+                    shared
+                        .query_count
+                        .store(core.query_count(), Ordering::SeqCst);
+                    let entry = subscribers
+                        .entry(conn)
+                        .or_insert_with(|| (sink.clone(), Vec::new()));
+                    if !entry.1.contains(&qid.index()) {
+                        entry.1.push(qid.index());
+                    }
+                    shared.with_stats(|s| s.subscriptions += 1);
+                    shared.send(
+                        &sink,
+                        &Frame::SubAck {
+                            query_id: qid.index() as u64,
+                        },
+                    );
+                    persist_if_dirty(&mut core, &store_path);
+                }
+                Err(message) => {
+                    shared.with_stats(|s| s.rejected_frames += 1);
+                    shared.send(
+                        &sink,
+                        &Frame::Error {
+                            code: ErrorCode::BadQuery,
+                            message,
+                        },
+                    );
+                }
+            },
+            EngineMsg::Stats { sink } => {
+                let server = *shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                shared.send(
+                    &sink,
+                    &Frame::StatsReply {
+                        server,
+                        engine: core.stats(),
+                    },
+                );
+            }
+            EngineMsg::Drain { sink } => {
+                if core.drained() {
+                    shared.send(
+                        &sink,
+                        &Frame::Error {
+                            code: ErrorCode::Draining,
+                            message: "already drained".into(),
+                        },
+                    );
+                    continue;
+                }
+                let outputs = core.finish();
+                deliver(&subscribers, &shared, outputs);
+                persist_if_dirty(&mut core, &store_path);
+                shared.with_stats(|s| s.drains += 1);
+                shared.send(&sink, &Frame::DrainAck);
+            }
+            EngineMsg::Disconnect { conn } => {
+                subscribers.remove(&conn);
+            }
+            EngineMsg::Crash => return,
+            EngineMsg::Shutdown => {
+                persist_if_dirty(&mut core, &store_path);
+                return;
+            }
+        }
+    }
+    // all senders gone (Server dropped without shutdown): persist and exit
+    persist_if_dirty(&mut core, &store_path);
+}
+
+fn spawn_session(shared: Arc<Shared>, transport: Box<dyn Transport>) {
+    let conn = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+    let _ = std::thread::Builder::new()
+        .name(format!("sequin-session-{conn}"))
+        .spawn(move || run_session(shared, conn, transport));
+}
+
+/// Enqueues one ingest message with depth accounting and backpressure.
+/// Returns false when the engine is gone.
+fn enqueue_ingest(
+    shared: &Shared,
+    sink: &Arc<dyn FrameSink>,
+    busy_advised: &mut bool,
+    item: StreamItem,
+) -> bool {
+    let depth = shared.depth.fetch_add(1, Ordering::SeqCst) + 1;
+    if depth >= shared.busy_high_water && !*busy_advised {
+        *busy_advised = true;
+        shared.with_stats(|s| s.busy_frames_sent += 1);
+        shared.send(
+            sink,
+            &Frame::Busy {
+                queued: depth as u64,
+            },
+        );
+    } else if depth < shared.busy_high_water / 2 {
+        *busy_advised = false;
+    }
+    match shared.tx.try_send(EngineMsg::Ingest(item)) {
+        Ok(()) => true,
+        Err(TrySendError::Full(msg)) => {
+            shared.with_stats(|s| s.backpressure_stalls += 1);
+            if shared.tx.send(msg).is_err() {
+                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                return false;
+            }
+            true
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            false
+        }
+    }
+}
+
+fn run_session(shared: Arc<Shared>, conn: u64, mut transport: Box<dyn Transport>) {
+    let sink = transport.sink();
+    shared.with_stats(|s| s.connections_opened += 1);
+
+    let mut hello_done = false;
+    let mut busy_advised = false;
+
+    // closes the session with a terminal protocol error
+    let refuse = |code: ErrorCode, message: String| {
+        shared.with_stats(|s| s.rejected_frames += 1);
+        shared.send(&sink, &Frame::Error { code, message });
+    };
+
+    loop {
+        let sealed = match transport.recv_frame() {
+            Ok(Some(sealed)) => sealed,
+            Ok(None) => break,
+            Err(_) => {
+                // torn frame or reset: nothing trustworthy left to read
+                shared.with_stats(|s| s.rejected_frames += 1);
+                break;
+            }
+        };
+        let frame = match decode_frame(&sealed) {
+            Ok(frame) => frame,
+            Err(e) => {
+                // corruption detected by the envelope: reject and close
+                refuse(ErrorCode::BadFrame, e.to_string());
+                break;
+            }
+        };
+        shared.with_stats(|s| s.frames_received += 1);
+
+        if !hello_done {
+            match frame {
+                Frame::Hello { fingerprint, .. } => {
+                    if fingerprint != shared.fingerprint {
+                        refuse(
+                            ErrorCode::SchemaMismatch,
+                            format!(
+                                "client schema {fingerprint:#018x} != server {:#018x}",
+                                shared.fingerprint
+                            ),
+                        );
+                        break;
+                    }
+                    hello_done = true;
+                    shared.send(
+                        &sink,
+                        &Frame::HelloAck {
+                            fingerprint: shared.fingerprint,
+                            resume_from: shared.resume_from.load(Ordering::SeqCst),
+                            queries: shared.query_count.load(Ordering::SeqCst),
+                        },
+                    );
+                }
+                Frame::Bye => break,
+                other => {
+                    refuse(
+                        ErrorCode::BadHello,
+                        format!("HELLO required before {other:?}"),
+                    );
+                    break;
+                }
+            }
+            continue;
+        }
+
+        match frame {
+            Frame::Hello { .. } => {
+                refuse(ErrorCode::BadHello, "duplicate HELLO".into());
+                break;
+            }
+            Frame::Event(e) => {
+                shared.with_stats(|s| s.events_ingested += 1);
+                if !enqueue_ingest(&shared, &sink, &mut busy_advised, StreamItem::Event(e)) {
+                    break;
+                }
+            }
+            Frame::EventBatch(events) => {
+                shared.with_stats(|s| {
+                    s.batches_ingested += 1;
+                    s.events_ingested += events.len() as u64;
+                });
+                let mut ok = true;
+                for e in events {
+                    if !enqueue_ingest(&shared, &sink, &mut busy_advised, StreamItem::Event(e)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    break;
+                }
+            }
+            Frame::Punctuation(ts) => {
+                shared.with_stats(|s| s.punctuations_ingested += 1);
+                let item = StreamItem::Punctuation(ts);
+                if !enqueue_ingest(&shared, &sink, &mut busy_advised, item) {
+                    break;
+                }
+            }
+            Frame::Subscribe { query } => {
+                if shared
+                    .tx
+                    .send(EngineMsg::Subscribe {
+                        conn,
+                        query,
+                        sink: sink.clone(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Frame::StatsReq => {
+                if shared
+                    .tx
+                    .send(EngineMsg::Stats { sink: sink.clone() })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Frame::Drain => {
+                if shared
+                    .tx
+                    .send(EngineMsg::Drain { sink: sink.clone() })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Frame::Bye => break,
+            // server→client frames arriving at the server are a protocol
+            // violation
+            other @ (Frame::HelloAck { .. }
+            | Frame::SubAck { .. }
+            | Frame::Output(_)
+            | Frame::StatsReply { .. }
+            | Frame::DrainAck
+            | Frame::Busy { .. }
+            | Frame::Error { .. }) => {
+                refuse(ErrorCode::Unexpected, format!("client sent {other:?}"));
+                break;
+            }
+        }
+    }
+
+    let _ = shared.tx.send(EngineMsg::Disconnect { conn });
+    sink.close();
+    shared.with_stats(|s| s.connections_closed += 1);
+}

@@ -1,0 +1,361 @@
+//! Byte transports the protocol runs over.
+//!
+//! The server and client are written against two small traits so the same
+//! session logic serves real sockets and deterministic in-process tests:
+//!
+//! * [`Transport`] — the owned receive side of a connection; pulls whole
+//!   (still-sealed) frames.
+//! * [`FrameSink`] — the shareable send side; the server's engine thread
+//!   and a session's reader thread both hold `Arc<dyn FrameSink>` clones.
+//!
+//! [`TcpTransport`] wraps a `TcpStream` pair (reader + `try_clone`d
+//! writer). [`MemTransport`] is a socketless loopback whose send path
+//! routes every frame through a [`sequin_netsim::FramePlan`], so link
+//! faults — bit flips, truncation, delay/reorder — are injected between
+//! the encoder and the decoder exactly where a flaky network would.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use sequin_netsim::FramePlan;
+
+use crate::frame::read_frame;
+
+/// The send half of a connection: accepts one sealed frame at a time.
+///
+/// Implementations serialize concurrent senders internally, so an
+/// `Arc<dyn FrameSink>` may be shared freely across threads.
+pub trait FrameSink: Send + Sync {
+    /// Writes one sealed frame (length-prefixing is the sink's job).
+    fn send_frame(&self, sealed: &[u8]) -> io::Result<()>;
+
+    /// Tears the connection down; subsequent sends fail and the peer's
+    /// receive side observes end-of-stream.
+    fn close(&self);
+}
+
+/// The receive half of a connection.
+pub trait Transport: Send {
+    /// Blocks for the next sealed frame; `Ok(None)` means the peer closed
+    /// cleanly at a frame boundary.
+    fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>>;
+
+    /// A shareable handle to the send half of the same connection.
+    fn sink(&self) -> Arc<dyn FrameSink>;
+
+    /// Peer description for diagnostics.
+    fn peer(&self) -> String {
+        "?".to_owned()
+    }
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------- TCP --
+
+struct TcpSink {
+    stream: Mutex<TcpStream>,
+}
+
+impl FrameSink for TcpSink {
+    fn send_frame(&self, sealed: &[u8]) -> io::Result<()> {
+        let mut s = lock_ignoring_poison(&self.stream);
+        crate::frame::write_frame(&mut *s, sealed)
+    }
+
+    fn close(&self) {
+        let s = lock_ignoring_poison(&self.stream);
+        let _ = s.shutdown(Shutdown::Both);
+    }
+}
+
+/// A [`Transport`] over a connected `TcpStream`.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    sink: Arc<TcpSink>,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream; clones the descriptor for the send half.
+    pub fn new(stream: TcpStream) -> io::Result<TcpTransport> {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".to_owned());
+        let writer = stream.try_clone()?;
+        Ok(TcpTransport {
+            reader: BufReader::new(stream),
+            sink: Arc::new(TcpSink {
+                stream: Mutex::new(writer),
+            }),
+            peer,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        read_frame(&mut self.reader)
+    }
+
+    fn sink(&self) -> Arc<dyn FrameSink> {
+        self.sink.clone()
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+// ---------------------------------------------------------- in-memory --
+
+/// One direction of an in-memory link: a queue of delivered frames plus
+/// frames the fault plan is holding back to force reordering.
+struct ChanState {
+    ready: VecDeque<Vec<u8>>,
+    /// `(release_at, original_index, frame)` — eligible once the sender's
+    /// `sent` counter reaches `release_at`.
+    held: Vec<(u64, u64, Vec<u8>)>,
+    sent: u64,
+    closed: bool,
+}
+
+struct Channel {
+    state: Mutex<ChanState>,
+    cv: Condvar,
+}
+
+impl Channel {
+    fn new() -> Arc<Channel> {
+        Arc::new(Channel {
+            state: Mutex::new(ChanState {
+                ready: VecDeque::new(),
+                held: Vec::new(),
+                sent: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+fn release_due(state: &mut ChanState) {
+    let sent = state.sent;
+    let mut due: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+    state.held.retain_mut(|entry| {
+        if entry.0 <= sent {
+            due.push((entry.0, entry.1, std::mem::take(&mut entry.2)));
+            false
+        } else {
+            true
+        }
+    });
+    // deterministic delivery order among simultaneously-due frames
+    due.sort_by_key(|(_, ix, _)| *ix);
+    for (_, _, frame) in due {
+        state.ready.push_back(frame);
+    }
+}
+
+struct MemSink {
+    peer: Arc<Channel>,
+    plan: FramePlan,
+}
+
+impl FrameSink for MemSink {
+    fn send_frame(&self, sealed: &[u8]) -> io::Result<()> {
+        let mut state = lock_ignoring_poison(&self.peer.state);
+        if state.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "in-memory peer closed",
+            ));
+        }
+        let ix = state.sent;
+        state.sent += 1;
+        let mut bytes = sealed.to_vec();
+        self.plan.corrupt(ix, &mut bytes);
+        let hold = self.plan.hold_for(ix);
+        if hold > 0 {
+            let release_at = ix + 1 + hold as u64;
+            state.held.push((release_at, ix, bytes));
+        } else {
+            state.ready.push_back(bytes);
+        }
+        release_due(&mut state);
+        drop(state);
+        self.peer.cv.notify_all();
+        Ok(())
+    }
+
+    fn close(&self) {
+        let mut state = lock_ignoring_poison(&self.peer.state);
+        state.closed = true;
+        // flush anything still held so delayed frames are not lost on a
+        // graceful close
+        state.sent = u64::MAX;
+        release_due(&mut state);
+        drop(state);
+        self.peer.cv.notify_all();
+    }
+}
+
+/// The socketless loopback [`Transport`]: each side receives what the
+/// other sends, after that direction's [`FramePlan`] has had its way with
+/// the bytes.
+pub struct MemTransport {
+    incoming: Arc<Channel>,
+    sink: Arc<MemSink>,
+    peer: String,
+}
+
+impl Transport for MemTransport {
+    fn recv_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut state = lock_ignoring_poison(&self.incoming.state);
+        loop {
+            if let Some(frame) = state.ready.pop_front() {
+                return Ok(Some(frame));
+            }
+            if state.closed {
+                return Ok(None);
+            }
+            state = self
+                .incoming
+                .cv
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn sink(&self) -> Arc<dyn FrameSink> {
+        self.sink.clone()
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+impl Drop for MemTransport {
+    fn drop(&mut self) {
+        // dropping the receive side ends the conversation both ways, like
+        // a socket close: the peer's sends fail and its reads see EOF
+        self.sink.close();
+        let mut state = lock_ignoring_poison(&self.incoming.state);
+        state.closed = true;
+        drop(state);
+        self.incoming.cv.notify_all();
+    }
+}
+
+/// Builds a connected in-memory transport pair. `a_to_b` faults frames
+/// the first transport sends; `b_to_a` faults the reverse direction. Use
+/// [`FramePlan::clean`] for an undisturbed link.
+pub fn mem_pair(a_to_b: FramePlan, b_to_a: FramePlan) -> (MemTransport, MemTransport) {
+    let to_b = Channel::new();
+    let to_a = Channel::new();
+    let a = MemTransport {
+        incoming: to_a.clone(),
+        sink: Arc::new(MemSink {
+            peer: to_b.clone(),
+            plan: a_to_b,
+        }),
+        peer: "mem:b".to_owned(),
+    };
+    let b = MemTransport {
+        incoming: to_b,
+        sink: Arc::new(MemSink {
+            peer: to_a,
+            plan: b_to_a,
+        }),
+        peer: "mem:a".to_owned(),
+    };
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn frame(n: u8) -> Vec<u8> {
+        vec![n; 4]
+    }
+
+    #[test]
+    fn clean_pair_delivers_in_order_and_eofs_on_close() {
+        let (a, mut b) = mem_pair(FramePlan::clean(), FramePlan::clean());
+        let sink = a.sink();
+        sink.send_frame(&frame(1)).unwrap();
+        sink.send_frame(&frame(2)).unwrap();
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(1)));
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(2)));
+        sink.close();
+        assert_eq!(b.recv_frame().unwrap(), None);
+        assert!(sink.send_frame(&frame(3)).is_err(), "send after close");
+    }
+
+    #[test]
+    fn bit_flip_and_truncation_hit_only_named_frames() {
+        let plan = FramePlan::clean().flip_frame(1, 0).truncate_frame(2, 1);
+        let (a, mut b) = mem_pair(plan, FramePlan::clean());
+        let sink = a.sink();
+        for n in 0..4 {
+            sink.send_frame(&frame(n)).unwrap();
+        }
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(0)));
+        let flipped = b.recv_frame().unwrap().unwrap();
+        assert_ne!(flipped, frame(1));
+        assert_eq!(flipped.len(), 4);
+        assert_eq!(b.recv_frame().unwrap(), Some(vec![2u8]));
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(3)));
+    }
+
+    #[test]
+    fn delay_reorders_and_close_flushes_held_frames() {
+        // frame 0 held for 2 subsequent sends: delivery order 1, 2, 0, 3
+        let plan = FramePlan::clean().delay_frame(0, 2);
+        let (a, mut b) = mem_pair(plan, FramePlan::clean());
+        let sink = a.sink();
+        for n in 0..4 {
+            sink.send_frame(&frame(n)).unwrap();
+        }
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(1)));
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(2)));
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(0)));
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(3)));
+
+        // a frame still held at close time must be flushed, not dropped
+        let plan = FramePlan::clean().delay_frame(0, 100);
+        let (a, mut b) = mem_pair(plan, FramePlan::clean());
+        let sink = a.sink();
+        sink.send_frame(&frame(9)).unwrap();
+        sink.close();
+        assert_eq!(b.recv_frame().unwrap(), Some(frame(9)));
+        assert_eq!(b.recv_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn recv_blocks_until_peer_sends() {
+        let (a, mut b) = mem_pair(FramePlan::clean(), FramePlan::clean());
+        let sink = a.sink();
+        let t = thread::spawn(move || b.recv_frame().unwrap());
+        thread::sleep(std::time::Duration::from_millis(20));
+        sink.send_frame(&frame(5)).unwrap();
+        assert_eq!(t.join().unwrap(), Some(frame(5)));
+    }
+
+    #[test]
+    fn dropping_a_transport_wakes_and_eofs_the_peer() {
+        let (a, mut b) = mem_pair(FramePlan::clean(), FramePlan::clean());
+        let t = thread::spawn(move || b.recv_frame().unwrap());
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(a);
+        assert_eq!(t.join().unwrap(), None);
+    }
+}

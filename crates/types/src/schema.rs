@@ -194,6 +194,34 @@ impl TypeRegistry {
             .enumerate()
             .map(|(ix, s)| (EventTypeId::from_index(ix), s))
     }
+
+    /// A stable 64-bit fingerprint of the full schema: type names, field
+    /// names, and field kinds, in declaration order.
+    ///
+    /// Two registries share a fingerprint iff they intern the same types
+    /// the same way, so interned [`EventTypeId`]s and [`FieldId`]s mean the
+    /// same thing on both sides. The wire protocol's HELLO negotiation
+    /// compares client and server fingerprints before any event payload is
+    /// interpreted.
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = crate::codec::Writer::new();
+        w.put_u64(self.schemas.len() as u64);
+        for s in &self.schemas {
+            w.put_str(s.name());
+            w.put_u64(s.arity() as u64);
+            for (name, kind) in s.iter() {
+                w.put_str(name);
+                let tag = match kind {
+                    ValueKind::Int => 0u8,
+                    ValueKind::Float => 1,
+                    ValueKind::Str => 2,
+                    ValueKind::Bool => 3,
+                };
+                w.put_u8(tag);
+            }
+        }
+        crate::codec::fnv1a64(&w.into_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +295,32 @@ mod tests {
         reg.declare_markers(&["A", "B"]).unwrap();
         let names: Vec<_> = reg.iter().map(|(_, s)| s.name().to_owned()).collect();
         assert_eq!(names, ["A", "B"]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_schemas() {
+        let mut a = TypeRegistry::new();
+        a.declare("A", &[("x", ValueKind::Int)]).unwrap();
+        let mut same = TypeRegistry::new();
+        same.declare("A", &[("x", ValueKind::Int)]).unwrap();
+        assert_eq!(a.fingerprint(), same.fingerprint());
+
+        let mut kind = TypeRegistry::new();
+        kind.declare("A", &[("x", ValueKind::Float)]).unwrap();
+        assert_ne!(a.fingerprint(), kind.fingerprint());
+
+        let mut field = TypeRegistry::new();
+        field.declare("A", &[("y", ValueKind::Int)]).unwrap();
+        assert_ne!(a.fingerprint(), field.fingerprint());
+
+        let mut name = TypeRegistry::new();
+        name.declare("B", &[("x", ValueKind::Int)]).unwrap();
+        assert_ne!(a.fingerprint(), name.fingerprint());
+
+        let mut extra = TypeRegistry::new();
+        extra.declare("A", &[("x", ValueKind::Int)]).unwrap();
+        extra.declare("B", &[]).unwrap();
+        assert_ne!(a.fingerprint(), extra.fingerprint());
     }
 
     #[test]

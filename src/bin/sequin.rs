@@ -5,6 +5,9 @@
 //! sequin run --workload rfid --events 50000 --ooo 0.2 --delay 100
 //! sequin run --workload stock --strategy buffered --k 200
 //! sequin replay --types 'A(x:int) B(x:int)' --trace events.txt 'PATTERN SEQ(A a, B b) WITHIN 10'
+//! sequin serve --addr 127.0.0.1:7070 --workload synthetic --checkpoint-every 500 --store srv.ckpt
+//! sequin send --addr 127.0.0.1:7070 --events 10000 --ooo 0.3
+//! sequin netbench --events 20000 --policy aggressive
 //! ```
 
 use sequin::cli;
@@ -23,12 +26,17 @@ fn main() {
 }
 
 const USAGE: &str = "usage:
-  sequin explain --types '<schema>' '<query>'
-  sequin run    --workload synthetic|rfid|intrusion|stock [options] ['<query>']
-  sequin replay --types '<schema>' --trace <file> [options] '<query>'
+  sequin explain  --types '<schema>' '<query>'
+  sequin run      --workload synthetic|rfid|intrusion|stock [options] ['<query>']
+  sequin replay   --types '<schema>' --trace <file> [options] '<query>'
+  sequin serve    --addr HOST:PORT [--types '<schema>' | --workload NAME]
+                  [--store FILE] [options] ['<query>' ...]
+  sequin send     --addr HOST:PORT [--workload NAME] [--drain yes|no]
+                  [options] ['<query>']
+  sequin netbench [--workload NAME] [options] ['<query>']
 
 options:
-  --events N        events to generate (default 50000)
+  --events N        events to generate (default 50000; networked 10000)
   --ooo F           out-of-order fraction 0..1 (default 0.2)
   --delay D         max lateness in ticks (default 100)
   --seed S          workload/disorder seed (default 42)
@@ -36,10 +44,15 @@ options:
   --k K             disorder bound / adaptive floor (default 100)
   --adaptive F      estimate K from observed lateness, safety factor F
   --punctuate N     inject a punctuation every N events
+  --policy NAME     negation emission: conservative|aggressive
+  --batch N         events per EVENT_BATCH frame (default 64)
   --checkpoint-every N  checkpoint engine state every N events
   --resume-from FILE    resume from (and save to) a checkpoint store;
                         rerun with the same workload/seed for
                         exactly-once continuation
+  --store FILE      serve: checkpoint-store path (with --checkpoint-every,
+                    enables exactly-once restart; clients replay from the
+                    HELLO_ACK resume cursor)
 
 schema DSL: 'TYPE(field:kind,...) ...' with kinds int|float|str|bool";
 
@@ -141,7 +154,90 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
             cli::run_trace_text(schema, query, &text, &opts)
         }
+        "serve" => {
+            let registry = cli::serve_registry(
+                flags.get("workload").map(String::as_str),
+                flags.get("types").map(String::as_str),
+            )?;
+            let serve_opts = cli::ServeOptions {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .ok_or("serve needs --addr <host:port>")?,
+                queries: positional.clone(),
+                checkpoint_every: opts.checkpoint_every,
+                store: flags.get("store").cloned(),
+                net: net_options(&flags, &opts)?,
+            };
+            let (_server, _addr, banner) = cli::start_server(registry, &serve_opts)?;
+            print!("{banner}");
+            // serve until the process is killed; durable state persists on
+            // every dirty message, so a kill here is the crash-restart path
+            loop {
+                std::thread::park();
+            }
+        }
+        "send" => {
+            let addr = flags.get("addr").ok_or("send needs --addr <host:port>")?;
+            let drain = match flags.get("drain").map(String::as_str) {
+                None | Some("yes") | Some("true") => true,
+                Some("no") | Some("false") => false,
+                Some(other) => return Err(format!("--drain expects yes|no, got `{other}`")),
+            };
+            cli::send(
+                addr,
+                &stream_spec(&flags, &positional, &get_num)?,
+                &net_options(&flags, &opts)?,
+                drain,
+            )
+        }
+        "netbench" => cli::run_netbench(
+            &stream_spec(&flags, &positional, &get_num)?,
+            &net_options(&flags, &opts)?,
+        ),
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+type Flags = std::collections::HashMap<String, String>;
+
+fn net_options(flags: &Flags, opts: &cli::RunOptions) -> Result<cli::NetOptions, String> {
+    Ok(cli::NetOptions {
+        k: opts.k,
+        strategy: opts.strategy,
+        policy: cli::parse_policy(
+            flags
+                .get("policy")
+                .map(String::as_str)
+                .unwrap_or("conservative"),
+        )?,
+        batch: flags
+            .get("batch")
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| "--batch expects a count".to_owned())
+            })
+            .transpose()?
+            .unwrap_or(64),
+        punctuate_every: opts.punctuate_every,
+    })
+}
+
+fn stream_spec(
+    flags: &Flags,
+    positional: &[String],
+    get_num: &impl Fn(&Flags, &str, f64) -> Result<f64, String>,
+) -> Result<cli::StreamSpec, String> {
+    Ok(cli::StreamSpec {
+        workload: flags
+            .get("workload")
+            .cloned()
+            .unwrap_or_else(|| "synthetic".to_owned()),
+        query: positional.first().cloned().unwrap_or_default(),
+        events: get_num(flags, "events", 10_000.0)? as usize,
+        ooo: get_num(flags, "ooo", 0.2)?,
+        max_delay: get_num(flags, "delay", 100.0)? as u64,
+        seed: get_num(flags, "seed", 42.0)? as u64,
+    })
 }
