@@ -111,8 +111,8 @@ pub fn e3(scale: Scale) -> String {
     ]);
     for k in [50u64, 100, 200, 400, 800] {
         let stream = delay_shuffle(&events, 0.1, k, scale.seed);
-        let mut kb = run(Strategy::Buffered, &q, k, &stream);
-        let mut no = run(Strategy::Native, &q, k, &stream);
+        let kb = run(Strategy::Buffered, &q, k, &stream);
+        let no = run(Strategy::Native, &q, k, &stream);
         t.row(&[
             k.to_string(),
             f2(kb.arrival_latency.mean()),
@@ -260,7 +260,7 @@ pub fn e8(scale: Scale) -> String {
     ] {
         let mut cfg = EngineConfig::with_k(Duration::new(K));
         cfg.emission = policy;
-        let mut r = run_with(Strategy::Native, &q, cfg, &stream);
+        let r = run_with(Strategy::Native, &q, cfg, &stream);
         let inserts = r
             .outputs
             .iter()

@@ -52,6 +52,7 @@ mod inorder;
 mod multi;
 mod native;
 mod output;
+mod sharded;
 mod traits;
 mod watermark;
 
@@ -62,6 +63,7 @@ pub use inorder::InOrderEngine;
 pub use multi::{MultiEngine, QueryId};
 pub use native::NativeEngine;
 pub use output::{OutputItem, OutputKind};
+pub use sharded::ShardedEngine;
 pub use traits::{run_to_end, Engine, Strategy};
 
 use sequin_query::Query;
@@ -74,5 +76,21 @@ pub fn make_engine(strategy: Strategy, query: Arc<Query>, config: EngineConfig) 
         Strategy::InOrder => Box::new(InOrderEngine::new(query, config)),
         Strategy::Buffered => Box::new(BufferedEngine::new(query, config)),
         Strategy::Native => Box::new(NativeEngine::new(query, config)),
+    }
+}
+
+/// Like [`make_engine`], with a worker count: the native strategy becomes
+/// a [`ShardedEngine`] pool when `shards > 1` (the other strategies are
+/// inherently sequential and ignore the knob).
+pub fn make_sharded_engine(
+    strategy: Strategy,
+    query: Arc<Query>,
+    config: EngineConfig,
+    shards: usize,
+) -> Box<dyn Engine> {
+    if strategy == Strategy::Native && shards > 1 {
+        Box::new(ShardedEngine::new(query, config, shards))
+    } else {
+        make_engine(strategy, query, config)
     }
 }

@@ -112,6 +112,25 @@ impl MultiEngine {
         out
     }
 
+    /// Ingests a run of arrivals into every registered engine, returning
+    /// one output vector per input item with the same tagging and order
+    /// as item-by-item [`MultiEngine::ingest`] calls. Engines that fan
+    /// batches out across threads (sharded pools) get their parallelism
+    /// from the batched entry point.
+    pub fn ingest_batch(&mut self, items: &[StreamItem]) -> Vec<Vec<(QueryId, OutputItem)>> {
+        let mut per_item: Vec<Vec<(QueryId, OutputItem)>> =
+            (0..items.len()).map(|_| Vec::new()).collect();
+        for (ix, engine) in self.engines.iter_mut().enumerate() {
+            for (item_ix, o) in engine.ingest_batch(items) {
+                per_item[item_ix].push((QueryId(ix), o));
+            }
+        }
+        // an engine's outputs arrive grouped by item already; regrouping
+        // by item keeps registration order within each item because
+        // engines are visited in registration order
+        per_item
+    }
+
     /// Finishes every engine (see [`Engine::finish`]).
     pub fn finish(&mut self) -> Vec<(QueryId, OutputItem)> {
         let mut out = Vec::new();
@@ -254,6 +273,25 @@ mod tests {
         assert_eq!(id.index(), 2);
         let out = multi.ingest(&item(&reg, "A", 9, 5));
         assert!(out.iter().any(|(qid, _)| *qid == id));
+    }
+
+    #[test]
+    fn ingest_batch_matches_item_by_item() {
+        let (reg, mut multi, _, _) = setup();
+        let items = [
+            item(&reg, "A", 1, 10),
+            item(&reg, "B", 2, 20),
+            item(&reg, "A", 3, 30),
+            item(&reg, "B", 4, 40),
+        ];
+        let (reg2, mut seq, _, _) = setup();
+        assert_eq!(reg.fingerprint(), reg2.fingerprint());
+        let mut want: Vec<Vec<(QueryId, OutputItem)>> = Vec::new();
+        for it in &items {
+            want.push(seq.ingest(it));
+        }
+        let got = multi.ingest_batch(&items);
+        assert_eq!(got, want);
     }
 
     #[test]

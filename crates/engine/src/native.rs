@@ -83,6 +83,95 @@ enum ShardSet {
     },
 }
 
+/// Which slice of the partition-key space this engine owns when it runs
+/// as one worker of a [`crate::ShardedEngine`]. `None` means the engine
+/// owns everything (the ordinary single-threaded configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardSlice {
+    /// This worker's index in `0..of`.
+    pub(crate) index: u32,
+    /// Total number of workers.
+    pub(crate) of: u32,
+}
+
+impl ShardSlice {
+    /// True when `key` routes to this worker.
+    pub(crate) fn owns(&self, key: &PartitionKey) -> bool {
+        key_hash(key) % u64::from(self.of) == u64::from(self.index)
+    }
+
+    /// The primary worker (index 0) owns everything that cannot be
+    /// keyed — the overflow shard — and is the one that accounts for
+    /// work every worker performs in lockstep (watermarks, negatives).
+    fn primary(&self) -> bool {
+        self.index == 0
+    }
+}
+
+/// Routing hash: FNV-1a over the key's wire encoding, so placement is
+/// stable across processes, platforms, and hash-map seeds (the same
+/// fingerprint-stable construction snapshots use).
+fn key_hash(key: &PartitionKey) -> u64 {
+    let mut w = Writer::new();
+    key.encode(&mut w);
+    fnv1a64(&w.into_bytes())
+}
+
+/// One arrival's outputs, separated by emission phase so a deterministic
+/// cross-shard merge can reproduce the single-threaded order exactly:
+/// retractions first, then construction-time emissions (by slot), then
+/// seal-time emissions (by deadline, then match identity).
+#[derive(Debug, Default)]
+pub(crate) struct PhasedOutput {
+    /// Aggressive-mode retractions, keyed by the match's seal deadline.
+    pub(crate) retracts: Vec<(Timestamp, OutputItem)>,
+    /// Construction-time emissions, keyed by the arrival's positive slot.
+    pub(crate) constructed: Vec<(usize, OutputItem)>,
+    /// Seal-time emissions, keyed by the match's seal deadline.
+    pub(crate) sealed: Vec<(Timestamp, OutputItem)>,
+}
+
+fn match_order(a: &OutputItem, b: &OutputItem) -> Ordering {
+    let ka = a.m.events().iter().map(|e| e.id());
+    let kb = b.m.events().iter().map(|e| e.id());
+    ka.cmp(kb)
+}
+
+impl PhasedOutput {
+    fn len(&self) -> usize {
+        self.retracts.len() + self.constructed.len() + self.sealed.len()
+    }
+
+    /// Merges per-shard phases for one arrival into the canonical output
+    /// order and appends to `out`; returns how many items were buffered
+    /// (the merge-buffer size for this arrival).
+    ///
+    /// Within a phase the order is fully determined by data, not by shard
+    /// count: retractions and sealed emissions sort by (deadline, event
+    /// ids) — exactly the order the single-threaded engine's seal heap
+    /// pops them — and construction-time emissions sort by slot, where
+    /// each slot's matches come from exactly one shard (the one owning
+    /// the arriving event's key for that slot) in DFS order.
+    pub(crate) fn merge_into(phases: Vec<PhasedOutput>, out: &mut Vec<OutputItem>) -> usize {
+        let buffered: usize = phases.iter().map(PhasedOutput::len).sum();
+        let mut retracts = Vec::new();
+        let mut constructed = Vec::new();
+        let mut sealed = Vec::new();
+        for mut p in phases {
+            retracts.append(&mut p.retracts);
+            constructed.append(&mut p.constructed);
+            sealed.append(&mut p.sealed);
+        }
+        retracts.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| match_order(&a.1, &b.1)));
+        constructed.sort_by_key(|(slot, _)| *slot);
+        sealed.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| match_order(&a.1, &b.1)));
+        out.extend(retracts.into_iter().map(|(_, o)| o));
+        out.extend(constructed.into_iter().map(|(_, o)| o));
+        out.extend(sealed.into_iter().map(|(_, o)| o));
+        buffered
+    }
+}
+
 /// The paper's engine: order-insensitive active instance stacks,
 /// arrival-driven construction with out-of-order compensation, and
 /// watermark-safe purge.
@@ -110,6 +199,7 @@ pub struct NativeEngine {
     next_seq: ArrivalSeq,
     stats: RuntimeStats,
     scratch: Vec<Vec<EventRef>>,
+    slice: Option<ShardSlice>,
 }
 
 impl NativeEngine {
@@ -135,7 +225,27 @@ impl NativeEngine {
             next_seq: ArrivalSeq::default(),
             stats: RuntimeStats::default(),
             scratch: Vec::new(),
+            slice: None,
         }
+    }
+
+    /// Creates one worker of a sharded pool, owning only the partition
+    /// keys that hash to `slice`. The worker still observes every stream
+    /// item (watermarks, sequence numbers, and the negative index advance
+    /// in lockstep with the single-threaded engine) but inserts and
+    /// constructs only for its own keys.
+    pub(crate) fn sliced(
+        query: Arc<Query>,
+        config: EngineConfig,
+        slice: ShardSlice,
+    ) -> NativeEngine {
+        let mut eng = NativeEngine::new(query, config);
+        eng.slice = Some(slice);
+        eng
+    }
+
+    fn primary(&self) -> bool {
+        self.slice.is_none_or(|s| s.primary())
     }
 
     /// The current (monotone) low-watermark.
@@ -148,39 +258,78 @@ impl NativeEngine {
         self.wm.k_hat()
     }
 
-    fn emit(&self, events: Vec<EventRef>, out: &mut Vec<OutputItem>, kind: OutputKind) {
-        out.push(OutputItem {
+    fn make_output(&self, events: Vec<EventRef>, kind: OutputKind) -> OutputItem {
+        OutputItem {
             kind,
             m: Match::new(&self.query, events),
             emit_seq: self.next_seq,
             emit_clock: self.wm.clock(),
-        });
+        }
     }
 
-    fn process_event(&mut self, event: &EventRef, out: &mut Vec<OutputItem>) {
+    /// True when this worker owns the arriving event for `slot` — i.e.
+    /// the (slot, partition-key) pair hashes to this slice, or the state
+    /// is unpartitioned and this is the primary (overflow) worker.
+    fn owns_slot(&self, slot: usize, event: &EventRef) -> bool {
+        let Some(slice) = self.slice else { return true };
+        match &self.shards {
+            ShardSet::Single(_) => slice.primary(),
+            ShardSet::Partitioned { scheme, .. } => {
+                match event
+                    .field(scheme.fields[slot])
+                    .and_then(PartitionKey::from_value)
+                {
+                    Some(key) => slice.owns(&key),
+                    // unkeyable (float) events are dropped by every
+                    // worker exactly as the single-threaded engine drops
+                    // them; let the primary account for the predicate
+                    // work so counter totals line up
+                    None => slice.primary(),
+                }
+            }
+        }
+    }
+
+    fn process_event(&mut self, event: &EventRef, out: &mut PhasedOutput) {
         if self.wm.observe_event(event.ts()) {
             // disorder bound violated: state this event needed may already
-            // be purged; process best-effort and record the violation
-            self.stats.late_drops += 1;
+            // be purged; process best-effort and record the violation.
+            // Every worker of a sharded pool sees this in lockstep, so
+            // only the primary attributes it.
+            if self.primary() {
+                self.stats.late_drops += 1;
+            }
         }
 
         // negatives first: a negative at the same timestamp as a positive
-        // arrival must be visible to validation in this call
+        // arrival must be visible to validation in this call. Every worker
+        // keeps the full negative index (negatives filter at check time);
+        // only the primary attributes the duplicated indexing cost.
         let is_negated_type = self
             .query
             .negations()
             .iter()
             .any(|n| n.matches_type(event.event_type()));
         if is_negated_type {
-            self.negatives.offer(event, &mut self.stats);
+            if self.primary() {
+                self.negatives.offer(event, &mut self.stats);
+            } else {
+                let mut lockstep = RuntimeStats::default();
+                self.negatives.offer(event, &mut lockstep);
+            }
             if self.config.emission == EmissionPolicy::Aggressive {
                 self.retract_invalidated(event, out);
             }
         }
 
-        // positive slots: pre-filter, insert, compensate-construct
+        // positive slots: route, pre-filter, insert, compensate-construct
         let slots = self.query.slots_for_type(event.event_type());
+        let mut routed = false;
         for slot in slots {
+            if !self.owns_slot(slot, event) {
+                continue;
+            }
+            routed = true;
             if !self.passes_local(slot, event) {
                 continue;
             }
@@ -216,9 +365,12 @@ impl NativeEngine {
                 }
             }
             for events in raw.drain(..) {
-                self.route_match(events, out);
+                self.route_match(slot, events, out);
             }
             self.scratch = raw;
+        }
+        if routed {
+            self.stats.events_routed += 1;
         }
     }
 
@@ -238,6 +390,7 @@ impl NativeEngine {
         if pos + 1 != shard.stacks[slot].len() {
             stats.ooo_insertions += 1;
         }
+        stats.max_stack_depth = stats.max_stack_depth.max(shard.stacks[slot].len() as u64);
         ctor.matches_with(&shard.stacks, slot, event, stats, raw);
     }
 
@@ -253,10 +406,12 @@ impl NativeEngine {
         true
     }
 
-    /// Decides what to do with a freshly constructed match.
-    fn route_match(&mut self, events: Vec<EventRef>, out: &mut Vec<OutputItem>) {
+    /// Decides what to do with a freshly constructed match (`slot` is the
+    /// arriving event's positive slot, the construction-phase merge key).
+    fn route_match(&mut self, slot: usize, events: Vec<EventRef>, out: &mut PhasedOutput) {
         if !self.query.has_negation() {
-            self.emit(events, out, OutputKind::Insert);
+            let o = self.make_output(events, OutputKind::Insert);
+            out.constructed.push((slot, o));
             return;
         }
         let deadline = seal_deadline(&self.query, &events).expect("query has negation");
@@ -265,7 +420,8 @@ impl NativeEngine {
             EmissionPolicy::Conservative => {
                 if deadline <= watermark {
                     if !self.negatives.violates(&events, &mut self.stats) {
-                        self.emit(events, out, OutputKind::Insert);
+                        let o = self.make_output(events, OutputKind::Insert);
+                        out.constructed.push((slot, o));
                     }
                 } else {
                     self.pending.push(Reverse(Pending { deadline, events }));
@@ -281,16 +437,17 @@ impl NativeEngine {
                         events: events.clone(),
                     });
                 }
-                self.emit(events, out, OutputKind::Insert);
+                let o = self.make_output(events, OutputKind::Insert);
+                out.constructed.push((slot, o));
             }
         }
     }
 
     /// Aggressive mode: a just-arrived negative retracts any emitted,
     /// still-unsealed match it invalidates.
-    fn retract_invalidated(&mut self, negative: &EventRef, out: &mut Vec<OutputItem>) {
+    fn retract_invalidated(&mut self, negative: &EventRef, out: &mut PhasedOutput) {
         let query = Arc::clone(&self.query);
-        let mut retracted: Vec<Vec<EventRef>> = Vec::new();
+        let mut retracted: Vec<(Timestamp, Vec<EventRef>)> = Vec::new();
         self.emitted_unsealed.retain(|rec| {
             let rs = regions(&query, &rec.events);
             for (ix, neg) in query.negations().iter().enumerate() {
@@ -309,21 +466,22 @@ impl NativeEngine {
                     .iter()
                     .all(|p| p.eval(&binding) == Some(true))
                 {
-                    retracted.push(rec.events.clone());
+                    retracted.push((rec.deadline, rec.events.clone()));
                     return false;
                 }
             }
             true
         });
-        for events in retracted {
+        for (deadline, events) in retracted {
             self.stats.negated_matches += 1;
-            self.emit(events, out, OutputKind::Retract);
+            let o = self.make_output(events, OutputKind::Retract);
+            out.retracts.push((deadline, o));
         }
     }
 
     /// Emits pending matches whose regions sealed, and forgets sealed
     /// aggressive records.
-    fn drain_sealed(&mut self, out: &mut Vec<OutputItem>) {
+    fn drain_sealed(&mut self, out: &mut PhasedOutput) {
         let watermark = self.watermark();
         while let Some(Reverse(top)) = self.pending.peek() {
             if top.deadline > watermark {
@@ -331,7 +489,8 @@ impl NativeEngine {
             }
             let Reverse(p) = self.pending.pop().expect("peeked");
             if !self.negatives.violates(&p.events, &mut self.stats) {
-                self.emit(p.events, out, OutputKind::Insert);
+                let o = self.make_output(p.events, OutputKind::Insert);
+                out.sealed.push((p.deadline, o));
             }
         }
         self.emitted_unsealed.retain(|rec| rec.deadline > watermark);
@@ -347,6 +506,16 @@ impl NativeEngine {
             self.query, self.config.emission, self.config.watermark, self.config.partitioned
         );
         fnv1a64(desc.as_bytes())
+    }
+
+    fn sort_match_records(records: &mut [(Timestamp, &Vec<EventRef>)]) {
+        records.sort_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| {
+                let ka = a.1.iter().map(|e| e.id());
+                let kb = b.1.iter().map(|e| e.id());
+                ka.cmp(kb)
+            })
+        });
     }
 
     fn encode_match_records(records: &[(Timestamp, &Vec<EventRef>)], w: &mut Writer) {
@@ -390,26 +559,22 @@ impl NativeEngine {
             }
         }
         self.negatives.snapshot_into(&mut w);
-        // the heap iterates in arbitrary order; sort so identical state
-        // always produces identical bytes
+        // heaps iterate in arbitrary order (and the unsealed log in
+        // arrival order); sort both so identical state always produces
+        // identical bytes regardless of history or worker count
         let mut pend: Vec<(Timestamp, &Vec<EventRef>)> = self
             .pending
             .iter()
             .map(|Reverse(p)| (p.deadline, &p.events))
             .collect();
-        pend.sort_by(|a, b| {
-            a.0.cmp(&b.0).then_with(|| {
-                let ka = a.1.iter().map(|e| e.id());
-                let kb = b.1.iter().map(|e| e.id());
-                ka.cmp(kb)
-            })
-        });
+        Self::sort_match_records(&mut pend);
         Self::encode_match_records(&pend, &mut w);
-        let emitted: Vec<(Timestamp, &Vec<EventRef>)> = self
+        let mut emitted: Vec<(Timestamp, &Vec<EventRef>)> = self
             .emitted_unsealed
             .iter()
             .map(|rec| (rec.deadline, &rec.events))
             .collect();
+        Self::sort_match_records(&mut emitted);
         Self::encode_match_records(&emitted, &mut w);
         seal_envelope(&w.into_bytes())
     }
@@ -473,7 +638,13 @@ impl NativeEngine {
     }
 
     fn run_purge(&mut self) {
-        self.stats.purge_runs += 1;
+        // every worker of a sharded pool purges on the same cadence; the
+        // pass itself and the (replicated) negative-index purge are
+        // attributed by the primary only, while per-stack purges are
+        // disjoint and counted locally
+        if self.primary() {
+            self.stats.purge_runs += 1;
+        }
         let watermark = self.watermark();
         let window = self.query.window();
         let prefix = purge::prefix_threshold(watermark, window);
@@ -496,16 +667,19 @@ impl NativeEngine {
             }
         }
         self.stats.purged += purged;
-        self.negatives.purge_before(
-            purge::negative_threshold(watermark, window),
-            &mut self.stats,
-        );
+        let threshold = purge::negative_threshold(watermark, window);
+        if self.primary() {
+            self.negatives.purge_before(threshold, &mut self.stats);
+        } else {
+            let mut lockstep = RuntimeStats::default();
+            self.negatives.purge_before(threshold, &mut lockstep);
+        }
     }
-}
 
-impl Engine for NativeEngine {
-    fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem> {
-        let mut out = Vec::new();
+    /// Processes one stream item, keeping outputs separated by emission
+    /// phase (the merge-ready form [`crate::ShardedEngine`] consumes).
+    pub(crate) fn ingest_phased(&mut self, item: &StreamItem) -> PhasedOutput {
+        let mut out = PhasedOutput::default();
         match item {
             StreamItem::Event(event) => {
                 self.next_seq = self.next_seq.next();
@@ -523,11 +697,138 @@ impl Engine for NativeEngine {
         out
     }
 
-    fn finish(&mut self) -> Vec<OutputItem> {
-        let mut out = Vec::new();
-        // end-of-stream seals every region
+    /// End-of-stream flush in merge-ready form.
+    pub(crate) fn finish_phased(&mut self) -> PhasedOutput {
+        let mut out = PhasedOutput::default();
         self.wm.seal();
         self.drain_sealed(&mut out);
+        out
+    }
+
+    /// State size excluding the negative index, which sharded pools
+    /// replicate on every worker and must count once.
+    pub(crate) fn owned_state_size(&self) -> usize {
+        self.state_size() - self.negatives.len()
+    }
+
+    /// Zeroes the counters (a restored non-primary worker starts from a
+    /// clean slate so pool-wide aggregation does not double-count the
+    /// snapshot's history).
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Serializes the union of a sharded pool's workers as one canonical
+    /// snapshot in the exact format [`NativeEngine::snapshot`] writes:
+    /// restoring it into a single engine — or a pool with a *different*
+    /// worker count — reproduces the same evaluation state. Lockstep
+    /// state (watermark, arrival sequence, negative index) comes from the
+    /// primary worker; partition maps are disjoint by construction and
+    /// written as one sorted map; pending/unsealed matches are the sorted
+    /// union.
+    pub(crate) fn merged_snapshot(parts: &[NativeEngine]) -> Vec<u8> {
+        let primary = parts
+            .iter()
+            .find(|p| p.primary())
+            .expect("pool has a primary worker");
+        let mut w = Writer::new();
+        w.put_u64(primary.fingerprint());
+        primary.wm.snapshot_into(&mut w);
+        primary.next_seq.encode(&mut w);
+        let mut stats = RuntimeStats::default();
+        for p in parts {
+            stats += p.stats;
+        }
+        stats.encode(&mut w);
+        match &primary.shards {
+            ShardSet::Single(shard) => {
+                // only the primary worker holds unpartitioned state
+                w.put_u8(0);
+                shard.stacks.encode(&mut w);
+            }
+            ShardSet::Partitioned { .. } => {
+                w.put_u8(1);
+                let mut entries: Vec<(&PartitionKey, &Shard)> = Vec::new();
+                for p in parts {
+                    if let ShardSet::Partitioned { map, .. } = &p.shards {
+                        entries.extend(map.iter());
+                    }
+                }
+                entries.sort_by(|a, b| a.0.cmp(b.0));
+                w.put_u64(entries.len() as u64);
+                for (key, shard) in entries {
+                    key.encode(&mut w);
+                    shard.stacks.encode(&mut w);
+                }
+            }
+        }
+        primary.negatives.snapshot_into(&mut w);
+        let mut pend: Vec<(Timestamp, &Vec<EventRef>)> = parts
+            .iter()
+            .flat_map(|p| p.pending.iter().map(|Reverse(x)| (x.deadline, &x.events)))
+            .collect();
+        Self::sort_match_records(&mut pend);
+        Self::encode_match_records(&pend, &mut w);
+        let mut emitted: Vec<(Timestamp, &Vec<EventRef>)> = parts
+            .iter()
+            .flat_map(|p| {
+                p.emitted_unsealed
+                    .iter()
+                    .map(|rec| (rec.deadline, &rec.events))
+            })
+            .collect();
+        Self::sort_match_records(&mut emitted);
+        Self::encode_match_records(&emitted, &mut w);
+        seal_envelope(&w.into_bytes())
+    }
+
+    /// After restoring a full snapshot into a sliced worker, drops the
+    /// state other workers own: foreign partition shards, and pending /
+    /// unsealed matches keyed to foreign partitions. Lockstep state
+    /// (watermark, sequence, negatives) is kept everywhere.
+    pub(crate) fn prune_to_slice(&mut self) {
+        let Some(slice) = self.slice else { return };
+        match &mut self.shards {
+            ShardSet::Single(shard) => {
+                if !slice.primary() {
+                    *shard = Shard::new(shard.stacks.len());
+                    self.pending.clear();
+                    self.emitted_unsealed.clear();
+                }
+            }
+            ShardSet::Partitioned { scheme, map } => {
+                map.retain_keys(|k| slice.owns(k));
+                let field = scheme.fields[0];
+                let owns_match = |events: &Vec<EventRef>| {
+                    events
+                        .first()
+                        .and_then(|e| e.field(field))
+                        .and_then(PartitionKey::from_value)
+                        .map_or(slice.primary(), |k| slice.owns(&k))
+                };
+                self.pending = std::mem::take(&mut self.pending)
+                    .into_iter()
+                    .filter(|Reverse(p)| owns_match(&p.events))
+                    .collect();
+                self.emitted_unsealed.retain(|rec| owns_match(&rec.events));
+            }
+        }
+    }
+}
+
+impl Engine for NativeEngine {
+    fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem> {
+        let phased = self.ingest_phased(item);
+        let mut out = Vec::new();
+        PhasedOutput::merge_into(vec![phased], &mut out);
+        out
+    }
+
+    fn finish(&mut self) -> Vec<OutputItem> {
+        // end-of-stream seals every region
+        let phased = self.finish_phased();
+        let mut out = Vec::new();
+        PhasedOutput::merge_into(vec![phased], &mut out);
         out
     }
 

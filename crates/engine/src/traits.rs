@@ -50,6 +50,19 @@ pub trait Engine: Send {
     /// triggered.
     fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem>;
 
+    /// Ingests a run of arrivals, returning `(item_index, output)` pairs
+    /// in emission order. Semantically identical to calling
+    /// [`Engine::ingest`] per item (the default does exactly that);
+    /// parallel engines override it to fan one batch out across worker
+    /// threads, which is where sharded throughput comes from.
+    fn ingest_batch(&mut self, items: &[StreamItem]) -> Vec<(usize, OutputItem)> {
+        let mut out = Vec::new();
+        for (ix, item) in items.iter().enumerate() {
+            out.extend(self.ingest(item).into_iter().map(|o| (ix, o)));
+        }
+        out
+    }
+
     /// Signals end-of-stream: releases everything still held (reorder
     /// buffers drain; pending negation matches are sealed as if a final
     /// punctuation at `Timestamp::MAX` arrived).

@@ -1,13 +1,17 @@
 //! A simple exact histogram over `u64` samples.
 
+use std::cell::{Cell, RefCell};
+
 /// Collects integer samples and reports order statistics.
 ///
 /// Samples are stored exactly (the evaluation's result sets are far below
-/// memory-relevant sizes); percentile queries sort lazily.
+/// memory-relevant sizes); percentile queries sort lazily behind a
+/// dirty flag, so `p50`/`p95`/`p99` take `&self` and reports can read a
+/// shared `RunReport` without `mut` plumbing.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    samples: Vec<u64>,
-    sorted: bool,
+    samples: RefCell<Vec<u64>>,
+    sorted: Cell<bool>,
 }
 
 impl Histogram {
@@ -18,31 +22,32 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        self.samples.push(v);
-        self.sorted = false;
+        self.samples.get_mut().push(v);
+        self.sorted.set(false);
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.samples.borrow().len()
     }
 
     /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.samples.borrow().is_empty()
     }
 
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|&v| v as u128).sum::<u128>() as f64 / self.samples.len() as f64
+        samples.iter().map(|&v| v as u128).sum::<u128>() as f64 / samples.len() as f64
     }
 
     /// Maximum sample (0 when empty).
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.samples.borrow().iter().copied().max().unwrap_or(0)
     }
 
     /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`; 0 when empty.
@@ -50,39 +55,40 @@ impl Histogram {
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
-    pub fn quantile(&mut self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.samples.is_empty() {
+        let mut samples = self.samples.borrow_mut();
+        if samples.is_empty() {
             return 0;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+        if !self.sorted.get() {
+            samples.sort_unstable();
+            self.sorted.set(true);
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        self.samples[rank - 1]
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
     }
 
     /// Median (P50).
-    pub fn p50(&mut self) -> u64 {
+    pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
     /// P95.
-    pub fn p95(&mut self) -> u64 {
+    pub fn p95(&self) -> u64 {
         self.quantile(0.95)
     }
 
     /// P99.
-    pub fn p99(&mut self) -> u64 {
+    pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
 }
 
 impl Extend<u64> for Histogram {
     fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
-        self.samples.extend(iter);
-        self.sorted = false;
+        self.samples.get_mut().extend(iter);
+        self.sorted.set(false);
     }
 }
 
@@ -100,7 +106,7 @@ mod tests {
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let mut h = Histogram::new();
+        let h = Histogram::new();
         assert!(h.is_empty());
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0);
@@ -109,7 +115,7 @@ mod tests {
 
     #[test]
     fn order_statistics() {
-        let mut h: Histogram = (1..=100).collect();
+        let h: Histogram = (1..=100).collect();
         assert_eq!(h.len(), 100);
         assert_eq!(h.p50(), 50);
         assert_eq!(h.p95(), 95);
@@ -118,6 +124,13 @@ mod tests {
         assert!((h.mean() - 50.5).abs() < 1e-9);
         assert_eq!(h.quantile(0.0), 1);
         assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantiles_take_shared_references() {
+        let h: Histogram = [9, 1, 5].into_iter().collect();
+        let by_ref: &Histogram = &h;
+        assert_eq!(by_ref.p50(), 5);
     }
 
     #[test]

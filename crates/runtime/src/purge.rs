@@ -83,7 +83,7 @@ impl PurgePolicy {
     /// True when a purge pass is due after `items_seen` ingested items.
     pub fn due(&self, items_seen: u64) -> bool {
         match self.every_n {
-            Some(n) => items_seen.is_multiple_of(u64::from(n)),
+            Some(n) => items_seen % u64::from(n) == 0,
             None => false,
         }
     }

@@ -36,6 +36,17 @@ pub struct RuntimeStats {
     /// Outputs suppressed during post-restore replay because the dedup
     /// log showed they were already delivered (exactly-once recovery).
     pub replayed_suppressed: u64,
+    /// Events accepted for positive-pattern processing by this evaluator
+    /// (after shard routing; a sharded run sums the disjoint per-shard
+    /// values).
+    pub events_routed: u64,
+    /// Deepest AIS stack observed after any insertion. Merged with `max`,
+    /// not `+`, by [`AddAssign`]: depths from different shards or queries
+    /// do not add up.
+    pub max_stack_depth: u64,
+    /// High-water mark of the sharded merge buffer (outputs held while
+    /// aligning per-shard phases of a single arrival). Merged with `max`.
+    pub merge_buffer_peak: u64,
 }
 
 impl RuntimeStats {
@@ -59,13 +70,17 @@ impl AddAssign for RuntimeStats {
         self.checkpoints_written += rhs.checkpoints_written;
         self.checkpoints_rejected += rhs.checkpoints_rejected;
         self.replayed_suppressed += rhs.replayed_suppressed;
+        self.events_routed += rhs.events_routed;
+        // gauges, not flows: combining two evaluators keeps the larger peak
+        self.max_stack_depth = self.max_stack_depth.max(rhs.max_stack_depth);
+        self.merge_buffer_peak = self.merge_buffer_peak.max(rhs.merge_buffer_peak);
     }
 }
 
 impl RuntimeStats {
     /// Field-order list used by the codec and the metrics tables; keep in
     /// sync with the struct definition.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 12] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 15] {
         [
             ("insertions", self.insertions),
             ("ooo_insertions", self.ooo_insertions),
@@ -79,6 +94,9 @@ impl RuntimeStats {
             ("checkpoints_written", self.checkpoints_written),
             ("checkpoints_rejected", self.checkpoints_rejected),
             ("replayed_suppressed", self.replayed_suppressed),
+            ("events_routed", self.events_routed),
+            ("max_stack_depth", self.max_stack_depth),
+            ("merge_buffer_peak", self.merge_buffer_peak),
         ]
     }
 }
@@ -106,6 +124,9 @@ impl Decode for RuntimeStats {
             checkpoints_written: r.get_u64()?,
             checkpoints_rejected: r.get_u64()?,
             replayed_suppressed: r.get_u64()?,
+            events_routed: r.get_u64()?,
+            max_stack_depth: r.get_u64()?,
+            merge_buffer_peak: r.get_u64()?,
         })
     }
 }
@@ -127,6 +148,7 @@ mod tests {
             checkpoints_written: 2,
             checkpoints_rejected: 1,
             replayed_suppressed: 4,
+            events_routed: 6,
             ..Default::default()
         };
         a += b;
@@ -136,6 +158,23 @@ mod tests {
         assert_eq!(a.checkpoints_written, 2);
         assert_eq!(a.checkpoints_rejected, 1);
         assert_eq!(a.replayed_suppressed, 4);
+        assert_eq!(a.events_routed, 6);
+    }
+
+    #[test]
+    fn add_assign_takes_max_of_gauges() {
+        let mut a = RuntimeStats {
+            max_stack_depth: 7,
+            merge_buffer_peak: 2,
+            ..Default::default()
+        };
+        a += RuntimeStats {
+            max_stack_depth: 3,
+            merge_buffer_peak: 9,
+            ..Default::default()
+        };
+        assert_eq!(a.max_stack_depth, 7);
+        assert_eq!(a.merge_buffer_peak, 9);
     }
 
     #[test]
@@ -155,6 +194,9 @@ mod tests {
             checkpoints_written: 10,
             checkpoints_rejected: 11,
             replayed_suppressed: 12,
+            events_routed: 13,
+            max_stack_depth: 14,
+            merge_buffer_peak: 15,
         };
         let mut w = Writer::new();
         s.encode(&mut w);
@@ -162,9 +204,9 @@ mod tests {
         let mut r = Reader::new(&bytes);
         assert_eq!(RuntimeStats::decode(&mut r).unwrap(), s);
         r.finish().unwrap();
-        // the pair view must agree with the struct values 1..=12
+        // the pair view must agree with the struct values 1..=15
         let pairs = s.as_pairs();
-        assert_eq!(pairs.len(), 12);
+        assert_eq!(pairs.len(), 15);
         for (i, (_, v)) in pairs.iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);
         }

@@ -61,7 +61,9 @@ impl From<io::Error> for ClientError {
 }
 
 enum Incoming {
-    Frame(Frame),
+    // boxed: STATS_REPLY carries two full counter structs, which would
+    // otherwise dwarf the Corrupt variant
+    Frame(Box<Frame>),
     /// The reader hit a corrupt frame; the session is unusable past it.
     Corrupt(String),
 }
@@ -94,7 +96,7 @@ impl Client {
                 match transport.recv_frame() {
                     Ok(Some(sealed)) => {
                         let msg = match decode_frame(&sealed) {
-                            Ok(frame) => Incoming::Frame(frame),
+                            Ok(frame) => Incoming::Frame(Box::new(frame)),
                             Err(e) => Incoming::Corrupt(e.to_string()),
                         };
                         let corrupt = matches!(msg, Incoming::Corrupt(_));
@@ -127,7 +129,7 @@ impl Client {
         loop {
             let incoming = self.rx.recv().map_err(|_| ClientError::Closed)?;
             let frame = match incoming {
-                Incoming::Frame(f) => f,
+                Incoming::Frame(f) => *f,
                 Incoming::Corrupt(m) => return Err(ClientError::Protocol(m)),
             };
             match frame {
@@ -146,7 +148,7 @@ impl Client {
     fn pump(&mut self) {
         while let Ok(incoming) = self.rx.try_recv() {
             if let Incoming::Frame(f) = incoming {
-                match f {
+                match *f {
                     Frame::Output(o) => self.outputs.push(o),
                     Frame::Busy { .. } => self.busy_seen += 1,
                     _ => {}

@@ -51,6 +51,11 @@ pub struct CoreConfig {
     /// the emission log for exactly-once restarts; `None` disables
     /// durability entirely (no log, no suppression).
     pub checkpoint_every: Option<u64>,
+    /// Worker shards per Native query engine (1 = plain single-threaded
+    /// evaluation; >1 builds a [`sequin_engine::ShardedEngine`] pool).
+    /// Snapshots are shard-count-agnostic, so a restart may resume with a
+    /// different value.
+    pub shards: usize,
 }
 
 impl CoreConfig {
@@ -66,8 +71,15 @@ impl CoreConfig {
             strategy,
             engine,
             checkpoint_every: None,
+            shards: 1,
         }
     }
+}
+
+/// Builds one query engine per `cfg`: a sharded pool when `cfg.shards > 1`
+/// asks for one (and the strategy supports it), a plain engine otherwise.
+fn build_engine(cfg: &CoreConfig, q: Arc<sequin_query::Query>) -> Box<dyn sequin_engine::Engine> {
+    sequin_engine::make_sharded_engine(cfg.strategy, q, cfg.engine, cfg.shards)
 }
 
 fn encode_log_record(qid: QueryId, kind_tag: u8, key: &MatchKey) -> Vec<u8> {
@@ -220,7 +232,7 @@ impl EngineCore {
         for text in texts {
             let q = parse(&text, &cfg.registry)
                 .map_err(|_| CodecError::SnapshotMismatch("persisted query text"))?;
-            let id = multi.register(q, cfg.strategy, cfg.engine);
+            let id = multi.register_engine(build_engine(cfg, q));
             queries.push((text, id));
         }
         multi.restore(&blob)?;
@@ -239,7 +251,7 @@ impl EngineCore {
             return Ok(*id);
         }
         let q = parse(text, &self.cfg.registry).map_err(|e| e.to_string())?;
-        let id = self.multi.register(q, self.cfg.strategy, self.cfg.engine);
+        let id = self.multi.register_engine(build_engine(&self.cfg, q));
         self.queries.push((text.to_owned(), id));
         if self.durable() {
             // make the registration itself crash-safe
@@ -252,15 +264,41 @@ impl EngineCore {
     /// deliver (replay duplicates already swallowed). Ignored after
     /// [`EngineCore::finish`].
     pub fn ingest(&mut self, item: &StreamItem) -> Vec<(QueryId, OutputItem)> {
+        self.ingest_batch(std::slice::from_ref(item))
+    }
+
+    /// Ingests a run of arrivals through [`MultiEngine::ingest_batch`] —
+    /// the entry point that lets sharded pools use their worker threads.
+    ///
+    /// Outputs, log records, and checkpoints are identical to item-by-item
+    /// [`EngineCore::ingest`] calls: the run is split at checkpoint
+    /// boundaries so every checkpoint captures the engine state at exactly
+    /// the position it records, never mid-cadence.
+    pub fn ingest_batch(&mut self, items: &[StreamItem]) -> Vec<(QueryId, OutputItem)> {
         if self.drained {
             return Vec::new();
         }
-        let raw = self.multi.ingest(item);
-        self.position += 1;
-        let out = self.filter_and_log(raw);
-        if let Some(n) = self.cfg.checkpoint_every {
-            if self.position.saturating_sub(self.last_ckpt_position) >= n {
-                self.checkpoint_now();
+        let mut out = Vec::new();
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = match self.cfg.checkpoint_every {
+                Some(n) => {
+                    let since = self.position.saturating_sub(self.last_ckpt_position);
+                    (n.saturating_sub(since).max(1) as usize).min(rest.len())
+                }
+                None => rest.len(),
+            };
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            for raw in self.multi.ingest_batch(chunk) {
+                self.position += 1;
+                let filtered = self.filter_and_log(raw);
+                out.extend(filtered);
+            }
+            if let Some(n) = self.cfg.checkpoint_every {
+                if self.position.saturating_sub(self.last_ckpt_position) >= n {
+                    self.checkpoint_now();
+                }
             }
         }
         out
@@ -340,6 +378,11 @@ impl EngineCore {
         self.position
     }
 
+    /// Worker shards each Native query engine evaluates on.
+    pub fn shards(&self) -> u64 {
+        self.cfg.shards.max(1) as u64
+    }
+
     /// Number of registered queries.
     pub fn query_count(&self) -> u64 {
         self.queries.len() as u64
@@ -396,6 +439,7 @@ mod tests {
             strategy: Strategy::Native,
             engine: EngineConfig::with_k(Duration::new(10)),
             checkpoint_every: every,
+            shards: 1,
         }
     }
 
@@ -556,6 +600,83 @@ mod tests {
         }
         delivered2.extend(core.finish());
         assert_eq!(net(&delivered2), net(&baseline));
+        assert_eq!(core.pending_suppressions(), 0);
+    }
+
+    #[test]
+    fn batched_ingest_matches_item_by_item_including_checkpoints() {
+        let reg = registry();
+        let items = stream(&reg);
+
+        let mut seq = EngineCore::new(cfg(&reg, Some(7)));
+        seq.subscribe(Q_AB).unwrap();
+        seq.subscribe(Q_BA).unwrap();
+        let mut want = Vec::new();
+        for it in &items {
+            want.extend(seq.ingest(it));
+        }
+        want.extend(seq.finish());
+
+        let mut bat = EngineCore::new(cfg(&reg, Some(7)));
+        bat.subscribe(Q_AB).unwrap();
+        bat.subscribe(Q_BA).unwrap();
+        let mut got = Vec::new();
+        // ragged batch sizes that straddle the checkpoint cadence
+        let mut rest = &items[..];
+        for size in [1usize, 10, 3, 17, 9].iter().cycle() {
+            if rest.is_empty() {
+                break;
+            }
+            let take = (*size).min(rest.len());
+            got.extend(bat.ingest_batch(&rest[..take]));
+            rest = &rest[take..];
+        }
+        got.extend(bat.finish());
+
+        assert_eq!(net(&got), net(&want));
+        assert_eq!(bat.position(), seq.position());
+        assert_eq!(
+            bat.stats().checkpoints_written,
+            seq.stats().checkpoints_written,
+            "batch splitting preserves the checkpoint cadence"
+        );
+    }
+
+    #[test]
+    fn crash_resume_with_different_shard_count_is_exactly_once() {
+        let reg = registry();
+        let items = stream(&reg);
+
+        let mut oracle = EngineCore::new(cfg(&reg, None));
+        oracle.subscribe(Q_AB).unwrap();
+        oracle.subscribe(Q_BA).unwrap();
+        let mut baseline = Vec::new();
+        for it in &items {
+            baseline.extend(oracle.ingest(it));
+        }
+        baseline.extend(oracle.finish());
+
+        let mut two = cfg(&reg, Some(25));
+        two.shards = 2;
+        let mut core = EngineCore::new(two);
+        core.subscribe(Q_AB).unwrap();
+        core.subscribe(Q_BA).unwrap();
+        assert_eq!(core.shards(), 2);
+        let mut delivered = Vec::new();
+        delivered.extend(core.ingest_batch(&items[..40]));
+        let saved = core.store().clone();
+        drop(core); // crash
+
+        // resume on a *different* shard count: snapshots are agnostic
+        let mut four = cfg(&reg, Some(25));
+        four.shards = 4;
+        let (mut core, replay_from) = EngineCore::resume(four, saved);
+        assert!(replay_from > 0, "a checkpoint was accepted");
+        assert_eq!(core.query_count(), 2);
+        delivered.extend(core.ingest_batch(&items[replay_from as usize..]));
+        delivered.extend(core.finish());
+        assert_eq!(net(&delivered), net(&baseline));
+        assert!(core.stats().replayed_suppressed > 0);
         assert_eq!(core.pending_suppressions(), 0);
     }
 

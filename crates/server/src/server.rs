@@ -162,7 +162,10 @@ impl Server {
         let shared = Arc::new(Shared {
             tx,
             depth: AtomicUsize::new(0),
-            stats: Mutex::new(ServerStats::default()),
+            stats: Mutex::new(ServerStats {
+                engine_shards: core.shards(),
+                ..ServerStats::default()
+            }),
             resume_from: AtomicU64::new(core.position()),
             query_count: AtomicU64::new(core.query_count()),
             fingerprint,
@@ -279,6 +282,10 @@ fn persist_if_dirty(core: &mut EngineCore, store_path: &Option<PathBuf>) {
     }
 }
 
+/// Upper bound on one coalesced ingest batch: keeps delivery latency and
+/// the checkpoint-persist cadence bounded even under a saturated queue.
+const MAX_ENGINE_BATCH: usize = 256;
+
 fn engine_loop(
     mut core: EngineCore,
     rx: mpsc::Receiver<EngineMsg>,
@@ -308,12 +315,40 @@ fn engine_loop(
             }
         };
 
-    while let Ok(msg) = rx.recv() {
+    // A non-Ingest message pulled off the queue while coalescing a batch;
+    // handled on the next loop turn so ordering is preserved.
+    let mut pending: Option<EngineMsg> = None;
+    loop {
+        let msg = match pending.take() {
+            Some(m) => m,
+            None => match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            },
+        };
         match msg {
             EngineMsg::Ingest(item) => {
-                shared.depth.fetch_sub(1, Ordering::SeqCst);
-                let outputs = core.ingest(&item);
+                // Coalesce the run of Ingest messages already queued into
+                // one batch: sharded engines only parallelize across a
+                // batch, and delivering per-batch amortizes queue wakeups.
+                let mut batch = vec![item];
+                while batch.len() < MAX_ENGINE_BATCH {
+                    match rx.try_recv() {
+                        Ok(EngineMsg::Ingest(next)) => batch.push(next),
+                        Ok(other) => {
+                            pending = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                shared.depth.fetch_sub(batch.len(), Ordering::SeqCst);
+                let outputs = core.ingest_batch(&batch);
                 shared.resume_from.store(core.position(), Ordering::SeqCst);
+                shared.with_stats(|s| {
+                    s.engine_batches += 1;
+                    s.max_engine_batch = s.max_engine_batch.max(batch.len() as u64);
+                });
                 deliver(&subscribers, &shared, outputs);
                 persist_if_dirty(&mut core, &store_path);
             }

@@ -34,11 +34,17 @@ pub struct ServerStats {
     pub backpressure_stalls: u64,
     /// DRAIN requests honored.
     pub drains: u64,
+    /// Worker shards the engine evaluates on (1 = single-threaded).
+    pub engine_shards: u64,
+    /// Ingest batches the engine thread coalesced off the queue.
+    pub engine_batches: u64,
+    /// Largest single coalesced ingest batch.
+    pub max_engine_batch: u64,
 }
 
 impl ServerStats {
     /// Named-counter view, in struct order, for tables and assertions.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 12] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 15] {
         [
             ("connections_opened", self.connections_opened),
             ("connections_closed", self.connections_closed),
@@ -52,6 +58,9 @@ impl ServerStats {
             ("busy_frames_sent", self.busy_frames_sent),
             ("backpressure_stalls", self.backpressure_stalls),
             ("drains", self.drains),
+            ("engine_shards", self.engine_shards),
+            ("engine_batches", self.engine_batches),
+            ("max_engine_batch", self.max_engine_batch),
         ]
     }
 }
@@ -79,6 +88,9 @@ impl Decode for ServerStats {
             busy_frames_sent: r.get_u64()?,
             backpressure_stalls: r.get_u64()?,
             drains: r.get_u64()?,
+            engine_shards: r.get_u64()?,
+            engine_batches: r.get_u64()?,
+            max_engine_batch: r.get_u64()?,
         })
     }
 }
@@ -103,6 +115,9 @@ mod tests {
             busy_frames_sent: 10,
             backpressure_stalls: 11,
             drains: 12,
+            engine_shards: 13,
+            engine_batches: 14,
+            max_engine_batch: 15,
         };
         let mut w = Writer::new();
         s.encode(&mut w);
@@ -111,7 +126,7 @@ mod tests {
         assert_eq!(ServerStats::decode(&mut r).unwrap(), s);
         r.finish().unwrap();
         let pairs = s.as_pairs();
-        assert_eq!(pairs.len(), 12);
+        assert_eq!(pairs.len(), 15);
         for (i, (_, v)) in pairs.iter().enumerate() {
             assert_eq!(*v, i as u64 + 1);
         }

@@ -47,7 +47,7 @@ fn main() {
             query.clone(),
             EngineConfig::with_k(Duration::new(k)),
         );
-        let mut report = run_engine(engine.as_mut(), &stream, 64);
+        let report = run_engine(engine.as_mut(), &stream, 64);
         println!(
             "{:>16}  {:>7}  {:>10.1} evs  {:>9} evs  {:>10.0}",
             strategy.to_string(),

@@ -34,6 +34,8 @@ const USAGE: &str = "usage:
   sequin send     --addr HOST:PORT [--workload NAME] [--drain yes|no]
                   [options] ['<query>']
   sequin netbench [--workload NAME] [options] ['<query>']
+  sequin bench    [--ci] [--shards 1,4] [--json FILE] [--baseline FILE]
+                  [--refresh-baseline] [--min-speedup F] [options]
 
 options:
   --events N        events to generate (default 50000; networked 10000)
@@ -53,6 +55,12 @@ options:
   --store FILE      serve: checkpoint-store path (with --checkpoint-every,
                     enables exactly-once restart; clients replay from the
                     HELLO_ACK resume cursor)
+  --shards N        Native-engine worker shards (default 1; bench takes a
+                    comma-separated list of counts to measure)
+  --ci              bench: fixed CI preset (100k events, 30% ooo, shards
+                    1 and 4, BENCH_ci.json, gate vs bench/baseline.json)
+  --refresh-baseline  bench: rewrite the baseline from this run
+  --min-speedup F   bench: require max-shards throughput >= F x shards=1
 
 schema DSL: 'TYPE(field:kind,...) ...' with kinds int|float|str|bool";
 
@@ -68,6 +76,12 @@ fn run(args: &[String]) -> Result<String, String> {
     while ix < rest.len() {
         let a = rest[ix];
         if let Some(name) = a.strip_prefix("--") {
+            // boolean flags take no value
+            if matches!(name, "ci" | "refresh-baseline") {
+                flags.insert(name.to_owned(), "true".to_owned());
+                ix += 1;
+                continue;
+            }
             let value = rest
                 .get(ix + 1)
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -121,6 +135,12 @@ fn run(args: &[String]) -> Result<String, String> {
             })
             .transpose()?,
         resume_from: flags.get("resume-from").cloned(),
+        // bench reads --shards itself (as a comma-separated list)
+        shards: if command == "bench" {
+            1
+        } else {
+            (get_num(&flags, "shards", 1.0)? as usize).max(1)
+        },
     };
 
     match command.as_str() {
@@ -195,6 +215,47 @@ fn run(args: &[String]) -> Result<String, String> {
             &stream_spec(&flags, &positional, &get_num)?,
             &net_options(&flags, &opts)?,
         ),
+        "bench" => {
+            let mut b = if flags.contains_key("ci") {
+                cli::BenchOptions::ci()
+            } else {
+                cli::BenchOptions::default()
+            };
+            b.events = get_num(&flags, "events", b.events as f64)? as usize;
+            b.ooo = get_num(&flags, "ooo", b.ooo)?;
+            b.max_delay = get_num(&flags, "delay", b.max_delay as f64)? as u64;
+            b.seed = get_num(&flags, "seed", b.seed as f64)? as u64;
+            b.k = get_num(&flags, "k", b.k as f64)? as u64;
+            b.batch = get_num(&flags, "batch", b.batch as f64)? as usize;
+            if let Some(list) = flags.get("shards") {
+                b.shard_counts = list
+                    .split(',')
+                    .map(|p| {
+                        p.trim().parse::<usize>().map_err(|_| {
+                            format!("--shards expects counts like `1,4`, got `{list}`")
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            if let Some(p) = flags.get("json") {
+                b.json_out = Some(p.clone());
+            }
+            if let Some(p) = flags.get("baseline") {
+                b.baseline = Some(p.clone());
+            }
+            b.refresh_baseline = flags.contains_key("refresh-baseline");
+            if b.refresh_baseline && b.baseline.is_none() {
+                b.baseline = Some("bench/baseline.json".to_owned());
+            }
+            b.min_speedup = flags
+                .get("min-speedup")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| "--min-speedup expects a factor".to_owned())
+                })
+                .transpose()?;
+            cli::run_bench(&b)
+        }
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -221,6 +282,7 @@ fn net_options(flags: &Flags, opts: &cli::RunOptions) -> Result<cli::NetOptions,
             .transpose()?
             .unwrap_or(64),
         punctuate_every: opts.punctuate_every,
+        shards: opts.shards,
     })
 }
 

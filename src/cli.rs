@@ -5,10 +5,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use sequin_engine::{
-    make_engine, CheckpointPolicy, CheckpointStore, Checkpointer, EmissionPolicy, EngineConfig,
-    Strategy,
+    make_sharded_engine, CheckpointPolicy, CheckpointStore, Checkpointer, EmissionPolicy,
+    EngineConfig, ShardedEngine, Strategy,
 };
-use sequin_metrics::{pairs_table, run_engine};
+use sequin_metrics::{pairs_table, run_engine, run_engine_batched, shard_table, RunReport};
 use sequin_netsim::{delay_shuffle, measure_disorder, punctuate};
 use sequin_query::parse;
 use sequin_server::{loopback_run, Client, CoreConfig, Server, ServerConfig};
@@ -167,6 +167,9 @@ pub struct RunOptions {
     /// checkpoints into. Resuming replays the regenerated stream suffix
     /// with exactly-once dedup, so the same seed/workload must be used.
     pub resume_from: Option<String>,
+    /// Worker shards for Native evaluation (1 = single-threaded; other
+    /// strategies ignore the setting).
+    pub shards: usize,
 }
 
 impl Default for RunOptions {
@@ -178,6 +181,7 @@ impl Default for RunOptions {
             punctuate_every: None,
             checkpoint_every: None,
             resume_from: None,
+            shards: 1,
         }
     }
 }
@@ -318,10 +322,12 @@ fn run_stream(
     if opts.punctuate_every.is_some() {
         config.watermark = sequin_engine::WatermarkSource::Both;
     }
-    let engine = make_engine(opts.strategy, query, config);
     let use_checkpoints = opts.checkpoint_every.is_some() || opts.resume_from.is_some();
+    let sharded = opts.shards > 1 && opts.strategy == Strategy::Native;
     let mut resume_note = None;
-    let mut report = if use_checkpoints {
+    let mut shard_note = None;
+    let report = if use_checkpoints {
+        let engine = make_sharded_engine(opts.strategy, query, config, opts.shards);
         let policy = match opts.checkpoint_every {
             Some(n) => CheckpointPolicy::every(n.max(1)),
             None => CheckpointPolicy::default(),
@@ -349,8 +355,14 @@ fn run_stream(
                 .map_err(|e| format!("cannot save checkpoint `{path}`: {e}"))?;
         }
         report
+    } else if sharded {
+        // batched ingestion is what lets the pool use its worker threads
+        let mut pool = ShardedEngine::new(query, config, opts.shards);
+        let report = run_engine_batched(&mut pool, stream, 256);
+        shard_note = Some(shard_table(&pool.per_shard_stats()).to_string());
+        report
     } else {
-        let mut engine = engine;
+        let mut engine = make_sharded_engine(opts.strategy, query, config, opts.shards);
         run_engine(engine.as_mut(), stream, 64)
     };
 
@@ -392,6 +404,15 @@ fn run_stream(
         ));
         if let Some(note) = resume_note {
             out.push_str(&format!("recovery     : {note}\n"));
+        }
+    }
+    if sharded {
+        out.push_str(&format!(
+            "shards       : {} workers, {} events routed, merge buffer peak {}\n",
+            opts.shards, report.stats.events_routed, report.stats.merge_buffer_peak
+        ));
+        if let Some(table) = shard_note {
+            out.push_str(&table);
         }
     }
     Ok(out)
@@ -443,6 +464,8 @@ pub struct NetOptions {
     pub batch: usize,
     /// Inject a punctuation every `n` events before shipping.
     pub punctuate_every: Option<usize>,
+    /// Worker shards per Native query engine on the server side.
+    pub shards: usize,
 }
 
 impl Default for NetOptions {
@@ -453,6 +476,7 @@ impl Default for NetOptions {
             policy: EmissionPolicy::Conservative,
             batch: 64,
             punctuate_every: None,
+            shards: 1,
         }
     }
 }
@@ -505,7 +529,9 @@ fn net_core(registry: Arc<TypeRegistry>, net: &NetOptions) -> CoreConfig {
     if net.punctuate_every.is_some() {
         engine.watermark = sequin_engine::WatermarkSource::Both;
     }
-    CoreConfig::new(registry, net.strategy, engine)
+    let mut core = CoreConfig::new(registry, net.strategy, engine);
+    core.shards = net.shards.max(1);
+    core
 }
 
 /// `sequin netbench`: replays a disordered workload through a loopback
@@ -528,10 +554,11 @@ pub fn run_netbench(spec: &StreamSpec, net: &NetOptions) -> Result<String, Strin
         net.batch.max(1)
     ));
     out.push_str(&format!(
-        "evaluation   : {} strategy, {} emission, K={}\n",
+        "evaluation   : {} strategy, {} emission, K={}, {} shard(s)\n",
         net.strategy,
         policy_name(net.policy),
-        net.k
+        net.k,
+        net.shards.max(1)
     ));
     out.push_str(&format!(
         "outputs      : {} frames, byte-identical to the in-process oracle\n",
@@ -718,6 +745,291 @@ pub fn send(
     Ok(out)
 }
 
+// ------------------------------------------------------------- benchmark --
+
+/// Settings for `sequin bench`: a fixed-seed sharded-throughput benchmark
+/// with an optional committed baseline acting as a regression gate.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Events to generate before disorder is applied.
+    pub events: usize,
+    /// Out-of-order fraction in `0..1`.
+    pub ooo: f64,
+    /// Maximum lateness in ticks.
+    pub max_delay: u64,
+    /// Workload/disorder seed (fixed so runs are comparable).
+    pub seed: u64,
+    /// Disorder bound `K`.
+    pub k: u64,
+    /// Shard counts to measure, e.g. `[1, 4]`. Shards=1 is always run
+    /// first as the output oracle even when absent from the list.
+    pub shard_counts: Vec<usize>,
+    /// Events per [`sequin_engine::Engine::ingest_batch`] call.
+    pub batch: usize,
+    /// Write the machine-readable report here (e.g. `BENCH_ci.json`).
+    pub json_out: Option<String>,
+    /// Committed baseline to gate against (e.g. `bench/baseline.json`).
+    pub baseline: Option<String>,
+    /// Rewrite the baseline from this run instead of gating against it.
+    pub refresh_baseline: bool,
+    /// Require `throughput(max shards) >= F * throughput(shards=1)`.
+    /// CI passes 2.0; leave `None` on machines without spare cores.
+    pub min_speedup: Option<f64>,
+    /// Allowed per-config throughput regression vs the baseline, percent.
+    pub regression_pct: f64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            events: 20_000,
+            ooo: 0.3,
+            max_delay: 100,
+            seed: 42,
+            k: 100,
+            shard_counts: vec![1, 2],
+            batch: 256,
+            json_out: None,
+            baseline: None,
+            refresh_baseline: false,
+            min_speedup: None,
+            regression_pct: 15.0,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// The CI preset: ~100k events at 30% disorder, shards {1, 4},
+    /// `BENCH_ci.json` artifact, gated against `bench/baseline.json`.
+    pub fn ci() -> BenchOptions {
+        BenchOptions {
+            events: 100_000,
+            shard_counts: vec![1, 4],
+            json_out: Some("BENCH_ci.json".to_owned()),
+            baseline: Some("bench/baseline.json".to_owned()),
+            ..BenchOptions::default()
+        }
+    }
+}
+
+/// One measured configuration of a bench run.
+#[derive(Debug, Clone)]
+struct BenchConfigReport {
+    shards: usize,
+    throughput_eps: f64,
+    p50_latency: u64,
+    p95_latency: u64,
+    outputs: usize,
+}
+
+fn bench_json(opts: &BenchOptions, configs: &[BenchConfigReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"sequin\",\n");
+    s.push_str(&format!("  \"events\": {},\n", opts.events));
+    s.push_str(&format!("  \"ooo\": {:.2},\n", opts.ooo));
+    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    s.push_str(&format!("  \"k\": {},\n", opts.k));
+    s.push_str("  \"configs\": [\n");
+    for (ix, c) in configs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"shards\": {}, \"throughput_eps\": {:.1}, \"p50_latency\": {}, \
+             \"p95_latency\": {}, \"outputs\": {} }}{}\n",
+            c.shards,
+            c.throughput_eps,
+            c.p50_latency,
+            c.p95_latency,
+            c.outputs,
+            if ix + 1 < configs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(shards, throughput_eps)` pairs from a bench JSON report.
+/// Deliberately minimal: it only understands the flat key/value shape
+/// [`bench_json`] writes (keys may come in any order within a config).
+fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    let mut shards: Option<usize> = None;
+    let mut throughput: Option<f64> = None;
+    for piece in text.split(|c: char| "{},[]".contains(c)) {
+        let Some((key, value)) = piece.split_once(':') else {
+            continue;
+        };
+        match key.trim().trim_matches('"') {
+            "shards" => shards = value.trim().parse().ok(),
+            "throughput_eps" => throughput = value.trim().parse().ok(),
+            _ => continue,
+        }
+        if let (Some(s), Some(t)) = (shards, throughput) {
+            out.push((s, t));
+            shards = None;
+            throughput = None;
+        }
+    }
+    out
+}
+
+/// `sequin bench`: measures Native-engine throughput at each requested
+/// shard count over a fixed-seed disordered synthetic stream, verifying
+/// every sharded run's outputs against the single-threaded oracle, then
+/// gates against (or refreshes) a committed baseline.
+///
+/// # Errors
+///
+/// Reports output divergence, a breached regression gate or speedup
+/// floor, and file I/O failures as display strings.
+pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
+    let (registry, history, text) = build_workload("synthetic", opts.events, opts.seed)?;
+    let query = parse(&text, &registry).map_err(|e| e.to_string())?;
+    let stream = delay_shuffle(&history, opts.ooo, opts.max_delay.max(1), opts.seed);
+    let config = EngineConfig::with_k(Duration::new(opts.k));
+    let batch = opts.batch.max(1);
+
+    let mut shard_counts: Vec<usize> = opts.shard_counts.iter().map(|&n| n.max(1)).collect();
+    if shard_counts.is_empty() || shard_counts[0] != 1 {
+        shard_counts.insert(0, 1);
+    }
+    shard_counts.dedup();
+
+    // best of three: the regression gate needs a stable number, and the
+    // max over repeats is far less noisy than any single run
+    let run_at = |n: usize| -> RunReport {
+        let mut best: Option<RunReport> = None;
+        for _ in 0..3 {
+            let mut pool = ShardedEngine::new(Arc::clone(&query), config, n);
+            let r = run_engine_batched(&mut pool, &stream, batch);
+            if best
+                .as_ref()
+                .is_none_or(|b| r.throughput_eps > b.throughput_eps)
+            {
+                best = Some(r);
+            }
+        }
+        best.expect("three runs happened")
+    };
+
+    let oracle = run_at(1);
+    let mut configs = vec![BenchConfigReport {
+        shards: 1,
+        throughput_eps: oracle.throughput_eps,
+        p50_latency: oracle.arrival_latency.p50(),
+        p95_latency: oracle.arrival_latency.p95(),
+        outputs: oracle.outputs.len(),
+    }];
+    for &n in &shard_counts[1..] {
+        let report = run_at(n);
+        if report.outputs != oracle.outputs {
+            return Err(format!(
+                "shards={n} outputs diverged from the single-threaded oracle \
+                 ({} vs {} items)",
+                report.outputs.len(),
+                oracle.outputs.len()
+            ));
+        }
+        configs.push(BenchConfigReport {
+            shards: n,
+            throughput_eps: report.throughput_eps,
+            p50_latency: report.arrival_latency.p50(),
+            p95_latency: report.arrival_latency.p95(),
+            outputs: report.outputs.len(),
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench        : {} events, {:.0}% ooo, seed {}, K={}, batches of {}\n",
+        opts.events,
+        opts.ooo * 100.0,
+        opts.seed,
+        opts.k,
+        batch
+    ));
+    let mut table = sequin_metrics::Table::new(&[
+        "shards",
+        "throughput_eps",
+        "p50_latency",
+        "p95_latency",
+        "outputs",
+    ]);
+    for c in &configs {
+        table.row(&[
+            c.shards.to_string(),
+            format!("{:.0}", c.throughput_eps),
+            c.p50_latency.to_string(),
+            c.p95_latency.to_string(),
+            c.outputs.to_string(),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push_str("outputs      : all shard counts byte-identical to shards=1\n");
+
+    let json = bench_json(opts, &configs);
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("report       : wrote {path}\n"));
+    }
+
+    if let Some(f) = opts.min_speedup {
+        let base = configs[0].throughput_eps;
+        let best = configs
+            .iter()
+            .map(|c| c.throughput_eps)
+            .fold(0.0f64, f64::max);
+        let speedup = if base > 0.0 { best / base } else { 0.0 };
+        if speedup < f {
+            return Err(format!(
+                "speedup floor breached: best/shards=1 = {speedup:.2}x < required {f:.2}x"
+            ));
+        }
+        out.push_str(&format!(
+            "speedup      : {speedup:.2}x over shards=1 (floor {f:.2}x)\n"
+        ));
+    }
+
+    if let Some(path) = &opts.baseline {
+        if opts.refresh_baseline {
+            if let Some(dir) = Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+                }
+            }
+            std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            out.push_str(&format!("baseline     : refreshed {path}\n"));
+        } else {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
+            let baseline = parse_baseline(&text);
+            if baseline.is_empty() {
+                return Err(format!("baseline `{path}` holds no configs"));
+            }
+            let floor = 1.0 - opts.regression_pct / 100.0;
+            let mut gated = 0;
+            for c in &configs {
+                let Some(&(_, base)) = baseline.iter().find(|(s, _)| *s == c.shards) else {
+                    continue;
+                };
+                gated += 1;
+                if c.throughput_eps < base * floor {
+                    return Err(format!(
+                        "throughput regression at shards={}: {:.0} eps vs baseline {:.0} \
+                         (allowed {:.0}% drop)",
+                        c.shards, c.throughput_eps, base, opts.regression_pct
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "baseline     : {gated} config(s) within {:.0}% of {path}\n",
+                opts.regression_pct
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// Parses a strategy name.
 ///
 /// # Errors
@@ -879,6 +1191,109 @@ mod tests {
             assert!(out.contains("byte-identical"), "{out}");
             assert!(out.contains("events_ingested"), "{out}");
         }
+    }
+
+    #[test]
+    fn netbench_with_shards_matches_oracle() {
+        let spec = StreamSpec {
+            events: 600,
+            ..StreamSpec::default()
+        };
+        let net = NetOptions {
+            shards: 4,
+            punctuate_every: Some(100),
+            ..NetOptions::default()
+        };
+        let out = run_netbench(&spec, &net).unwrap();
+        assert!(out.contains("byte-identical"), "{out}");
+        assert!(out.contains("4 shard(s)"), "{out}");
+    }
+
+    #[test]
+    fn sharded_run_prints_shard_table() {
+        let opts = RunOptions {
+            shards: 3,
+            ..RunOptions::default()
+        };
+        let out = run_workload("synthetic", "", 2000, 0.2, 50, 11, &opts).unwrap();
+        assert!(out.contains("shards       : 3 workers"), "{out}");
+        assert!(out.contains("events_routed"), "{out}");
+
+        // identical matches as single-threaded
+        let single =
+            run_workload("synthetic", "", 2000, 0.2, 50, 11, &RunOptions::default()).unwrap();
+        let matches_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("matches"))
+                .map(str::to_owned)
+        };
+        assert_eq!(matches_line(&out), matches_line(&single));
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_baseline_parser() {
+        let opts = BenchOptions::default();
+        let configs = vec![
+            BenchConfigReport {
+                shards: 1,
+                throughput_eps: 1234.5,
+                p50_latency: 0,
+                p95_latency: 2,
+                outputs: 99,
+            },
+            BenchConfigReport {
+                shards: 4,
+                throughput_eps: 4321.0,
+                p50_latency: 1,
+                p95_latency: 3,
+                outputs: 99,
+            },
+        ];
+        let json = bench_json(&opts, &configs);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed, vec![(1, 1234.5), (4, 4321.0)]);
+        assert!(parse_baseline("not json at all").is_empty());
+    }
+
+    #[test]
+    fn bench_refreshes_then_gates_against_the_baseline() {
+        let dir = "target/test-bench";
+        std::fs::create_dir_all(dir).unwrap();
+        let baseline = format!("{dir}/baseline.json");
+        let json = format!("{dir}/report.json");
+        let _ = std::fs::remove_file(&baseline);
+        let mut opts = BenchOptions {
+            events: 2000,
+            shard_counts: vec![1, 2],
+            json_out: Some(json.clone()),
+            baseline: Some(baseline.clone()),
+            refresh_baseline: true,
+            ..BenchOptions::default()
+        };
+        let out = run_bench(&opts).unwrap();
+        assert!(out.contains("refreshed"), "{out}");
+        assert!(out.contains("byte-identical to shards=1"), "{out}");
+        assert!(Path::new(&baseline).exists());
+        assert!(Path::new(&json).exists());
+
+        // gate against the just-written baseline; a huge allowance keeps
+        // the test robust to scheduler jitter in shared CI containers
+        opts.refresh_baseline = false;
+        opts.regression_pct = 95.0;
+        let out2 = run_bench(&opts).unwrap();
+        assert!(out2.contains("2 config(s) within"), "{out2}");
+
+        // an impossible baseline must trip the gate
+        std::fs::write(
+            &baseline,
+            "{ \"configs\": [ { \"shards\": 1, \"throughput_eps\": 1e18 } ] }",
+        )
+        .unwrap();
+        opts.regression_pct = 15.0;
+        let err = run_bench(&opts).unwrap_err();
+        assert!(err.contains("throughput regression"), "{err}");
+        std::fs::remove_file(&baseline).ok();
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

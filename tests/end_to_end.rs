@@ -193,8 +193,9 @@ fn latency_histogram_quantiles_are_monotonic() {
         q,
         EngineConfig::with_k(Duration::new(100)),
     );
-    let mut report = run_engine(engine.as_mut(), &stream, 32);
-    let h: &mut Histogram = &mut report.arrival_latency;
+    let report = run_engine(engine.as_mut(), &stream, 32);
+    // quantiles take &self now (lazy sort behind a dirty flag)
+    let h: &Histogram = &report.arrival_latency;
     assert!(h.p50() <= h.p95());
     assert!(h.p95() <= h.p99());
     assert!(h.p99() <= h.max());

@@ -1,0 +1,228 @@
+//! Randomized byte-identity tests for the sharded evaluation pool:
+//!
+//! 1. `ShardedEngine` with N ∈ {1, 2, 7} workers produces *byte-identical*
+//!    output (same items, kinds, and emission bookkeeping, in the same
+//!    order) to the single-threaded `NativeEngine` on any bounded shuffle
+//!    of any history, under both emission policies;
+//! 2. a durable `EngineCore` checkpointed while evaluating on 2 shards
+//!    can crash and resume on 4 shards, exactly-once — the checkpoint
+//!    format is shard-count-agnostic.
+//!
+//! Histories are generated from explicit seeds with the workspace's own
+//! `sequin::prng::Rng`, so every failing case is reproducible by seed.
+
+mod common;
+
+use common::drive;
+use sequin::engine::{
+    EmissionPolicy, EngineConfig, NativeEngine, OutputItem, ShardedEngine,
+    Strategy as EngineStrategy,
+};
+use sequin::netsim::{delay_shuffle, measure_disorder};
+use sequin::prng::Rng;
+use sequin::query::parse;
+use sequin::server::{CoreConfig, EngineCore};
+use sequin::types::{
+    Duration, Event, EventId, EventRef, StreamItem, Timestamp, TypeRegistry, Value, ValueKind,
+};
+use std::sync::Arc;
+
+const CASES: u64 = 32;
+
+fn registry() -> TypeRegistry {
+    let mut reg = TypeRegistry::new();
+    for name in ["T0", "T1", "T2", "T3"] {
+        reg.declare(name, &[("x", ValueKind::Int), ("tag", ValueKind::Int)])
+            .unwrap();
+    }
+    reg
+}
+
+/// Query shapes covering partitioned equality chains (shardable), joins
+/// the overflow shard must own, negation in every flank position, and
+/// disjunctive types.
+const QUERIES: &[&str] = &[
+    "PATTERN SEQ(T0 a, T1 b) WITHIN 20",
+    "PATTERN SEQ(T0 a, T1 b, T2 c) WHERE a.tag == b.tag AND b.tag == c.tag WITHIN 60",
+    "PATTERN SEQ(T0 a, T1 b) WHERE a.x == b.x WITHIN 30",
+    "PATTERN SEQ(T0 a, !T1 n, T2 c) WITHIN 30",
+    "PATTERN SEQ(!T1 n, T0 a) WITHIN 15",
+    "PATTERN SEQ(T0 a, T2 c, !T1 n) WITHIN 15",
+    "PATTERN SEQ(T0 a, !T3 n, T2 c) WHERE n.x == a.x WITHIN 30",
+    "PATTERN SEQ(T0|T1 ab, T2 c) WITHIN 30",
+    "PATTERN SEQ(T0 a, !T0 n, T1 b) WITHIN 20",
+];
+
+fn gen_history(rng: &mut Rng) -> Vec<(u8, u8, u8, u8)> {
+    let n = rng.gen_range(4usize..36);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0u8..4),
+                rng.gen_range(1u8..6),
+                rng.gen_range(0u8..5),
+                rng.gen_range(0u8..3),
+            )
+        })
+        .collect()
+}
+
+fn build_events(reg: &TypeRegistry, raw: &[(u8, u8, u8, u8)]) -> Vec<EventRef> {
+    let mut ts = 0u64;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(ty, gap, x, tag))| {
+            ts += u64::from(gap);
+            Arc::new(
+                Event::builder(
+                    reg.lookup(&format!("T{ty}")).expect("declared"),
+                    Timestamp::new(ts),
+                )
+                .id(EventId::new(i as u64))
+                .attr(Value::Int(i64::from(x)))
+                .attr(Value::Int(i64::from(tag)))
+                .build(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_pool_is_byte_identical_to_native_for_any_shard_count() {
+    let reg = registry();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5EED_0011 + case);
+        let raw = gen_history(&mut rng);
+        let events = build_events(&reg, &raw);
+        let query = parse(QUERIES[rng.gen_range(0usize..QUERIES.len())], &reg).unwrap();
+
+        let ooo = rng.gen_range(0.0f64..0.6);
+        let delay = rng.gen_range(1u64..120);
+        let seed = rng.gen_range(0u64..1000);
+        let stream = delay_shuffle(&events, ooo, delay, seed);
+        let k = measure_disorder(&stream).max_lateness.ticks().max(1);
+
+        for policy in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+            let mut cfg = EngineConfig::with_k(Duration::new(k));
+            cfg.emission = policy;
+
+            let mut native = NativeEngine::new(Arc::clone(&query), cfg);
+            let want: Vec<OutputItem> = drive(&mut native, &stream);
+
+            for shards in [1usize, 2, 7] {
+                let mut pool = ShardedEngine::new(Arc::clone(&query), cfg, shards);
+                let got = drive(&mut pool, &stream);
+                assert_eq!(
+                    got, want,
+                    "case {case}: shards={shards} policy={policy:?} query {query}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_batched_ingestion_is_byte_identical_too() {
+    let reg = registry();
+    for case in 0..CASES / 2 {
+        let mut rng = Rng::seed_from_u64(0x5EED_0012 + case);
+        let raw = gen_history(&mut rng);
+        let events = build_events(&reg, &raw);
+        let query = parse(QUERIES[rng.gen_range(0usize..QUERIES.len())], &reg).unwrap();
+        let stream = delay_shuffle(&events, 0.4, 80, rng.gen_range(0u64..1000));
+        let k = measure_disorder(&stream).max_lateness.ticks().max(1);
+        let cfg = EngineConfig::with_k(Duration::new(k));
+
+        let mut native = NativeEngine::new(Arc::clone(&query), cfg);
+        let want = drive(&mut native, &stream);
+
+        let batch = rng.gen_range(1usize..17);
+        let mut pool = ShardedEngine::new(Arc::clone(&query), cfg, 3);
+        let mut got: Vec<OutputItem> = Vec::new();
+        for chunk in stream.chunks(batch) {
+            got.extend(
+                sequin::engine::Engine::ingest_batch(&mut pool, chunk)
+                    .into_iter()
+                    .map(|(_, o)| o),
+            );
+        }
+        got.extend(sequin::engine::Engine::finish(&mut pool));
+        assert_eq!(got, want, "case {case}: batch={batch} query {query}");
+    }
+}
+
+fn net(out: &[(sequin::engine::QueryId, OutputItem)]) -> Vec<(usize, bool, Vec<u64>)> {
+    let mut v: Vec<(usize, bool, Vec<u64>)> = out
+        .iter()
+        .map(|(q, o)| {
+            (
+                q.index(),
+                o.kind == sequin::engine::OutputKind::Insert,
+                o.m.events().iter().map(|e| e.id().get()).collect(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn checkpoint_on_two_shards_resumes_on_four_exactly_once() {
+    let reg = Arc::new(registry());
+    const Q_PART: &str =
+        "PATTERN SEQ(T0 a, T1 b, T2 c) WHERE a.tag == b.tag AND b.tag == c.tag WITHIN 60";
+    const Q_NEG: &str = "PATTERN SEQ(T0 a, !T1 n, T2 c) WITHIN 30";
+
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(0x5EED_0013 + case);
+        let raw: Vec<(u8, u8, u8, u8)> = (0..120)
+            .map(|_| {
+                (
+                    rng.gen_range(0u8..4),
+                    rng.gen_range(1u8..4),
+                    rng.gen_range(0u8..5),
+                    rng.gen_range(0u8..3),
+                )
+            })
+            .collect();
+        let events = build_events(&reg, &raw);
+        let stream: Vec<StreamItem> = delay_shuffle(&events, 0.3, 40, rng.gen_range(0u64..1000));
+        let k = measure_disorder(&stream).max_lateness.ticks().max(1);
+        let mk_cfg = |shards: usize, every: Option<u64>| {
+            let mut cfg = CoreConfig::new(
+                Arc::clone(&reg),
+                EngineStrategy::Native,
+                EngineConfig::with_k(Duration::new(k)),
+            );
+            cfg.checkpoint_every = every;
+            cfg.shards = shards;
+            cfg
+        };
+
+        // oracle: one uninterrupted, single-threaded, volatile run
+        let mut oracle = EngineCore::new(mk_cfg(1, None));
+        oracle.subscribe(Q_PART).unwrap();
+        oracle.subscribe(Q_NEG).unwrap();
+        let mut baseline = oracle.ingest_batch(&stream);
+        baseline.extend(oracle.finish());
+
+        // durable run on 2 shards, killed mid-stream
+        let cut = rng.gen_range(40usize..stream.len());
+        let mut core = EngineCore::new(mk_cfg(2, Some(25)));
+        core.subscribe(Q_PART).unwrap();
+        core.subscribe(Q_NEG).unwrap();
+        let mut delivered = core.ingest_batch(&stream[..cut]);
+        let saved = core.store().clone();
+        drop(core); // crash
+
+        // resume on 4 shards: the snapshot is shard-count-agnostic
+        let (mut core, replay_from) = EngineCore::resume(mk_cfg(4, Some(25)), saved);
+        assert!(replay_from > 0, "case {case}: a checkpoint was accepted");
+        assert_eq!(core.query_count(), 2, "case {case}");
+        delivered.extend(core.ingest_batch(&stream[replay_from as usize..]));
+        delivered.extend(core.finish());
+
+        assert_eq!(net(&delivered), net(&baseline), "case {case}");
+        assert_eq!(core.pending_suppressions(), 0, "case {case}");
+    }
+}
