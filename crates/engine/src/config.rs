@@ -78,6 +78,12 @@ pub struct EngineConfig {
     pub watermark: WatermarkSource,
     /// Shard state by the query's partition scheme when one exists.
     pub partitioned: bool,
+    /// Fault injection: widen every purge threshold by this many ticks,
+    /// deliberately deleting state the engine still needs. Exists so the
+    /// differential simulator (`sequin sim --purge-skew N`) can prove it
+    /// detects purge bugs; must stay `0` in any real configuration.
+    #[doc(hidden)]
+    pub purge_horizon_skew: u64,
 }
 
 impl EngineConfig {
@@ -110,6 +116,7 @@ impl Default for EngineConfig {
             emission: EmissionPolicy::Conservative,
             watermark: WatermarkSource::KSlack,
             partitioned: true,
+            purge_horizon_skew: 0,
         }
     }
 }

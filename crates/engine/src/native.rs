@@ -258,6 +258,31 @@ impl NativeEngine {
         self.wm.k_hat()
     }
 
+    /// Minimum occurrence timestamp across every live positive-stack
+    /// entry, or `None` when all stacks are empty. Inspection hook for the
+    /// purge-invariant property tests; not part of the stable API.
+    #[doc(hidden)]
+    pub fn oldest_stack_ts(&self) -> Option<Timestamp> {
+        let mut oldest: Option<Timestamp> = None;
+        let mut visit = |shard: &Shard| {
+            for stack in &shard.stacks {
+                if let Some(e) = stack.events().first() {
+                    let ts = e.ts();
+                    oldest = Some(oldest.map_or(ts, |o| o.min(ts)));
+                }
+            }
+        };
+        match &self.shards {
+            ShardSet::Single(shard) => visit(shard),
+            ShardSet::Partitioned { map, .. } => {
+                for (_, shard) in map.iter() {
+                    visit(shard);
+                }
+            }
+        }
+        oldest
+    }
+
     fn make_output(&self, events: Vec<EventRef>, kind: OutputKind) -> OutputItem {
         OutputItem {
             kind,
@@ -647,8 +672,12 @@ impl NativeEngine {
         }
         let watermark = self.watermark();
         let window = self.query.window();
-        let prefix = purge::prefix_threshold(watermark, window);
-        let fin = purge::final_threshold(watermark);
+        // purge_horizon_skew is the simulator's sabotage knob: widening the
+        // thresholds deletes state that is still needed, which the
+        // differential harness must detect. Zero in any real configuration.
+        let skew = sequin_types::Duration::new(self.config.purge_horizon_skew);
+        let prefix = purge::prefix_threshold(watermark, window).saturating_add(skew);
+        let fin = purge::final_threshold(watermark).saturating_add(skew);
         let mut purged = 0u64;
         let purge_shard = |shard: &mut Shard, purged: &mut u64| {
             let m = shard.stacks.len();
@@ -667,7 +696,7 @@ impl NativeEngine {
             }
         }
         self.stats.purged += purged;
-        let threshold = purge::negative_threshold(watermark, window);
+        let threshold = purge::negative_threshold(watermark, window).saturating_add(skew);
         if self.primary() {
             self.negatives.purge_before(threshold, &mut self.stats);
         } else {

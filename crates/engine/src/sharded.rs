@@ -93,6 +93,17 @@ impl ShardedEngine {
         self.workers.iter().map(|w| w.stats()).collect()
     }
 
+    /// Per-worker [`NativeEngine::oldest_stack_ts`], in shard order.
+    /// Inspection hook for the purge-invariant property tests; not part of
+    /// the stable API.
+    #[doc(hidden)]
+    pub fn worker_oldest_stack_ts(&self) -> Vec<Option<Timestamp>> {
+        self.workers
+            .iter()
+            .map(NativeEngine::oldest_stack_ts)
+            .collect()
+    }
+
     fn merge(&mut self, phases: Vec<PhasedOutput>, out: &mut Vec<OutputItem>) {
         let buffered = PhasedOutput::merge_into(phases, out);
         self.merge_peak = self.merge_peak.max(buffered as u64);

@@ -1,0 +1,303 @@
+//! Differential execution of one case across every production path.
+//!
+//! The canonical run is the single-threaded [`NativeEngine`] fed one item
+//! at a time. It is checked against the naive oracle (exact match set),
+//! and every other production path is checked against *it*:
+//!
+//! * sharded pools (2 and 7 workers) — output must be **identical**,
+//!   including kinds, order, and emission bookkeeping;
+//! * batched ingestion — identical output;
+//! * crash at the configured point + checkpoint resume — the union of
+//!   pre- and post-crash deliveries must equal the canonical output
+//!   exactly once (as a multiset of `(kind, ids)`);
+//! * the networked server loopback — byte-identical frames, verified by
+//!   [`sequin_server::loopback_run`] itself.
+//!
+//! The builder and parser front ends are also cross-checked: the same
+//! plan rendered both ways must produce equal [`sequin_query::Query`]
+//! values.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use sequin_engine::{
+    make_engine, CheckpointPolicy, Checkpointer, EmissionPolicy, Engine, EngineConfig,
+    NativeEngine, OutputItem, OutputKind, ShardedEngine, Strategy, WatermarkSource,
+};
+use sequin_query::parse;
+use sequin_server::{loopback_run, CoreConfig};
+use sequin_types::{Duration, StreamItem};
+
+use crate::case::{sim_registry, CaseData};
+use crate::oracle::reference_matches;
+
+/// Which production path disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// Builder-built query != parser-built query.
+    BuilderParser,
+    /// Canonical engine output != naive oracle match set.
+    Oracle,
+    /// Sharded pool (worker count) output != canonical output.
+    Sharded(usize),
+    /// Batched ingestion output != canonical output.
+    Batched,
+    /// Crash + resume deliveries != canonical output (exactly-once).
+    CrashResume,
+    /// Networked loopback frames != in-process frames.
+    Loopback,
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Path::BuilderParser => write!(f, "builder-vs-parser"),
+            Path::Oracle => write!(f, "oracle"),
+            Path::Sharded(n) => write!(f, "sharded({n})"),
+            Path::Batched => write!(f, "batched"),
+            Path::CrashResume => write!(f, "crash-resume"),
+            Path::Loopback => write!(f, "loopback"),
+        }
+    }
+}
+
+/// One disagreement between a production path and its reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The path that diverged.
+    pub path: Path,
+    /// Human-readable discrepancy summary.
+    pub detail: String,
+}
+
+/// The engine configuration a case prescribes, with the purge-sabotage
+/// skew applied (zero for honest runs).
+pub fn engine_config(case: &CaseData, purge_skew: u64) -> EngineConfig {
+    EngineConfig {
+        k_slack: Duration::new(case.config.k),
+        purge: match case.config.purge_every {
+            Some(n) => sequin_runtime::purge::PurgePolicy::batched(n),
+            None => sequin_runtime::purge::PurgePolicy::NEVER,
+        },
+        emission: if case.config.aggressive {
+            EmissionPolicy::Aggressive
+        } else {
+            EmissionPolicy::Conservative
+        },
+        watermark: match case.config.watermark {
+            1 => WatermarkSource::Punctuation,
+            2 => WatermarkSource::Both,
+            _ => WatermarkSource::KSlack,
+        },
+        purge_horizon_skew: purge_skew,
+        ..EngineConfig::default()
+    }
+}
+
+/// A stable, comparable rendering of one output item (kind, constituent
+/// `(ts, id)` pairs, emission sequence number, emission clock).
+type OutputRepr = (u8, Vec<(u64, u64)>, u64, u64);
+
+fn repr(o: &OutputItem) -> OutputRepr {
+    (
+        match o.kind {
+            OutputKind::Insert => 0,
+            OutputKind::Retract => 1,
+        },
+        o.m.events()
+            .iter()
+            .map(|e| (e.ts().ticks(), e.id().get()))
+            .collect(),
+        o.emit_seq.get(),
+        o.emit_clock.ticks(),
+    )
+}
+
+fn reprs(out: &[OutputItem]) -> Vec<OutputRepr> {
+    out.iter().map(repr).collect()
+}
+
+/// Net deliveries as a sorted multiset of `(kind, ids)` — the
+/// exactly-once identity used for the crash/resume path, where emission
+/// sequence numbers legitimately differ across the restart.
+fn delivery_multiset(out: &[OutputItem]) -> Vec<(u8, Vec<u64>)> {
+    let mut v: Vec<(u8, Vec<u64>)> = out
+        .iter()
+        .map(|o| {
+            (
+                match o.kind {
+                    OutputKind::Insert => 0,
+                    OutputKind::Retract => 1,
+                },
+                o.m.events().iter().map(|e| e.id().get()).collect(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn drive(engine: &mut dyn Engine, items: &[StreamItem]) -> Vec<OutputItem> {
+    let mut out = Vec::new();
+    for item in items {
+        out.extend(engine.ingest(item));
+    }
+    out.extend(engine.finish());
+    out
+}
+
+fn first_diff(a: &[OutputRepr], b: &[OutputRepr]) -> String {
+    if a.len() != b.len() {
+        return format!("{} outputs vs {} canonical", b.len(), a.len());
+    }
+    for (ix, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            return format!("output {ix}: {y:?} vs canonical {x:?}");
+        }
+    }
+    "identical".to_owned()
+}
+
+/// Runs every production path for `case`, returning all disagreements
+/// (empty = the case is clean). `purge_skew > 0` sabotages purge in every
+/// engine under test (but never the oracle), which a correct harness must
+/// report as mismatches.
+pub fn check_case(case: &CaseData, purge_skew: u64) -> Vec<Mismatch> {
+    let mut mismatches = Vec::new();
+    let registry = sim_registry();
+    let cfg = engine_config(case, purge_skew);
+
+    // front-end cross-check: builder and parser must agree
+    let text = case.query.text();
+    let built = match case.query.build(&registry) {
+        Ok(q) => q,
+        Err(e) => {
+            mismatches.push(Mismatch {
+                path: Path::BuilderParser,
+                detail: format!("builder rejected generated query `{text}`: {e}"),
+            });
+            return mismatches;
+        }
+    };
+    match parse(&text, &registry) {
+        Ok(parsed) => {
+            if *parsed != *built {
+                mismatches.push(Mismatch {
+                    path: Path::BuilderParser,
+                    detail: format!("`{text}`: builder and parser queries differ"),
+                });
+            }
+        }
+        Err(e) => {
+            mismatches.push(Mismatch {
+                path: Path::BuilderParser,
+                detail: format!("parser rejected generated query `{text}`: {e}"),
+            });
+        }
+    }
+    let query = built;
+    let items = case.stream(&registry);
+
+    // canonical: single-threaded NativeEngine, one item at a time
+    let mut canon_engine = NativeEngine::new(Arc::clone(&query), cfg);
+    let mut canonical = Vec::new();
+    for item in &items {
+        canonical.extend(canon_engine.ingest(item));
+    }
+    canonical.extend(canon_engine.finish());
+    let canon_repr = reprs(&canonical);
+
+    // oracle: exact match set over the deduplicated sorted history
+    let events = case.unique_events(&registry);
+    let expected = reference_matches(&query, &events);
+    let got: BTreeSet<Vec<u64>> = sequin_metrics::net_inserts(&canonical)
+        .into_iter()
+        .map(|k| k.event_ids().iter().map(|id| id.get()).collect())
+        .collect();
+    if got != expected {
+        let missing: Vec<_> = expected.difference(&got).take(3).collect();
+        let spurious: Vec<_> = got.difference(&expected).take(3).collect();
+        mismatches.push(Mismatch {
+            path: Path::Oracle,
+            detail: format!(
+                "{} matches vs oracle {} (missing e.g. {missing:?}, spurious e.g. {spurious:?})",
+                got.len(),
+                expected.len()
+            ),
+        });
+    }
+
+    // sharded pools: identical output, including emission bookkeeping
+    for shards in [2usize, 7] {
+        let mut eng = ShardedEngine::new(Arc::clone(&query), cfg, shards);
+        let out = drive(&mut eng, &items);
+        let r = reprs(&out);
+        if r != canon_repr {
+            mismatches.push(Mismatch {
+                path: Path::Sharded(shards),
+                detail: first_diff(&canon_repr, &r),
+            });
+        }
+    }
+
+    // batched ingestion: identical output
+    {
+        let mut eng = make_engine(Strategy::Native, Arc::clone(&query), cfg);
+        let mut out = Vec::new();
+        for chunk in items.chunks(case.config.batch.max(1)) {
+            out.extend(eng.ingest_batch(chunk).into_iter().map(|(_, o)| o));
+        }
+        out.extend(eng.finish());
+        let r = reprs(&out);
+        if r != canon_repr {
+            mismatches.push(Mismatch {
+                path: Path::Batched,
+                detail: first_diff(&canon_repr, &r),
+            });
+        }
+    }
+
+    // crash + checkpoint resume: exactly-once deliveries
+    {
+        let policy = CheckpointPolicy::every(case.config.ckpt_every.max(1));
+        let fresh = || make_engine(Strategy::Native, Arc::clone(&query), cfg);
+        let mut ck = Checkpointer::new(fresh(), policy);
+        let crash_at = (case.config.crash_at as usize).min(items.len());
+        let mut delivered = Vec::new();
+        for item in &items[..crash_at] {
+            delivered.extend(ck.ingest(item));
+        }
+        let saved = ck.store().clone();
+        drop(ck); // crash: only the persisted store survives
+        let (mut ck, replay_from) = Checkpointer::resume(fresh(), policy, saved);
+        for item in &items[replay_from as usize..] {
+            delivered.extend(ck.ingest(item));
+        }
+        delivered.extend(ck.finish());
+        if delivery_multiset(&delivered) != delivery_multiset(&canonical) {
+            mismatches.push(Mismatch {
+                path: Path::CrashResume,
+                detail: format!(
+                    "crash at item {crash_at} (resume from {replay_from}): {} deliveries vs {} canonical",
+                    delivered.len(),
+                    canonical.len()
+                ),
+            });
+        }
+    }
+
+    // networked loopback: byte-identical frames (verified inside
+    // loopback_run); gated per case because it boots a real TCP server
+    if case.config.loopback {
+        let mut core = CoreConfig::new(Arc::clone(&registry), Strategy::Native, cfg);
+        core.shards = case.config.loopback_shards;
+        if let Err(e) = loopback_run(core, std::slice::from_ref(&text), &items, case.config.batch) {
+            mismatches.push(Mismatch {
+                path: Path::Loopback,
+                detail: e,
+            });
+        }
+    }
+
+    mismatches
+}

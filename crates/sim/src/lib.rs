@@ -1,0 +1,31 @@
+//! Deterministic differential simulation harness for sequin.
+//!
+//! One `u64` seed drives everything: a random-but-valid SEQ query (built
+//! through [`sequin_query::QueryBuilder`] *and* re-parsed from text), an event
+//! stream with a parameterized disorder schedule (lateness, duplicates,
+//! reversed bursts, punctuation placement), and an engine configuration.
+//! Each case is evaluated on a naive `O(n^k)` reference oracle and then
+//! differentially on every production path — single-shard, sharded
+//! pools, batched ingestion, crash-at-checkpoint + resume, and the
+//! networked server loopback — asserting identical output.
+//!
+//! On mismatch the case is shrunk to a minimal repro and rendered as a
+//! self-contained `#[test]` snippet plus a replayable `--seed`/`--case`
+//! pair. The `sequin sim` CLI subcommand fronts this crate for both CI
+//! and interactive debugging.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod diff;
+pub mod oracle;
+pub mod repro;
+pub mod runner;
+pub mod shrink;
+
+pub use case::{CaseConfig, CaseData, QueryPlan, SimEvent, SimItem};
+pub use diff::{check_case, Mismatch, Path};
+pub use oracle::reference_matches;
+pub use runner::{replay, run, Failure, SimOptions, SimReport};
+pub use shrink::{shrink, Shrunk};

@@ -1,0 +1,102 @@
+//! The naive reference oracle.
+//!
+//! Implements the SEQ semantics *directly from the definition*: enumerate
+//! every assignment of distinct events to the positive components
+//! (strictly increasing occurrence timestamps), then check the window,
+//! the `WHERE` predicates, and every negation region against the complete
+//! sorted event history. `O(n^k)` in pattern length `k` — obviously
+//! correct, no stacks, no watermarks, no purge. Any disagreement with a
+//! production engine is a real bug in one of the two.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use sequin_query::Query;
+use sequin_runtime::{regions, Region};
+use sequin_types::EventRef;
+
+/// A match identity: event ids in positive-component order.
+pub type MatchIds = Vec<u64>;
+
+/// Enumerates the exact match set of `query` over `events` (which must be
+/// duplicate-free; order does not matter). Exponential in pattern length —
+/// keep inputs small.
+pub fn reference_matches(query: &Query, events: &[EventRef]) -> BTreeSet<MatchIds> {
+    let m = query.positive_len();
+    let mut out = BTreeSet::new();
+    let mut chosen: Vec<Option<EventRef>> = vec![None; m];
+    recurse(query, events, 0, &mut chosen, &mut out);
+    out
+}
+
+fn recurse(
+    query: &Query,
+    events: &[EventRef],
+    slot: usize,
+    chosen: &mut Vec<Option<EventRef>>,
+    out: &mut BTreeSet<MatchIds>,
+) {
+    let m = query.positive_len();
+    if slot == m {
+        let bound: Vec<EventRef> = chosen
+            .iter()
+            .map(|c| Arc::clone(c.as_ref().expect("full assignment")))
+            .collect();
+        if accepts(query, &bound, events) {
+            out.insert(bound.iter().map(|e| e.id().get()).collect());
+        }
+        return;
+    }
+    let want = query.positive_types(slot);
+    for ev in events {
+        if !want.contains(&ev.event_type()) {
+            continue;
+        }
+        if let Some(prev) = chosen[..slot].iter().rev().flatten().next() {
+            if ev.ts() <= prev.ts() {
+                continue;
+            }
+        }
+        chosen[slot] = Some(Arc::clone(ev));
+        recurse(query, events, slot + 1, chosen, out);
+        chosen[slot] = None;
+    }
+}
+
+/// Checks window, predicates, and negation against the complete history.
+fn accepts(query: &Query, bound: &[EventRef], events: &[EventRef]) -> bool {
+    let first = bound.first().expect("nonempty").ts();
+    let last = bound.last().expect("nonempty").ts();
+    if last - first > query.window() {
+        return false;
+    }
+    let binding = query.binding_from_positives(bound);
+    if !query
+        .predicates()
+        .iter()
+        .all(|p| p.eval(&binding) == Some(true))
+    {
+        return false;
+    }
+    let regions: Vec<Region> = regions(query, bound);
+    for (ix, neg) in query.negations().iter().enumerate() {
+        let region = regions[ix];
+        if region.is_empty() {
+            continue;
+        }
+        for candidate in events {
+            if !neg.matches_type(candidate.event_type())
+                || candidate.ts() < region.start
+                || candidate.ts() >= region.end
+            {
+                continue;
+            }
+            let mut b = query.binding_from_positives(bound);
+            b[neg.comp] = Some(candidate);
+            if neg.predicates.iter().all(|p| p.eval(&b) == Some(true)) {
+                return false;
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,178 @@
+//! The simulation driver: iterates `(seed, case)` pairs under a time
+//! budget, checks each generated case across every production path, and
+//! shrinks + renders any failure into a replayable repro.
+
+use std::time::{Duration, Instant};
+
+use crate::case::CaseData;
+use crate::diff::{check_case, Mismatch};
+use crate::repro::emit_test;
+use crate::shrink::{describe, shrink};
+
+/// Knobs for one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Base seeds; each contributes `cases_per_seed` cases.
+    pub seeds: Vec<u64>,
+    /// Cases generated per seed.
+    pub cases_per_seed: u64,
+    /// Wall-clock budget; the run stops early (cleanly) when exceeded.
+    pub time_budget: Option<Duration>,
+    /// Minimize failing cases before reporting them.
+    pub shrink: bool,
+    /// Fault injection: widen every purge threshold by this many ticks.
+    /// Non-zero values sabotage the engines under test (never the
+    /// oracle); a healthy harness must then report mismatches.
+    pub purge_skew: u64,
+    /// Skip the networked loopback path (debug builds, sandboxes
+    /// without TCP).
+    pub no_loopback: bool,
+    /// Stop after this many failures (shrinking is expensive).
+    pub max_failures: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            seeds: vec![0xC0FFEE],
+            cases_per_seed: 100,
+            time_budget: None,
+            shrink: true,
+            purge_skew: 0,
+            no_loopback: false,
+            max_failures: 3,
+        }
+    }
+}
+
+impl SimOptions {
+    /// The fixed per-PR CI preset: four pinned seeds, 560 cases, an
+    /// ~80 second ceiling well under the job timeout.
+    pub fn ci() -> Self {
+        SimOptions {
+            seeds: vec![1, 2, 3, 4],
+            cases_per_seed: 140,
+            time_budget: Some(Duration::from_secs(80)),
+            ..SimOptions::default()
+        }
+    }
+}
+
+/// One failing case, shrunk and rendered.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Base seed of the failing case.
+    pub seed: u64,
+    /// Case index under that seed (replay: `--seed S --case N`).
+    pub case_ix: u64,
+    /// Mismatches of the *original* generated case.
+    pub original: Vec<Mismatch>,
+    /// The minimized still-failing case.
+    pub shrunk: CaseData,
+    /// Mismatches of the minimized case.
+    pub mismatches: Vec<Mismatch>,
+    /// One-line description of the minimized case.
+    pub summary: String,
+    /// Self-contained `#[test]` snippet reproducing the failure.
+    pub repro: String,
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Cases generated and checked.
+    pub cases_run: u64,
+    /// Cases in which at least one production path disagreed.
+    pub failures: Vec<Failure>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// The run stopped early on its time budget.
+    pub budget_exhausted: bool,
+    /// The run stopped early on `max_failures`.
+    pub failure_capped: bool,
+}
+
+impl SimReport {
+    /// `true` when every checked case agreed on every path.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Generates the case for `(seed, case_ix)` with run options applied.
+pub fn materialize(seed: u64, case_ix: u64, opts: &SimOptions) -> CaseData {
+    let mut case = CaseData::generate(seed, case_ix);
+    if opts.no_loopback {
+        case.config.loopback = false;
+    }
+    case
+}
+
+/// Checks one `(seed, case)` pair and, on failure, shrinks and renders
+/// it. Returns `None` when the case is clean.
+pub fn replay(seed: u64, case_ix: u64, opts: &SimOptions) -> Option<Failure> {
+    let case = materialize(seed, case_ix, opts);
+    let original = check_case(&case, opts.purge_skew);
+    if original.is_empty() {
+        return None;
+    }
+    let (shrunk, mismatches) = if opts.shrink {
+        let s = shrink(&case, opts.purge_skew);
+        (s.case, s.mismatches)
+    } else {
+        (case, original.clone())
+    };
+    let name = format!("sim_seed_{seed}_case_{case_ix}");
+    let repro = emit_test(&name, seed, case_ix, &shrunk, &mismatches);
+    Some(Failure {
+        seed,
+        case_ix,
+        original,
+        summary: describe(&shrunk),
+        shrunk,
+        mismatches,
+        repro,
+    })
+}
+
+/// Runs the full matrix described by `opts`, reporting progress through
+/// `progress` (one line per event worth narrating).
+pub fn run(opts: &SimOptions, mut progress: impl FnMut(&str)) -> SimReport {
+    let start = Instant::now();
+    let mut report = SimReport::default();
+    'outer: for &seed in &opts.seeds {
+        for case_ix in 0..opts.cases_per_seed {
+            if let Some(budget) = opts.time_budget {
+                if start.elapsed() > budget {
+                    report.budget_exhausted = true;
+                    progress(&format!(
+                        "time budget exhausted after {} cases",
+                        report.cases_run
+                    ));
+                    break 'outer;
+                }
+            }
+            report.cases_run += 1;
+            if let Some(failure) = replay(seed, case_ix, opts) {
+                progress(&format!(
+                    "MISMATCH seed={seed} case={case_ix}: {} (shrunk to: {})",
+                    failure
+                        .original
+                        .iter()
+                        .map(|m| m.path.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    failure.summary
+                ));
+                report.failures.push(failure);
+                if report.failures.len() >= opts.max_failures {
+                    report.failure_capped = true;
+                    progress("failure cap reached; stopping early");
+                    break 'outer;
+                }
+            }
+        }
+    }
+    report.elapsed = start.elapsed();
+    report
+}

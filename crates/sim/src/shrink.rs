@@ -1,0 +1,258 @@
+//! Failing-case minimization.
+//!
+//! Given a case on which [`check_case`] reports mismatches, the shrinker
+//! searches for a smaller case that *still* mismatches: it drops stream
+//! items (ddmin-style chunk removal, then singles), strips query terms
+//! (predicates, projections, tag joins, negations, alternation arms),
+//! shrinks the window, and simplifies the configuration — keeping each
+//! mutation only if the failure survives. Every candidate is validated
+//! through the analyzer first, so shrinking never "fails" by producing
+//! an ill-formed query.
+//!
+//! All mutations preserve replay validity by construction: removing
+//! events only raises the true suffix-minimum, so existing punctuations
+//! remain safe, and the measured lateness can only decrease, so the
+//! stored `K` stays sufficient. The shrunk case therefore replays
+//! through exactly the same [`check_case`] entry point as the original.
+
+use crate::case::{CaseData, QueryPlan, SimItem};
+use crate::diff::{check_case, Mismatch};
+
+/// Hard ceiling on [`check_case`] invocations per shrink, so shrinking a
+/// pathological case cannot stall the run.
+const MAX_CHECKS: usize = 500;
+
+/// Outcome of shrinking one failing case.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized case (still failing).
+    pub case: CaseData,
+    /// The mismatches the minimized case produces.
+    pub mismatches: Vec<Mismatch>,
+    /// How many [`check_case`] calls the search spent.
+    pub checks: usize,
+}
+
+struct Shrinker {
+    purge_skew: u64,
+    checks: usize,
+}
+
+impl Shrinker {
+    /// Returns the candidate's mismatches if it is valid, still failing,
+    /// and the check budget is not exhausted.
+    fn still_fails(&mut self, candidate: &CaseData) -> Option<Vec<Mismatch>> {
+        if self.checks >= MAX_CHECKS {
+            return None;
+        }
+        let registry = crate::case::sim_registry();
+        if candidate.query.build(&registry).is_err() {
+            return None; // ill-formed candidate; not a real reduction
+        }
+        self.checks += 1;
+        let m = check_case(candidate, self.purge_skew);
+        if m.is_empty() {
+            None
+        } else {
+            Some(m)
+        }
+    }
+}
+
+/// Minimizes `case` (which must fail under `purge_skew`) and returns the
+/// smallest still-failing case found within the check budget. If the
+/// input does not actually fail, it is returned unshrunk with its (empty)
+/// mismatch list.
+pub fn shrink(case: &CaseData, purge_skew: u64) -> Shrunk {
+    let mut sh = Shrinker {
+        purge_skew,
+        checks: 1,
+    };
+    let mut best = case.clone();
+    let mut mismatches = check_case(&best, purge_skew);
+    if mismatches.is_empty() {
+        return Shrunk {
+            case: best,
+            mismatches,
+            checks: sh.checks,
+        };
+    }
+
+    loop {
+        let before = (best.items.len(), best.query.comps.len());
+
+        shrink_items(&mut sh, &mut best, &mut mismatches);
+        shrink_query(&mut sh, &mut best, &mut mismatches);
+        shrink_config(&mut sh, &mut best, &mut mismatches);
+
+        let after = (best.items.len(), best.query.comps.len());
+        if after == before || sh.checks >= MAX_CHECKS {
+            break;
+        }
+    }
+
+    Shrunk {
+        case: best,
+        mismatches,
+        checks: sh.checks,
+    }
+}
+
+/// ddmin-lite: try removing halves, then quarters, …, then single items.
+fn shrink_items(sh: &mut Shrinker, best: &mut CaseData, mismatches: &mut Vec<Mismatch>) {
+    let mut chunk = (best.items.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < best.items.len() {
+            let end = (start + chunk).min(best.items.len());
+            let mut candidate = best.clone();
+            candidate.items.drain(start..end);
+            if let Some(m) = sh.still_fails(&candidate) {
+                *best = candidate;
+                *mismatches = m;
+                // keep `start` — the next chunk has shifted into place
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// Strips query terms one at a time: predicates, projection, tag join,
+/// whole negated components, alternation arms, then window halving.
+fn shrink_query(sh: &mut Shrinker, best: &mut CaseData, mismatches: &mut Vec<Mismatch>) {
+    // drop predicates
+    let mut ix = 0;
+    while ix < best.query.preds.len() {
+        let mut candidate = best.clone();
+        candidate.query.preds.remove(ix);
+        if let Some(m) = sh.still_fails(&candidate) {
+            *best = candidate;
+            *mismatches = m;
+        } else {
+            ix += 1;
+        }
+    }
+
+    for flag in [true, false] {
+        let mut candidate = best.clone();
+        if flag {
+            candidate.query.project_first = false;
+        } else {
+            candidate.query.tag_join = false;
+        }
+        if candidate != *best {
+            if let Some(m) = sh.still_fails(&candidate) {
+                *best = candidate;
+                *mismatches = m;
+            }
+        }
+    }
+
+    // drop whole components (negations are free; positives only while at
+    // least one remains — the analyzer check rejects the rest)
+    let mut ix = 0;
+    while ix < best.query.comps.len() {
+        let mut candidate = best.clone();
+        remove_comp(&mut candidate.query, ix);
+        if let Some(m) = sh.still_fails(&candidate) {
+            *best = candidate;
+            *mismatches = m;
+        } else {
+            ix += 1;
+        }
+    }
+
+    // collapse alternations to their first arm
+    for ix in 0..best.query.comps.len() {
+        if best.query.comps[ix].types.len() > 1 {
+            let mut candidate = best.clone();
+            candidate.query.comps[ix].types.truncate(1);
+            if let Some(m) = sh.still_fails(&candidate) {
+                *best = candidate;
+                *mismatches = m;
+            }
+        }
+    }
+
+    // halve the window toward 1
+    while best.query.window > 1 {
+        let mut candidate = best.clone();
+        candidate.query.window = (candidate.query.window / 2).max(1);
+        if let Some(m) = sh.still_fails(&candidate) {
+            *best = candidate;
+            *mismatches = m;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Simplifies the configuration: single-item batches, no loopback, a
+/// smaller `K`, eager checkpoints.
+fn shrink_config(sh: &mut Shrinker, best: &mut CaseData, mismatches: &mut Vec<Mismatch>) {
+    let try_cfg = |sh: &mut Shrinker,
+                   best: &mut CaseData,
+                   mismatches: &mut Vec<Mismatch>,
+                   mutate: &dyn Fn(&mut CaseData)| {
+        let mut candidate = best.clone();
+        mutate(&mut candidate);
+        if candidate != *best {
+            if let Some(m) = sh.still_fails(&candidate) {
+                *best = candidate;
+                *mismatches = m;
+            }
+        }
+    };
+    try_cfg(sh, best, mismatches, &|c| c.config.loopback = false);
+    try_cfg(sh, best, mismatches, &|c| c.config.batch = 1);
+    try_cfg(sh, best, mismatches, &|c| c.config.ckpt_every = 1);
+    try_cfg(sh, best, mismatches, &|c| {
+        c.config.crash_at = c.items.len() as u64;
+    });
+    while best.config.k > 0 {
+        let mut candidate = best.clone();
+        candidate.config.k /= 2;
+        if let Some(m) = sh.still_fails(&candidate) {
+            *best = candidate;
+            *mismatches = m;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Removes component `ix`, dropping its predicates and re-pointing the
+/// survivors. Variable names stay attached to their components, so the
+/// plan remains consistent without renaming.
+fn remove_comp(plan: &mut QueryPlan, ix: usize) {
+    plan.comps.remove(ix);
+    plan.preds.retain(|p| p.comp != ix);
+    for p in &mut plan.preds {
+        if p.comp > ix {
+            p.comp -= 1;
+        }
+    }
+}
+
+/// A terse one-line description of a case, for progress lines.
+pub fn describe(case: &CaseData) -> String {
+    let events = case
+        .items
+        .iter()
+        .filter(|i| matches!(i, SimItem::Event(_)))
+        .count();
+    let puncts = case.items.len() - events;
+    format!(
+        "{} ({} events, {} punctuations, K={}, purge={:?})",
+        case.query.text(),
+        events,
+        puncts,
+        case.config.k,
+        case.config.purge_every
+    )
+}

@@ -36,6 +36,9 @@ const USAGE: &str = "usage:
   sequin netbench [--workload NAME] [options] ['<query>']
   sequin bench    [--ci] [--shards 1,4] [--json FILE] [--baseline FILE]
                   [--refresh-baseline] [--min-speedup F] [options]
+  sequin sim      [--ci] [--seeds 1,2,3 | --seed S] [--cases N] [--case N]
+                  [--time-budget SECS] [--shrink yes|no] [--emit-repro DIR]
+                  [--purge-skew N] [--no-loopback] [--json FILE]
 
 options:
   --events N        events to generate (default 50000; networked 10000)
@@ -61,6 +64,16 @@ options:
                     1 and 4, BENCH_ci.json, gate vs bench/baseline.json)
   --refresh-baseline  bench: rewrite the baseline from this run
   --min-speedup F   bench: require max-shards throughput >= F x shards=1
+  --cases N         sim: cases generated per seed (default 100)
+  --case N          sim: replay one case index and print the verdict
+  --time-budget S   sim: stop cleanly after S seconds
+  --shrink yes|no   sim: minimize failing cases (default yes)
+  --emit-repro DIR  sim: write failure repros as .rs files into DIR
+  --purge-skew N    sim: sabotage purge thresholds by N ticks (the
+                    harness must then report mismatches)
+  --no-loopback     sim: skip the networked loopback path
+  --ci              sim: fixed CI preset (seeds 1-4, 560 cases, 80s
+                    budget, SIM_ci.json, repros into sim-repros/)
 
 schema DSL: 'TYPE(field:kind,...) ...' with kinds int|float|str|bool";
 
@@ -77,7 +90,7 @@ fn run(args: &[String]) -> Result<String, String> {
         let a = rest[ix];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags take no value
-            if matches!(name, "ci" | "refresh-baseline") {
+            if matches!(name, "ci" | "refresh-baseline" | "no-loopback") {
                 flags.insert(name.to_owned(), "true".to_owned());
                 ix += 1;
                 continue;
@@ -255,6 +268,64 @@ fn run(args: &[String]) -> Result<String, String> {
                 })
                 .transpose()?;
             cli::run_bench(&b)
+        }
+        "sim" => {
+            let mut s = if flags.contains_key("ci") {
+                cli::SimCliOptions::ci()
+            } else {
+                cli::SimCliOptions::default()
+            };
+            if let Some(list) = flags.get("seeds") {
+                s.opts.seeds = list
+                    .split(',')
+                    .map(|p| {
+                        p.trim().parse::<u64>().map_err(|_| {
+                            format!("--seeds expects numbers like `1,2,3`, got `{list}`")
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?;
+            }
+            if let Some(seed) = flags.get("seed") {
+                s.opts.seeds = vec![seed
+                    .parse::<u64>()
+                    .map_err(|_| "--seed expects a number".to_owned())?];
+            }
+            if let Some(n) = flags.get("cases") {
+                s.opts.cases_per_seed = n
+                    .parse::<u64>()
+                    .map_err(|_| "--cases expects a count".to_owned())?;
+            }
+            s.replay_case = flags
+                .get("case")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| "--case expects an index".to_owned())
+                })
+                .transpose()?;
+            if let Some(secs) = flags.get("time-budget") {
+                let secs = secs
+                    .parse::<f64>()
+                    .map_err(|_| "--time-budget expects seconds".to_owned())?;
+                s.opts.time_budget = Some(std::time::Duration::from_secs_f64(secs.max(0.0)));
+            }
+            match flags.get("shrink").map(String::as_str) {
+                None | Some("yes") | Some("true") => {}
+                Some("no") | Some("false") => s.opts.shrink = false,
+                Some(other) => return Err(format!("--shrink expects yes|no, got `{other}`")),
+            }
+            if let Some(n) = flags.get("purge-skew") {
+                s.opts.purge_skew = n
+                    .parse::<u64>()
+                    .map_err(|_| "--purge-skew expects ticks".to_owned())?;
+            }
+            s.opts.no_loopback = flags.contains_key("no-loopback");
+            if let Some(p) = flags.get("json") {
+                s.json_out = Some(p.clone());
+            }
+            if let Some(p) = flags.get("emit-repro") {
+                s.emit_repro = Some(p.clone());
+            }
+            cli::run_sim(&s)
         }
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand `{other}`")),

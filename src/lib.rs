@@ -20,5 +20,6 @@ pub use sequin_prng as prng;
 pub use sequin_query as query;
 pub use sequin_runtime as runtime;
 pub use sequin_server as server;
+pub use sequin_sim as sim;
 pub use sequin_types as types;
 pub use sequin_workload as workload;

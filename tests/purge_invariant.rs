@@ -1,0 +1,144 @@
+//! Purge-invariant property test (tier 1).
+//!
+//! Under eager purging, after every ingested item no positive-stack entry
+//! older than `watermark − window` may survive — in the single-threaded
+//! [`NativeEngine`] or in any worker of a [`ShardedEngine`] pool. The
+//! streams come from the simulation generator, so they carry disorder,
+//! duplicates and punctuations; the differential harness proves outputs,
+//! this test proves the *state bound* the paper's purge rules promise.
+
+use std::sync::Arc;
+
+use sequin::engine::{Engine, NativeEngine, ShardedEngine};
+use sequin::sim::case::{sim_registry, CaseData};
+use sequin::sim::diff::engine_config;
+use sequin_runtime::purge::PurgePolicy;
+
+/// `oldest >= watermark − window`, in saturating tick arithmetic.
+fn within_horizon(oldest: u64, watermark: u64, window: u64) -> bool {
+    oldest + window >= watermark
+}
+
+#[test]
+fn native_engine_never_holds_state_past_the_horizon() {
+    let registry = sim_registry();
+    let mut nonvacuous = 0u32;
+    for seed in 0..60u64 {
+        let mut case = CaseData::generate(0xBEEF, seed);
+        case.config.purge_every = Some(1); // eager: the bound must hold per item
+        let query = case
+            .query
+            .build(&registry)
+            .expect("generated queries are valid");
+        let mut cfg = engine_config(&case, 0);
+        cfg.purge = PurgePolicy::EAGER;
+        let window = query.window().ticks();
+        let mut engine = NativeEngine::new(Arc::clone(&query), cfg);
+        for (ix, item) in case.stream(&registry).iter().enumerate() {
+            engine.ingest(item);
+            let wm = engine.watermark().ticks();
+            if let Some(oldest) = engine.oldest_stack_ts() {
+                if wm > window {
+                    nonvacuous += 1;
+                }
+                assert!(
+                    within_horizon(oldest.ticks(), wm, window),
+                    "seed {seed} item {ix}: stack entry at {} survived \
+                     watermark {wm} − window {window}",
+                    oldest.ticks()
+                );
+            }
+        }
+    }
+    assert!(
+        nonvacuous > 100,
+        "the horizon was binding only {nonvacuous} times; generator drifted?"
+    );
+}
+
+#[test]
+fn every_sharded_worker_honors_the_horizon() {
+    let registry = sim_registry();
+    let mut nonvacuous = 0u32;
+    for seed in 0..30u64 {
+        let mut case = CaseData::generate(0xFACE, seed);
+        case.config.purge_every = Some(1);
+        let query = case
+            .query
+            .build(&registry)
+            .expect("generated queries are valid");
+        let mut cfg = engine_config(&case, 0);
+        cfg.purge = PurgePolicy::EAGER;
+        let window = query.window().ticks();
+        for shards in [2usize, 5] {
+            let mut pool = ShardedEngine::new(Arc::clone(&query), cfg, shards);
+            for (ix, item) in case.stream(&registry).iter().enumerate() {
+                pool.ingest(item);
+                let wm = pool.watermark().map_or(0, |w| w.ticks());
+                for (worker, oldest) in pool.worker_oldest_stack_ts().iter().enumerate() {
+                    let Some(oldest) = oldest else { continue };
+                    if wm > window {
+                        nonvacuous += 1;
+                    }
+                    assert!(
+                        within_horizon(oldest.ticks(), wm, window),
+                        "seed {seed} shards {shards} worker {worker} item {ix}: \
+                         entry at {} survived watermark {wm} − window {window}",
+                        oldest.ticks()
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        nonvacuous > 100,
+        "the horizon was binding only {nonvacuous} times; generator drifted?"
+    );
+}
+
+/// The sabotage knob this invariant exists to catch: skewing the purge
+/// horizon by one tick must produce a stack entry (or an output) the
+/// honest engine would not have — i.e. the property above is tight.
+#[test]
+fn skewed_purge_horizon_changes_behavior() {
+    let registry = sim_registry();
+    let mut diverged = false;
+    for seed in 0..80u64 {
+        let mut case = CaseData::generate(0xD00F, seed);
+        case.config.purge_every = Some(1);
+        let query = case
+            .query
+            .build(&registry)
+            .expect("generated queries are valid");
+        let honest_cfg = {
+            let mut c = engine_config(&case, 0);
+            c.purge = PurgePolicy::EAGER;
+            c
+        };
+        let skewed_cfg = {
+            let mut c = engine_config(&case, 1);
+            c.purge = PurgePolicy::EAGER;
+            c
+        };
+        let mut honest = NativeEngine::new(Arc::clone(&query), honest_cfg);
+        let mut skewed = NativeEngine::new(Arc::clone(&query), skewed_cfg);
+        let mut honest_out = Vec::new();
+        let mut skewed_out = Vec::new();
+        for item in case.stream(&registry) {
+            honest_out.extend(honest.ingest(&item));
+            skewed_out.extend(skewed.ingest(&item));
+            if honest.oldest_stack_ts() != skewed.oldest_stack_ts() {
+                diverged = true;
+            }
+        }
+        honest_out.extend(honest.finish());
+        skewed_out.extend(skewed.finish());
+        if honest_out.len() != skewed_out.len() {
+            diverged = true;
+        }
+    }
+    assert!(
+        diverged,
+        "a one-tick purge skew was invisible across 80 cases"
+    );
+}

@@ -1,0 +1,128 @@
+//! Negative tests for the query front end (tier 1): malformed syntax and
+//! ill-formed patterns must come back as *coded* errors — never panics,
+//! never silent acceptance. The differential simulator only generates
+//! valid queries, so this file covers the rejection surface it cannot.
+
+use sequin::query::{parse, AnalyzeError, QueryError};
+use sequin::sim::case::sim_registry;
+
+fn analyze_err(text: &str) -> AnalyzeError {
+    match parse(text, &sim_registry()) {
+        Err(QueryError::Analyze(e)) => e,
+        Err(QueryError::Parse(e)) => panic!("`{text}` failed in the parser instead: {e}"),
+        Ok(_) => panic!("`{text}` was accepted"),
+    }
+}
+
+fn parse_err(text: &str) {
+    match parse(text, &sim_registry()) {
+        Err(QueryError::Parse(_)) => {}
+        Err(QueryError::Analyze(e)) => panic!("`{text}` reached the analyzer: {e}"),
+        Ok(_) => panic!("`{text}` was accepted"),
+    }
+}
+
+#[test]
+fn malformed_syntax_is_a_parse_error() {
+    parse_err("");
+    parse_err("PATTERN");
+    parse_err("PATTERN SEQ(");
+    parse_err("PATTERN SEQ() WITHIN 5");
+    parse_err("PATTERN SEQ(A a) WITHIN");
+    parse_err("PATTERN SEQ(A a WITHIN 5");
+    parse_err("PATTERN SEQ(A a, B b) WHERE WITHIN 5");
+    parse_err("PATTERN SEQ(A a, B b) WITHIN 5 RETURN");
+    parse_err("SEQ(A a) WITHIN 5");
+    parse_err("PATTERN SEQ(A a) WITHIN 5 GARBAGE");
+    parse_err("PATTERN SEQ(A 1a) WITHIN 5");
+    parse_err("PATTERN SEQ(A|  a) WITHIN 5");
+}
+
+#[test]
+fn zero_length_window_is_rejected() {
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a, B b) WITHIN 0"),
+        AnalyzeError::ZeroWindow
+    );
+}
+
+#[test]
+fn negation_only_pattern_is_rejected() {
+    assert_eq!(
+        analyze_err("PATTERN SEQ(!A n) WITHIN 5"),
+        AnalyzeError::NoPositiveComponent
+    );
+    assert_eq!(
+        analyze_err("PATTERN SEQ(!A n, !B m) WITHIN 5"),
+        AnalyzeError::NoPositiveComponent
+    );
+}
+
+#[test]
+fn duplicate_variables_are_rejected() {
+    // also the partition-key case: `a.tag == a.tag` would be degenerate,
+    // so binding `a` twice is refused before partitioning is derived
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a, B a) WITHIN 5"),
+        AnalyzeError::DuplicateVariable("a".to_owned())
+    );
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a, !B a, C c) WITHIN 5"),
+        AnalyzeError::DuplicateVariable("a".to_owned())
+    );
+}
+
+#[test]
+fn adjacent_negations_are_rejected() {
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a, !B n, !C m, D d) WITHIN 5"),
+        AnalyzeError::AdjacentNegations
+    );
+}
+
+#[test]
+fn unknown_names_are_rejected() {
+    assert_eq!(
+        analyze_err("PATTERN SEQ(ZZZ a) WITHIN 5"),
+        AnalyzeError::UnknownType("ZZZ".to_owned())
+    );
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a) WHERE a.nope > 1 WITHIN 5"),
+        AnalyzeError::UnknownField {
+            var: "a".to_owned(),
+            field: "nope".to_owned()
+        }
+    );
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a) WHERE b.x > 1 WITHIN 5"),
+        AnalyzeError::UnknownVariable("b".to_owned())
+    );
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a) WITHIN 5 RETURN q.x"),
+        AnalyzeError::UnknownVariable("q".to_owned())
+    );
+}
+
+#[test]
+fn projecting_a_negated_component_is_rejected() {
+    assert_eq!(
+        analyze_err("PATTERN SEQ(A a, !B n, C c) WITHIN 5 RETURN n.x"),
+        AnalyzeError::ProjectsNegated("n".to_owned())
+    );
+}
+
+#[test]
+fn predicates_spanning_two_negations_are_rejected() {
+    assert_eq!(
+        analyze_err("PATTERN SEQ(!A n, B b, !C m) WHERE n.x == m.x WITHIN 5"),
+        AnalyzeError::PredicateSpansNegations
+    );
+}
+
+#[test]
+fn error_displays_are_human_readable() {
+    let e = parse("PATTERN SEQ(A a, B a) WITHIN 5", &sim_registry()).unwrap_err();
+    assert!(e.to_string().contains("more than one component"), "{e}");
+    let e = parse("PATTERN SEQ(", &sim_registry()).unwrap_err();
+    assert!(e.to_string().contains("parse error"), "{e}");
+}

@@ -1,0 +1,72 @@
+//! Regression corpus promoted from the differential simulator.
+//!
+//! Workflow: when `sequin sim` (or the nightly CI job) finds a mismatch,
+//! it shrinks the case and emits a self-contained `#[test]` — paste it
+//! here, named after its origin, and it pins the fix forever. Each test
+//! rebuilds the exact minimal [`CaseData`] and asserts every production
+//! path agrees (`check_case` with no sabotage).
+//!
+//! The harness has not caught a live engine bug yet, so the corpus holds
+//! boundary cases promoted from sabotage runs: cases a one-tick purge
+//! skew flips, i.e. the tightest inputs the purge rules must survive.
+
+use sequin::sim::case::*;
+
+/// Shrunk from `sequin sim --seed 1 --cases 174` (case 173), run with
+/// `--purge-skew 1`. The tightest purge boundary: with `WITHIN 25`, the
+/// event at `ts 4` is still needed when the terminator arrives exactly at
+/// the watermark (`ts 29 − 25 = 4`); a horizon off by one tick purges it
+/// and loses the match. The honest engine must keep it.
+#[test]
+fn sim_seed_1_case_173_purge_boundary() {
+    let case = CaseData {
+        query: QueryPlan {
+            comps: vec![
+                CompPlan {
+                    negated: false,
+                    types: vec![0, 2],
+                    var: "a".into(),
+                },
+                CompPlan {
+                    negated: false,
+                    types: vec![4],
+                    var: "c".into(),
+                },
+            ],
+            window: 25,
+            preds: vec![],
+            tag_join: false,
+            project_first: false,
+        },
+        items: vec![
+            SimItem::Event(SimEvent {
+                ty: 2,
+                id: 1,
+                ts: 4,
+                x: 8,
+                tag: 0,
+            }),
+            SimItem::Punct(29),
+            SimItem::Event(SimEvent {
+                ty: 4,
+                id: 16,
+                ts: 29,
+                x: 2,
+                tag: 2,
+            }),
+        ],
+        config: CaseConfig {
+            k: 0,
+            aggressive: false,
+            purge_every: Some(1),
+            watermark: 1,
+            batch: 1,
+            ckpt_every: 1,
+            crash_at: 3,
+            loopback: false,
+            loopback_shards: 2,
+        },
+    };
+    let mismatches = sequin::sim::diff::check_case(&case, 0);
+    assert!(mismatches.is_empty(), "{mismatches:?}");
+}

@@ -1,0 +1,117 @@
+//! Tier-1 smoke tests for the differential simulation harness itself:
+//! a clean sweep over generated cases, determinism of generation, and —
+//! most importantly — proof that the harness *detects* a deliberately
+//! broken engine (purge horizon skewed by one tick) and shrinks the
+//! failure to a replayable minimal repro.
+//!
+//! The loopback path is exercised sparsely here (debug builds); the CI
+//! `sim-smoke` job runs the full release-mode matrix via `sequin sim --ci`.
+
+use sequin::sim::case::CaseData;
+use sequin::sim::{check_case, replay, run, SimOptions};
+
+#[test]
+fn generated_cases_are_clean_on_every_path() {
+    let opts = SimOptions {
+        seeds: vec![21, 22],
+        cases_per_seed: 60,
+        no_loopback: true, // debug-mode: skip TCP; CI covers it in release
+        ..SimOptions::default()
+    };
+    let report = run(&opts, |_| {});
+    assert_eq!(report.cases_run, 120);
+    assert!(
+        report.clean(),
+        "differential mismatches: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (f.seed, f.case_ix, &f.mismatches))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn a_few_loopback_cases_run_even_in_debug() {
+    let opts = SimOptions {
+        seeds: vec![31],
+        cases_per_seed: 16,
+        ..SimOptions::default()
+    };
+    let report = run(&opts, |_| {});
+    assert!(report.clean(), "{:?}", report.failures);
+}
+
+#[test]
+fn generation_is_deterministic() {
+    for case_ix in 0..20 {
+        assert_eq!(
+            CaseData::generate(5, case_ix),
+            CaseData::generate(5, case_ix)
+        );
+    }
+    // distinct indexes actually vary the case
+    assert_ne!(CaseData::generate(5, 0), CaseData::generate(5, 1));
+}
+
+/// The acceptance check from the issue: widening the purge horizon by one
+/// tick (the `purge_horizon_skew` fault knob) must make the harness fail,
+/// and the failure must come back shrunk and replayable.
+#[test]
+fn purge_sabotage_is_detected_and_shrunk() {
+    let opts = SimOptions {
+        seeds: vec![1],
+        cases_per_seed: 174, // seed 1 is known to expose skew=1 at case 173
+        purge_skew: 1,
+        no_loopback: true,
+        max_failures: 1,
+        ..SimOptions::default()
+    };
+    let report = run(&opts, |_| {});
+    assert!(
+        !report.failures.is_empty(),
+        "a skewed purge horizon went undetected across {} cases",
+        report.cases_run
+    );
+    let f = &report.failures[0];
+
+    // replayable: the same (seed, case) pair reproduces the failure
+    let again = replay(f.seed, f.case_ix, &opts).expect("replay reproduces the mismatch");
+    assert_eq!(again.original.len(), f.original.len());
+
+    // shrunk: strictly smaller than the generated case, and still failing
+    let original = CaseData::generate(f.seed, f.case_ix);
+    assert!(
+        f.shrunk.items.len() < original.items.len(),
+        "shrinker kept all {} items",
+        original.items.len()
+    );
+    assert!(!check_case(&f.shrunk, opts.purge_skew).is_empty());
+    // ... while the honest engine passes the same minimal case
+    assert!(check_case(&f.shrunk, 0).is_empty());
+
+    // the emitted repro is a self-contained test with the replay pair
+    assert!(f.repro.contains("#[test]"), "{}", f.repro);
+    assert!(f.repro.contains("check_case"), "{}", f.repro);
+    assert!(
+        f.repro
+            .contains(&format!("--seed {} --case {}", f.seed, f.case_ix)),
+        "{}",
+        f.repro
+    );
+}
+
+#[test]
+fn time_budget_stops_the_run_cleanly() {
+    let opts = SimOptions {
+        seeds: vec![77],
+        cases_per_seed: 10_000,
+        time_budget: Some(std::time::Duration::from_millis(200)),
+        no_loopback: true,
+        ..SimOptions::default()
+    };
+    let report = run(&opts, |_| {});
+    assert!(report.budget_exhausted);
+    assert!(report.cases_run < 10_000);
+    assert!(report.clean(), "{:?}", report.failures);
+}
