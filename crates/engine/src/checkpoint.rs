@@ -443,6 +443,14 @@ impl Engine for Checkpointer {
         self.inner.watermark()
     }
 
+    fn clock(&self) -> Option<Timestamp> {
+        self.inner.clock()
+    }
+
+    fn per_shard_stats(&self) -> Vec<RuntimeStats> {
+        self.inner.per_shard_stats()
+    }
+
     fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
         self.inner.snapshot()
     }

@@ -258,6 +258,17 @@ impl NativeEngine {
         self.wm.k_hat()
     }
 
+    /// The stream clock: maximum occurrence timestamp observed so far.
+    pub fn clock(&self) -> Timestamp {
+        self.wm.clock()
+    }
+
+    /// Watermark lag: how far the published watermark trails the stream
+    /// clock (see [`Engine::clock`]).
+    pub fn watermark_lag(&self) -> sequin_types::Duration {
+        self.wm.lag()
+    }
+
     /// Minimum occurrence timestamp across every live positive-stack
     /// entry, or `None` when all stacks are empty. Inspection hook for the
     /// purge-invariant property tests; not part of the stable API.
@@ -879,6 +890,10 @@ impl Engine for NativeEngine {
 
     fn watermark(&self) -> Option<Timestamp> {
         Some(self.wm.current())
+    }
+
+    fn clock(&self) -> Option<Timestamp> {
+        Some(self.wm.clock())
     }
 
     fn snapshot(&self) -> Result<Vec<u8>, CodecError> {

@@ -206,6 +206,16 @@ impl Engine for ShardedEngine {
         self.workers.first().and_then(Engine::watermark)
     }
 
+    fn clock(&self) -> Option<Timestamp> {
+        // every worker sees every arrival (lockstep watermarks), so any
+        // worker's clock is the pool's clock
+        self.workers.first().and_then(Engine::clock)
+    }
+
+    fn per_shard_stats(&self) -> Vec<RuntimeStats> {
+        ShardedEngine::per_shard_stats(self)
+    }
+
     fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
         Ok(NativeEngine::merged_snapshot(&self.workers))
     }

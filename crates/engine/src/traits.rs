@@ -84,6 +84,21 @@ pub trait Engine: Send {
         None
     }
 
+    /// The engine's stream clock — the maximum occurrence timestamp it has
+    /// observed — when it tracks one. `clock − watermark` is the
+    /// **watermark lag**: how far behind event time the engine's safe
+    /// horizon sits under the current disorder bound.
+    fn clock(&self) -> Option<Timestamp> {
+        None
+    }
+
+    /// Operator cost counters broken out per parallel worker, for
+    /// per-shard metrics exposition. Single-threaded engines (the default)
+    /// report one entry equal to [`Engine::stats`].
+    fn per_shard_stats(&self) -> Vec<RuntimeStats> {
+        vec![self.stats()]
+    }
+
     /// Serializes the engine's complete mutable state into a checksummed
     /// envelope. Engines without snapshot support return
     /// [`CodecError::Unsupported`].

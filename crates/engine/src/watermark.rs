@@ -88,6 +88,17 @@ impl WatermarkTracker {
         self.high = Timestamp::MAX;
     }
 
+    /// Watermark lag: how far the published watermark trails the stream
+    /// clock. Zero when a punctuation (or seal) has pushed the watermark
+    /// at or past the clock.
+    pub fn lag(&self) -> Duration {
+        if self.high >= self.clock {
+            Duration::new(0)
+        } else {
+            self.clock - self.high
+        }
+    }
+
     /// Serializes the mutable scalars (the config-derived fields are
     /// reconstructed from the [`EngineConfig`] at restore time).
     pub fn snapshot_into(&self, w: &mut sequin_types::Writer) {
@@ -139,6 +150,25 @@ mod tests {
         assert_eq!(w.current(), Timestamp::new(90));
         assert_eq!(w.clock(), Timestamp::new(100));
         assert_eq!(w.k_hat(), Duration::new(10));
+    }
+
+    #[test]
+    fn lag_is_clock_minus_watermark_floored_at_zero() {
+        let mut cfg = EngineConfig::with_k(Duration::new(10));
+        cfg.watermark = WatermarkSource::Both;
+        let mut w = WatermarkTracker::new(&cfg);
+        assert_eq!(w.lag(), Duration::new(0), "empty tracker has no lag");
+        w.observe_event(Timestamp::new(100));
+        assert_eq!(w.lag(), Duration::new(10), "fixed K lags by K");
+        // punctuation at the clock closes the gap entirely
+        w.observe_punctuation(Timestamp::new(100));
+        assert_eq!(w.lag(), Duration::new(0));
+        // punctuation past the clock must not underflow
+        w.observe_punctuation(Timestamp::new(500));
+        assert_eq!(w.lag(), Duration::new(0));
+        // sealing pins lag at zero too
+        w.seal();
+        assert_eq!(w.lag(), Duration::new(0));
     }
 
     #[test]

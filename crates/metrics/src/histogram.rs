@@ -50,13 +50,13 @@ impl Histogram {
         self.samples.borrow().iter().copied().max().unwrap_or(0)
     }
 
-    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`; 0 when empty.
+    /// The `q`-quantile (nearest-rank). Total on every input:
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// * an **empty** histogram reports 0 for every `q`;
+    /// * `q` is **clamped** to `[0, 1]` — `q <= 0` (and NaN) report the
+    ///   minimum sample, `q >= 1` the maximum — so live-metrics callers
+    ///   can pass through unvalidated numbers without a panic path.
     pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         let mut samples = self.samples.borrow_mut();
         if samples.is_empty() {
             return 0;
@@ -65,6 +65,7 @@ impl Histogram {
             samples.sort_unstable();
             self.sorted.set(true);
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
         samples[rank - 1]
     }
@@ -145,8 +146,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile must be in [0, 1]")]
-    fn bad_quantile_panics() {
-        Histogram::new().quantile(1.5);
+    fn empty_histogram_is_zero_for_every_q() {
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 0.95, 0.99, 1.0, 1.5, f64::NAN] {
+            assert_eq!(h.quantile(q), 0, "empty, q={q}");
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h: Histogram = [7].into_iter().collect();
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p95(), 7);
+        assert_eq!(h.p99(), 7);
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn two_samples_split_at_the_median() {
+        let h: Histogram = [9, 1].into_iter().collect();
+        // nearest-rank: rank(0.50 * 2) = 1 -> the lower sample
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p95(), 9);
+        assert_eq!(h.p99(), 9);
+    }
+
+    #[test]
+    fn out_of_range_q_clamps_to_min_and_max() {
+        let h: Histogram = [10, 20, 30].into_iter().collect();
+        assert_eq!(h.quantile(-0.5), 10, "q below 0 clamps to the minimum");
+        assert_eq!(h.quantile(1.5), 30, "q above 1 clamps to the maximum");
+        assert_eq!(h.quantile(f64::NAN), 10, "NaN behaves like q = 0");
+        assert_eq!(h.quantile(f64::INFINITY), 30);
+        assert_eq!(h.quantile(f64::NEG_INFINITY), 10);
     }
 }

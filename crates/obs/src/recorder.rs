@@ -1,0 +1,234 @@
+//! The hot-path recorder the engine core writes into.
+//!
+//! One [`Recorder`] is owned by the thread that drives evaluation (the
+//! server's engine loop, or a CLI run). It accumulates per-query
+//! distributions derived from emitted outputs — **detection latency**
+//! (arrivals between a match becoming constructible and its emission) and
+//! **deferral time** (event-time ticks a match was held past its own span
+//! while the watermark caught up) — plus emit/retract counts, and feeds
+//! the structured [`TraceRing`].
+//!
+//! Every method early-returns when the recorder is disabled
+//! ([`ObsConfig::disabled`]), which is the "configured off ⇒ zero
+//! overhead" guarantee the bench gate checks.
+
+use crate::hist::FixedHistogram;
+use crate::trace::{Span, SpanKind, TraceRing, NO_QUERY};
+
+/// Observability configuration for an engine core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch: when false, nothing is recorded and metrics
+    /// exposition carries only the always-on operator counters.
+    pub enabled: bool,
+    /// Trace ring capacity in spans (0 disables tracing while keeping
+    /// metrics).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            trace_capacity: 256,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Everything off: zero recording overhead.
+    pub fn disabled() -> ObsConfig {
+        ObsConfig {
+            enabled: false,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Per-query accumulated observations.
+#[derive(Debug, Clone, Default)]
+pub struct QueryObs {
+    /// Detection latency (arrival counts), one sample per output item.
+    pub detection: FixedHistogram,
+    /// Deferral time (event-time ticks), one sample per output item.
+    pub deferral: FixedHistogram,
+    /// Insert outputs emitted.
+    pub emitted: u64,
+    /// Retract outputs emitted (aggressive negation emission only).
+    pub retracted: u64,
+}
+
+/// Accumulates per-query observations and trace spans.
+#[derive(Debug)]
+pub struct Recorder {
+    cfg: ObsConfig,
+    queries: Vec<QueryObs>,
+    ring: TraceRing,
+}
+
+impl Recorder {
+    /// Creates a recorder for the given configuration.
+    pub fn new(cfg: ObsConfig) -> Recorder {
+        let trace_cap = if cfg.enabled { cfg.trace_capacity } else { 0 };
+        Recorder {
+            cfg,
+            queries: Vec::new(),
+            ring: TraceRing::new(trace_cap),
+        }
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> ObsConfig {
+        self.cfg
+    }
+
+    fn query_mut(&mut self, query: usize) -> &mut QueryObs {
+        if self.queries.len() <= query {
+            self.queries.resize_with(query + 1, QueryObs::default);
+        }
+        &mut self.queries[query]
+    }
+
+    /// Records one output item for `query`: its kind (insert vs retract),
+    /// detection latency in arrivals, and deferral time in ticks.
+    #[inline]
+    pub fn record_output(&mut self, query: usize, insert: bool, detection: u64, deferral: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let q = self.query_mut(query);
+        if insert {
+            q.emitted += 1;
+        } else {
+            q.retracted += 1;
+        }
+        q.detection.record(detection);
+        q.deferral.record(deferral);
+    }
+
+    /// Records a pipeline-step span attributed to `query` (or
+    /// [`NO_QUERY`]). No-op when disabled or `count == 0`.
+    #[inline]
+    pub fn span(&mut self, kind: SpanKind, query: u64, count: u64, clock: u64, watermark: u64) {
+        if !self.cfg.enabled || count == 0 {
+            return;
+        }
+        self.ring.push(Span {
+            seq: 0,
+            kind,
+            query,
+            count,
+            clock,
+            watermark,
+            events: Vec::new(),
+            held: 0,
+        });
+    }
+
+    /// Records an `Emit` span with per-match provenance: the matched event
+    /// ids (positive order) and how long the match was held due to
+    /// disorder.
+    #[inline]
+    pub fn emit_span(
+        &mut self,
+        query: u64,
+        events: Vec<u64>,
+        held: u64,
+        clock: u64,
+        watermark: u64,
+    ) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.ring.push(Span {
+            seq: 0,
+            kind: SpanKind::Emit,
+            query,
+            count: 1,
+            clock,
+            watermark,
+            events,
+            held,
+        });
+    }
+
+    /// Per-query observations recorded so far (index = query registration
+    /// order; may be shorter than the query count if a query has emitted
+    /// nothing).
+    pub fn query_obs(&self) -> &[QueryObs] {
+        &self.queries
+    }
+
+    /// The trace ring.
+    pub fn trace(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// JSON dump of the trace ring.
+    pub fn trace_json(&self) -> String {
+        self.ring.to_json()
+    }
+
+    /// An ingest span helper for whole-core steps.
+    #[inline]
+    pub fn ingest_span(&mut self, count: u64, clock: u64, watermark: u64) {
+        self.span(SpanKind::Ingest, NO_QUERY, count, clock, watermark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::new(ObsConfig::disabled());
+        r.record_output(0, true, 5, 9);
+        r.span(SpanKind::Route, 0, 3, 10, 4);
+        r.emit_span(0, vec![1, 2], 6, 10, 4);
+        assert!(r.query_obs().is_empty());
+        assert!(r.trace().is_empty());
+        assert_eq!(r.trace().recorded(), 0);
+    }
+
+    #[test]
+    fn outputs_accumulate_per_query() {
+        let mut r = Recorder::new(ObsConfig::default());
+        r.record_output(1, true, 0, 2);
+        r.record_output(1, false, 4, 8);
+        r.record_output(0, true, 1, 1);
+        assert_eq!(r.query_obs().len(), 2);
+        assert_eq!(r.query_obs()[1].emitted, 1);
+        assert_eq!(r.query_obs()[1].retracted, 1);
+        assert_eq!(r.query_obs()[1].detection.count(), 2);
+        assert_eq!(r.query_obs()[1].deferral.sum(), 10);
+        assert_eq!(r.query_obs()[0].emitted, 1);
+    }
+
+    #[test]
+    fn zero_count_spans_are_suppressed() {
+        let mut r = Recorder::new(ObsConfig::default());
+        r.span(SpanKind::Purge, 0, 0, 10, 4);
+        assert!(r.trace().is_empty());
+        r.span(SpanKind::Purge, 0, 2, 10, 4);
+        assert_eq!(r.trace().len(), 1);
+    }
+
+    #[test]
+    fn trace_capacity_zero_keeps_metrics_but_no_spans() {
+        let mut r = Recorder::new(ObsConfig {
+            enabled: true,
+            trace_capacity: 0,
+        });
+        r.record_output(0, true, 1, 1);
+        r.span(SpanKind::Route, 0, 1, 1, 0);
+        assert_eq!(r.query_obs()[0].emitted, 1);
+        assert!(r.trace().is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Structured trace ring buffer.
+//!
+//! The engine records one [`Span`] per pipeline step it takes — ingest,
+//! route, stack-insert, construct, negate, emit, purge — into a bounded
+//! [`TraceRing`]. The ring keeps the most recent `capacity` spans and
+//! counts what it evicted, so a dump after an error shows the steps
+//! leading up to it without unbounded memory.
+//!
+//! Spans carry only logical quantities (sequence numbers, tick values,
+//! event ids), so traces of a fixed-seed run are deterministic.
+
+use std::collections::VecDeque;
+
+use crate::json_escape;
+
+/// The pipeline step a [`Span`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A chunk of items entered the core (count = items).
+    Ingest,
+    /// Events were routed to operator stacks (count = routed events).
+    Route,
+    /// Events were pushed onto active-instance stacks (count = insertions).
+    StackInsert,
+    /// Matches were constructed (count = matches).
+    Construct,
+    /// Matches were invalidated by negation (count = negated matches).
+    Negate,
+    /// One output item left the engine (provenance in `events`).
+    Emit,
+    /// Watermark-safe purge reclaimed state (count = purged instances).
+    Purge,
+}
+
+impl SpanKind {
+    /// Stable lower-snake name used in JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Ingest => "ingest",
+            SpanKind::Route => "route",
+            SpanKind::StackInsert => "stack_insert",
+            SpanKind::Construct => "construct",
+            SpanKind::Negate => "negate",
+            SpanKind::Emit => "emit",
+            SpanKind::Purge => "purge",
+        }
+    }
+}
+
+/// Marker for a span that is not attributed to a single query.
+pub const NO_QUERY: u64 = u64::MAX;
+
+/// One recorded pipeline step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Monotone sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Which pipeline step this is.
+    pub kind: SpanKind,
+    /// Query index the step belongs to, or [`NO_QUERY`].
+    pub query: u64,
+    /// Step magnitude: items ingested, events routed/inserted, matches
+    /// constructed/negated/purged; 1 for `Emit`.
+    pub count: u64,
+    /// Engine clock (max occurrence timestamp seen), in ticks.
+    pub clock: u64,
+    /// Published watermark, in ticks.
+    pub watermark: u64,
+    /// `Emit` provenance: ids of the matched events, in positive order.
+    pub events: Vec<u64>,
+    /// `Emit` only: how long the match was held due to disorder —
+    /// event-time ticks between the match's own span and its emission.
+    pub held: u64,
+}
+
+impl Span {
+    /// Renders the span as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"kind\":\"{}\",\"query\":{},\"count\":{},\"clock\":{},\"watermark\":{}",
+            self.seq,
+            json_escape(self.kind.name()),
+            if self.query == NO_QUERY {
+                "null".to_string()
+            } else {
+                self.query.to_string()
+            },
+            self.count,
+            self.clock,
+            self.watermark,
+        );
+        if !self.events.is_empty() || self.kind == SpanKind::Emit {
+            s.push_str(",\"events\":[");
+            for (i, id) in self.events.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&id.to_string());
+            }
+            s.push(']');
+            s.push_str(&format!(",\"held\":{}", self.held));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A bounded ring of the most recent [`Span`]s.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<Span>,
+}
+
+impl TraceRing {
+    /// Creates a ring keeping at most `capacity` spans (0 disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Appends a span, evicting the oldest if the ring is full. The span's
+    /// `seq` field is overwritten with the ring's monotone counter.
+    pub fn push(&mut self, mut span: Span) {
+        if self.capacity == 0 {
+            return;
+        }
+        span.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(span);
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of spans evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total spans ever recorded (held + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The held spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.buf.iter()
+    }
+
+    /// Dumps the ring as a JSON object: metadata plus the span array,
+    /// oldest first.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"capacity\":{},\"recorded\":{},\"dropped\":{},\"spans\":[",
+            self.capacity, self.next_seq, self.dropped
+        );
+        for (i, span) in self.buf.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&span.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, count: u64) -> Span {
+        Span {
+            seq: 0,
+            kind,
+            query: 0,
+            count,
+            clock: 10,
+            watermark: 5,
+            events: Vec::new(),
+            held: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_spans() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.push(span(SpanKind::Route, i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.recorded(), 5);
+        let counts: Vec<u64> = ring.spans().map(|s| s.count).collect();
+        assert_eq!(counts, vec![2, 3, 4]);
+        let seqs: Vec<u64> = ring.spans().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut ring = TraceRing::new(0);
+        ring.push(span(SpanKind::Ingest, 1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 0);
+        assert_eq!(
+            ring.to_json(),
+            "{\"capacity\":0,\"recorded\":0,\"dropped\":0,\"spans\":[]}"
+        );
+    }
+
+    #[test]
+    fn emit_spans_dump_provenance() {
+        let mut ring = TraceRing::new(8);
+        ring.push(Span {
+            seq: 0,
+            kind: SpanKind::Emit,
+            query: 2,
+            count: 1,
+            clock: 40,
+            watermark: 30,
+            events: vec![3, 7, 9],
+            held: 12,
+        });
+        let json = ring.to_json();
+        assert!(json.contains("\"kind\":\"emit\""));
+        assert!(json.contains("\"events\":[3,7,9]"));
+        assert!(json.contains("\"held\":12"));
+        assert!(json.contains("\"query\":2"));
+    }
+
+    #[test]
+    fn whole_core_spans_serialize_query_null() {
+        let mut ring = TraceRing::new(2);
+        let mut s = span(SpanKind::Ingest, 64);
+        s.query = NO_QUERY;
+        ring.push(s);
+        assert!(ring.to_json().contains("\"query\":null"));
+    }
+}

@@ -212,6 +212,78 @@ mod tests {
         }
     }
 
+    /// Which `as_pairs` entries are peak gauges (max-merged); everything
+    /// else is a flow counter (summed).
+    const GAUGES: [&str; 2] = ["max_stack_depth", "merge_buffer_peak"];
+
+    fn random_stats(rng: &mut sequin_prng::Rng) -> RuntimeStats {
+        let mut w = Writer::new();
+        for _ in 0..15 {
+            // small enough that sums over 8 shards cannot overflow
+            w.put_u64(rng.gen_range(0..1u64 << 40));
+        }
+        let bytes = w.into_bytes();
+        RuntimeStats::decode(&mut Reader::new(&bytes)).unwrap()
+    }
+
+    /// Property: merging per-shard stats via `+=` sums every flow counter
+    /// and max-merges every peak gauge, independent of merge order and of
+    /// how the shards are grouped (associativity) — the guarantees the
+    /// sharded engine and the metrics registry rely on when they fold
+    /// worker stats into one aggregate.
+    #[test]
+    fn add_assign_merge_properties_hold_for_random_shard_sets() {
+        let mut rng = sequin_prng::Rng::seed_from_u64(0x5e9_0b5);
+        for round in 0..200 {
+            let shards: Vec<RuntimeStats> = (0..rng.gen_range(1..=8usize))
+                .map(|_| random_stats(&mut rng))
+                .collect();
+
+            // left fold
+            let mut merged = RuntimeStats::default();
+            for s in &shards {
+                merged += *s;
+            }
+
+            // field-by-field oracle over the pair view
+            for (ix, (name, got)) in merged.as_pairs().iter().enumerate() {
+                let want = if GAUGES.contains(name) {
+                    shards.iter().map(|s| s.as_pairs()[ix].1).max().unwrap()
+                } else {
+                    shards.iter().map(|s| s.as_pairs()[ix].1).sum()
+                };
+                assert_eq!(*got, want, "round {round}: field {name}");
+            }
+
+            // order independence: reversed fold agrees
+            let mut rev = RuntimeStats::default();
+            for s in shards.iter().rev() {
+                rev += *s;
+            }
+            assert_eq!(rev, merged, "round {round}: merge is order-independent");
+
+            // associativity: split at a random point, merge halves, then
+            // merge the partials — regrouping shards must not change totals
+            let cut = rng.gen_range(0..=shards.len());
+            let (left, right) = shards.split_at(cut);
+            let mut a = RuntimeStats::default();
+            for s in left {
+                a += *s;
+            }
+            let mut b = RuntimeStats::default();
+            for s in right {
+                b += *s;
+            }
+            a += b;
+            assert_eq!(a, merged, "round {round}: merge is associative (cut {cut})");
+
+            // identity: merging the zero stats changes nothing
+            let mut with_zero = merged;
+            with_zero += RuntimeStats::default();
+            assert_eq!(with_zero, merged, "round {round}: zero is the identity");
+        }
+    }
+
     #[test]
     fn reset_zeroes() {
         let mut a = RuntimeStats {

@@ -18,7 +18,7 @@ use std::thread::JoinHandle;
 use sequin_runtime::RuntimeStats;
 use sequin_types::{EventRef, StreamItem, Timestamp};
 
-use crate::frame::{decode_frame, encode_frame, ErrorCode, Frame, OutputFrame};
+use crate::frame::{decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame};
 use crate::stats::ServerStats;
 use crate::transport::{FrameSink, TcpTransport, Transport};
 
@@ -217,6 +217,18 @@ impl Client {
         match self.wait_for(|f| matches!(f, Frame::StatsReply { .. }))? {
             Frame::StatsReply { server, engine } => Ok((server, engine)),
             _ => unreachable!("wait_for matched StatsReply"),
+        }
+    }
+
+    /// Fetches a rendered telemetry document in the requested format:
+    /// Prometheus text, a JSON series array, or the structured trace ring
+    /// as JSON. Monitoring-only clients may [`Client::hello`] with
+    /// fingerprint `0` (the observer wildcard) before calling this.
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String, ClientError> {
+        self.send(&Frame::MetricsReq { format })?;
+        match self.wait_for(|f| matches!(f, Frame::MetricsReply { .. }))? {
+            Frame::MetricsReply { body, .. } => Ok(body),
+            _ => unreachable!("wait_for matched MetricsReply"),
         }
     }
 

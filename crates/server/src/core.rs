@@ -27,7 +27,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use sequin_engine::{CheckpointStore, EngineConfig, MultiEngine, OutputItem, QueryId, Strategy};
+use sequin_engine::{
+    CheckpointStore, EngineConfig, MultiEngine, OutputItem, OutputKind, QueryId, Strategy,
+};
+use sequin_obs::{MetricsSnapshot, ObsConfig, Recorder, SpanKind};
 use sequin_query::parse;
 use sequin_runtime::{MatchKey, RuntimeStats};
 use sequin_types::codec::{open_envelope, seal_envelope};
@@ -36,6 +39,7 @@ use sequin_types::{
 };
 
 use crate::frame::kind_tag;
+use crate::stats::ServerStats;
 
 /// Evaluation settings shared by every query the core registers.
 #[derive(Clone)]
@@ -56,6 +60,11 @@ pub struct CoreConfig {
     /// Snapshots are shard-count-agnostic, so a restart may resume with a
     /// different value.
     pub shards: usize,
+    /// Observability: latency/deferral recording and the structured trace
+    /// ring. [`ObsConfig::disabled`] turns all recording off (a single
+    /// predicted branch per batch — the "configured off ⇒ zero overhead"
+    /// path the bench gate measures).
+    pub obs: ObsConfig,
 }
 
 impl CoreConfig {
@@ -72,6 +81,7 @@ impl CoreConfig {
             engine,
             checkpoint_every: None,
             shards: 1,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -125,6 +135,9 @@ pub struct EngineCore {
     /// [`EngineCore::take_dirty`] — the server's cue to persist the store.
     dirty: bool,
     drained: bool,
+    /// Observability recorder: per-query latency/deferral distributions
+    /// and the structured trace ring.
+    obs: Recorder,
 }
 
 impl std::fmt::Debug for EngineCore {
@@ -142,6 +155,7 @@ impl std::fmt::Debug for EngineCore {
 impl EngineCore {
     /// A fresh core with no queries and an empty store.
     pub fn new(cfg: CoreConfig) -> EngineCore {
+        let obs = Recorder::new(cfg.obs);
         EngineCore {
             cfg,
             multi: MultiEngine::new(),
@@ -153,6 +167,7 @@ impl EngineCore {
             extra: RuntimeStats::default(),
             dirty: false,
             drained: false,
+            obs,
         }
     }
 
@@ -186,6 +201,7 @@ impl EngineCore {
                 Err(_) => rejected += 1, // corrupt log record: cannot dedup it
             }
         }
+        let obs = Recorder::new(cfg.obs);
         let core = EngineCore {
             cfg,
             multi,
@@ -200,6 +216,7 @@ impl EngineCore {
             },
             dirty: false,
             drained: false,
+            obs,
         };
         (core, position)
     }
@@ -290,10 +307,20 @@ impl EngineCore {
             };
             let (chunk, tail) = rest.split_at(take);
             rest = tail;
+            let obs_on = self.obs.enabled();
+            let before = if obs_on {
+                self.multi.stats()
+            } else {
+                Vec::new()
+            };
+            let chunk_start = out.len();
             for raw in self.multi.ingest_batch(chunk) {
                 self.position += 1;
                 let filtered = self.filter_and_log(raw);
                 out.extend(filtered);
+            }
+            if obs_on {
+                self.record_chunk_spans(chunk.len() as u64, &before, &out[chunk_start..]);
             }
             if let Some(n) = self.cfg.checkpoint_every {
                 if self.position.saturating_sub(self.last_ckpt_position) >= n {
@@ -310,8 +337,17 @@ impl EngineCore {
         if self.drained {
             return Vec::new();
         }
+        let obs_on = self.obs.enabled();
+        let before = if obs_on {
+            self.multi.stats()
+        } else {
+            Vec::new()
+        };
         let raw = self.multi.finish();
         let out = self.filter_and_log(raw);
+        if obs_on {
+            self.record_chunk_spans(0, &before, &out);
+        }
         self.drained = true;
         if self.durable() {
             self.checkpoint_now();
@@ -417,6 +453,203 @@ impl EngineCore {
     pub fn pending_suppressions(&self) -> usize {
         self.suppress.values().map(|n| *n as usize).sum()
     }
+
+    /// The stream clock: maximum occurrence timestamp any query engine has
+    /// observed, in ticks (0 before the first event).
+    fn core_clock(&self) -> u64 {
+        self.queries
+            .iter()
+            .filter_map(|(_, qid)| self.multi.engine(*qid).clock())
+            .map(|t| t.ticks())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Records trace spans for one ingested chunk: an `Ingest` span, then
+    /// per-query `Route`/`StackInsert`/`Construct`/`Negate`/`Purge` spans
+    /// derived from operator-counter deltas (`before` → now), then one
+    /// `Emit` span per delivered output with its event-id provenance and
+    /// disorder hold time. Spans are chunk-granular by design: the trace
+    /// shows what each batch *did*, not a per-event firehose, which keeps
+    /// recording cost a handful of counter reads per batch.
+    fn record_chunk_spans(
+        &mut self,
+        ingested: u64,
+        before: &[RuntimeStats],
+        outputs: &[(QueryId, OutputItem)],
+    ) {
+        let after = self.multi.stats();
+        let core_clock = self.core_clock();
+        let core_wm = self.multi.watermark().map(|t| t.ticks()).unwrap_or(0);
+        if ingested > 0 {
+            self.obs.ingest_span(ingested, core_clock, core_wm);
+        }
+        for (i, (_, qid)) in self.queries.iter().enumerate() {
+            let prev = before.get(i).copied().unwrap_or_default();
+            let Some(now) = after.get(i) else { continue };
+            let engine = self.multi.engine(*qid);
+            let clock = engine.clock().map(|t| t.ticks()).unwrap_or(core_clock);
+            let wm = engine.watermark().map(|t| t.ticks()).unwrap_or(core_wm);
+            let steps = [
+                (SpanKind::Route, now.events_routed - prev.events_routed),
+                (SpanKind::StackInsert, now.insertions - prev.insertions),
+                (
+                    SpanKind::Construct,
+                    now.matches_constructed - prev.matches_constructed,
+                ),
+                (SpanKind::Negate, now.negated_matches - prev.negated_matches),
+                (SpanKind::Purge, now.purged - prev.purged),
+            ];
+            for (kind, delta) in steps {
+                self.obs.span(kind, i as u64, delta, clock, wm);
+            }
+        }
+        for (qid, o) in outputs {
+            let i = qid.index();
+            let insert = o.kind == OutputKind::Insert;
+            self.obs
+                .record_output(i, insert, o.arrival_latency(), o.event_time_latency());
+            let events: Vec<u64> = o.m.events().iter().map(|e| e.id().get()).collect();
+            let wm = self
+                .multi
+                .engine(*qid)
+                .watermark()
+                .map(|t| t.ticks())
+                .unwrap_or(core_wm);
+            self.obs.emit_span(
+                i as u64,
+                events,
+                o.event_time_latency(),
+                o.emit_clock.ticks(),
+                wm,
+            );
+        }
+    }
+
+    /// JSON dump of the structured trace ring (`[]`-bodied object when
+    /// tracing is disabled).
+    pub fn trace_json(&self) -> String {
+        self.obs.trace_json()
+    }
+
+    /// Whether latency/trace recording is on.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// Assembles the full telemetry snapshot: per-query operator counters,
+    /// watermark/clock/lag and state-size gauges, purge reclamation, the
+    /// recorder's detection-latency and deferral-time histograms, per-shard
+    /// worker counters (sharded pools only), engine-wide totals, and — when
+    /// the caller passes them — server counters plus the live ingest-queue
+    /// depth.
+    ///
+    /// Everything recorded is a logical quantity, so a fixed-seed workload
+    /// yields a byte-identical rendering, and the output-derived series
+    /// (histograms, emitted/retracted counts) are additionally identical
+    /// across shard counts. `sequin_purge_reclaimed_bytes` is an estimate:
+    /// purged stack instances × the in-memory size of an `Event` record
+    /// (attribute payloads not counted).
+    pub fn metrics_snapshot(&self, server: Option<(&ServerStats, u64)>) -> MetricsSnapshot {
+        const STAT_GAUGES: [&str; 2] = ["max_stack_depth", "merge_buffer_peak"];
+        const SERVER_GAUGES: [&str; 3] = ["subscriptions", "engine_shards", "max_engine_batch"];
+        let mut b = MetricsSnapshot::builder();
+
+        let per_query = self.multi.stats();
+        let empty = sequin_obs::QueryObs::default();
+        for (i, (_, qid)) in self.queries.iter().enumerate() {
+            let labels = [("query", i.to_string())];
+            let Some(stats) = per_query.get(i) else {
+                continue;
+            };
+            for (name, v) in stats.as_pairs() {
+                let full = format!("sequin_engine_{name}");
+                if STAT_GAUGES.contains(&name) {
+                    b.gauge(&full, &labels, v);
+                } else {
+                    b.counter(&full, &labels, v);
+                }
+            }
+            let engine = self.multi.engine(*qid);
+            if let (Some(clock), Some(wm)) = (engine.clock(), engine.watermark()) {
+                let (c, w) = (clock.ticks(), wm.ticks());
+                b.gauge("sequin_stream_clock", &labels, c);
+                b.gauge("sequin_watermark", &labels, w);
+                b.gauge("sequin_watermark_lag", &labels, c.saturating_sub(w));
+            }
+            b.gauge(
+                "sequin_engine_state_size",
+                &labels,
+                engine.state_size() as u64,
+            );
+            b.counter(
+                "sequin_purge_reclaimed_bytes",
+                &labels,
+                stats.purged * std::mem::size_of::<sequin_types::Event>() as u64,
+            );
+            let shards = engine.per_shard_stats();
+            if shards.len() > 1 {
+                for (s_ix, s) in shards.iter().enumerate() {
+                    let labels = [("query", i.to_string()), ("shard", s_ix.to_string())];
+                    for (name, v) in s.as_pairs() {
+                        let full = format!("sequin_shard_{name}");
+                        if STAT_GAUGES.contains(&name) {
+                            b.gauge(&full, &labels, v);
+                        } else {
+                            b.counter(&full, &labels, v);
+                        }
+                    }
+                }
+            }
+            if self.obs.enabled() {
+                let qo = self.obs.query_obs().get(i).unwrap_or(&empty);
+                b.histogram("sequin_detection_latency", &labels, &qo.detection);
+                b.histogram("sequin_deferral_time", &labels, &qo.deferral);
+                b.counter("sequin_outputs_emitted", &labels, qo.emitted);
+                b.counter("sequin_outputs_retracted", &labels, qo.retracted);
+            }
+        }
+
+        for (name, v) in self.stats().as_pairs() {
+            let full = format!("sequin_engine_{name}_total");
+            if STAT_GAUGES.contains(&name) {
+                b.gauge(&full, &[], v);
+            } else {
+                b.counter(&full, &[], v);
+            }
+        }
+        b.counter("sequin_ingest_position", &[], self.position);
+        b.gauge("sequin_queries", &[], self.query_count());
+        b.gauge(
+            "sequin_pending_suppressions",
+            &[],
+            self.pending_suppressions() as u64,
+        );
+        if self.obs.enabled() {
+            b.counter(
+                "sequin_trace_spans_recorded",
+                &[],
+                self.obs.trace().recorded(),
+            );
+            b.counter(
+                "sequin_trace_spans_dropped",
+                &[],
+                self.obs.trace().dropped(),
+            );
+        }
+        if let Some((stats, queue_depth)) = server {
+            for (name, v) in stats.as_pairs() {
+                let full = format!("sequin_server_{name}");
+                if SERVER_GAUGES.contains(&name) {
+                    b.gauge(&full, &[], v);
+                } else {
+                    b.counter(&full, &[], v);
+                }
+            }
+            b.gauge("sequin_server_queue_depth", &[], queue_depth);
+        }
+        b.finish()
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +673,7 @@ mod tests {
             engine: EngineConfig::with_k(Duration::new(10)),
             checkpoint_every: every,
             shards: 1,
+            obs: ObsConfig::default(),
         }
     }
 

@@ -23,6 +23,8 @@
 //!   | <-- BUSY(queued) ------------------ |   backpressure advisory
 //!   | -- STATS_REQ ---------------------> |
 //!   | <-- STATS_REPLY(server, engine) --- |
+//!   | -- METRICS_REQ(format) -----------> |   telemetry scrape
+//!   | <-- METRICS_REPLY(format, body) --- |   Prometheus text / JSON
 //!   | -- DRAIN -------------------------> |   end-of-stream
 //!   | <-- OUTPUT... <-- DRAIN_ACK ------- |   sealed results, then ack
 //!   | -- BYE ---------------------------> |
@@ -108,6 +110,52 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
+/// Requested exposition format of a [`Frame::MetricsReq`] scrape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format (version 0.0.4).
+    Prometheus,
+    /// JSON array of series objects.
+    Json,
+    /// JSON dump of the structured trace ring (pipeline spans with
+    /// per-match provenance).
+    TraceJson,
+}
+
+impl MetricsFormat {
+    fn tag(self) -> u8 {
+        match self {
+            MetricsFormat::Prometheus => 0,
+            MetricsFormat::Json => 1,
+            MetricsFormat::TraceJson => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<MetricsFormat, CodecError> {
+        Ok(match tag {
+            0 => MetricsFormat::Prometheus,
+            1 => MetricsFormat::Json,
+            2 => MetricsFormat::TraceJson,
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "MetricsFormat",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for MetricsFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MetricsFormat::Prometheus => "prometheus",
+            MetricsFormat::Json => "json",
+            MetricsFormat::TraceJson => "trace-json",
+        })
+    }
+}
+
 /// One streamed result: a match (or retraction) produced by the query the
 /// subscriber registered, with the same latency bookkeeping the in-process
 /// [`sequin_engine::OutputItem`] carries. Deterministic ingestion order
@@ -131,7 +179,11 @@ pub struct OutputFrame {
 pub enum Frame {
     /// Client→server session opener: schema fingerprint + display name.
     Hello {
-        /// The client's [`sequin_types::TypeRegistry::fingerprint`].
+        /// The client's [`sequin_types::TypeRegistry::fingerprint`], or
+        /// **0** for an observer session: a read-only monitoring client
+        /// (e.g. `sequin stats`) that only issues STATS/METRICS requests
+        /// and therefore skips schema negotiation. (A real registry
+        /// fingerprint is an fnv1a-64 hash; 0 is reserved.)
         fingerprint: u64,
         /// Free-form client identification (diagnostics only).
         client: String,
@@ -196,6 +248,21 @@ pub enum Frame {
     },
     /// Polite goodbye; the connection closes.
     Bye,
+    /// Ask for a rendered telemetry snapshot (metrics registry or trace
+    /// ring) in the given format. Unlike [`Frame::StatsReq`]'s fixed
+    /// counter structs, the reply body is self-describing text, so new
+    /// series never change the wire layout.
+    MetricsReq {
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
+    /// The rendered telemetry snapshot.
+    MetricsReply {
+        /// Format of `body` (echoes the request).
+        format: MetricsFormat,
+        /// Prometheus text, metrics JSON, or trace JSON.
+        body: String,
+    },
 }
 
 pub(crate) fn kind_tag(kind: OutputKind) -> u8 {
@@ -293,6 +360,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Bye => {
             w.put_u8(14);
         }
+        Frame::MetricsReq { format } => {
+            w.put_u8(15);
+            w.put_u8(format.tag());
+        }
+        Frame::MetricsReply { format, body } => {
+            w.put_u8(16);
+            w.put_u8(format.tag());
+            w.put_str(body);
+        }
     }
     seal_envelope(&w.into_bytes())
 }
@@ -346,6 +422,13 @@ pub fn decode_frame(sealed: &[u8]) -> Result<Frame, CodecError> {
             message: r.get_str()?,
         },
         14 => Frame::Bye,
+        15 => Frame::MetricsReq {
+            format: MetricsFormat::from_tag(r.get_u8()?)?,
+        },
+        16 => Frame::MetricsReply {
+            format: MetricsFormat::from_tag(r.get_u8()?)?,
+            body: r.get_str()?,
+        },
         tag => return Err(CodecError::InvalidTag { what: "Frame", tag }),
     };
     r.finish()?;
@@ -465,6 +548,13 @@ mod tests {
                 message: "fingerprints differ".into(),
             },
             Frame::Bye,
+            Frame::MetricsReq {
+                format: MetricsFormat::Prometheus,
+            },
+            Frame::MetricsReply {
+                format: MetricsFormat::Json,
+                body: "[{\"name\":\"sequin_outputs_emitted\",\"value\":3}]".into(),
+            },
         ]
     }
 
@@ -528,6 +618,114 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_metrics_format_round_trips() {
+        for format in [
+            MetricsFormat::Prometheus,
+            MetricsFormat::Json,
+            MetricsFormat::TraceJson,
+        ] {
+            let sealed = encode_frame(&Frame::MetricsReq { format });
+            match decode_frame(&sealed).unwrap() {
+                Frame::MetricsReq { format: back } => assert_eq!(back, format),
+                other => panic!("decoded {other:?}"),
+            }
+        }
+        // unknown format tag is a typed rejection
+        let mut w = Writer::new();
+        w.put_u8(15);
+        w.put_u8(9);
+        assert!(matches!(
+            decode_frame(&seal_envelope(&w.into_bytes())),
+            Err(CodecError::InvalidTag {
+                what: "MetricsFormat",
+                ..
+            })
+        ));
+    }
+
+    /// Pins the STATS_REPLY wire layout: frame tag 9, then exactly 15
+    /// `ServerStats` fields and 15 `RuntimeStats` fields as little-endian
+    /// `u64`s, in declaration order. The METRICS frames added alongside
+    /// this test must never change what existing STATS clients decode —
+    /// if this test fails, the change is wire-breaking and needs a
+    /// protocol version bump, not a test update.
+    #[test]
+    fn stats_reply_wire_layout_is_pinned() {
+        let server_vals: [u64; 15] = core::array::from_fn(|i| 1 + i as u64);
+        let engine_vals: [u64; 15] = core::array::from_fn(|i| 101 + i as u64);
+
+        let mut w = Writer::new();
+        for v in server_vals {
+            w.put_u64(v);
+        }
+        let bytes = w.into_bytes();
+        let server = ServerStats::decode(&mut Reader::new(&bytes)).unwrap();
+        let mut w = Writer::new();
+        for v in engine_vals {
+            w.put_u64(v);
+        }
+        let bytes = w.into_bytes();
+        let engine = RuntimeStats::decode(&mut Reader::new(&bytes)).unwrap();
+
+        let sealed = encode_frame(&Frame::StatsReply { server, engine });
+        let payload = open_envelope(&sealed).unwrap();
+
+        // tag byte + 30 raw u64s, nothing else
+        assert_eq!(payload.len(), 1 + 30 * 8, "STATS_REPLY payload size");
+        assert_eq!(payload[0], 9, "STATS_REPLY frame tag");
+        let mut decoded = Vec::with_capacity(30);
+        for chunk in payload[1..].chunks_exact(8) {
+            decoded.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        assert_eq!(&decoded[..15], &server_vals, "ServerStats field order");
+        assert_eq!(&decoded[15..], &engine_vals, "RuntimeStats field order");
+
+        // the pinned field names, in wire order
+        let server_names: Vec<&str> = server.as_pairs().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            server_names,
+            [
+                "connections_opened",
+                "connections_closed",
+                "frames_received",
+                "frames_sent",
+                "events_ingested",
+                "batches_ingested",
+                "punctuations_ingested",
+                "subscriptions",
+                "rejected_frames",
+                "busy_frames_sent",
+                "backpressure_stalls",
+                "drains",
+                "engine_shards",
+                "engine_batches",
+                "max_engine_batch",
+            ]
+        );
+        let engine_names: Vec<&str> = engine.as_pairs().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            engine_names,
+            [
+                "insertions",
+                "ooo_insertions",
+                "dfs_steps",
+                "predicate_evals",
+                "matches_constructed",
+                "negated_matches",
+                "purged",
+                "purge_runs",
+                "late_drops",
+                "checkpoints_written",
+                "checkpoints_rejected",
+                "replayed_suppressed",
+                "events_routed",
+                "max_stack_depth",
+                "merge_buffer_peak",
+            ]
+        );
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   an in-process oracle run;
 //! * [`stats`] — [`ServerStats`] connection/frame/backpressure counters,
 //!   served locally and over the wire.
+//!
+//! Telemetry exposition rides the same protocol: a `METRICS_REQ` frame
+//! (Prometheus text, JSON series, or the structured trace ring as JSON)
+//! is answered by the engine thread from its `sequin-obs` recorder, and a
+//! HELLO with fingerprint `0` acts as a read-only *observer wildcard* so
+//! monitoring tools can scrape without knowing the schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,7 +47,9 @@ pub mod transport;
 
 pub use client::{Client, ClientError};
 pub use core::{CoreConfig, EngineCore};
-pub use frame::{decode_frame, encode_frame, ErrorCode, Frame, OutputFrame, MAX_FRAME_LEN};
+pub use frame::{
+    decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame, MAX_FRAME_LEN,
+};
 pub use loadgen::{loopback_run, NetBenchReport};
 pub use server::{Server, ServerConfig};
 pub use stats::ServerStats;

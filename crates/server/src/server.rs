@@ -43,7 +43,7 @@ use sequin_engine::CheckpointStore;
 use sequin_types::StreamItem;
 
 use crate::core::{CoreConfig, EngineCore};
-use crate::frame::{decode_frame, encode_frame, ErrorCode, Frame, OutputFrame};
+use crate::frame::{decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame};
 use crate::stats::ServerStats;
 use crate::transport::{FrameSink, TcpTransport, Transport};
 
@@ -85,6 +85,10 @@ enum EngineMsg {
         sink: Arc<dyn FrameSink>,
     },
     Stats {
+        sink: Arc<dyn FrameSink>,
+    },
+    Metrics {
+        format: MetricsFormat,
         sink: Arc<dyn FrameSink>,
     },
     Drain {
@@ -393,6 +397,21 @@ fn engine_loop(
                     },
                 );
             }
+            EngineMsg::Metrics { format, sink } => {
+                let body = match format {
+                    MetricsFormat::TraceJson => core.trace_json(),
+                    _ => {
+                        let server = *shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                        let depth = shared.depth.load(Ordering::SeqCst) as u64;
+                        let snapshot = core.metrics_snapshot(Some((&server, depth)));
+                        match format {
+                            MetricsFormat::Prometheus => snapshot.to_prometheus(),
+                            _ => snapshot.to_json(),
+                        }
+                    }
+                };
+                shared.send(&sink, &Frame::MetricsReply { format, body });
+            }
             EngineMsg::Drain { sink } => {
                 if core.drained() {
                     shared.send(
@@ -505,7 +524,10 @@ fn run_session(shared: Arc<Shared>, conn: u64, mut transport: Box<dyn Transport>
         if !hello_done {
             match frame {
                 Frame::Hello { fingerprint, .. } => {
-                    if fingerprint != shared.fingerprint {
+                    // fingerprint 0 is the observer wildcard: a read-only
+                    // monitoring client (e.g. `sequin stats`) that never
+                    // ingests events and therefore skips schema negotiation
+                    if fingerprint != 0 && fingerprint != shared.fingerprint {
                         refuse(
                             ErrorCode::SchemaMismatch,
                             format!(
@@ -593,6 +615,18 @@ fn run_session(shared: Arc<Shared>, conn: u64, mut transport: Box<dyn Transport>
                     break;
                 }
             }
+            Frame::MetricsReq { format } => {
+                if shared
+                    .tx
+                    .send(EngineMsg::Metrics {
+                        format,
+                        sink: sink.clone(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
             Frame::Drain => {
                 if shared
                     .tx
@@ -609,6 +643,7 @@ fn run_session(shared: Arc<Shared>, conn: u64, mut transport: Box<dyn Transport>
             | Frame::SubAck { .. }
             | Frame::Output(_)
             | Frame::StatsReply { .. }
+            | Frame::MetricsReply { .. }
             | Frame::DrainAck
             | Frame::Busy { .. }
             | Frame::Error { .. }) => {

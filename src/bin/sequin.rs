@@ -8,6 +8,8 @@
 //! sequin serve --addr 127.0.0.1:7070 --workload synthetic --checkpoint-every 500 --store srv.ckpt
 //! sequin send --addr 127.0.0.1:7070 --events 10000 --ooo 0.3
 //! sequin netbench --events 20000 --policy aggressive
+//! sequin stats --addr 127.0.0.1:7070 --format prom
+//! sequin stats --addr 127.0.0.1:7070 --watch --interval 2
 //! ```
 
 use sequin::cli;
@@ -34,6 +36,8 @@ const USAGE: &str = "usage:
   sequin send     --addr HOST:PORT [--workload NAME] [--drain yes|no]
                   [options] ['<query>']
   sequin netbench [--workload NAME] [options] ['<query>']
+  sequin stats    --addr HOST:PORT [--format prom|json|trace]
+                  [--watch] [--interval SECS]
   sequin bench    [--ci] [--shards 1,4] [--json FILE] [--baseline FILE]
                   [--refresh-baseline] [--min-speedup F] [options]
   sequin sim      [--ci] [--seeds 1,2,3 | --seed S] [--cases N] [--case N]
@@ -51,6 +55,13 @@ options:
   --punctuate N     inject a punctuation every N events
   --policy NAME     negation emission: conservative|aggressive
   --batch N         events per EVENT_BATCH frame (default 64)
+  --obs on|off      serve/netbench: engine observability recorder
+                    (default on; off removes all instrumentation cost)
+  --format NAME     stats: exposition format prom|json|trace
+                    (default prom)
+  --watch           stats: redraw continuously instead of printing once
+  --interval S      stats: refresh period in seconds for --watch
+                    (default 2)
   --checkpoint-every N  checkpoint engine state every N events
   --resume-from FILE    resume from (and save to) a checkpoint store;
                         rerun with the same workload/seed for
@@ -90,7 +101,7 @@ fn run(args: &[String]) -> Result<String, String> {
         let a = rest[ix];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags take no value
-            if matches!(name, "ci" | "refresh-baseline" | "no-loopback") {
+            if matches!(name, "ci" | "refresh-baseline" | "no-loopback" | "watch") {
                 flags.insert(name.to_owned(), "true".to_owned());
                 ix += 1;
                 continue;
@@ -224,6 +235,24 @@ fn run(args: &[String]) -> Result<String, String> {
                 drain,
             )
         }
+        "stats" => {
+            let addr = flags.get("addr").ok_or("stats needs --addr <host:port>")?;
+            let format = cli::parse_metrics_format(
+                flags.get("format").map(String::as_str).unwrap_or("prom"),
+            )?;
+            if flags.contains_key("watch") {
+                let interval = get_num(&flags, "interval", 2.0)?.max(0.1);
+                loop {
+                    let body = cli::fetch_stats(addr, format)?;
+                    // clear screen + home, like `watch(1)`
+                    print!("\x1b[2J\x1b[H{body}");
+                    use std::io::Write as _;
+                    std::io::stdout().flush().ok();
+                    std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+                }
+            }
+            cli::fetch_stats(addr, format)
+        }
         "netbench" => cli::run_netbench(
             &stream_spec(&flags, &positional, &get_num)?,
             &net_options(&flags, &opts)?,
@@ -354,6 +383,11 @@ fn net_options(flags: &Flags, opts: &cli::RunOptions) -> Result<cli::NetOptions,
             .unwrap_or(64),
         punctuate_every: opts.punctuate_every,
         shards: opts.shards,
+        obs: match flags.get("obs").map(String::as_str) {
+            None | Some("on") | Some("yes") | Some("true") => sequin_obs::ObsConfig::default(),
+            Some("off") | Some("no") | Some("false") => sequin_obs::ObsConfig::disabled(),
+            Some(other) => return Err(format!("--obs expects on|off, got `{other}`")),
+        },
     })
 }
 

@@ -10,8 +10,11 @@ use sequin_engine::{
 };
 use sequin_metrics::{pairs_table, run_engine, run_engine_batched, shard_table, RunReport};
 use sequin_netsim::{delay_shuffle, measure_disorder, punctuate};
+use sequin_obs::ObsConfig;
 use sequin_query::parse;
-use sequin_server::{loopback_run, Client, CoreConfig, Server, ServerConfig};
+use sequin_server::{
+    loopback_run, Client, CoreConfig, EngineCore, MetricsFormat, Server, ServerConfig,
+};
 use sequin_types::{Duration, EventRef, StreamItem, TypeRegistry, ValueKind};
 use sequin_workload::{read_trace, Intrusion, Rfid, Stock, Synthetic, SyntheticConfig};
 
@@ -466,6 +469,9 @@ pub struct NetOptions {
     pub punctuate_every: Option<usize>,
     /// Worker shards per Native query engine on the server side.
     pub shards: usize,
+    /// Observability recorder settings for the server-side engine core
+    /// (`ObsConfig::disabled()` removes all instrumentation overhead).
+    pub obs: ObsConfig,
 }
 
 impl Default for NetOptions {
@@ -477,6 +483,7 @@ impl Default for NetOptions {
             batch: 64,
             punctuate_every: None,
             shards: 1,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -531,6 +538,7 @@ fn net_core(registry: Arc<TypeRegistry>, net: &NetOptions) -> CoreConfig {
     }
     let mut core = CoreConfig::new(registry, net.strategy, engine);
     core.shards = net.shards.max(1);
+    core.obs = net.obs;
     core
 }
 
@@ -745,6 +753,40 @@ pub fn send(
     Ok(out)
 }
 
+/// Parses a metrics-exposition format name.
+///
+/// # Errors
+///
+/// Lists the accepted names when `name` matches none.
+pub fn parse_metrics_format(name: &str) -> Result<MetricsFormat, String> {
+    match name {
+        "prom" | "prometheus" => Ok(MetricsFormat::Prometheus),
+        "json" => Ok(MetricsFormat::Json),
+        "trace" | "trace-json" => Ok(MetricsFormat::TraceJson),
+        other => Err(format!(
+            "unknown metrics format `{other}` (prom|json|trace)"
+        )),
+    }
+}
+
+/// `sequin stats`: connects to a running server as an observer (the
+/// fingerprint-0 wildcard HELLO, so no schema knowledge is needed) and
+/// fetches one rendered telemetry document — Prometheus text, the JSON
+/// series array, or the structured trace ring. The binary's `--watch`
+/// mode calls this in a loop.
+///
+/// # Errors
+///
+/// Reports connection, handshake, and protocol failures as display
+/// strings.
+pub fn fetch_stats(addr: &str, format: MetricsFormat) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    client.hello(0, "sequin-stats").map_err(|e| e.to_string())?;
+    let body = client.metrics(format).map_err(|e| e.to_string())?;
+    client.bye();
+    Ok(body)
+}
+
 // ------------------------------------------------------------- benchmark --
 
 /// Settings for `sequin bench`: a fixed-seed sharded-throughput benchmark
@@ -777,6 +819,13 @@ pub struct BenchOptions {
     pub min_speedup: Option<f64>,
     /// Allowed per-config throughput regression vs the baseline, percent.
     pub regression_pct: f64,
+    /// Write the instrumentation-overhead report here (e.g.
+    /// `BENCH_obs.json`). Set by the CI preset.
+    pub obs_out: Option<String>,
+    /// Fail if the observability layer costs more than this percentage of
+    /// throughput versus the same run with metrics configured off. CI
+    /// passes 5.0; `None` (with `obs_out` unset) skips the measurement.
+    pub max_obs_overhead_pct: Option<f64>,
 }
 
 impl Default for BenchOptions {
@@ -794,6 +843,8 @@ impl Default for BenchOptions {
             refresh_baseline: false,
             min_speedup: None,
             regression_pct: 15.0,
+            obs_out: None,
+            max_obs_overhead_pct: None,
         }
     }
 }
@@ -807,6 +858,8 @@ impl BenchOptions {
             shard_counts: vec![1, 4],
             json_out: Some("BENCH_ci.json".to_owned()),
             baseline: Some("bench/baseline.json".to_owned()),
+            obs_out: Some("BENCH_obs.json".to_owned()),
+            max_obs_overhead_pct: Some(5.0),
             ..BenchOptions::default()
         }
     }
@@ -870,6 +923,41 @@ fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
         }
     }
     out
+}
+
+/// One timed [`EngineCore`] pass over `stream` (best of three), used to
+/// price the observability layer: the same workload is run with the
+/// recorder on and configured off, and the throughput delta is the
+/// instrumentation overhead the CI gate bounds.
+fn obs_bench_eps(
+    registry: &Arc<TypeRegistry>,
+    text: &str,
+    stream: &[StreamItem],
+    k: u64,
+    batch: usize,
+    obs: ObsConfig,
+) -> Result<f64, String> {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut cfg = CoreConfig::new(
+            Arc::clone(registry),
+            Strategy::Native,
+            EngineConfig::with_k(Duration::new(k)),
+        );
+        cfg.obs = obs;
+        let mut core = EngineCore::new(cfg);
+        core.subscribe(text).map_err(|e| e.to_string())?;
+        let start = std::time::Instant::now();
+        let mut outputs = 0usize;
+        for chunk in stream.chunks(batch) {
+            outputs += core.ingest_batch(chunk).len();
+        }
+        outputs += core.finish().len();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(outputs);
+        best = best.max(stream.len() as f64 / secs);
+    }
+    Ok(best)
 }
 
 /// `sequin bench`: measures Native-engine throughput at each requested
@@ -1025,6 +1113,58 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
                 "baseline     : {gated} config(s) within {:.0}% of {path}\n",
                 opts.regression_pct
             ));
+        }
+    }
+
+    if opts.obs_out.is_some() || opts.max_obs_overhead_pct.is_some() {
+        let eps_off = obs_bench_eps(
+            &registry,
+            &text,
+            &stream,
+            opts.k,
+            batch,
+            ObsConfig::disabled(),
+        )?;
+        let eps_on = obs_bench_eps(
+            &registry,
+            &text,
+            &stream,
+            opts.k,
+            batch,
+            ObsConfig::default(),
+        )?;
+        let overhead_pct = if eps_off > 0.0 {
+            ((eps_off - eps_on) / eps_off * 100.0).max(0.0)
+        } else {
+            0.0
+        };
+        if let Some(path) = &opts.obs_out {
+            let obs_json = format!(
+                "{{\n  \"bench\": \"sequin-obs-overhead\",\n  \"events\": {},\n  \
+                 \"throughput_obs_off_eps\": {:.1},\n  \"throughput_obs_on_eps\": {:.1},\n  \
+                 \"overhead_pct\": {:.2},\n  \"max_overhead_pct\": {}\n}}\n",
+                opts.events,
+                eps_off,
+                eps_on,
+                overhead_pct,
+                opts.max_obs_overhead_pct
+                    .map_or("null".to_owned(), |f| format!("{f:.1}")),
+            );
+            std::fs::write(path, obs_json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            out.push_str(&format!("obs report   : wrote {path}\n"));
+        }
+        out.push_str(&format!(
+            "obs overhead : {overhead_pct:.2}% ({eps_on:.0} eps instrumented vs {eps_off:.0} \
+             eps off)\n"
+        ));
+        if let Some(limit) = opts.max_obs_overhead_pct {
+            if overhead_pct > limit {
+                return Err(format!(
+                    "instrumentation overhead gate breached: {overhead_pct:.2}% > \
+                     allowed {limit:.2}%"
+                ));
+            }
+            out.push_str(&format!("obs gate     : within {limit:.1}% budget\n"));
         }
     }
     Ok(out)
