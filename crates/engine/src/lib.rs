@@ -53,6 +53,7 @@ mod multi;
 mod native;
 mod output;
 mod sharded;
+mod shared;
 mod traits;
 mod watermark;
 
@@ -64,7 +65,10 @@ pub use multi::{MultiEngine, QueryId};
 pub use native::NativeEngine;
 pub use output::{OutputItem, OutputKind};
 pub use sharded::ShardedEngine;
+pub use shared::{PlanMetrics, SharedMultiEngine};
 pub use traits::{run_to_end, Engine, Strategy};
+
+pub use sequin_plan::stable_query_id;
 
 use sequin_query::Query;
 use std::sync::Arc;

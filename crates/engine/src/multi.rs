@@ -16,6 +16,10 @@ use crate::traits::{Engine, Strategy};
 pub struct QueryId(usize);
 
 impl QueryId {
+    pub(crate) fn new(ix: usize) -> QueryId {
+        QueryId(ix)
+    }
+
     /// The dense registration index.
     pub fn index(self) -> usize {
         self.0

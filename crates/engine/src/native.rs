@@ -22,9 +22,9 @@ use crate::watermark::WatermarkTracker;
 /// A constructed match waiting for its negation regions to seal
 /// (conservative emission).
 #[derive(Debug, Clone)]
-struct Pending {
-    deadline: Timestamp,
-    events: Vec<EventRef>,
+pub(crate) struct Pending {
+    pub(crate) deadline: Timestamp,
+    pub(crate) events: Vec<EventRef>,
 }
 
 impl PartialEq for Pending {
@@ -51,9 +51,9 @@ impl Ord for Pending {
 /// A match already emitted whose negation regions were not yet sealed
 /// (aggressive emission): a late negative may still retract it.
 #[derive(Debug, Clone)]
-struct EmittedUnsealed {
-    deadline: Timestamp,
-    events: Vec<EventRef>,
+pub(crate) struct EmittedUnsealed {
+    pub(crate) deadline: Timestamp,
+    pub(crate) events: Vec<EventRef>,
 }
 
 /// Per-partition positive state: one [`AisStack`] per positive slot.
@@ -544,7 +544,7 @@ impl NativeEngine {
         fnv1a64(desc.as_bytes())
     }
 
-    fn sort_match_records(records: &mut [(Timestamp, &Vec<EventRef>)]) {
+    pub(crate) fn sort_match_records(records: &mut [(Timestamp, &Vec<EventRef>)]) {
         records.sort_by(|a, b| {
             a.0.cmp(&b.0).then_with(|| {
                 let ka = a.1.iter().map(|e| e.id());
@@ -554,7 +554,7 @@ impl NativeEngine {
         });
     }
 
-    fn encode_match_records(records: &[(Timestamp, &Vec<EventRef>)], w: &mut Writer) {
+    pub(crate) fn encode_match_records(records: &[(Timestamp, &Vec<EventRef>)], w: &mut Writer) {
         w.put_u64(records.len() as u64);
         for (deadline, events) in records {
             deadline.encode(w);
@@ -562,7 +562,7 @@ impl NativeEngine {
         }
     }
 
-    fn decode_match_records(
+    pub(crate) fn decode_match_records(
         r: &mut Reader<'_>,
     ) -> Result<Vec<(Timestamp, Vec<EventRef>)>, CodecError> {
         let n = r.get_u64()?;

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use sequin_types::{Duration, FieldId, TypeRegistry, Value};
 
 use crate::ast::{BinaryOpAst, ExprAst, QueryAst, UnaryOpAst};
-use crate::error::AnalyzeError;
+use crate::error::{AnalyzeError, AnalyzeErrorKind};
 use crate::expr::{BinaryOp, ComponentMask, Expr, UnaryOp};
 use crate::query::{Component, Negation, PartitionScheme, Predicate, Projection, Query};
 
@@ -23,10 +23,10 @@ use std::sync::Arc;
 /// negations.
 pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, AnalyzeError> {
     if ast.components.len() > ComponentMask::CAPACITY {
-        return Err(AnalyzeError::TooManyComponents(ast.components.len()));
+        return Err(AnalyzeErrorKind::TooManyComponents(ast.components.len()).into());
     }
     if ast.within == 0 {
-        return Err(AnalyzeError::ZeroWindow);
+        return Err(AnalyzeErrorKind::ZeroWindow.into());
     }
 
     // resolve components
@@ -37,13 +37,13 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
         for name in &c.type_names {
             let ty = registry
                 .lookup(name)
-                .ok_or_else(|| AnalyzeError::UnknownType(name.clone()))?;
+                .ok_or_else(|| AnalyzeErrorKind::UnknownType(name.clone()).at(c.offset))?;
             if !types.contains(&ty) {
                 types.push(ty);
             }
         }
         if var_to_comp.insert(c.var.clone(), ix).is_some() {
-            return Err(AnalyzeError::DuplicateVariable(c.var.clone()));
+            return Err(AnalyzeErrorKind::DuplicateVariable(c.var.clone()).at(c.offset));
         }
         components.push(Component {
             var: c.var.clone(),
@@ -59,11 +59,11 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
         .map(|(ix, _)| ix)
         .collect();
     if positives.is_empty() {
-        return Err(AnalyzeError::NoPositiveComponent);
+        return Err(AnalyzeErrorKind::NoPositiveComponent.into());
     }
-    for w in components.windows(2) {
+    for (w, c) in components.windows(2).zip(ast.components.windows(2)) {
         if w[0].negated && w[1].negated {
-            return Err(AnalyzeError::AdjacentNegations);
+            return Err(AnalyzeErrorKind::AdjacentNegations.at(c[1].offset));
         }
     }
 
@@ -93,7 +93,12 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
                 .entry(negated_refs[0])
                 .or_default()
                 .push(pred),
-            _ => return Err(AnalyzeError::PredicateSpansNegations),
+            _ => {
+                return Err(match first_attr_offset(conjunct) {
+                    Some(off) => AnalyzeErrorKind::PredicateSpansNegations.at(off),
+                    None => AnalyzeErrorKind::PredicateSpansNegations.into(),
+                })
+            }
         }
     }
 
@@ -119,9 +124,9 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
     for p in &ast.returns {
         let &comp = var_to_comp
             .get(&p.var)
-            .ok_or_else(|| AnalyzeError::UnknownVariable(p.var.clone()))?;
+            .ok_or_else(|| AnalyzeErrorKind::UnknownVariable(p.var.clone()).at(p.offset))?;
         if components[comp].negated {
-            return Err(AnalyzeError::ProjectsNegated(p.var.clone()));
+            return Err(AnalyzeErrorKind::ProjectsNegated(p.var.clone()).at(p.offset));
         }
         projections.push(resolve_projection(
             registry,
@@ -129,6 +134,7 @@ pub fn analyze(ast: &QueryAst, registry: &TypeRegistry) -> Result<Arc<Query>, An
             comp,
             &p.var,
             &p.field,
+            p.offset,
         )?);
     }
 
@@ -151,12 +157,13 @@ fn resolve_projection(
     comp: usize,
     var: &str,
     field: &str,
+    offset: usize,
 ) -> Result<Projection, AnalyzeError> {
     match field {
         "ts" => Ok(Projection::Ts(comp)),
         "id" => Ok(Projection::Id(comp)),
         _ => {
-            let fid = resolve_common_field(registry, &components[comp], var, field)?;
+            let fid = resolve_common_field(registry, &components[comp], var, field, offset)?;
             Ok(Projection::Attr { comp, field: fid })
         }
     }
@@ -170,28 +177,44 @@ fn resolve_common_field(
     component: &Component,
     var: &str,
     field: &str,
+    offset: usize,
 ) -> Result<FieldId, AnalyzeError> {
     let mut resolved: Option<(FieldId, sequin_types::ValueKind)> = None;
     for &ty in &component.types {
         let schema = registry.schema(ty);
-        let (fid, kind) = schema
-            .field(field)
-            .ok_or_else(|| AnalyzeError::UnknownField {
+        let (fid, kind) = schema.field(field).ok_or_else(|| {
+            AnalyzeErrorKind::UnknownField {
                 var: var.to_owned(),
                 field: field.to_owned(),
-            })?;
+            }
+            .at(offset)
+        })?;
         match resolved {
             None => resolved = Some((fid, kind)),
             Some(prev) if prev == (fid, kind) => {}
             Some(_) => {
-                return Err(AnalyzeError::AmbiguousField {
+                return Err(AnalyzeErrorKind::AmbiguousField {
                     var: var.to_owned(),
                     field: field.to_owned(),
-                })
+                }
+                .at(offset))
             }
         }
     }
     Ok(resolved.expect("components have at least one type").0)
+}
+
+/// The byte offset of the leftmost attribute reference in `e`, for locating
+/// whole-conjunct diagnostics.
+fn first_attr_offset(e: &ExprAst) -> Option<usize> {
+    match e {
+        ExprAst::Attr { offset, .. } => Some(*offset),
+        ExprAst::Unary { expr, .. } => first_attr_offset(expr),
+        ExprAst::Binary { lhs, rhs, .. } => {
+            first_attr_offset(lhs).or_else(|| first_attr_offset(rhs))
+        }
+        _ => None,
+    }
 }
 
 fn split_conjuncts<'a>(e: &'a ExprAst, out: &mut Vec<&'a ExprAst>) {
@@ -221,11 +244,11 @@ impl Resolver<'_> {
             ExprAst::Float(x) => Expr::Const(Value::Float(*x)),
             ExprAst::Str(s) => Expr::Const(Value::str(s.as_str())),
             ExprAst::Bool(b) => Expr::Const(Value::Bool(*b)),
-            ExprAst::Attr { var, field, .. } => {
+            ExprAst::Attr { var, field, offset } => {
                 let &comp = self
                     .var_to_comp
                     .get(var)
-                    .ok_or_else(|| AnalyzeError::UnknownVariable(var.clone()))?;
+                    .ok_or_else(|| AnalyzeErrorKind::UnknownVariable(var.clone()).at(*offset))?;
                 match field.as_str() {
                     "ts" => Expr::Ts(comp),
                     "id" => Expr::Id(comp),
@@ -235,6 +258,7 @@ impl Resolver<'_> {
                             &self.components[comp],
                             var,
                             field,
+                            *offset,
                         )?;
                         Expr::Attr { comp, field: fid }
                     }
@@ -405,67 +429,64 @@ mod tests {
     }
 
     #[test]
-    fn unknown_type_rejected() {
-        assert_eq!(
-            q("PATTERN SEQ(Z z) WITHIN 10").unwrap_err(),
-            AnalyzeError::UnknownType("Z".into())
-        );
+    fn unknown_type_rejected_with_offset() {
+        let text = "PATTERN SEQ(Z z) WITHIN 10";
+        let err = q(text).unwrap_err();
+        assert_eq!(err.kind(), &AnalyzeErrorKind::UnknownType("Z".into()));
+        assert_eq!(err.offset(), Some(text.find('Z').unwrap()));
+        assert!(err.to_string().contains("at byte"), "{err}");
     }
 
     #[test]
-    fn unknown_variable_rejected() {
-        assert!(matches!(
-            q("PATTERN SEQ(A a) WHERE b.x > 1 WITHIN 10").unwrap_err(),
-            AnalyzeError::UnknownVariable(_)
-        ));
+    fn unknown_variable_rejected_with_offset() {
+        let text = "PATTERN SEQ(A a) WHERE b.x > 1 WITHIN 10";
+        let err = q(text).unwrap_err();
+        assert!(matches!(err.kind(), AnalyzeErrorKind::UnknownVariable(_)));
+        assert_eq!(err.offset(), Some(text.find("b.x").unwrap()));
     }
 
     #[test]
-    fn unknown_field_rejected() {
-        assert!(matches!(
-            q("PATTERN SEQ(A a) WHERE a.nope > 1 WITHIN 10").unwrap_err(),
-            AnalyzeError::UnknownField { .. }
-        ));
+    fn unknown_field_rejected_with_offset() {
+        let text = "PATTERN SEQ(A a) WHERE a.nope > 1 WITHIN 10";
+        let err = q(text).unwrap_err();
+        assert!(matches!(err.kind(), AnalyzeErrorKind::UnknownField { .. }));
+        assert_eq!(err.offset(), Some(text.find("a.nope").unwrap()));
     }
 
     #[test]
     fn duplicate_variable_rejected() {
-        assert!(matches!(
-            q("PATTERN SEQ(A a, B a) WITHIN 10").unwrap_err(),
-            AnalyzeError::DuplicateVariable(_)
-        ));
+        let err = q("PATTERN SEQ(A a, B a) WITHIN 10").unwrap_err();
+        assert!(matches!(err.kind(), AnalyzeErrorKind::DuplicateVariable(_)));
+        assert!(err.offset().is_some());
     }
 
     #[test]
     fn all_negated_rejected() {
         assert_eq!(
-            q("PATTERN SEQ(!A a) WITHIN 10").unwrap_err(),
-            AnalyzeError::NoPositiveComponent
+            q("PATTERN SEQ(!A a) WITHIN 10").unwrap_err().kind(),
+            &AnalyzeErrorKind::NoPositiveComponent
         );
     }
 
     #[test]
     fn adjacent_negations_rejected() {
-        assert_eq!(
-            q("PATTERN SEQ(A a, !B b, !C c, D d) WITHIN 10").unwrap_err(),
-            AnalyzeError::AdjacentNegations
-        );
+        let err = q("PATTERN SEQ(A a, !B b, !C c, D d) WITHIN 10").unwrap_err();
+        assert_eq!(err.kind(), &AnalyzeErrorKind::AdjacentNegations);
+        assert!(err.offset().is_some());
     }
 
     #[test]
     fn zero_window_rejected() {
-        assert_eq!(
-            q("PATTERN SEQ(A a) WITHIN 0").unwrap_err(),
-            AnalyzeError::ZeroWindow
-        );
+        let err = q("PATTERN SEQ(A a) WITHIN 0").unwrap_err();
+        assert_eq!(err.kind(), &AnalyzeErrorKind::ZeroWindow);
+        assert_eq!(err.offset(), None, "whole-query condition has no span");
     }
 
     #[test]
     fn projection_of_negated_rejected() {
-        assert!(matches!(
-            q("PATTERN SEQ(A a, !B b, C c) WITHIN 10 RETURN b.x").unwrap_err(),
-            AnalyzeError::ProjectsNegated(_)
-        ));
+        let err = q("PATTERN SEQ(A a, !B b, C c) WITHIN 10 RETURN b.x").unwrap_err();
+        assert!(matches!(err.kind(), AnalyzeErrorKind::ProjectsNegated(_)));
+        assert!(err.offset().is_some());
     }
 
     #[test]
@@ -494,11 +515,11 @@ mod tests {
     }
 
     #[test]
-    fn conjunct_spanning_two_negations_rejected() {
-        assert_eq!(
-            q("PATTERN SEQ(A a, !B b, C c, !D d, A e) WHERE b.x == d.x WITHIN 10").unwrap_err(),
-            AnalyzeError::PredicateSpansNegations
-        );
+    fn conjunct_spanning_two_negations_rejected_with_offset() {
+        let text = "PATTERN SEQ(A a, !B b, C c, !D d, A e) WHERE b.x == d.x WITHIN 10";
+        let err = q(text).unwrap_err();
+        assert_eq!(err.kind(), &AnalyzeErrorKind::PredicateSpansNegations);
+        assert_eq!(err.offset(), Some(text.find("b.x").unwrap()));
     }
 
     #[test]
@@ -582,7 +603,10 @@ mod tests {
             &reg,
         )
         .unwrap_err();
-        assert!(matches!(err, AnalyzeError::AmbiguousField { .. }));
+        assert!(matches!(
+            err.kind(),
+            AnalyzeErrorKind::AmbiguousField { .. }
+        ));
         // but a query not touching the conflicting field is fine
         assert!(analyze(&parse_text("PATTERN SEQ(A|E ae) WITHIN 10").unwrap(), &reg).is_ok());
     }

@@ -267,12 +267,15 @@ mod tests {
             .within(5)
             .build(&reg)
             .unwrap_err();
-        assert!(matches!(err, AnalyzeError::UnknownType(_)));
+        assert!(matches!(
+            err.kind(),
+            crate::AnalyzeErrorKind::UnknownType(_)
+        ));
         let err = QueryBuilder::new()
             .component("A", "a")
             .build(&reg)
             .unwrap_err();
-        assert_eq!(err, AnalyzeError::ZeroWindow);
+        assert_eq!(err.kind(), &crate::AnalyzeErrorKind::ZeroWindow);
     }
 
     #[test]

@@ -37,9 +37,53 @@ impl fmt::Display for ParseError {
 
 impl Error for ParseError {}
 
-/// A semantic error found while resolving a parsed query.
+/// A semantic error found while resolving a parsed query, carrying the
+/// byte offset of the offending construct when the AST records one
+/// (whole-query conditions such as a zero window have no position).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AnalyzeError {
+pub struct AnalyzeError {
+    kind: AnalyzeErrorKind,
+    offset: Option<usize>,
+}
+
+impl AnalyzeError {
+    /// What was rejected.
+    pub fn kind(&self) -> &AnalyzeErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset in the query text of the construct that failed
+    /// analysis, when one is known.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+
+    /// The diagnostic message (without position information).
+    pub fn message(&self) -> String {
+        self.kind.to_string()
+    }
+}
+
+impl From<AnalyzeErrorKind> for AnalyzeError {
+    fn from(kind: AnalyzeErrorKind) -> AnalyzeError {
+        AnalyzeError { kind, offset: None }
+    }
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} (at byte {off})", self.kind),
+            None => self.kind.fmt(f),
+        }
+    }
+}
+
+impl Error for AnalyzeError {}
+
+/// The conditions semantic analysis rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeErrorKind {
     /// The pattern references an event type not in the registry.
     UnknownType(String),
     /// An expression or projection references an undeclared variable.
@@ -75,37 +119,47 @@ pub enum AnalyzeError {
     },
 }
 
-impl fmt::Display for AnalyzeError {
+impl AnalyzeErrorKind {
+    /// Locates this kind at `offset` in the query text.
+    pub(crate) fn at(self, offset: usize) -> AnalyzeError {
+        AnalyzeError {
+            kind: self,
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for AnalyzeErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalyzeError::UnknownType(t) => write!(f, "unknown event type `{t}`"),
-            AnalyzeError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
-            AnalyzeError::UnknownField { var, field } => {
+            AnalyzeErrorKind::UnknownType(t) => write!(f, "unknown event type `{t}`"),
+            AnalyzeErrorKind::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            AnalyzeErrorKind::UnknownField { var, field } => {
                 write!(f, "variable `{var}` has no field `{field}`")
             }
-            AnalyzeError::DuplicateVariable(v) => {
+            AnalyzeErrorKind::DuplicateVariable(v) => {
                 write!(f, "variable `{v}` bound by more than one component")
             }
-            AnalyzeError::NoPositiveComponent => {
+            AnalyzeErrorKind::NoPositiveComponent => {
                 write!(f, "pattern needs at least one positive component")
             }
-            AnalyzeError::AdjacentNegations => {
+            AnalyzeErrorKind::AdjacentNegations => {
                 write!(f, "two adjacent negated components are ambiguous")
             }
-            AnalyzeError::TooManyComponents(n) => {
+            AnalyzeErrorKind::TooManyComponents(n) => {
                 write!(f, "pattern has {n} components, maximum is 64")
             }
-            AnalyzeError::ProjectsNegated(v) => {
+            AnalyzeErrorKind::ProjectsNegated(v) => {
                 write!(f, "cannot RETURN fields of negated component `{v}`")
             }
-            AnalyzeError::ZeroWindow => write!(f, "WITHIN window must be positive"),
-            AnalyzeError::PredicateSpansNegations => {
+            AnalyzeErrorKind::ZeroWindow => write!(f, "WITHIN window must be positive"),
+            AnalyzeErrorKind::PredicateSpansNegations => {
                 write!(
                     f,
                     "a WHERE conjunct may reference at most one negated component"
                 )
             }
-            AnalyzeError::AmbiguousField { var, field } => {
+            AnalyzeErrorKind::AmbiguousField { var, field } => {
                 write!(
                     f,
                     "field `{field}` of alternation variable `{var}` must have the same \
@@ -116,8 +170,6 @@ impl fmt::Display for AnalyzeError {
     }
 }
 
-impl Error for AnalyzeError {}
-
 /// Either kind of query-compilation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
@@ -125,6 +177,17 @@ pub enum QueryError {
     Parse(ParseError),
     /// Semantic error.
     Analyze(AnalyzeError),
+}
+
+impl QueryError {
+    /// Byte offset in the query text of the failure, when known (always
+    /// known for parse errors).
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            QueryError::Parse(e) => Some(e.offset()),
+            QueryError::Analyze(e) => e.offset(),
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -173,28 +236,41 @@ mod tests {
     fn query_error_wraps_sources() {
         let qe: QueryError = ParseError::new(0, "x").into();
         assert!(qe.source().is_some());
-        let qe: QueryError = AnalyzeError::ZeroWindow.into();
+        assert_eq!(qe.offset(), Some(0));
+        let qe: QueryError = AnalyzeError::from(AnalyzeErrorKind::ZeroWindow).into();
         assert!(qe.source().is_some());
         assert!(qe.to_string().contains("analysis"));
+        assert_eq!(qe.offset(), None);
+    }
+
+    #[test]
+    fn analyze_error_carries_offset_into_display() {
+        let e = AnalyzeErrorKind::UnknownType("Z".into()).at(12);
+        assert_eq!(e.offset(), Some(12));
+        assert!(e.to_string().contains("(at byte 12)"), "{e}");
+        assert_eq!(e.message(), "unknown event type `Z`");
+        let bare: AnalyzeError = AnalyzeErrorKind::ZeroWindow.into();
+        assert_eq!(bare.offset(), None);
+        assert!(!bare.to_string().contains("at byte"));
     }
 
     #[test]
     fn analyze_error_messages() {
         for e in [
-            AnalyzeError::UnknownType("A".into()),
-            AnalyzeError::UnknownVariable("a".into()),
-            AnalyzeError::UnknownField {
+            AnalyzeErrorKind::UnknownType("A".into()),
+            AnalyzeErrorKind::UnknownVariable("a".into()),
+            AnalyzeErrorKind::UnknownField {
                 var: "a".into(),
                 field: "x".into(),
             },
-            AnalyzeError::DuplicateVariable("a".into()),
-            AnalyzeError::NoPositiveComponent,
-            AnalyzeError::AdjacentNegations,
-            AnalyzeError::TooManyComponents(99),
-            AnalyzeError::ProjectsNegated("n".into()),
-            AnalyzeError::ZeroWindow,
-            AnalyzeError::PredicateSpansNegations,
-            AnalyzeError::AmbiguousField {
+            AnalyzeErrorKind::DuplicateVariable("a".into()),
+            AnalyzeErrorKind::NoPositiveComponent,
+            AnalyzeErrorKind::AdjacentNegations,
+            AnalyzeErrorKind::TooManyComponents(99),
+            AnalyzeErrorKind::ProjectsNegated("n".into()),
+            AnalyzeErrorKind::ZeroWindow,
+            AnalyzeErrorKind::PredicateSpansNegations,
+            AnalyzeErrorKind::AmbiguousField {
                 var: "a".into(),
                 field: "x".into(),
             },

@@ -56,7 +56,7 @@ mod query;
 
 pub use analyze::analyze;
 pub use builder::{pred, QueryBuilder};
-pub use error::{AnalyzeError, ParseError, QueryError};
+pub use error::{AnalyzeError, AnalyzeErrorKind, ParseError, QueryError};
 pub use expr::{BinaryOp, Binding, Expr, UnaryOp};
 pub use query::{Component, PartitionScheme, Predicate, Projection, Query};
 

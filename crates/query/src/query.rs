@@ -273,6 +273,29 @@ impl Query {
             .collect()
     }
 
+    /// Structural equality modulo variable spelling: two queries are
+    /// normalized-equal when they resolve to the same components (types
+    /// and negation flags), window, predicates, negations, projections,
+    /// and partitioning — regardless of what the variables were named.
+    /// Predicates reference components by index, not by name, so this is
+    /// exactly "the same executable plan". Multi-query registration uses
+    /// it to share one logical query between textually different
+    /// subscriptions.
+    pub fn normalized_eq(&self, other: &Query) -> bool {
+        self.window == other.window
+            && self.positives == other.positives
+            && self.components.len() == other.components.len()
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a.types == b.types && a.negated == b.negated)
+            && self.predicates == other.predicates
+            && self.negations == other.negations
+            && self.projections == other.projections
+            && self.partition == other.partition
+    }
+
     /// Builds a full-component binding from positive-order events, for use
     /// with [`Query::project`] and predicate evaluation.
     pub fn binding_from_positives<'a>(&self, events: &'a [EventRef]) -> Vec<Option<&'a EventRef>> {

@@ -1,25 +1,49 @@
 //! The server's single-threaded evaluation core.
 //!
-//! [`EngineCore`] owns everything the engine thread touches: a
-//! [`MultiEngine`] fanning the shared arrival stream out to every
+//! [`EngineCore`] owns everything the engine thread touches: an
+//! evaluation backend fanning the shared arrival stream out to every
 //! registered query, the text→id subscription table, and — when
 //! durability is configured — a multi-query adaptation of the
 //! checkpoint/exactly-once machinery from [`sequin_engine::Checkpointer`].
 //! Keeping it free of threads and sockets makes the recovery semantics
 //! testable in isolation; `server.rs` is then only plumbing.
 //!
+//! ## Evaluation backends
+//!
+//! Two interchangeable backends sit behind the core (the private
+//! `Eval` enum):
+//!
+//! * **Shared** — a [`SharedMultiEngine`] compiled by `sequin-plan`:
+//!   queries with a common SEQ prefix share pooled AIS stacks and one
+//!   partial-match walk, single-event predicates are pushed to insert
+//!   time, and an event-type routing index skips uninterested queries.
+//!   Used when `shared_plan` is set, the strategy is Native, and
+//!   evaluation is single-sharded.
+//! * **Independent** — a [`MultiEngine`] of per-query engines (any
+//!   strategy, sharded pools). Used otherwise.
+//!
+//! Both produce byte-identical per-query output, and their snapshots use
+//! the same per-logical-query interchange format, so a durable restart may
+//! switch backends (or shard counts) freely.
+//!
 //! ## Durability model
 //!
 //! A checkpoint is one sealed envelope holding the ingest position, the
 //! emission-log high-water mark, the registered query *texts*, and the
-//! [`MultiEngine::snapshot`] blob. Persisting the texts makes a restart
-//! self-contained: resume re-parses and re-registers the same queries in
-//! the same order (ids are dense registration indices, so they are stable)
-//! before restoring operator state. The emission log records
-//! `(query id, output kind, match key)` per delivered output; on resume
-//! the suffix past the checkpoint's mark seeds a suppression multiset that
-//! swallows replayed duplicates — the same exactly-once construction the
-//! single-engine `Checkpointer` uses, extended with the query id.
+//! backend's snapshot blob (a [`MultiEngine::snapshot`]-format envelope of
+//! per-query state, whichever backend wrote it). Persisting the texts
+//! makes a restart self-contained: resume re-parses and re-registers the
+//! same queries in the same order (ids are dense registration indices, so
+//! they are stable) before restoring operator state. The emission log
+//! records `(query id, output kind, match key)` per delivered output; on
+//! resume the suffix past the checkpoint's mark seeds a suppression
+//! multiset that swallows replayed duplicates — the same exactly-once
+//! construction the single-engine `Checkpointer` uses, extended with the
+//! query id.
+//!
+//! Only canonical texts are persisted: a text that deduplicated onto an
+//! existing logical query (see [`EngineCore::subscribe`]) is an alias and
+//! is re-derived when its client re-subscribes after a restart.
 //!
 //! Subscribing a *new* query immediately takes a checkpoint (when durable)
 //! so registrations survive a crash even if no event has arrived since.
@@ -28,17 +52,18 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sequin_engine::{
-    CheckpointStore, EngineConfig, MultiEngine, OutputItem, OutputKind, QueryId, Strategy,
+    stable_query_id, CheckpointStore, EngineConfig, MultiEngine, OutputItem, OutputKind,
+    PlanMetrics, QueryId, SharedMultiEngine, Strategy,
 };
 use sequin_obs::{MetricsSnapshot, ObsConfig, Recorder, SpanKind};
-use sequin_query::parse;
+use sequin_query::{parse, Query, QueryError};
 use sequin_runtime::{MatchKey, RuntimeStats};
 use sequin_types::codec::{open_envelope, seal_envelope};
 use sequin_types::{
     CodecError, Decode, Encode, Reader, StreamItem, Timestamp, TypeRegistry, Writer,
 };
 
-use crate::frame::kind_tag;
+use crate::frame::{kind_tag, ErrorCode};
 use crate::stats::ServerStats;
 
 /// Evaluation settings shared by every query the core registers.
@@ -65,6 +90,13 @@ pub struct CoreConfig {
     /// predicted branch per batch — the "configured off ⇒ zero overhead"
     /// path the bench gate measures).
     pub obs: ObsConfig,
+    /// Evaluate all queries through the shared-plan compiler
+    /// ([`SharedMultiEngine`]) when eligible — Native strategy, single
+    /// shard. Ineligible configurations fall back to independent per-query
+    /// engines regardless of this flag. Output is byte-identical either
+    /// way; the shared plan amortizes state and work across queries with
+    /// common SEQ prefixes.
+    pub shared_plan: bool,
 }
 
 impl CoreConfig {
@@ -82,9 +114,47 @@ impl CoreConfig {
             checkpoint_every: None,
             shards: 1,
             obs: ObsConfig::default(),
+            shared_plan: true,
         }
     }
 }
+
+/// Why a SUBSCRIBE was rejected, pre-mapped to the wire-level
+/// [`ErrorCode`] the server reports: syntax errors are [`BadQuery`]
+/// (`ErrorCode::BadQuery`), semantic rejections are
+/// [`ErrorCode::BadAnalysis`]. The message carries the analyzer's
+/// diagnostic, including the byte offset of the offending construct when
+/// one is known (`... (at byte N)`).
+///
+/// [`BadQuery`]: ErrorCode::BadQuery
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscribeError {
+    /// The wire error code to report.
+    pub code: ErrorCode,
+    /// Human-readable diagnostic (offset included when known).
+    pub message: String,
+}
+
+impl From<QueryError> for SubscribeError {
+    fn from(e: QueryError) -> SubscribeError {
+        let code = match &e {
+            QueryError::Parse(_) => ErrorCode::BadQuery,
+            QueryError::Analyze(_) => ErrorCode::BadAnalysis,
+        };
+        SubscribeError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for SubscribeError {}
 
 /// Builds one query engine per `cfg`: a sharded pool when `cfg.shards > 1`
 /// asks for one (and the strategy supports it), a plain engine otherwise.
@@ -116,12 +186,128 @@ fn decode_log_record(bytes: &[u8]) -> Result<(u64, u8, MatchKey), CodecError> {
     Ok((qid, tag, key))
 }
 
+/// The evaluation backend behind the core (see the module docs): either
+/// independent per-query engines or the shared-plan evaluator. Both
+/// produce byte-identical output and interchange snapshot blobs.
+enum Eval {
+    /// One engine per query ([`MultiEngine`]): any strategy, sharded pools.
+    Independent(MultiEngine),
+    /// Pooled stacks + common-prefix sharing ([`SharedMultiEngine`]).
+    /// Boxed: the shared evaluator is much larger than a [`MultiEngine`].
+    Shared(Box<SharedMultiEngine>),
+}
+
+impl Eval {
+    fn new(cfg: &CoreConfig) -> Eval {
+        if cfg.shared_plan && cfg.strategy == Strategy::Native && cfg.shards <= 1 {
+            Eval::Shared(Box::new(SharedMultiEngine::new(cfg.engine)))
+        } else {
+            Eval::Independent(MultiEngine::new())
+        }
+    }
+
+    fn register(&mut self, cfg: &CoreConfig, q: Arc<Query>) -> QueryId {
+        match self {
+            Eval::Independent(m) => m.register_engine(build_engine(cfg, q)),
+            Eval::Shared(s) => s.register(q),
+        }
+    }
+
+    fn ingest_batch(&mut self, items: &[StreamItem]) -> Vec<Vec<(QueryId, OutputItem)>> {
+        match self {
+            Eval::Independent(m) => m.ingest_batch(items),
+            Eval::Shared(s) => s.ingest_batch(items),
+        }
+    }
+
+    fn finish(&mut self) -> Vec<(QueryId, OutputItem)> {
+        match self {
+            Eval::Independent(m) => m.finish(),
+            Eval::Shared(s) => s.finish(),
+        }
+    }
+
+    fn stats(&self) -> Vec<RuntimeStats> {
+        match self {
+            Eval::Independent(m) => m.stats(),
+            Eval::Shared(s) => s.stats(),
+        }
+    }
+
+    fn watermark(&self) -> Option<Timestamp> {
+        match self {
+            Eval::Independent(m) => m.watermark(),
+            Eval::Shared(s) => s.watermark(),
+        }
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
+        match self {
+            Eval::Independent(m) => m.snapshot(),
+            Eval::Shared(s) => s.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> Result<(), CodecError> {
+        match self {
+            Eval::Independent(m) => m.restore(blob),
+            Eval::Shared(s) => s.restore(blob),
+        }
+    }
+
+    fn query_clock(&self, qid: QueryId) -> Option<Timestamp> {
+        match self {
+            Eval::Independent(m) => m.engine(qid).clock(),
+            Eval::Shared(s) => Some(s.query_clock(qid)),
+        }
+    }
+
+    fn query_watermark(&self, qid: QueryId) -> Option<Timestamp> {
+        match self {
+            Eval::Independent(m) => m.engine(qid).watermark(),
+            Eval::Shared(s) => Some(s.query_watermark(qid)),
+        }
+    }
+
+    /// One query's logical state size — what its isolated engine reports,
+    /// or the shared plan's per-query attribution.
+    fn query_state_size(&self, qid: QueryId) -> usize {
+        match self {
+            Eval::Independent(m) => m.engine(qid).state_size(),
+            Eval::Shared(s) => s.query_state_size(qid),
+        }
+    }
+
+    fn per_shard_stats(&self, qid: QueryId) -> Vec<RuntimeStats> {
+        match self {
+            Eval::Independent(m) => m.engine(qid).per_shard_stats(),
+            Eval::Shared(s) => vec![s.stats()[qid.index()]],
+        }
+    }
+
+    /// Shared-plan structural gauges and sharing counters (`None` on the
+    /// independent backend — there is no plan to describe).
+    fn plan_metrics(&self) -> Option<PlanMetrics> {
+        match self {
+            Eval::Independent(_) => None,
+            Eval::Shared(s) => Some(s.plan_metrics()),
+        }
+    }
+}
+
 /// The engine thread's state: subscriptions, evaluation, durability.
 pub struct EngineCore {
     cfg: CoreConfig,
-    multi: MultiEngine,
-    /// `(query text, id)` in registration order.
+    eval: Eval,
+    /// `(query text, id)` in registration order: one entry per *logical*
+    /// query, `queries[i].1.index() == i`.
     queries: Vec<(String, QueryId)>,
+    /// Analyzed form of each logical query (same indexing as `queries`) —
+    /// the structural-dedup comparison key and the stable-id source.
+    parsed: Vec<Arc<Query>>,
+    /// Texts that deduplicated onto an existing logical query. Not
+    /// persisted in checkpoints; rebuilt lazily as clients re-subscribe.
+    aliases: Vec<(String, QueryId)>,
     store: CheckpointStore,
     /// Stream items ingested so far (the clients' replay cursor).
     position: u64,
@@ -156,10 +342,13 @@ impl EngineCore {
     /// A fresh core with no queries and an empty store.
     pub fn new(cfg: CoreConfig) -> EngineCore {
         let obs = Recorder::new(cfg.obs);
+        let eval = Eval::new(&cfg);
         EngineCore {
             cfg,
-            multi: MultiEngine::new(),
+            eval,
             queries: Vec::new(),
+            parsed: Vec::new(),
+            aliases: Vec::new(),
             store: CheckpointStore::new(),
             position: 0,
             last_ckpt_position: 0,
@@ -192,8 +381,8 @@ impl EngineCore {
                 Err(_) => rejected += 1,
             }
         }
-        let (position, log_mark, multi, queries) =
-            accepted.unwrap_or_else(|| (0, 0, MultiEngine::new(), Vec::new()));
+        let (position, log_mark, eval, queries, parsed) =
+            accepted.unwrap_or_else(|| (0, 0, Eval::new(&cfg), Vec::new(), Vec::new()));
         let mut suppress: BTreeMap<(u64, u8, MatchKey), u64> = BTreeMap::new();
         for rec in store.log_records().skip(log_mark) {
             match decode_log_record(rec) {
@@ -204,8 +393,10 @@ impl EngineCore {
         let obs = Recorder::new(cfg.obs);
         let core = EngineCore {
             cfg,
-            multi,
+            eval,
             queries,
+            parsed,
+            aliases: Vec::new(),
             store,
             position,
             last_ckpt_position: position,
@@ -226,7 +417,7 @@ impl EngineCore {
         cfg: &CoreConfig,
         bytes: &[u8],
         log_len: usize,
-    ) -> Result<(u64, usize, MultiEngine, Vec<(String, QueryId)>), CodecError> {
+    ) -> Result<(u64, usize, Eval, Vec<(String, QueryId)>, Vec<Arc<Query>>), CodecError> {
         let payload = open_envelope(bytes)?;
         let mut r = Reader::new(payload);
         let position = r.get_u64()?;
@@ -244,32 +435,61 @@ impl EngineCore {
         }
         let blob = r.get_bytes()?;
         r.finish()?;
-        let mut multi = MultiEngine::new();
+        // The blob is backend-agnostic (a per-logical-query envelope), so
+        // the resuming core builds whatever backend *its* config asks for
+        // and restores into it — a shared-plan checkpoint restores into
+        // independent engines and vice versa.
+        let mut eval = Eval::new(cfg);
         let mut queries = Vec::with_capacity(texts.len());
+        let mut parsed = Vec::with_capacity(texts.len());
         for text in texts {
             let q = parse(&text, &cfg.registry)
                 .map_err(|_| CodecError::SnapshotMismatch("persisted query text"))?;
-            let id = multi.register_engine(build_engine(cfg, q));
+            let id = eval.register(cfg, q.clone());
             queries.push((text, id));
+            parsed.push(q);
         }
-        multi.restore(&blob)?;
-        Ok((position, log_mark, multi, queries))
+        eval.restore(&blob)?;
+        Ok((position, log_mark, eval, queries, parsed))
     }
 
     fn durable(&self) -> bool {
         self.cfg.checkpoint_every.is_some()
     }
 
-    /// Registers `text` as a query, or returns the existing id when the
-    /// identical text is already registered (clients re-subscribing after
-    /// a reconnect land on their old query and its retained state).
-    pub fn subscribe(&mut self, text: &str) -> Result<QueryId, String> {
+    /// Registers `text` as a query, or returns the existing id when it
+    /// names a query already registered (clients re-subscribing after a
+    /// reconnect land on their old query and its retained state).
+    ///
+    /// Deduplication is *structural*, not textual: the text is parsed and
+    /// analyzed, and if the normalized query equals one already registered
+    /// — same pattern, predicates, window, and projection, however the
+    /// text was spelled — the existing logical query's id is returned and
+    /// the new spelling is remembered as an alias. Only genuinely new
+    /// queries reach the evaluation backend (and, on the shared-plan
+    /// backend, trigger an incremental recompile).
+    ///
+    /// # Errors
+    ///
+    /// [`SubscribeError`] with [`ErrorCode::BadQuery`] on a syntax error
+    /// or [`ErrorCode::BadAnalysis`] on a semantic one; the message embeds
+    /// the byte offset of the offending construct when known.
+    pub fn subscribe(&mut self, text: &str) -> Result<QueryId, SubscribeError> {
         if let Some((_, id)) = self.queries.iter().find(|(t, _)| t == text) {
             return Ok(*id);
         }
-        let q = parse(text, &self.cfg.registry).map_err(|e| e.to_string())?;
-        let id = self.multi.register_engine(build_engine(&self.cfg, q));
+        if let Some((_, id)) = self.aliases.iter().find(|(t, _)| t == text) {
+            return Ok(*id);
+        }
+        let q = parse(text, &self.cfg.registry)?;
+        if let Some(ix) = self.parsed.iter().position(|p| **p == *q) {
+            let id = self.queries[ix].1;
+            self.aliases.push((text.to_owned(), id));
+            return Ok(id);
+        }
+        let id = self.eval.register(&self.cfg, q.clone());
         self.queries.push((text.to_owned(), id));
+        self.parsed.push(q);
         if self.durable() {
             // make the registration itself crash-safe
             self.checkpoint_now();
@@ -309,12 +529,12 @@ impl EngineCore {
             rest = tail;
             let obs_on = self.obs.enabled();
             let before = if obs_on {
-                self.multi.stats()
+                self.eval.stats()
             } else {
                 Vec::new()
             };
             let chunk_start = out.len();
-            for raw in self.multi.ingest_batch(chunk) {
+            for raw in self.eval.ingest_batch(chunk) {
                 self.position += 1;
                 let filtered = self.filter_and_log(raw);
                 out.extend(filtered);
@@ -339,11 +559,11 @@ impl EngineCore {
         }
         let obs_on = self.obs.enabled();
         let before = if obs_on {
-            self.multi.stats()
+            self.eval.stats()
         } else {
             Vec::new()
         };
-        let raw = self.multi.finish();
+        let raw = self.eval.finish();
         let out = self.filter_and_log(raw);
         if obs_on {
             self.record_chunk_spans(0, &before, &out);
@@ -381,7 +601,7 @@ impl EngineCore {
     /// Takes a checkpoint immediately (no-op when any engine lacks
     /// snapshot support).
     pub fn checkpoint_now(&mut self) {
-        let Ok(blob) = self.multi.snapshot() else {
+        let Ok(blob) = self.eval.snapshot() else {
             return;
         };
         let mut w = Writer::new();
@@ -436,14 +656,25 @@ impl EngineCore {
 
     /// The minimum low-watermark across registered queries.
     pub fn watermark(&self) -> Option<Timestamp> {
-        self.multi.watermark()
+        self.eval.watermark()
+    }
+
+    /// Shared-plan structural gauges and sharing counters; `None` when the
+    /// core evaluates queries independently.
+    pub fn plan_metrics(&self) -> Option<PlanMetrics> {
+        self.eval.plan_metrics()
+    }
+
+    /// True when the shared-plan backend is active.
+    pub fn shared_plan_active(&self) -> bool {
+        matches!(self.eval, Eval::Shared(_))
     }
 
     /// Aggregate operator counters across every query, plus this process's
     /// checkpoint/recovery counters.
     pub fn stats(&self) -> RuntimeStats {
         let mut total = self.extra;
-        for s in self.multi.stats() {
+        for s in self.eval.stats() {
             total += s;
         }
         total
@@ -459,7 +690,7 @@ impl EngineCore {
     fn core_clock(&self) -> u64 {
         self.queries
             .iter()
-            .filter_map(|(_, qid)| self.multi.engine(*qid).clock())
+            .filter_map(|(_, qid)| self.eval.query_clock(*qid))
             .map(|t| t.ticks())
             .max()
             .unwrap_or(0)
@@ -478,18 +709,25 @@ impl EngineCore {
         before: &[RuntimeStats],
         outputs: &[(QueryId, OutputItem)],
     ) {
-        let after = self.multi.stats();
+        let after = self.eval.stats();
         let core_clock = self.core_clock();
-        let core_wm = self.multi.watermark().map(|t| t.ticks()).unwrap_or(0);
+        let core_wm = self.eval.watermark().map(|t| t.ticks()).unwrap_or(0);
         if ingested > 0 {
             self.obs.ingest_span(ingested, core_clock, core_wm);
         }
         for (i, (_, qid)) in self.queries.iter().enumerate() {
             let prev = before.get(i).copied().unwrap_or_default();
             let Some(now) = after.get(i) else { continue };
-            let engine = self.multi.engine(*qid);
-            let clock = engine.clock().map(|t| t.ticks()).unwrap_or(core_clock);
-            let wm = engine.watermark().map(|t| t.ticks()).unwrap_or(core_wm);
+            let clock = self
+                .eval
+                .query_clock(*qid)
+                .map(|t| t.ticks())
+                .unwrap_or(core_clock);
+            let wm = self
+                .eval
+                .query_watermark(*qid)
+                .map(|t| t.ticks())
+                .unwrap_or(core_wm);
             let steps = [
                 (SpanKind::Route, now.events_routed - prev.events_routed),
                 (SpanKind::StackInsert, now.insertions - prev.insertions),
@@ -511,9 +749,8 @@ impl EngineCore {
                 .record_output(i, insert, o.arrival_latency(), o.event_time_latency());
             let events: Vec<u64> = o.m.events().iter().map(|e| e.id().get()).collect();
             let wm = self
-                .multi
-                .engine(*qid)
-                .watermark()
+                .eval
+                .query_watermark(*qid)
                 .map(|t| t.ticks())
                 .unwrap_or(core_wm);
             self.obs.emit_span(
@@ -555,7 +792,7 @@ impl EngineCore {
         const SERVER_GAUGES: [&str; 3] = ["subscriptions", "engine_shards", "max_engine_batch"];
         let mut b = MetricsSnapshot::builder();
 
-        let per_query = self.multi.stats();
+        let per_query = self.eval.stats();
         let empty = sequin_obs::QueryObs::default();
         for (i, (_, qid)) in self.queries.iter().enumerate() {
             let labels = [("query", i.to_string())];
@@ -570,8 +807,17 @@ impl EngineCore {
                     b.counter(&full, &labels, v);
                 }
             }
-            let engine = self.multi.engine(*qid);
-            if let (Some(clock), Some(wm)) = (engine.clock(), engine.watermark()) {
+            // a registration-order-independent identity for dashboards
+            // that survive restarts with a different subscription order
+            let stable = format!("{:016x}", stable_query_id(&self.parsed[i]));
+            b.gauge(
+                "sequin_query_info",
+                &[("query", i.to_string()), ("qid", stable.clone())],
+                1,
+            );
+            if let (Some(clock), Some(wm)) =
+                (self.eval.query_clock(*qid), self.eval.query_watermark(*qid))
+            {
                 let (c, w) = (clock.ticks(), wm.ticks());
                 b.gauge("sequin_stream_clock", &labels, c);
                 b.gauge("sequin_watermark", &labels, w);
@@ -580,14 +826,14 @@ impl EngineCore {
             b.gauge(
                 "sequin_engine_state_size",
                 &labels,
-                engine.state_size() as u64,
+                self.eval.query_state_size(*qid) as u64,
             );
             b.counter(
                 "sequin_purge_reclaimed_bytes",
                 &labels,
                 stats.purged * std::mem::size_of::<sequin_types::Event>() as u64,
             );
-            let shards = engine.per_shard_stats();
+            let shards = self.eval.per_shard_stats(*qid);
             if shards.len() > 1 {
                 for (s_ix, s) in shards.iter().enumerate() {
                     let labels = [("query", i.to_string()), ("shard", s_ix.to_string())];
@@ -603,10 +849,11 @@ impl EngineCore {
             }
             if self.obs.enabled() {
                 let qo = self.obs.query_obs().get(i).unwrap_or(&empty);
-                b.histogram("sequin_detection_latency", &labels, &qo.detection);
-                b.histogram("sequin_deferral_time", &labels, &qo.deferral);
-                b.counter("sequin_outputs_emitted", &labels, qo.emitted);
-                b.counter("sequin_outputs_retracted", &labels, qo.retracted);
+                let keyed = [("qid", stable), ("query", i.to_string())];
+                b.histogram("sequin_detection_latency", &keyed, &qo.detection);
+                b.histogram("sequin_deferral_time", &keyed, &qo.deferral);
+                b.counter("sequin_outputs_emitted", &keyed, qo.emitted);
+                b.counter("sequin_outputs_retracted", &keyed, qo.retracted);
             }
         }
 
@@ -617,6 +864,17 @@ impl EngineCore {
             } else {
                 b.counter(&full, &[], v);
             }
+        }
+        if let Some(pm) = self.eval.plan_metrics() {
+            b.gauge("sequin_plan_pooled_stacks", &[], pm.pooled_stacks);
+            b.gauge("sequin_plan_stack_refs", &[], pm.stack_refs);
+            b.gauge("sequin_plan_prefix_groups", &[], pm.prefix_groups);
+            b.gauge("sequin_plan_grouped_queries", &[], pm.grouped_queries);
+            b.gauge("sequin_plan_epochs", &[], pm.epochs);
+            b.counter("sequin_plan_routed_events", &[], pm.routed_events);
+            b.counter("sequin_plan_routing_misses", &[], pm.routing_misses);
+            b.counter("sequin_plan_shared_partials", &[], pm.shared_partials);
+            b.counter("sequin_plan_fanout_outputs", &[], pm.fanout_outputs);
         }
         b.counter("sequin_ingest_position", &[], self.position);
         b.gauge("sequin_queries", &[], self.query_count());
@@ -674,6 +932,7 @@ mod tests {
             checkpoint_every: every,
             shards: 1,
             obs: ObsConfig::default(),
+            shared_plan: true,
         }
     }
 
@@ -727,6 +986,131 @@ mod tests {
         assert_eq!(core.query_count(), 2);
         assert!(core.subscribe("PATTERN nonsense").is_err());
         assert_eq!(core.query_count(), 2, "failed parse registers nothing");
+    }
+
+    #[test]
+    fn subscribe_dedups_structurally_equal_text() {
+        let reg = registry();
+        let mut core = EngineCore::new(cfg(&reg, None));
+        let a = core.subscribe(Q_AB).unwrap();
+        // same query, different spelling: extra whitespace
+        let alias = "PATTERN  SEQ( A a ,  B b )  WITHIN 8";
+        assert_eq!(core.subscribe(alias).unwrap(), a, "normalized dedup");
+        assert_eq!(core.query_count(), 1, "alias registers no new query");
+        // the alias is remembered: re-subscribing it is a table hit
+        assert_eq!(core.subscribe(alias).unwrap(), a);
+        assert_eq!(core.query_count(), 1);
+        // a genuinely different query still gets its own id
+        assert_ne!(core.subscribe(Q_BA).unwrap(), a);
+        assert_eq!(core.query_count(), 2);
+    }
+
+    #[test]
+    fn subscribe_reports_coded_errors_with_offsets() {
+        let reg = registry();
+        let mut core = EngineCore::new(cfg(&reg, None));
+        let e = core.subscribe("PATTERN nonsense").unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadQuery);
+
+        let text = "PATTERN SEQ(A a, Zed z) WITHIN 5";
+        let e = core.subscribe(text).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadAnalysis);
+        assert!(e.message.contains("unknown event type"), "{e}");
+        let off = text.find("Zed").unwrap();
+        assert!(
+            e.message.contains(&format!("(at byte {off})")),
+            "analyzer span missing from {e}"
+        );
+        assert_eq!(core.query_count(), 0, "failed analysis registers nothing");
+    }
+
+    #[test]
+    fn shared_and_independent_backends_agree() {
+        let reg = registry();
+        let items = stream(&reg);
+        // two queries with the same (A, B) prefix and window but different
+        // final components force actual prefix sharing on the shared
+        // backend
+        let q_abb = "PATTERN SEQ(A a, B b, B c) WITHIN 12";
+        let q_aba = "PATTERN SEQ(A a, B b, A c) WITHIN 12";
+
+        let run = |shared: bool| {
+            let mut c = cfg(&reg, None);
+            c.shared_plan = shared;
+            let mut core = EngineCore::new(c);
+            assert_eq!(core.shared_plan_active(), shared);
+            for q in [Q_AB, Q_BA, q_abb, q_aba] {
+                core.subscribe(q).unwrap();
+            }
+            let mut out = Vec::new();
+            for it in &items {
+                out.extend(core.ingest(it));
+            }
+            out.extend(core.finish());
+            assert_eq!(core.plan_metrics().is_some(), shared);
+            (net(&out), core)
+        };
+        let (with_plan, shared_core) = run(true);
+        let (without, _) = run(false);
+        assert_eq!(with_plan, without, "backends must agree byte-for-byte");
+        let pm = shared_core.plan_metrics().unwrap();
+        assert!(pm.prefix_groups >= 1, "AB prefix should group: {pm:?}");
+        assert!(pm.routed_events > 0);
+    }
+
+    #[test]
+    fn crash_resume_switches_backends_exactly_once() {
+        let reg = registry();
+        let items = stream(&reg);
+
+        let mut oracle = EngineCore::new(cfg(&reg, None));
+        oracle.subscribe(Q_AB).unwrap();
+        oracle.subscribe(Q_BA).unwrap();
+        let mut baseline = Vec::new();
+        for it in &items {
+            baseline.extend(oracle.ingest(it));
+        }
+        baseline.extend(oracle.finish());
+
+        // shared-plan core writes the checkpoints...
+        let mut core = EngineCore::new(cfg(&reg, Some(25)));
+        assert!(core.shared_plan_active());
+        core.subscribe(Q_AB).unwrap();
+        core.subscribe(Q_BA).unwrap();
+        let mut delivered = Vec::new();
+        delivered.extend(core.ingest_batch(&items[..40]));
+        let saved = core.store().clone();
+        drop(core); // crash
+
+        // ...and a sharded independent core resumes from them
+        let mut two = cfg(&reg, Some(25));
+        two.shards = 2;
+        let (mut core, replay_from) = EngineCore::resume(two, saved);
+        assert!(replay_from > 0, "a checkpoint was accepted");
+        assert!(!core.shared_plan_active());
+        delivered.extend(core.ingest_batch(&items[replay_from as usize..]));
+        delivered.extend(core.finish());
+        assert_eq!(net(&delivered), net(&baseline));
+        assert_eq!(core.pending_suppressions(), 0);
+
+        // reverse direction: independent checkpoint, shared resume
+        let mut indep = cfg(&reg, Some(25));
+        indep.shared_plan = false;
+        let mut core = EngineCore::new(indep);
+        core.subscribe(Q_AB).unwrap();
+        core.subscribe(Q_BA).unwrap();
+        let mut delivered = Vec::new();
+        delivered.extend(core.ingest_batch(&items[..40]));
+        let saved = core.store().clone();
+        drop(core); // crash
+
+        let (mut core, replay_from) = EngineCore::resume(cfg(&reg, Some(25)), saved);
+        assert!(replay_from > 0);
+        assert!(core.shared_plan_active());
+        delivered.extend(core.ingest_batch(&items[replay_from as usize..]));
+        delivered.extend(core.finish());
+        assert_eq!(net(&delivered), net(&baseline));
+        assert_eq!(core.pending_suppressions(), 0);
     }
 
     #[test]

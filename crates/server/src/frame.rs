@@ -58,12 +58,16 @@ pub enum ErrorCode {
     /// Client and server [`sequin_types::TypeRegistry`] fingerprints
     /// differ; events would be misinterpreted, so the session is refused.
     SchemaMismatch,
-    /// A SUBSCRIBE query failed to parse/compile on the server.
+    /// A SUBSCRIBE query failed to parse on the server.
     BadQuery,
     /// The frame kind is not valid in this direction or session state.
     Unexpected,
     /// The server has drained and no longer accepts ingestion.
     Draining,
+    /// A SUBSCRIBE query parsed but failed semantic analysis; the message
+    /// carries the analyzer's diagnostic with its byte offset
+    /// (`... (at byte N)`) when the offending construct is localizable.
+    BadAnalysis,
 }
 
 impl ErrorCode {
@@ -75,6 +79,7 @@ impl ErrorCode {
             ErrorCode::BadQuery => 3,
             ErrorCode::Unexpected => 4,
             ErrorCode::Draining => 5,
+            ErrorCode::BadAnalysis => 6,
         }
     }
 
@@ -86,6 +91,7 @@ impl ErrorCode {
             3 => ErrorCode::BadQuery,
             4 => ErrorCode::Unexpected,
             5 => ErrorCode::Draining,
+            6 => ErrorCode::BadAnalysis,
             tag => {
                 return Err(CodecError::InvalidTag {
                     what: "ErrorCode",
@@ -105,6 +111,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::BadQuery => "bad-query",
             ErrorCode::Unexpected => "unexpected-frame",
             ErrorCode::Draining => "draining",
+            ErrorCode::BadAnalysis => "bad-analysis",
         };
         f.write_str(s)
     }
@@ -576,6 +583,7 @@ mod tests {
             ErrorCode::BadQuery,
             ErrorCode::Unexpected,
             ErrorCode::Draining,
+            ErrorCode::BadAnalysis,
         ] {
             let sealed = encode_frame(&Frame::Error {
                 code,

@@ -46,7 +46,7 @@ pub mod stats;
 pub mod transport;
 
 pub use client::{Client, ClientError};
-pub use core::{CoreConfig, EngineCore};
+pub use core::{CoreConfig, EngineCore, SubscribeError};
 pub use frame::{
     decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame, MAX_FRAME_LEN,
 };

@@ -48,7 +48,7 @@ fn oracle_frames(
     cfg.shards = 1; // the oracle is single-threaded by construction
     let mut oracle = EngineCore::new(cfg);
     for q in queries {
-        oracle.subscribe(q)?;
+        oracle.subscribe(q).map_err(|e| e.to_string())?;
     }
     let mut out = Vec::new();
     for item in stream {

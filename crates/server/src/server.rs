@@ -376,13 +376,13 @@ fn engine_loop(
                     );
                     persist_if_dirty(&mut core, &store_path);
                 }
-                Err(message) => {
+                Err(e) => {
                     shared.with_stats(|s| s.rejected_frames += 1);
                     shared.send(
                         &sink,
                         &Frame::Error {
-                            code: ErrorCode::BadQuery,
-                            message,
+                            code: e.code,
+                            message: e.message,
                         },
                     );
                 }

@@ -282,42 +282,47 @@ impl CaseData {
         let mut rng = Rng::seed_from_u64(case_seed(seed, case_ix));
         let query = gen_query(&mut rng);
         let (items, measured_lateness) = gen_items(&mut rng);
-
-        let has_punct = items.iter().any(|i| matches!(i, SimItem::Punct(_)));
-        let watermark = if has_punct {
-            if rng.gen_bool(0.5) {
-                1 // punctuation only
-            } else {
-                2 // both
-            }
-        } else {
-            0 // k-slack
-        };
-        let purge_every = match rng.gen_range(0..10u32) {
-            0 => None,                              // never purge
-            1..=5 => Some(1),                       // eager (purge bugs bite here)
-            6 | 7 => Some(rng.gen_range(2..=5u32)), // small batches
-            _ => Some(64),                          // the default cadence
-        };
-        let crash_at = gen_crash_point(&mut rng, &items);
-        let config = CaseConfig {
-            k: measured_lateness + rng.gen_range(0..=3u64),
-            aggressive: rng.gen_bool(0.5),
-            purge_every,
-            watermark,
-            batch: *[1usize, 2, 3, 5, 8, 64]
-                .get(rng.gen_range(0..6usize))
-                .expect("in range"),
-            ckpt_every: rng.gen_range(3..=17u64),
-            crash_at,
-            loopback: rng.gen_bool(0.25),
-            loopback_shards: if rng.gen_bool(0.5) { 1 } else { 2 },
-        };
+        let config = gen_config(&mut rng, &items, measured_lateness);
         CaseData {
             query,
             items,
             config,
         }
+    }
+}
+
+/// Draws the engine/runtime knobs for a generated item list (shared by
+/// the single-query and multi-query generators).
+pub(crate) fn gen_config(rng: &mut Rng, items: &[SimItem], measured_lateness: u64) -> CaseConfig {
+    let has_punct = items.iter().any(|i| matches!(i, SimItem::Punct(_)));
+    let watermark = if has_punct {
+        if rng.gen_bool(0.5) {
+            1 // punctuation only
+        } else {
+            2 // both
+        }
+    } else {
+        0 // k-slack
+    };
+    let purge_every = match rng.gen_range(0..10u32) {
+        0 => None,                              // never purge
+        1..=5 => Some(1),                       // eager (purge bugs bite here)
+        6 | 7 => Some(rng.gen_range(2..=5u32)), // small batches
+        _ => Some(64),                          // the default cadence
+    };
+    let crash_at = gen_crash_point(rng, items);
+    CaseConfig {
+        k: measured_lateness + rng.gen_range(0..=3u64),
+        aggressive: rng.gen_bool(0.5),
+        purge_every,
+        watermark,
+        batch: *[1usize, 2, 3, 5, 8, 64]
+            .get(rng.gen_range(0..6usize))
+            .expect("in range"),
+        ckpt_every: rng.gen_range(3..=17u64),
+        crash_at,
+        loopback: rng.gen_bool(0.25),
+        loopback_shards: if rng.gen_bool(0.5) { 1 } else { 2 },
     }
 }
 
@@ -337,7 +342,7 @@ pub fn items_to_stream(items: &[SimItem], registry: &TypeRegistry) -> Vec<Stream
         .collect()
 }
 
-fn gen_query(rng: &mut Rng) -> QueryPlan {
+pub(crate) fn gen_query(rng: &mut Rng) -> QueryPlan {
     let m = rng.gen_range(1..=3usize);
     let pos_vars = ["a", "b", "c"];
     let mut comps: Vec<CompPlan> = (0..m)
@@ -413,7 +418,7 @@ fn gen_query(rng: &mut Rng) -> QueryPlan {
 
 /// Generates the arrival-ordered item list; returns it together with its
 /// measured maximum lateness (the minimal valid `K`).
-fn gen_items(rng: &mut Rng) -> (Vec<SimItem>, u64) {
+pub(crate) fn gen_items(rng: &mut Rng) -> (Vec<SimItem>, u64) {
     let n = rng.gen_range(12..=40usize);
     let mut ts = 0u64;
     let events: Vec<SimEvent> = (0..n)

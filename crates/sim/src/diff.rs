@@ -46,6 +46,18 @@ pub enum Path {
     CrashResume,
     /// Networked loopback frames != in-process frames.
     Loopback,
+    /// Shared-plan evaluation != independent per-query evaluation.
+    SharedPlan,
+    /// Shared-plan batched ingestion != independent evaluation.
+    SharedBatched,
+    /// Shared-plan durable crash + resume != independent evaluation
+    /// (exactly-once, including a backend switch on restart).
+    SharedCrashResume,
+    /// Sharded independent evaluation (worker count) != shared-plan
+    /// evaluation of the same query set.
+    SharedSharded(usize),
+    /// Multi-query networked loopback != its in-process oracle.
+    SharedLoopback,
 }
 
 impl std::fmt::Display for Path {
@@ -57,6 +69,11 @@ impl std::fmt::Display for Path {
             Path::Batched => write!(f, "batched"),
             Path::CrashResume => write!(f, "crash-resume"),
             Path::Loopback => write!(f, "loopback"),
+            Path::SharedPlan => write!(f, "shared-plan"),
+            Path::SharedBatched => write!(f, "shared-batched"),
+            Path::SharedCrashResume => write!(f, "shared-crash-resume"),
+            Path::SharedSharded(n) => write!(f, "shared-vs-sharded({n})"),
+            Path::SharedLoopback => write!(f, "shared-loopback"),
         }
     }
 }
@@ -73,18 +90,24 @@ pub struct Mismatch {
 /// The engine configuration a case prescribes, with the purge-sabotage
 /// skew applied (zero for honest runs).
 pub fn engine_config(case: &CaseData, purge_skew: u64) -> EngineConfig {
+    engine_config_from(&case.config, purge_skew)
+}
+
+/// [`engine_config`] from the bare knobs (the multi-query mode has no
+/// single [`CaseData`]).
+pub fn engine_config_from(config: &crate::case::CaseConfig, purge_skew: u64) -> EngineConfig {
     EngineConfig {
-        k_slack: Duration::new(case.config.k),
-        purge: match case.config.purge_every {
+        k_slack: Duration::new(config.k),
+        purge: match config.purge_every {
             Some(n) => sequin_runtime::purge::PurgePolicy::batched(n),
             None => sequin_runtime::purge::PurgePolicy::NEVER,
         },
-        emission: if case.config.aggressive {
+        emission: if config.aggressive {
             EmissionPolicy::Aggressive
         } else {
             EmissionPolicy::Conservative
         },
-        watermark: match case.config.watermark {
+        watermark: match config.watermark {
             1 => WatermarkSource::Punctuation,
             2 => WatermarkSource::Both,
             _ => WatermarkSource::KSlack,
@@ -96,9 +119,9 @@ pub fn engine_config(case: &CaseData, purge_skew: u64) -> EngineConfig {
 
 /// A stable, comparable rendering of one output item (kind, constituent
 /// `(ts, id)` pairs, emission sequence number, emission clock).
-type OutputRepr = (u8, Vec<(u64, u64)>, u64, u64);
+pub(crate) type OutputRepr = (u8, Vec<(u64, u64)>, u64, u64);
 
-fn repr(o: &OutputItem) -> OutputRepr {
+pub(crate) fn repr(o: &OutputItem) -> OutputRepr {
     (
         match o.kind {
             OutputKind::Insert => 0,
@@ -120,7 +143,7 @@ fn reprs(out: &[OutputItem]) -> Vec<OutputRepr> {
 /// Net deliveries as a sorted multiset of `(kind, ids)` — the
 /// exactly-once identity used for the crash/resume path, where emission
 /// sequence numbers legitimately differ across the restart.
-fn delivery_multiset(out: &[OutputItem]) -> Vec<(u8, Vec<u64>)> {
+pub(crate) fn delivery_multiset(out: &[OutputItem]) -> Vec<(u8, Vec<u64>)> {
     let mut v: Vec<(u8, Vec<u64>)> = out
         .iter()
         .map(|o| {
@@ -146,7 +169,7 @@ fn drive(engine: &mut dyn Engine, items: &[StreamItem]) -> Vec<OutputItem> {
     out
 }
 
-fn first_diff(a: &[OutputRepr], b: &[OutputRepr]) -> String {
+pub(crate) fn first_diff(a: &[OutputRepr], b: &[OutputRepr]) -> String {
     if a.len() != b.len() {
         return format!("{} outputs vs {} canonical", b.len(), a.len());
     }

@@ -19,6 +19,7 @@
 
 pub mod case;
 pub mod diff;
+pub mod multi;
 pub mod oracle;
 pub mod repro;
 pub mod runner;
@@ -26,6 +27,10 @@ pub mod shrink;
 
 pub use case::{CaseConfig, CaseData, QueryPlan, SimEvent, SimItem};
 pub use diff::{check_case, Mismatch, Path};
+pub use multi::{
+    check_multi_case, materialize_multi, replay_multi, run_multi, MultiCase, MultiFailure,
+    MultiReport,
+};
 pub use oracle::reference_matches;
 pub use runner::{replay, run, Failure, SimOptions, SimReport};
 pub use shrink::{shrink, Shrunk};

@@ -40,9 +40,11 @@ const USAGE: &str = "usage:
                   [--watch] [--interval SECS]
   sequin bench    [--ci] [--shards 1,4] [--json FILE] [--baseline FILE]
                   [--refresh-baseline] [--min-speedup F] [options]
-  sequin sim      [--ci] [--seeds 1,2,3 | --seed S] [--cases N] [--case N]
-                  [--time-budget SECS] [--shrink yes|no] [--emit-repro DIR]
-                  [--purge-skew N] [--no-loopback] [--json FILE]
+                  [--queries 1,64,1024] [--min-multi-speedup F]
+  sequin sim      [--ci] [--multi] [--seeds 1,2,3 | --seed S] [--cases N]
+                  [--case N] [--time-budget SECS] [--shrink yes|no]
+                  [--emit-repro DIR] [--purge-skew N] [--no-loopback]
+                  [--json FILE]
 
 options:
   --events N        events to generate (default 50000; networked 10000)
@@ -101,7 +103,10 @@ fn run(args: &[String]) -> Result<String, String> {
         let a = rest[ix];
         if let Some(name) = a.strip_prefix("--") {
             // boolean flags take no value
-            if matches!(name, "ci" | "refresh-baseline" | "no-loopback" | "watch") {
+            if matches!(
+                name,
+                "ci" | "refresh-baseline" | "no-loopback" | "watch" | "multi"
+            ) {
                 flags.insert(name.to_owned(), "true".to_owned());
                 ix += 1;
                 continue;
@@ -296,6 +301,23 @@ fn run(args: &[String]) -> Result<String, String> {
                         .map_err(|_| "--min-speedup expects a factor".to_owned())
                 })
                 .transpose()?;
+            if let Some(list) = flags.get("queries") {
+                b.query_counts = list
+                    .split(',')
+                    .map(|p| {
+                        p.trim().parse::<usize>().map_err(|_| {
+                            format!("--queries expects counts like `1,64,1024`, got `{list}`")
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            b.min_multi_speedup = flags
+                .get("min-multi-speedup")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| "--min-multi-speedup expects a factor".to_owned())
+                })
+                .transpose()?;
             cli::run_bench(&b)
         }
         "sim" => {
@@ -348,6 +370,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     .map_err(|_| "--purge-skew expects ticks".to_owned())?;
             }
             s.opts.no_loopback = flags.contains_key("no-loopback");
+            s.multi = flags.contains_key("multi");
             if let Some(p) = flags.get("json") {
                 s.json_out = Some(p.clone());
             }

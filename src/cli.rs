@@ -6,12 +6,12 @@ use std::sync::Arc;
 
 use sequin_engine::{
     make_sharded_engine, CheckpointPolicy, CheckpointStore, Checkpointer, EmissionPolicy,
-    EngineConfig, ShardedEngine, Strategy,
+    EngineConfig, MultiEngine, ShardedEngine, SharedMultiEngine, Strategy,
 };
 use sequin_metrics::{pairs_table, run_engine, run_engine_batched, shard_table, RunReport};
 use sequin_netsim::{delay_shuffle, measure_disorder, punctuate};
 use sequin_obs::ObsConfig;
-use sequin_query::parse;
+use sequin_query::{parse, Query};
 use sequin_server::{
     loopback_run, Client, CoreConfig, EngineCore, MetricsFormat, Server, ServerConfig,
 };
@@ -826,6 +826,14 @@ pub struct BenchOptions {
     /// throughput versus the same run with metrics configured off. CI
     /// passes 5.0; `None` (with `obs_out` unset) skips the measurement.
     pub max_obs_overhead_pct: Option<f64>,
+    /// Query counts for the multi-query marginal-cost axis (e.g.
+    /// `[1, 64, 1024]`). Non-empty switches `bench` into that mode: each
+    /// count builds a prefix-overlapping query family and measures
+    /// shared-plan vs independent per-query evaluation.
+    pub query_counts: Vec<usize>,
+    /// Require `shared throughput >= F * independent throughput` at the
+    /// largest entry of `query_counts`. CI passes 5.0.
+    pub min_multi_speedup: Option<f64>,
 }
 
 impl Default for BenchOptions {
@@ -845,6 +853,8 @@ impl Default for BenchOptions {
             regression_pct: 15.0,
             obs_out: None,
             max_obs_overhead_pct: None,
+            query_counts: Vec::new(),
+            min_multi_speedup: None,
         }
     }
 }
@@ -970,6 +980,9 @@ fn obs_bench_eps(
 /// Reports output divergence, a breached regression gate or speedup
 /// floor, and file I/O failures as display strings.
 pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
+    if !opts.query_counts.is_empty() {
+        return run_bench_queries(opts);
+    }
     let (registry, history, text) = build_workload("synthetic", opts.events, opts.seed)?;
     let query = parse(&text, &registry).map_err(|e| e.to_string())?;
     let stream = delay_shuffle(&history, opts.ooo, opts.max_delay.max(1), opts.seed);
@@ -1170,6 +1183,223 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     Ok(out)
 }
 
+/// One measured query count of the multi-query bench axis.
+#[derive(Debug, Clone)]
+struct QueriesConfigReport {
+    queries: usize,
+    shared_eps: f64,
+    independent_eps: f64,
+    speedup: f64,
+    outputs: usize,
+    prefix_groups: u64,
+}
+
+fn bench_queries_json(opts: &BenchOptions, configs: &[QueriesConfigReport]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"sequin-multi-query\",\n");
+    s.push_str(&format!("  \"events\": {},\n", opts.events));
+    s.push_str(&format!("  \"ooo\": {:.2},\n", opts.ooo));
+    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    s.push_str(&format!("  \"k\": {},\n", opts.k));
+    s.push_str("  \"configs\": [\n");
+    for (ix, c) in configs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"queries\": {}, \"shared_eps\": {:.1}, \"independent_eps\": {:.1}, \
+             \"speedup\": {:.2}, \"outputs\": {}, \"prefix_groups\": {} }}{}\n",
+            c.queries,
+            c.shared_eps,
+            c.independent_eps,
+            c.speedup,
+            c.outputs,
+            c.prefix_groups,
+            if ix + 1 < configs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The multi-query marginal-cost axis of `sequin bench` (`--queries`):
+/// for each requested count `N`, a family of `N` textually distinct
+/// queries sharing a common two-component prefix (`SEQ(T0 a, T1 b, T* c)`
+/// with varying tail type and tail predicate) is evaluated over the same
+/// disordered stream twice — once through the shared-plan compiler and
+/// once on independent per-query engines. Outputs must be identical
+/// (the shared plan's correctness contract); the reported `speedup` is
+/// the shared/independent throughput ratio, optionally gated by
+/// `min_multi_speedup` at the largest `N`.
+fn run_bench_queries(opts: &BenchOptions) -> Result<String, String> {
+    let workload = Synthetic::new(SyntheticConfig {
+        num_types: 16,
+        ..SyntheticConfig::default()
+    });
+    let registry = Arc::clone(workload.registry());
+    let history = workload.generate(opts.events, opts.seed);
+    let stream = delay_shuffle(&history, opts.ooo, opts.max_delay.max(1), opts.seed);
+    let config = EngineConfig::with_k(Duration::new(opts.k));
+    let batch = opts.batch.max(1);
+
+    // controlled prefix overlap: every query shares the `(T0, T1)` prefix
+    // and window, so the compiler pools the prefix into one group; tails
+    // vary over 14 types and a one-value selectivity band on `c.x` (the
+    // pushed-down predicate rejects most tail events at insert time),
+    // keeping the family textually distinct up to 1400 queries
+    let family = |n: usize| -> Result<Vec<Arc<Query>>, String> {
+        (0..n)
+            .map(|i| {
+                let tail = 2 + i % 14;
+                let band = (i / 14) % 100;
+                let text = format!(
+                    "PATTERN SEQ(T0 a, T1 b, T{tail} c) \
+                     WHERE c.x >= {band} AND c.x < {} WITHIN 100",
+                    band + 1
+                );
+                parse(&text, &registry).map_err(|e| format!("`{text}`: {e}"))
+            })
+            .collect()
+    };
+
+    let mut counts: Vec<usize> = opts.query_counts.iter().map(|&n| n.max(1)).collect();
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut configs = Vec::new();
+    for &n in &counts {
+        let queries = family(n)?;
+
+        // one untimed pass per backend pins the correctness contract:
+        // identical per-query output, including emission bookkeeping
+        let drive_shared = |timed: bool| -> (
+            Vec<(sequin_engine::QueryId, sequin_engine::OutputItem)>,
+            f64,
+            u64,
+        ) {
+            let mut eng = SharedMultiEngine::new(config);
+            for q in &queries {
+                eng.register(Arc::clone(q));
+            }
+            let start = std::time::Instant::now();
+            let mut out = Vec::new();
+            for chunk in stream.chunks(batch) {
+                out.extend(eng.ingest_batch(chunk).into_iter().flatten());
+            }
+            out.extend(eng.finish());
+            let eps = stream.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            let groups = eng.plan_metrics().prefix_groups;
+            if timed {
+                std::hint::black_box(&out);
+            }
+            (out, eps, groups)
+        };
+        let drive_independent = |timed: bool| -> (
+            Vec<(sequin_engine::QueryId, sequin_engine::OutputItem)>,
+            f64,
+        ) {
+            let mut eng = MultiEngine::new();
+            for q in &queries {
+                eng.register(Arc::clone(q), Strategy::Native, config);
+            }
+            let start = std::time::Instant::now();
+            let mut out = Vec::new();
+            for chunk in stream.chunks(batch) {
+                out.extend(eng.ingest_batch(chunk).into_iter().flatten());
+            }
+            out.extend(eng.finish());
+            let eps = stream.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            if timed {
+                std::hint::black_box(&out);
+            }
+            (out, eps)
+        };
+
+        let (shared_out, mut shared_eps, prefix_groups) = drive_shared(false);
+        let (indep_out, mut indep_eps) = drive_independent(false);
+        if shared_out != indep_out {
+            return Err(format!(
+                "queries={n}: shared-plan output diverged from independent evaluation \
+                 ({} vs {} items)",
+                shared_out.len(),
+                indep_out.len()
+            ));
+        }
+        let outputs = shared_out.len();
+        drop((shared_out, indep_out));
+
+        // best of two timed repeats per backend (the untimed verification
+        // pass already warmed caches)
+        for _ in 0..2 {
+            shared_eps = shared_eps.max(drive_shared(true).1);
+            indep_eps = indep_eps.max(drive_independent(true).1);
+        }
+
+        configs.push(QueriesConfigReport {
+            queries: n,
+            shared_eps,
+            independent_eps: indep_eps,
+            speedup: if indep_eps > 0.0 {
+                shared_eps / indep_eps
+            } else {
+                0.0
+            },
+            outputs,
+            prefix_groups,
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench        : multi-query axis, {} events, {:.0}% ooo, seed {}, K={}, batches of {}\n",
+        opts.events,
+        opts.ooo * 100.0,
+        opts.seed,
+        opts.k,
+        batch
+    ));
+    let mut table = sequin_metrics::Table::new(&[
+        "queries",
+        "shared_eps",
+        "independent_eps",
+        "speedup",
+        "outputs",
+        "prefix_groups",
+    ]);
+    for c in &configs {
+        table.row(&[
+            c.queries.to_string(),
+            format!("{:.0}", c.shared_eps),
+            format!("{:.0}", c.independent_eps),
+            format!("{:.2}x", c.speedup),
+            c.outputs.to_string(),
+            c.prefix_groups.to_string(),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push_str("outputs      : shared plan identical to independent evaluation at every count\n");
+
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, bench_queries_json(opts, &configs))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("report       : wrote {path}\n"));
+    }
+
+    if let Some(f) = opts.min_multi_speedup {
+        let largest = configs.last().expect("at least one count");
+        if largest.speedup < f {
+            return Err(format!(
+                "marginal-cost floor breached at queries={}: shared/independent = \
+                 {:.2}x < required {f:.2}x",
+                largest.queries, largest.speedup
+            ));
+        }
+        out.push_str(&format!(
+            "marginal cost: {:.2}x over independent at queries={} (floor {f:.2}x)\n",
+            largest.speedup, largest.queries
+        ));
+    }
+    Ok(out)
+}
+
 // ------------------------------------------------------------ simulation --
 
 /// Settings for `sequin sim`: the differential simulation harness.
@@ -1185,6 +1415,11 @@ pub struct SimCliOptions {
     /// Write each failure's self-contained `#[test]` repro into this
     /// directory (one `.rs` file per failure).
     pub emit_repro: Option<String>,
+    /// Run the multi-query mode instead: generated query *sets* with
+    /// overlapping prefixes, shared-plan evaluation checked against the
+    /// independent per-query reference (no shrinking; failures replay
+    /// via `--multi --seed S --case N`).
+    pub multi: bool,
 }
 
 impl SimCliOptions {
@@ -1196,6 +1431,7 @@ impl SimCliOptions {
             replay_case: None,
             json_out: Some("SIM_ci.json".to_owned()),
             emit_repro: Some("sim-repros".to_owned()),
+            multi: false,
         }
     }
 }
@@ -1259,6 +1495,9 @@ fn sim_json(o: &SimCliOptions, report: &sequin_sim::SimReport) -> String {
 /// case mismatches, so CI fails loudly; file I/O problems are also
 /// reported as display strings.
 pub fn run_sim(o: &SimCliOptions) -> Result<String, String> {
+    if o.multi {
+        return run_sim_multi(o);
+    }
     // single-case replay: regenerate, check, and show the verdict
     if let Some(case_ix) = o.replay_case {
         let seed = o.opts.seeds.first().copied().unwrap_or(0);
@@ -1358,6 +1597,155 @@ pub fn run_sim(o: &SimCliOptions) -> Result<String, String> {
         }
         Err(format!(
             "{out}{} of {} cases mismatched",
+            report.failures.len(),
+            report.cases_run
+        ))
+    }
+}
+
+fn sim_multi_json(o: &SimCliOptions, report: &sequin_sim::MultiReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"sim\": \"sequin\",\n");
+    s.push_str("  \"mode\": \"multi\",\n");
+    s.push_str(&format!(
+        "  \"seeds\": [{}],\n",
+        o.opts
+            .seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!(
+        "  \"cases_per_seed\": {},\n",
+        o.opts.cases_per_seed
+    ));
+    s.push_str(&format!("  \"purge_skew\": {},\n", o.opts.purge_skew));
+    s.push_str(&format!("  \"cases_run\": {},\n", report.cases_run));
+    s.push_str(&format!(
+        "  \"elapsed_secs\": {:.1},\n",
+        report.elapsed.as_secs_f64()
+    ));
+    s.push_str(&format!(
+        "  \"budget_exhausted\": {},\n",
+        report.budget_exhausted
+    ));
+    s.push_str("  \"failures\": [\n");
+    for (ix, f) in report.failures.iter().enumerate() {
+        let paths: Vec<String> = f.mismatches.iter().map(|m| m.path.to_string()).collect();
+        s.push_str(&format!(
+            "    {{ \"seed\": {}, \"case\": {}, \"paths\": {:?}, \"summary\": {:?} }}{}\n",
+            f.seed,
+            f.case_ix,
+            paths,
+            f.summary,
+            if ix + 1 < report.failures.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// `sequin sim --multi`: the multi-query differential mode — generated
+/// query sets with overlapping prefixes, shared-plan evaluation checked
+/// per query against independent engines, across item-by-item, batched,
+/// crash/resume-with-backend-switch, sharded, and loopback paths.
+fn run_sim_multi(o: &SimCliOptions) -> Result<String, String> {
+    // single-case replay: regenerate, check, and show the verdict
+    if let Some(case_ix) = o.replay_case {
+        let seed = o.opts.seeds.first().copied().unwrap_or(0);
+        let case = sequin_sim::materialize_multi(seed, case_ix, &o.opts);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "case         : seed {seed}, index {case_ix} (multi-query)\n"
+        ));
+        for (qx, q) in case.queries.iter().enumerate() {
+            out.push_str(&format!("query {qx}      : {}\n", q.text()));
+        }
+        out.push_str(&format!(
+            "stream       : {} items, K={}, purge={:?}, watermark={}\n",
+            case.items.len(),
+            case.config.k,
+            case.config.purge_every,
+            case.config.watermark
+        ));
+        return match sequin_sim::replay_multi(seed, case_ix, &o.opts) {
+            None => {
+                out.push_str("verdict      : clean (shared plan matches independent evaluation)\n");
+                Ok(out)
+            }
+            Some(f) => {
+                for m in &f.mismatches {
+                    out.push_str(&format!("mismatch     : {} — {}\n", m.path, m.detail));
+                }
+                Err(out)
+            }
+        };
+    }
+
+    let mut progress = String::new();
+    let report = sequin_sim::run_multi(&o.opts, |line| {
+        progress.push_str(&format!("  {line}\n"));
+    });
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sim          : {} multi-query cases over {} seed(s), {} checked in {:.1}s{}\n",
+        o.opts.seeds.len() as u64 * o.opts.cases_per_seed,
+        o.opts.seeds.len(),
+        report.cases_run,
+        report.elapsed.as_secs_f64(),
+        if report.budget_exhausted {
+            " (budget exhausted)"
+        } else {
+            ""
+        }
+    ));
+    out.push_str(
+        "paths        : shared-plan, shared-batched, shared-crash-resume, \
+         shared-vs-sharded(2), shared-loopback\n",
+    );
+    if o.opts.purge_skew > 0 {
+        out.push_str(&format!(
+            "sabotage     : purge horizon skewed by {} tick(s); mismatches expected\n",
+            o.opts.purge_skew
+        ));
+    }
+    if !progress.is_empty() {
+        out.push_str(&progress);
+    }
+
+    if let Some(path) = &o.json_out {
+        std::fs::write(path, sim_multi_json(o, &report))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        out.push_str(&format!("report       : wrote {path}\n"));
+    }
+
+    if report.clean() {
+        out.push_str("verdict      : clean (shared plan matches independent evaluation)\n");
+        Ok(out)
+    } else {
+        for f in &report.failures {
+            out.push_str(&format!(
+                "failure      : seed {} case {} ({}); replay: sequin sim --multi --seed {} --case {}\n",
+                f.seed,
+                f.case_ix,
+                f.mismatches
+                    .iter()
+                    .map(|m| m.path.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                f.seed,
+                f.case_ix
+            ));
+        }
+        Err(format!(
+            "{out}{} of {} multi-query cases mismatched",
             report.failures.len(),
             report.cases_run
         ))

@@ -2,8 +2,13 @@
 //! ill-formed patterns must come back as *coded* errors — never panics,
 //! never silent acceptance. The differential simulator only generates
 //! valid queries, so this file covers the rejection surface it cannot.
+//!
+//! Analysis errors carry the byte offset of the offending construct when
+//! the AST records one (the server forwards it to clients inside
+//! `bad-analysis` error frames), so the span assertions here are part of
+//! the wire contract.
 
-use sequin::query::{parse, AnalyzeError, QueryError};
+use sequin::query::{parse, AnalyzeError, AnalyzeErrorKind, QueryError};
 use sequin::sim::case::sim_registry;
 
 fn analyze_err(text: &str) -> AnalyzeError {
@@ -40,21 +45,21 @@ fn malformed_syntax_is_a_parse_error() {
 
 #[test]
 fn zero_length_window_is_rejected() {
-    assert_eq!(
-        analyze_err("PATTERN SEQ(A a, B b) WITHIN 0"),
-        AnalyzeError::ZeroWindow
-    );
+    let e = analyze_err("PATTERN SEQ(A a, B b) WITHIN 0");
+    assert_eq!(e.kind(), &AnalyzeErrorKind::ZeroWindow);
+    // a whole-query condition has no single position
+    assert_eq!(e.offset(), None);
 }
 
 #[test]
 fn negation_only_pattern_is_rejected() {
     assert_eq!(
-        analyze_err("PATTERN SEQ(!A n) WITHIN 5"),
-        AnalyzeError::NoPositiveComponent
+        analyze_err("PATTERN SEQ(!A n) WITHIN 5").kind(),
+        &AnalyzeErrorKind::NoPositiveComponent
     );
     assert_eq!(
-        analyze_err("PATTERN SEQ(!A n, !B m) WITHIN 5"),
-        AnalyzeError::NoPositiveComponent
+        analyze_err("PATTERN SEQ(!A n, !B m) WITHIN 5").kind(),
+        &AnalyzeErrorKind::NoPositiveComponent
     );
 }
 
@@ -62,67 +67,97 @@ fn negation_only_pattern_is_rejected() {
 fn duplicate_variables_are_rejected() {
     // also the partition-key case: `a.tag == a.tag` would be degenerate,
     // so binding `a` twice is refused before partitioning is derived
+    let text = "PATTERN SEQ(A a, B a) WITHIN 5";
+    let e = analyze_err(text);
     assert_eq!(
-        analyze_err("PATTERN SEQ(A a, B a) WITHIN 5"),
-        AnalyzeError::DuplicateVariable("a".to_owned())
+        e.kind(),
+        &AnalyzeErrorKind::DuplicateVariable("a".to_owned())
     );
+    assert_eq!(e.offset(), Some(text.find("B a").unwrap()));
     assert_eq!(
-        analyze_err("PATTERN SEQ(A a, !B a, C c) WITHIN 5"),
-        AnalyzeError::DuplicateVariable("a".to_owned())
+        analyze_err("PATTERN SEQ(A a, !B a, C c) WITHIN 5").kind(),
+        &AnalyzeErrorKind::DuplicateVariable("a".to_owned())
     );
 }
 
 #[test]
 fn adjacent_negations_are_rejected() {
-    assert_eq!(
-        analyze_err("PATTERN SEQ(A a, !B n, !C m, D d) WITHIN 5"),
-        AnalyzeError::AdjacentNegations
-    );
+    let text = "PATTERN SEQ(A a, !B n, !C m, D d) WITHIN 5";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::AdjacentNegations);
+    // the span points at the second of the two adjacent negations
+    assert_eq!(e.offset(), Some(text.find("!C m").unwrap()));
+}
+
+#[test]
+fn unknown_type_is_rejected_with_its_span() {
+    let text = "PATTERN SEQ(ZZZ a) WITHIN 5";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::UnknownType("ZZZ".to_owned()));
+    assert_eq!(e.offset(), Some(text.find("ZZZ").unwrap()));
+    assert!(e.to_string().contains("(at byte 12)"), "{e}");
+
+    // not just in leading position
+    let text = "PATTERN SEQ(A a, Bogus b) WITHIN 5";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::UnknownType("Bogus".to_owned()));
+    assert_eq!(e.offset(), Some(text.find("Bogus").unwrap()));
 }
 
 #[test]
 fn unknown_names_are_rejected() {
+    let text = "PATTERN SEQ(A a) WHERE a.nope > 1 WITHIN 5";
+    let e = analyze_err(text);
     assert_eq!(
-        analyze_err("PATTERN SEQ(ZZZ a) WITHIN 5"),
-        AnalyzeError::UnknownType("ZZZ".to_owned())
-    );
-    assert_eq!(
-        analyze_err("PATTERN SEQ(A a) WHERE a.nope > 1 WITHIN 5"),
-        AnalyzeError::UnknownField {
+        e.kind(),
+        &AnalyzeErrorKind::UnknownField {
             var: "a".to_owned(),
             field: "nope".to_owned()
         }
     );
-    assert_eq!(
-        analyze_err("PATTERN SEQ(A a) WHERE b.x > 1 WITHIN 5"),
-        AnalyzeError::UnknownVariable("b".to_owned())
-    );
-    assert_eq!(
-        analyze_err("PATTERN SEQ(A a) WITHIN 5 RETURN q.x"),
-        AnalyzeError::UnknownVariable("q".to_owned())
-    );
+    assert_eq!(e.offset(), Some(text.find("a.nope").unwrap()));
+
+    let text = "PATTERN SEQ(A a) WHERE b.x > 1 WITHIN 5";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::UnknownVariable("b".to_owned()));
+    assert_eq!(e.offset(), Some(text.find("b.x").unwrap()));
+
+    let text = "PATTERN SEQ(A a) WITHIN 5 RETURN q.x";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::UnknownVariable("q".to_owned()));
+    assert_eq!(e.offset(), Some(text.find("q.x").unwrap()));
 }
 
 #[test]
 fn projecting_a_negated_component_is_rejected() {
-    assert_eq!(
-        analyze_err("PATTERN SEQ(A a, !B n, C c) WITHIN 5 RETURN n.x"),
-        AnalyzeError::ProjectsNegated("n".to_owned())
-    );
+    let text = "PATTERN SEQ(A a, !B n, C c) WITHIN 5 RETURN n.x";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::ProjectsNegated("n".to_owned()));
+    assert_eq!(e.offset(), Some(text.find("n.x").unwrap()));
 }
 
 #[test]
-fn predicates_spanning_two_negations_are_rejected() {
-    assert_eq!(
-        analyze_err("PATTERN SEQ(!A n, B b, !C m) WHERE n.x == m.x WITHIN 5"),
-        AnalyzeError::PredicateSpansNegations
-    );
+fn multi_negation_predicates_are_rejected_with_their_span() {
+    // a predicate touching events of two different negated components is
+    // unevaluable (the two negations never co-bind); the span lands on
+    // the first attribute of the offending conjunct
+    let text = "PATTERN SEQ(!A n, B b, !C m) WHERE n.x == m.x WITHIN 5";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::PredicateSpansNegations);
+    assert_eq!(e.offset(), Some(text.find("n.x").unwrap()));
+
+    // same rejection when the spanning conjunct is ANDed after valid ones
+    let text = "PATTERN SEQ(!A n, B b, !C m) WHERE b.x > 1 AND m.x == n.x WITHIN 5";
+    let e = analyze_err(text);
+    assert_eq!(e.kind(), &AnalyzeErrorKind::PredicateSpansNegations);
+    assert_eq!(e.offset(), Some(text.find("m.x == n.x").unwrap()));
 }
 
 #[test]
 fn error_displays_are_human_readable() {
     let e = parse("PATTERN SEQ(A a, B a) WITHIN 5", &sim_registry()).unwrap_err();
     assert!(e.to_string().contains("more than one component"), "{e}");
+    assert!(e.to_string().contains("at byte"), "span rendered: {e}");
     let e = parse("PATTERN SEQ(", &sim_registry()).unwrap_err();
     assert!(e.to_string().contains("parse error"), "{e}");
 }
