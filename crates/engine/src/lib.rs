@@ -64,7 +64,7 @@ pub use inorder::InOrderEngine;
 pub use multi::{MultiEngine, QueryId};
 pub use native::NativeEngine;
 pub use output::{OutputItem, OutputKind};
-pub use sharded::ShardedEngine;
+pub use sharded::{RouteStats, ShardedEngine};
 pub use shared::{PlanMetrics, SharedMultiEngine};
 pub use traits::{run_to_end, Engine, Strategy};
 

@@ -20,6 +20,14 @@ impl QueryId {
         QueryId(ix)
     }
 
+    /// The handle for dense registration index `ix`. Composite evaluation
+    /// backends (which interleave one global registration order across
+    /// several engines, like the server's hybrid shared+sharded core) mint
+    /// their global ids with this.
+    pub fn from_index(ix: usize) -> QueryId {
+        QueryId(ix)
+    }
+
     /// The dense registration index.
     pub fn index(self) -> usize {
         self.0

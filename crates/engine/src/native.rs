@@ -110,8 +110,10 @@ impl ShardSlice {
 
 /// Routing hash: FNV-1a over the key's wire encoding, so placement is
 /// stable across processes, platforms, and hash-map seeds (the same
-/// fingerprint-stable construction snapshots use).
-fn key_hash(key: &PartitionKey) -> u64 {
+/// fingerprint-stable construction snapshots use). The ingest-edge router
+/// in [`crate::ShardedEngine`] uses the same function, so the worker's
+/// ownership check and the router's owner computation can never disagree.
+pub(crate) fn key_hash(key: &PartitionKey) -> u64 {
     let mut w = Writer::new();
     key.encode(&mut w);
     fnv1a64(&w.into_bytes())
@@ -137,8 +139,35 @@ fn match_order(a: &OutputItem, b: &OutputItem) -> Ordering {
     ka.cmp(kb)
 }
 
+/// One pre-routed ingest message, as delivered to a sliced worker by the
+/// routing [`crate::ShardedEngine`]: the full event when this worker owns
+/// one of its slots (or the event is a negation flank, broadcast to every
+/// worker), otherwise a watermark-only advance mirroring the arrival so
+/// the worker's sequence number, clock, disorder estimate, and purge
+/// cadence stay lockstep with the single-threaded engine.
+#[derive(Debug, Clone)]
+pub(crate) enum RoutedMsg {
+    /// Full event, already stamped with its global arrival sequence.
+    Event {
+        /// The router's global arrival sequence for this event.
+        seq: ArrivalSeq,
+        /// The stamped event (one clone at the ingest edge, shared by
+        /// every owner).
+        event: EventRef,
+    },
+    /// Arrival metadata only: the event's state belongs to other workers.
+    Advance {
+        /// The router's global arrival sequence for this event.
+        seq: ArrivalSeq,
+        /// The event's occurrence timestamp (watermark/clock input).
+        ts: Timestamp,
+    },
+    /// Stream punctuation, broadcast to every worker.
+    Punctuation(Timestamp),
+}
+
 impl PhasedOutput {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.retracts.len() + self.constructed.len() + self.sealed.len()
     }
 
@@ -737,6 +766,52 @@ impl NativeEngine {
         out
     }
 
+    /// Applies one routed message, mirroring [`NativeEngine::ingest_phased`]
+    /// exactly: the sequence number, watermark, seal drain, and purge
+    /// cadence advance as if this worker had ingested the full stream.
+    /// [`RoutedMsg::Advance`] reproduces precisely what a non-owning
+    /// lockstep worker used to do with a full event — observe the
+    /// timestamp, attribute a late arrival on the primary, drain seals,
+    /// check the purge cadence — without the event clone or the per-slot
+    /// ownership probes.
+    pub(crate) fn apply_routed(&mut self, msg: &RoutedMsg) -> PhasedOutput {
+        let mut out = PhasedOutput::default();
+        match msg {
+            RoutedMsg::Event { seq, event } => {
+                self.next_seq = *seq;
+                self.process_event(event, &mut out);
+            }
+            RoutedMsg::Advance { seq, ts } => {
+                self.next_seq = *seq;
+                if self.wm.observe_event(*ts) && self.primary() {
+                    self.stats.late_drops += 1;
+                }
+            }
+            RoutedMsg::Punctuation(t) => {
+                self.wm.observe_punctuation(*t);
+            }
+        }
+        self.drain_sealed(&mut out);
+        if self.config.purge.due(self.next_seq.get()) {
+            self.run_purge();
+        }
+        out
+    }
+
+    /// The last arrival sequence this engine stamped (or mirrored). The
+    /// router resynchronizes from this after a restore.
+    pub(crate) fn seq(&self) -> ArrivalSeq {
+        self.next_seq
+    }
+
+    /// Number of entries in the (worker-replicated) negative index.
+    /// Inspection hook for the broadcast property tests; not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn negative_index_len(&self) -> usize {
+        self.negatives.len()
+    }
+
     /// End-of-stream flush in merge-ready form.
     pub(crate) fn finish_phased(&mut self) -> PhasedOutput {
         let mut out = PhasedOutput::default();
@@ -766,7 +841,7 @@ impl NativeEngine {
     /// primary worker; partition maps are disjoint by construction and
     /// written as one sorted map; pending/unsealed matches are the sorted
     /// union.
-    pub(crate) fn merged_snapshot(parts: &[NativeEngine]) -> Vec<u8> {
+    pub(crate) fn merged_snapshot(parts: &[&NativeEngine]) -> Vec<u8> {
         let primary = parts
             .iter()
             .find(|p| p.primary())

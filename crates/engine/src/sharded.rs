@@ -1,17 +1,31 @@
-//! Partition-parallel evaluation: N sliced [`NativeEngine`] workers with
-//! a deterministic, watermark-aligned output merge.
+//! Partition-parallel evaluation: routed ingestion into N sliced
+//! [`NativeEngine`] workers with a deterministic, watermark-aligned
+//! output merge.
 //!
 //! ## Routing
 //!
-//! Every worker observes the *full* arrival stream, so watermarks,
-//! arrival sequence numbers, purge cadence, and the negative index
-//! advance in lockstep with the single-threaded engine — that is what
-//! makes the merge deterministic and the counters comparable. What is
-//! split is the *positive state*: each (slot, partition-key) pair is
-//! owned by exactly one worker, chosen by a fingerprint-stable FNV-1a
-//! hash of the key's wire encoding. Unpartitionable work (queries with
-//! no equality chain, or unkeyable float attributes) is owned by worker
-//! 0, the overflow shard.
+//! Each event is hashed **once**, at the ingest edge: the router stamps
+//! the event with its global arrival sequence and computes the owner set
+//! from the partition key of every positive slot the event can fill
+//! (fingerprint-stable FNV-1a of the key's wire encoding — the same
+//! function the worker's own `owns_slot` check uses, so router and worker
+//! can never disagree). Owners receive the full event over their bounded
+//! per-shard queue; every other worker receives only a lightweight
+//! [`RoutedMsg::Advance`] carrying the sequence number and timestamp, so
+//! watermarks, arrival sequence numbers, the adaptive disorder estimate,
+//! and the purge cadence still advance in lockstep with the
+//! single-threaded engine. Two message classes are broadcast in full:
+//!
+//! * **negation flanks** — every worker replicates the negative index
+//!   (negatives filter at check time), so a negated-type event must reach
+//!   all workers exactly once;
+//! * **punctuation** — watermark control, by definition global.
+//!
+//! Unpartitionable work (queries with no equality chain, or unkeyable
+//! float attributes) routes to worker 0, the overflow shard. This
+//! replaces the previous lockstep design in which every worker ingested
+//! the *full* stream and discarded foreign events at insert time — N
+//! workers doing N× the stream work, which benchmarked slower than one.
 //!
 //! ## Merge determinism
 //!
@@ -22,7 +36,8 @@
 //! seal) and the merge orders them by data-determined keys — seal
 //! deadline and event ids, or the arriving event's slot — reproducing the
 //! single-threaded engine's order byte-for-byte under both emission
-//! policies. See `DESIGN.md` §12.
+//! policies. The merge aligns phases of the *same* arrival and never
+//! reorders across arrivals. See `DESIGN.md` §12 and §16.
 //!
 //! ## Checkpoints
 //!
@@ -30,28 +45,137 @@
 //! one canonical envelope in the exact single-engine format, so a
 //! checkpoint written with `--shards 2` restores into `--shards 4` (or
 //! into a plain [`NativeEngine`]) unchanged: every worker restores the
-//! full snapshot, then prunes to the slice it owns.
+//! full snapshot, then prunes to the slice it owns. The router
+//! resynchronizes its global sequence from the restored primary.
 
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
 use sequin_query::Query;
-use sequin_runtime::RuntimeStats;
-use sequin_types::{CodecError, StreamItem, Timestamp};
+use sequin_runtime::{PartitionKey, RuntimeStats};
+use sequin_types::{ArrivalSeq, CodecError, EventRef, FieldId, StreamItem, Timestamp};
 
 use crate::config::EngineConfig;
-use crate::native::{NativeEngine, PhasedOutput, ShardSlice};
+use crate::native::{key_hash, NativeEngine, PhasedOutput, RoutedMsg, ShardSlice};
 use crate::output::OutputItem;
 use crate::traits::Engine;
 
-/// N partition-sliced [`NativeEngine`] workers behind a deterministic
-/// merge; byte-identical to the single-threaded engine, faster on
-/// multi-core hardware when fed batches.
-#[derive(Debug)]
+/// Bound of each worker's job queue, in batches. The engine API is
+/// synchronous (a batch's outputs are returned before the next batch is
+/// submitted), so one slot is occupancy and the second absorbs the
+/// send/recv rendezvous without ever blocking the router.
+const JOB_QUEUE_BOUND: usize = 2;
+
+/// Ingest-edge routing counters for one [`ShardedEngine`] pool.
+///
+/// `full_events[i] + advances[i]` equals the number of events routed so
+/// far for every shard `i`: each event reaches each worker exactly once,
+/// either in full (owner, or broadcast flank) or as a watermark-only
+/// advance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Per shard: full events delivered (owned slots + broadcasts).
+    pub full_events: Vec<u64>,
+    /// Per shard: watermark-only advances delivered.
+    pub advances: Vec<u64>,
+    /// Events broadcast in full to every worker (negation flanks).
+    pub broadcast_events: u64,
+    /// Punctuations broadcast to every worker.
+    pub punctuations: u64,
+    /// Largest number of routed messages enqueued to one worker in a
+    /// single batch (the per-shard queue's high-water mark).
+    pub queue_depth_peak: u64,
+}
+
+impl RouteStats {
+    fn new(shards: usize) -> RouteStats {
+        RouteStats {
+            full_events: vec![0; shards],
+            advances: vec![0; shards],
+            ..RouteStats::default()
+        }
+    }
+}
+
+/// One worker of the pool: the sliced engine, shared with (and normally
+/// driven by) a persistent thread over a bounded job queue. The control
+/// plane (snapshot, restore, stats, finish, single-item ingest) locks the
+/// engine directly — safe because the engine API is synchronous, so the
+/// worker thread is idle between batches.
+struct Worker {
+    engine: Arc<Mutex<NativeEngine>>,
+    /// `None` for single-shard pools, which never spawn threads.
+    job_tx: Option<SyncSender<Vec<RoutedMsg>>>,
+    res_rx: Option<Receiver<Vec<(u32, PhasedOutput)>>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn lock(&self) -> MutexGuard<'_, NativeEngine> {
+        self.engine.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// N partition-sliced [`NativeEngine`] workers behind an ingest-edge
+/// router and a deterministic merge; byte-identical to the
+/// single-threaded engine, faster on multi-core hardware when fed
+/// batches.
 pub struct ShardedEngine {
     query: Arc<Query>,
     config: EngineConfig,
-    workers: Vec<NativeEngine>,
+    workers: Vec<Worker>,
+    /// The router's global arrival sequence — the single point where
+    /// events are stamped.
+    next_seq: ArrivalSeq,
+    /// Per positive slot, the partition field the router keys on;
+    /// `None` when evaluation is unpartitioned (everything routes to the
+    /// overflow shard 0).
+    partition_fields: Option<Vec<FieldId>>,
+    route: RouteStats,
     merge_peak: u64,
+    /// Reusable owner-set scratch (one flag per shard).
+    owner_scratch: Vec<bool>,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.workers.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+fn spawn_worker(index: usize, engine: Arc<Mutex<NativeEngine>>) -> Worker {
+    let (job_tx, job_rx) = sync_channel::<Vec<RoutedMsg>>(JOB_QUEUE_BOUND);
+    let (res_tx, res_rx) = sync_channel::<Vec<(u32, PhasedOutput)>>(JOB_QUEUE_BOUND);
+    let thread_engine = Arc::clone(&engine);
+    let join = std::thread::Builder::new()
+        .name(format!("sequin-shard-{index}"))
+        .spawn(move || {
+            while let Ok(batch) = job_rx.recv() {
+                let mut eng = thread_engine.lock().unwrap_or_else(|e| e.into_inner());
+                let mut outs = Vec::new();
+                for (ix, msg) in batch.iter().enumerate() {
+                    let phased = eng.apply_routed(msg);
+                    if phased.len() > 0 {
+                        outs.push((ix as u32, phased));
+                    }
+                }
+                drop(eng);
+                if res_tx.send(outs).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn shard worker");
+    Worker {
+        engine,
+        job_tx: Some(job_tx),
+        res_rx: Some(res_rx),
+        join: Some(join),
+    }
 }
 
 impl ShardedEngine {
@@ -59,15 +183,23 @@ impl ShardedEngine {
     pub fn new(query: Arc<Query>, config: EngineConfig, shards: usize) -> ShardedEngine {
         let n = shards.max(1);
         let workers = Self::make_workers(&query, config, n);
+        let partition_fields = match (config.partitioned, query.partition()) {
+            (true, Some(scheme)) => Some(scheme.fields.clone()),
+            _ => None,
+        };
         ShardedEngine {
             query,
             config,
             workers,
+            next_seq: ArrivalSeq::default(),
+            partition_fields,
+            route: RouteStats::new(n),
             merge_peak: 0,
+            owner_scratch: vec![false; n],
         }
     }
 
-    fn make_workers(query: &Arc<Query>, config: EngineConfig, n: usize) -> Vec<NativeEngine> {
+    fn make_engines(query: &Arc<Query>, config: EngineConfig, n: usize) -> Vec<NativeEngine> {
         (0..n)
             .map(|i| {
                 NativeEngine::sliced(
@@ -82,15 +214,41 @@ impl ShardedEngine {
             .collect()
     }
 
+    fn make_workers(query: &Arc<Query>, config: EngineConfig, n: usize) -> Vec<Worker> {
+        Self::make_engines(query, config, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, eng)| {
+                let engine = Arc::new(Mutex::new(eng));
+                if n > 1 {
+                    spawn_worker(i, engine)
+                } else {
+                    Worker {
+                        engine,
+                        job_tx: None,
+                        res_rx: None,
+                        join: None,
+                    }
+                }
+            })
+            .collect()
+    }
+
     /// Number of workers in the pool.
     pub fn shard_count(&self) -> usize {
         self.workers.len()
     }
 
     /// Per-worker counters, in shard order (shard 0 additionally carries
-    /// the lockstep costs every worker pays: watermarks, negatives).
+    /// the costs every worker pays in lockstep: watermarks, negatives).
     pub fn per_shard_stats(&self) -> Vec<RuntimeStats> {
-        self.workers.iter().map(|w| w.stats()).collect()
+        self.workers.iter().map(|w| w.lock().stats()).collect()
+    }
+
+    /// The ingest-edge routing counters (full deliveries vs watermark-only
+    /// advances per shard, broadcasts, queue high-water mark).
+    pub fn route_stats(&self) -> RouteStats {
+        self.route.clone()
     }
 
     /// Per-worker [`NativeEngine::oldest_stack_ts`], in shard order.
@@ -100,7 +258,96 @@ impl ShardedEngine {
     pub fn worker_oldest_stack_ts(&self) -> Vec<Option<Timestamp>> {
         self.workers
             .iter()
-            .map(NativeEngine::oldest_stack_ts)
+            .map(|w| w.lock().oldest_stack_ts())
+            .collect()
+    }
+
+    /// Per-worker negative-index sizes, in shard order. Inspection hook
+    /// for the negation-flank broadcast property tests; not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub fn worker_negative_lens(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .map(|w| w.lock().negative_index_len())
+            .collect()
+    }
+
+    /// Routes one stream item: pushes exactly one [`RoutedMsg`] onto every
+    /// lane (one lane per shard). Events are stamped here — once — with
+    /// the global arrival sequence; the stamped event is shared by every
+    /// owner via its `Arc`.
+    fn route_item(&mut self, item: &StreamItem, lanes: &mut [Vec<RoutedMsg>]) {
+        let n = lanes.len();
+        match item {
+            StreamItem::Punctuation(t) => {
+                self.route.punctuations += 1;
+                for lane in lanes.iter_mut() {
+                    lane.push(RoutedMsg::Punctuation(*t));
+                }
+            }
+            StreamItem::Event(event) => {
+                self.next_seq = self.next_seq.next();
+                let seq = self.next_seq;
+                let stamped: EventRef = Arc::new(event.with_arrival(seq));
+                let ty = stamped.event_type();
+                let flank = self.query.negations().iter().any(|ng| ng.matches_type(ty));
+                if flank || n == 1 {
+                    if flank {
+                        self.route.broadcast_events += 1;
+                    }
+                    for (i, lane) in lanes.iter_mut().enumerate() {
+                        self.route.full_events[i] += 1;
+                        lane.push(RoutedMsg::Event {
+                            seq,
+                            event: Arc::clone(&stamped),
+                        });
+                    }
+                    return;
+                }
+                let owners = &mut self.owner_scratch;
+                owners.iter_mut().for_each(|o| *o = false);
+                for slot in self.query.slots_for_type(ty) {
+                    match &self.partition_fields {
+                        // unpartitioned evaluation: all positive state
+                        // lives on the overflow shard
+                        None => owners[0] = true,
+                        Some(fields) => {
+                            match stamped
+                                .field(fields[slot])
+                                .and_then(PartitionKey::from_value)
+                            {
+                                Some(key) => {
+                                    owners[key_hash(&key) as usize % n] = true;
+                                }
+                                // unkeyable (float) attribute: the primary
+                                // performs (and accounts) the doomed probe,
+                                // exactly as the single-threaded engine does
+                                None => owners[0] = true,
+                            }
+                        }
+                    }
+                }
+                let ts = stamped.ts();
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    if owners[i] {
+                        self.route.full_events[i] += 1;
+                        lane.push(RoutedMsg::Event {
+                            seq,
+                            event: Arc::clone(&stamped),
+                        });
+                    } else {
+                        self.route.advances[i] += 1;
+                        lane.push(RoutedMsg::Advance { seq, ts });
+                    }
+                }
+            }
+        }
+    }
+
+    fn fresh_lanes(&self, capacity: usize) -> Vec<Vec<RoutedMsg>> {
+        (0..self.workers.len())
+            .map(|_| Vec::with_capacity(capacity))
             .collect()
     }
 
@@ -112,10 +359,16 @@ impl ShardedEngine {
 
 impl Engine for ShardedEngine {
     fn ingest(&mut self, item: &StreamItem) -> Vec<OutputItem> {
+        // single-item path: route, then apply inline under each worker's
+        // lock — thread handoff would only add latency for one arrival,
+        // and the result is identical by construction
+        let mut lanes = self.fresh_lanes(1);
+        self.route_item(item, &mut lanes);
         let phases: Vec<PhasedOutput> = self
             .workers
-            .iter_mut()
-            .map(|w| w.ingest_phased(item))
+            .iter()
+            .zip(&lanes)
+            .map(|(w, lane)| w.lock().apply_routed(&lane[0]))
             .collect();
         let mut out = Vec::new();
         self.merge(phases, &mut out);
@@ -133,46 +386,61 @@ impl Engine for ShardedEngine {
             }
             return out;
         }
-        // fan the whole batch out: one thread per worker, each processing
-        // every item against its own slice, then a per-item merge — the
-        // merge must align phases of the *same* arrival, never reorder
-        // across arrivals
-        let per_worker: Vec<Vec<PhasedOutput>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .map(|w| {
-                    scope.spawn(move || {
-                        items
-                            .iter()
-                            .map(|item| w.ingest_phased(item))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let mut columns: Vec<_> = per_worker.into_iter().map(Vec::into_iter).collect();
+        // route the whole batch at the edge, hand each worker its lane,
+        // then align the (sparse) per-item phase sets: the merge combines
+        // phases of the *same* arrival, never across arrivals
+        let mut lanes = self.fresh_lanes(items.len());
+        for item in items {
+            self.route_item(item, &mut lanes);
+        }
+        self.route.queue_depth_peak = self.route.queue_depth_peak.max(items.len() as u64);
+        for (w, lane) in self.workers.iter().zip(lanes) {
+            w.job_tx
+                .as_ref()
+                .expect("multi-shard pool has worker threads")
+                .send(lane)
+                .expect("shard worker alive");
+        }
+        let results: Vec<Vec<(u32, PhasedOutput)>> = self
+            .workers
+            .iter()
+            .map(|w| {
+                w.res_rx
+                    .as_ref()
+                    .expect("multi-shard pool has worker threads")
+                    .recv()
+                    .expect("shard worker alive")
+            })
+            .collect();
+        let mut cursors: Vec<_> = results
+            .into_iter()
+            .map(|v| v.into_iter().peekable())
+            .collect();
         let mut out = Vec::new();
         let mut merged = Vec::new();
-        for ix in 0..items.len() {
-            let phases: Vec<PhasedOutput> = columns
-                .iter_mut()
-                .map(|c| c.next().expect("one phase set per item"))
-                .collect();
+        for ix in 0..items.len() as u32 {
+            let mut phases = Vec::new();
+            for c in cursors.iter_mut() {
+                if c.peek().is_some_and(|(i, _)| *i == ix) {
+                    phases.push(c.next().expect("peeked").1);
+                }
+            }
+            if phases.is_empty() {
+                continue;
+            }
             merged.clear();
             self.merge(phases, &mut merged);
-            out.extend(merged.drain(..).map(|o| (ix, o)));
+            out.extend(merged.drain(..).map(|o| (ix as usize, o)));
         }
         out
     }
 
     fn finish(&mut self) -> Vec<OutputItem> {
-        let phases: Vec<PhasedOutput> =
-            self.workers.iter_mut().map(|w| w.finish_phased()).collect();
+        let phases: Vec<PhasedOutput> = self
+            .workers
+            .iter()
+            .map(|w| w.lock().finish_phased())
+            .collect();
         let mut out = Vec::new();
         self.merge(phases, &mut out);
         out
@@ -181,7 +449,7 @@ impl Engine for ShardedEngine {
     fn stats(&self) -> RuntimeStats {
         let mut agg = RuntimeStats::default();
         for w in &self.workers {
-            agg += w.stats();
+            agg += w.lock().stats();
         }
         agg.merge_buffer_peak = agg.merge_buffer_peak.max(self.merge_peak);
         agg
@@ -189,12 +457,12 @@ impl Engine for ShardedEngine {
 
     fn state_size(&self) -> usize {
         // the negative index is replicated on every worker; count it once
-        self.workers.first().map_or(0, |w| w.state_size())
+        self.workers.first().map_or(0, |w| w.lock().state_size())
             + self
                 .workers
                 .iter()
                 .skip(1)
-                .map(|w| w.owned_state_size())
+                .map(|w| w.lock().owned_state_size())
                 .sum::<usize>()
     }
 
@@ -203,39 +471,65 @@ impl Engine for ShardedEngine {
     }
 
     fn watermark(&self) -> Option<Timestamp> {
-        self.workers.first().and_then(Engine::watermark)
+        self.workers.first().map(|w| w.lock().watermark())
     }
 
     fn clock(&self) -> Option<Timestamp> {
-        // every worker sees every arrival (lockstep watermarks), so any
-        // worker's clock is the pool's clock
-        self.workers.first().and_then(Engine::clock)
+        // every worker observes every arrival (via full events or
+        // advances), so any worker's clock is the pool's clock
+        self.workers.first().map(|w| w.lock().clock())
     }
 
     fn per_shard_stats(&self) -> Vec<RuntimeStats> {
         ShardedEngine::per_shard_stats(self)
     }
 
+    fn route_stats(&self) -> Option<RouteStats> {
+        Some(ShardedEngine::route_stats(self))
+    }
+
     fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
-        Ok(NativeEngine::merged_snapshot(&self.workers))
+        let guards: Vec<MutexGuard<'_, NativeEngine>> =
+            self.workers.iter().map(Worker::lock).collect();
+        let parts: Vec<&NativeEngine> = guards.iter().map(|g| &**g).collect();
+        Ok(NativeEngine::merged_snapshot(&parts))
     }
 
     fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
-        // restore into fresh workers first so a bad snapshot leaves the
+        // restore into fresh engines first so a bad snapshot leaves the
         // pool untouched (all-or-nothing, like the single engine)
-        let mut fresh = Self::make_workers(&self.query, self.config, self.workers.len());
-        for w in fresh.iter_mut() {
-            w.restore(bytes)?;
-            w.prune_to_slice();
+        let mut fresh = Self::make_engines(&self.query, self.config, self.workers.len());
+        for (i, eng) in fresh.iter_mut().enumerate() {
+            eng.restore(bytes)?;
+            eng.prune_to_slice();
+            // the snapshot's aggregate history stays with the primary; the
+            // other workers restart their disjoint counters from zero
+            if i > 0 {
+                eng.reset_stats();
+            }
         }
-        // the snapshot's aggregate history stays with the primary; the
-        // other workers restart their disjoint counters from zero
-        for w in fresh.iter_mut().skip(1) {
-            w.reset_stats();
+        // the router mirrors the restored primary's sequence so stamping
+        // continues exactly where the checkpoint left off
+        self.next_seq = fresh[0].seq();
+        for (w, eng) in self.workers.iter().zip(fresh) {
+            *w.lock() = eng;
         }
-        self.workers = fresh;
         self.merge_peak = 0;
+        self.route = RouteStats::new(self.workers.len());
         Ok(())
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // hang up the job queue; the worker loop exits on recv error
+            w.job_tx = None;
+            w.res_rx = None;
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
     }
 }
 
@@ -337,6 +631,7 @@ mod tests {
         got.extend(batched.finish());
         assert_eq!(got, want);
         assert!(batched.stats().merge_buffer_peak >= 1);
+        assert!(batched.route_stats().queue_depth_peak >= 17);
     }
 
     #[test]
@@ -417,6 +712,10 @@ mod tests {
         let per = pool.per_shard_stats();
         assert!(per[0].insertions > 0);
         assert!(per[1..].iter().all(|s| s.insertions == 0));
+        // and the router only delivered full events to shard 0 (the N
+        // flank events broadcast; everything else advanced shards 1..)
+        let route = pool.route_stats();
+        assert!(route.advances[0] < route.advances[1]);
     }
 
     #[test]
@@ -439,5 +738,29 @@ mod tests {
         assert_eq!(got.late_drops, want.late_drops);
         assert!(got.max_stack_depth <= want.max_stack_depth);
         assert!(got.events_routed >= want.events_routed);
+    }
+
+    #[test]
+    fn every_event_reaches_every_shard_exactly_once() {
+        let reg = registry();
+        let q = partitioned_query(&reg);
+        let items = stream(&reg);
+        let events = items
+            .iter()
+            .filter(|i| matches!(i, StreamItem::Event(_)))
+            .count() as u64;
+        let mut pool = ShardedEngine::new(q, EngineConfig::with_k(Duration::new(20)), 4);
+        run_to_end(&mut pool, &items);
+        let route = pool.route_stats();
+        for i in 0..4 {
+            assert_eq!(
+                route.full_events[i] + route.advances[i],
+                events,
+                "shard {i}"
+            );
+            // every negation flank was broadcast in full
+            assert!(route.full_events[i] >= route.broadcast_events);
+        }
+        assert_eq!(route.broadcast_events, 24, "one N per 10 arrivals");
     }
 }

@@ -99,6 +99,13 @@ pub trait Engine: Send {
         vec![self.stats()]
     }
 
+    /// Ingest-edge routing counters, when the engine routes events to
+    /// parallel workers. Single-threaded engines (the default) report
+    /// `None`.
+    fn route_stats(&self) -> Option<crate::sharded::RouteStats> {
+        None
+    }
+
     /// Serializes the engine's complete mutable state into a checksummed
     /// envelope. Engines without snapshot support return
     /// [`CodecError::Unsupported`].

@@ -10,7 +10,7 @@
 //!
 //! ## Evaluation backends
 //!
-//! Two interchangeable backends sit behind the core (the private
+//! Three interchangeable backends sit behind the core (the private
 //! `Eval` enum):
 //!
 //! * **Shared** — a [`SharedMultiEngine`] compiled by `sequin-plan`:
@@ -20,11 +20,20 @@
 //!   Used when `shared_plan` is set, the strategy is Native, and
 //!   evaluation is single-sharded.
 //! * **Independent** — a [`MultiEngine`] of per-query engines (any
-//!   strategy, sharded pools). Used otherwise.
+//!   strategy, sharded pools). Used when `shared_plan` is off or the
+//!   strategy is not Native.
+//! * **Hybrid** — both at once, used when `shared_plan` is set *and*
+//!   `shards > 1`: every partitionable query runs on its own routed
+//!   [`sequin_engine::ShardedEngine`] pool, while the queries sharding
+//!   cannot parallelize (no equality chain to hash on) share the
+//!   plan-compiled evaluator. Global query ids stay dense registration
+//!   indices; outputs from the two halves are interleaved back into
+//!   registration order per arrival.
 //!
-//! Both produce byte-identical per-query output, and their snapshots use
+//! All produce byte-identical per-query output, and their snapshots use
 //! the same per-logical-query interchange format, so a durable restart may
-//! switch backends (or shard counts) freely.
+//! switch backends (or shard counts) freely — the hybrid backend splits
+//! and reassembles the envelope around its two halves.
 //!
 //! ## Durability model
 //!
@@ -90,12 +99,14 @@ pub struct CoreConfig {
     /// predicted branch per batch — the "configured off ⇒ zero overhead"
     /// path the bench gate measures).
     pub obs: ObsConfig,
-    /// Evaluate all queries through the shared-plan compiler
-    /// ([`SharedMultiEngine`]) when eligible — Native strategy, single
-    /// shard. Ineligible configurations fall back to independent per-query
-    /// engines regardless of this flag. Output is byte-identical either
-    /// way; the shared plan amortizes state and work across queries with
-    /// common SEQ prefixes.
+    /// Evaluate queries through the shared-plan compiler
+    /// ([`SharedMultiEngine`]) when eligible (Native strategy). With
+    /// `shards > 1` this composes rather than conflicts: partitionable
+    /// queries run on routed sharded pools and the rest share the plan
+    /// (the hybrid backend). Non-Native strategies fall back to
+    /// independent per-query engines regardless of this flag. Output is
+    /// byte-identical in every configuration; the shared plan amortizes
+    /// state and work across queries with common SEQ prefixes.
     pub shared_plan: bool,
 }
 
@@ -186,21 +197,78 @@ fn decode_log_record(bytes: &[u8]) -> Result<(u64, u8, MatchKey), CodecError> {
     Ok((qid, tag, key))
 }
 
-/// The evaluation backend behind the core (see the module docs): either
-/// independent per-query engines or the shared-plan evaluator. Both
-/// produce byte-identical output and interchange snapshot blobs.
+/// Which backend hosts one of the hybrid core's queries, and the query's
+/// dense id *within* that backend (global ids are registration order
+/// across both).
+#[derive(Debug, Clone, Copy)]
+enum HybridHost {
+    Shared(QueryId),
+    Sharded(QueryId),
+}
+
+/// Splits a [`MultiEngine::snapshot`]-format envelope (`count` +
+/// length-prefixed per-query blobs) into its per-query blobs.
+fn split_multi_envelope(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CodecError> {
+    let payload = open_envelope(bytes)?;
+    let mut r = Reader::new(payload);
+    let n = r.get_u64()?;
+    if n > r.remaining() as u64 {
+        return Err(CodecError::BadLength);
+    }
+    let mut blobs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        blobs.push(r.get_bytes()?);
+    }
+    r.finish()?;
+    Ok(blobs)
+}
+
+/// Reassembles per-query blobs into a [`MultiEngine::snapshot`]-format
+/// envelope (the inverse of [`split_multi_envelope`]).
+fn seal_multi_envelope<B: AsRef<[u8]>>(blobs: &[B]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(blobs.len() as u64);
+    for b in blobs {
+        w.put_bytes(b.as_ref());
+    }
+    seal_envelope(&w.into_bytes())
+}
+
+/// The evaluation backend behind the core (see the module docs):
+/// independent per-query engines, the shared-plan evaluator, or the hybrid
+/// composition of both. All produce byte-identical output and interchange
+/// snapshot blobs.
 enum Eval {
     /// One engine per query ([`MultiEngine`]): any strategy, sharded pools.
     Independent(MultiEngine),
     /// Pooled stacks + common-prefix sharing ([`SharedMultiEngine`]).
     /// Boxed: the shared evaluator is much larger than a [`MultiEngine`].
     Shared(Box<SharedMultiEngine>),
+    /// Both at once — how `shared_plan` composes with `shards > 1`: each
+    /// partitionable query gets its own routed
+    /// [`sequin_engine::ShardedEngine`] pool, and the queries sharding
+    /// cannot help (no equality chain to hash on) share the plan-compiled
+    /// evaluator instead of each paying for a full engine.
+    Hybrid {
+        shared: Box<SharedMultiEngine>,
+        sharded: MultiEngine,
+        /// Host + backend-local id per global query, in registration order.
+        hosts: Vec<HybridHost>,
+    },
 }
 
 impl Eval {
     fn new(cfg: &CoreConfig) -> Eval {
-        if cfg.shared_plan && cfg.strategy == Strategy::Native && cfg.shards <= 1 {
-            Eval::Shared(Box::new(SharedMultiEngine::new(cfg.engine)))
+        if cfg.shared_plan && cfg.strategy == Strategy::Native {
+            if cfg.shards <= 1 {
+                Eval::Shared(Box::new(SharedMultiEngine::new(cfg.engine)))
+            } else {
+                Eval::Hybrid {
+                    shared: Box::new(SharedMultiEngine::new(cfg.engine)),
+                    sharded: MultiEngine::new(),
+                    hosts: Vec::new(),
+                }
+            }
         } else {
             Eval::Independent(MultiEngine::new())
         }
@@ -210,13 +278,72 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.register_engine(build_engine(cfg, q)),
             Eval::Shared(s) => s.register(q),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => {
+                // the routing decision must depend only on config + query
+                // (both persisted), so a resume rebuilds the same split
+                let partitionable = cfg.engine.partitioned && q.partition().is_some();
+                let host = if partitionable {
+                    HybridHost::Sharded(sharded.register_engine(build_engine(cfg, q)))
+                } else {
+                    HybridHost::Shared(shared.register(q))
+                };
+                hosts.push(host);
+                QueryId::from_index(hosts.len() - 1)
+            }
         }
+    }
+
+    /// Maps each backend's dense local ids back to global ids, in local
+    /// registration order: `(shared_to_global, sharded_to_global)`.
+    fn hybrid_globals(hosts: &[HybridHost]) -> (Vec<QueryId>, Vec<QueryId>) {
+        let mut to_shared = Vec::new();
+        let mut to_sharded = Vec::new();
+        for (global, host) in hosts.iter().enumerate() {
+            match host {
+                HybridHost::Shared(_) => to_shared.push(QueryId::from_index(global)),
+                HybridHost::Sharded(_) => to_sharded.push(QueryId::from_index(global)),
+            }
+        }
+        (to_shared, to_sharded)
+    }
+
+    /// Remaps both backends' outputs for one arrival to global ids and
+    /// interleaves them in global registration order (each backend already
+    /// emits its queries in local registration order, and a stable sort
+    /// preserves emission order within a query).
+    fn hybrid_merge(
+        hosts: &[HybridHost],
+        shared: Vec<(QueryId, OutputItem)>,
+        sharded: Vec<(QueryId, OutputItem)>,
+    ) -> Vec<(QueryId, OutputItem)> {
+        let (to_shared, to_sharded) = Self::hybrid_globals(hosts);
+        let mut out = Vec::with_capacity(shared.len() + sharded.len());
+        out.extend(shared.into_iter().map(|(l, o)| (to_shared[l.index()], o)));
+        out.extend(sharded.into_iter().map(|(l, o)| (to_sharded[l.index()], o)));
+        out.sort_by_key(|(q, _)| q.index());
+        out
     }
 
     fn ingest_batch(&mut self, items: &[StreamItem]) -> Vec<Vec<(QueryId, OutputItem)>> {
         match self {
             Eval::Independent(m) => m.ingest_batch(items),
             Eval::Shared(s) => s.ingest_batch(items),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => {
+                let sh = shared.ingest_batch(items);
+                let sd = sharded.ingest_batch(items);
+                sh.into_iter()
+                    .zip(sd)
+                    .map(|(a, b)| Self::hybrid_merge(hosts, a, b))
+                    .collect()
+            }
         }
     }
 
@@ -224,6 +351,15 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.finish(),
             Eval::Shared(s) => s.finish(),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => {
+                let sh = shared.finish();
+                let sd = sharded.finish();
+                Self::hybrid_merge(hosts, sh, sd)
+            }
         }
     }
 
@@ -231,6 +367,21 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.stats(),
             Eval::Shared(s) => s.stats(),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => {
+                let sh = shared.stats();
+                let sd = sharded.stats();
+                hosts
+                    .iter()
+                    .map(|h| match h {
+                        HybridHost::Shared(l) => sh[l.index()],
+                        HybridHost::Sharded(l) => sd[l.index()],
+                    })
+                    .collect()
+            }
         }
     }
 
@@ -238,6 +389,12 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.watermark(),
             Eval::Shared(s) => s.watermark(),
+            Eval::Hybrid {
+                shared, sharded, ..
+            } => match (shared.watermark(), sharded.watermark()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
         }
     }
 
@@ -245,6 +402,25 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.snapshot(),
             Eval::Shared(s) => s.snapshot(),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => {
+                // both backends write the same `count + per-query blobs`
+                // interchange envelope; reassemble in global order so the
+                // blob is indistinguishable from a single-backend snapshot
+                let sh = split_multi_envelope(&shared.snapshot()?)?;
+                let sd = split_multi_envelope(&sharded.snapshot()?)?;
+                let blobs: Vec<&[u8]> = hosts
+                    .iter()
+                    .map(|h| match h {
+                        HybridHost::Shared(l) => sh[l.index()].as_slice(),
+                        HybridHost::Sharded(l) => sd[l.index()].as_slice(),
+                    })
+                    .collect();
+                Ok(seal_multi_envelope(&blobs))
+            }
         }
     }
 
@@ -252,13 +428,45 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.restore(blob),
             Eval::Shared(s) => s.restore(blob),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => {
+                let blobs = split_multi_envelope(blob)?;
+                if blobs.len() != hosts.len() {
+                    return Err(CodecError::SnapshotMismatch("hybrid query count"));
+                }
+                let mut sh = Vec::new();
+                let mut sd = Vec::new();
+                for (h, b) in hosts.iter().zip(blobs) {
+                    match h {
+                        HybridHost::Shared(_) => sh.push(b),
+                        HybridHost::Sharded(_) => sd.push(b),
+                    }
+                }
+                shared.restore(&seal_multi_envelope(&sh))?;
+                sharded.restore(&seal_multi_envelope(&sd))
+            }
         }
+    }
+
+    fn hybrid_host(hosts: &[HybridHost], qid: QueryId) -> HybridHost {
+        hosts[qid.index()]
     }
 
     fn query_clock(&self, qid: QueryId) -> Option<Timestamp> {
         match self {
             Eval::Independent(m) => m.engine(qid).clock(),
             Eval::Shared(s) => Some(s.query_clock(qid)),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => match Self::hybrid_host(hosts, qid) {
+                HybridHost::Shared(l) => Some(shared.query_clock(l)),
+                HybridHost::Sharded(l) => sharded.engine(l).clock(),
+            },
         }
     }
 
@@ -266,6 +474,14 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.engine(qid).watermark(),
             Eval::Shared(s) => Some(s.query_watermark(qid)),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => match Self::hybrid_host(hosts, qid) {
+                HybridHost::Shared(l) => Some(shared.query_watermark(l)),
+                HybridHost::Sharded(l) => sharded.engine(l).watermark(),
+            },
         }
     }
 
@@ -275,6 +491,14 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.engine(qid).state_size(),
             Eval::Shared(s) => s.query_state_size(qid),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => match Self::hybrid_host(hosts, qid) {
+                HybridHost::Shared(l) => shared.query_state_size(l),
+                HybridHost::Sharded(l) => sharded.engine(l).state_size(),
+            },
         }
     }
 
@@ -282,6 +506,28 @@ impl Eval {
         match self {
             Eval::Independent(m) => m.engine(qid).per_shard_stats(),
             Eval::Shared(s) => vec![s.stats()[qid.index()]],
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => match Self::hybrid_host(hosts, qid) {
+                HybridHost::Shared(l) => vec![shared.stats()[l.index()]],
+                HybridHost::Sharded(l) => sharded.engine(l).per_shard_stats(),
+            },
+        }
+    }
+
+    /// Ingest-edge routing counters for one query's sharded pool (`None`
+    /// for single-threaded evaluation, including shared-plan-hosted
+    /// queries).
+    fn route_stats(&self, qid: QueryId) -> Option<sequin_engine::RouteStats> {
+        match self {
+            Eval::Independent(m) => m.engine(qid).route_stats(),
+            Eval::Shared(_) => None,
+            Eval::Hybrid { sharded, hosts, .. } => match Self::hybrid_host(hosts, qid) {
+                HybridHost::Shared(_) => None,
+                HybridHost::Sharded(l) => sharded.engine(l).route_stats(),
+            },
         }
     }
 
@@ -291,6 +537,7 @@ impl Eval {
         match self {
             Eval::Independent(_) => None,
             Eval::Shared(s) => Some(s.plan_metrics()),
+            Eval::Hybrid { shared, .. } => Some(shared.plan_metrics()),
         }
     }
 }
@@ -665,9 +912,10 @@ impl EngineCore {
         self.eval.plan_metrics()
     }
 
-    /// True when the shared-plan backend is active.
+    /// True when the shared-plan backend is active (including the hybrid
+    /// core, where it hosts the unpartitionable queries).
     pub fn shared_plan_active(&self) -> bool {
-        matches!(self.eval, Eval::Shared(_))
+        matches!(self.eval, Eval::Shared(_) | Eval::Hybrid { .. })
     }
 
     /// Aggregate operator counters across every query, plus this process's
@@ -846,6 +1094,27 @@ impl EngineCore {
                         }
                     }
                 }
+            }
+            // ingest-edge routing: full deliveries vs watermark-only
+            // advances per shard, plus the pool-wide broadcast counters
+            // and the per-shard queue's high-water mark
+            if let Some(rs) = self.eval.route_stats(*qid) {
+                for (s_ix, (full, adv)) in rs.full_events.iter().zip(&rs.advances).enumerate() {
+                    let labels = [("query", i.to_string()), ("shard", s_ix.to_string())];
+                    b.counter("sequin_route_full_events", &labels, *full);
+                    b.counter("sequin_route_advances", &labels, *adv);
+                }
+                b.counter(
+                    "sequin_route_broadcast_events",
+                    &labels,
+                    rs.broadcast_events,
+                );
+                b.counter("sequin_route_punctuations", &labels, rs.punctuations);
+                b.gauge(
+                    "sequin_route_queue_depth_peak",
+                    &labels,
+                    rs.queue_depth_peak,
+                );
             }
             if self.obs.enabled() {
                 let qo = self.obs.query_obs().get(i).unwrap_or(&empty);
@@ -1085,6 +1354,7 @@ mod tests {
         // ...and a sharded independent core resumes from them
         let mut two = cfg(&reg, Some(25));
         two.shards = 2;
+        two.shared_plan = false;
         let (mut core, replay_from) = EngineCore::resume(two, saved);
         assert!(replay_from > 0, "a checkpoint was accepted");
         assert!(!core.shared_plan_active());
@@ -1295,6 +1565,101 @@ mod tests {
         delivered.extend(core.finish());
         assert_eq!(net(&delivered), net(&baseline));
         assert!(core.stats().replayed_suppressed > 0);
+        assert_eq!(core.pending_suppressions(), 0);
+    }
+
+    #[test]
+    fn hybrid_backend_composes_shared_and_sharded() {
+        let reg = registry();
+        let items = stream(&reg);
+        // one query sharding can parallelize (equality chain → partition
+        // scheme) and two it cannot (no WHERE clause)
+        let q_part = "PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 8";
+
+        let run = |shards: usize, shared_plan: bool| {
+            let mut c = cfg(&reg, None);
+            c.shards = shards;
+            c.shared_plan = shared_plan;
+            let mut core = EngineCore::new(c);
+            for q in [Q_AB, q_part, Q_BA] {
+                core.subscribe(q).unwrap();
+            }
+            let mut out = Vec::new();
+            for chunk in items.chunks(13) {
+                out.extend(core.ingest_batch(chunk));
+            }
+            out.extend(core.finish());
+            (net(&out), core)
+        };
+
+        let (baseline, _) = run(1, false);
+        let (hybrid, core) = run(3, true);
+        assert_eq!(hybrid, baseline, "hybrid must be byte-identical");
+        assert!(core.shared_plan_active(), "shared half hosts Q_AB/Q_BA");
+        assert!(core.plan_metrics().is_some());
+        // the partitionable query (global id 1) runs on a routed pool...
+        let qids: Vec<QueryId> = (0..3).map(QueryId::from_index).collect();
+        let rs = core.eval.route_stats(qids[1]).expect("sharded pool");
+        assert_eq!(rs.full_events.len(), 3);
+        assert_eq!(core.eval.per_shard_stats(qids[1]).len(), 3);
+        // ...and the unpartitionable ones stay on the shared plan
+        assert!(core.eval.route_stats(qids[0]).is_none());
+        assert!(core.eval.route_stats(qids[2]).is_none());
+    }
+
+    #[test]
+    fn hybrid_checkpoint_interchanges_with_single_shard_backends() {
+        let reg = registry();
+        let items = stream(&reg);
+        let q_part = "PATTERN SEQ(A a, B b) WHERE a.x == b.x WITHIN 8";
+
+        let mut oracle = EngineCore::new(cfg(&reg, None));
+        oracle.subscribe(Q_AB).unwrap();
+        oracle.subscribe(q_part).unwrap();
+        let mut baseline = Vec::new();
+        for it in &items {
+            baseline.extend(oracle.ingest(it));
+        }
+        baseline.extend(oracle.finish());
+
+        // hybrid core (shared + sharded halves) writes the checkpoints...
+        let mut hy = cfg(&reg, Some(25));
+        hy.shards = 2;
+        let mut core = EngineCore::new(hy);
+        assert!(core.shared_plan_active());
+        core.subscribe(Q_AB).unwrap();
+        core.subscribe(q_part).unwrap();
+        let mut delivered = Vec::new();
+        delivered.extend(core.ingest_batch(&items[..40]));
+        let saved = core.store().clone();
+        drop(core); // crash
+
+        // ...and a single-shard shared core resumes them exactly-once
+        let (mut core, replay_from) = EngineCore::resume(cfg(&reg, Some(25)), saved);
+        assert!(replay_from > 0, "a checkpoint was accepted");
+        assert!(matches!(core.eval, Eval::Shared(_)));
+        delivered.extend(core.ingest_batch(&items[replay_from as usize..]));
+        delivered.extend(core.finish());
+        assert_eq!(net(&delivered), net(&baseline));
+        assert_eq!(core.pending_suppressions(), 0);
+
+        // reverse: shared checkpoint resumes on a wider hybrid core
+        let mut core = EngineCore::new(cfg(&reg, Some(25)));
+        core.subscribe(Q_AB).unwrap();
+        core.subscribe(q_part).unwrap();
+        let mut delivered = Vec::new();
+        delivered.extend(core.ingest_batch(&items[..40]));
+        let saved = core.store().clone();
+        drop(core); // crash
+
+        let mut four = cfg(&reg, Some(25));
+        four.shards = 4;
+        let (mut core, replay_from) = EngineCore::resume(four, saved);
+        assert!(replay_from > 0);
+        assert!(matches!(core.eval, Eval::Hybrid { .. }));
+        delivered.extend(core.ingest_batch(&items[replay_from as usize..]));
+        delivered.extend(core.finish());
+        assert_eq!(net(&delivered), net(&baseline));
         assert_eq!(core.pending_suppressions(), 0);
     }
 

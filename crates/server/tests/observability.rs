@@ -237,7 +237,12 @@ fn sharded_server_serves_shard_labelled_series() {
 
     let mut client = Client::connect(&addr).unwrap();
     client.hello(reg.fingerprint(), "shard-feeder").unwrap();
-    client.subscribe(Q01).unwrap();
+    // partitionable (tag equality chain): the hybrid backend gives this
+    // query a routed 3-worker pool rather than hosting it on the shared
+    // plan
+    client
+        .subscribe("PATTERN SEQ(T0 a, T1 b) WHERE a.tag == b.tag WITHIN 20")
+        .unwrap();
     for item in &stream {
         client.send_item(item).unwrap();
     }
@@ -248,6 +253,10 @@ fn sharded_server_serves_shard_labelled_series() {
         assert!(prom.contains(&needle), "missing `{needle}` in:\n{prom}");
     }
     assert!(prom.contains("sequin_shard_insertions{"), "{prom}");
+    // ingest-edge routing telemetry is exposed per shard as well
+    assert!(prom.contains("sequin_route_full_events{"), "{prom}");
+    assert!(prom.contains("sequin_route_advances{"), "{prom}");
+    assert!(prom.contains("sequin_route_queue_depth_peak{"), "{prom}");
     assert_prometheus_parses(&prom);
     client.bye();
     server.shutdown();

@@ -4,12 +4,17 @@
 //! at a time. It is checked against the naive oracle (exact match set),
 //! and every other production path is checked against *it*:
 //!
-//! * sharded pools (2 and 7 workers) — output must be **identical**,
-//!   including kinds, order, and emission bookkeeping;
+//! * routed sharded pools (2 and 7 workers by default; pinnable via
+//!   [`check_case_sharded`]) — output must be **identical**, including
+//!   kinds, order, and emission bookkeeping;
 //! * batched ingestion — identical output;
 //! * crash at the configured point + checkpoint resume — the union of
 //!   pre- and post-crash deliveries must equal the canonical output
 //!   exactly once (as a multiset of `(kind, ids)`);
+//! * sharded crash + resume **with a shard-count change** — a pool of
+//!   `from` workers writes the checkpoints and a pool of `to` workers
+//!   resumes them, exercising the shard-count-agnostic snapshot
+//!   guarantee end to end;
 //! * the networked server loopback — byte-identical frames, verified by
 //!   [`sequin_server::loopback_run`] itself.
 //!
@@ -44,6 +49,9 @@ pub enum Path {
     Batched,
     /// Crash + resume deliveries != canonical output (exactly-once).
     CrashResume,
+    /// Sharded crash + resume with a shard-count change (`from` → `to`
+    /// workers) != canonical output (exactly-once).
+    ShardedResume(usize, usize),
     /// Networked loopback frames != in-process frames.
     Loopback,
     /// Shared-plan evaluation != independent per-query evaluation.
@@ -68,6 +76,7 @@ impl std::fmt::Display for Path {
             Path::Sharded(n) => write!(f, "sharded({n})"),
             Path::Batched => write!(f, "batched"),
             Path::CrashResume => write!(f, "crash-resume"),
+            Path::ShardedResume(a, b) => write!(f, "sharded-resume({a}->{b})"),
             Path::Loopback => write!(f, "loopback"),
             Path::SharedPlan => write!(f, "shared-plan"),
             Path::SharedBatched => write!(f, "shared-batched"),
@@ -181,11 +190,28 @@ pub(crate) fn first_diff(a: &[OutputRepr], b: &[OutputRepr]) -> String {
     "identical".to_owned()
 }
 
-/// Runs every production path for `case`, returning all disagreements
-/// (empty = the case is clean). `purge_skew > 0` sabotages purge in every
-/// engine under test (but never the oracle), which a correct harness must
-/// report as mismatches.
+/// Worker counts the sharded paths run at when none are pinned: one even
+/// and one prime count, so slicing artifacts that depend on divisibility
+/// surface.
+pub const DEFAULT_SHARD_COUNTS: &[usize] = &[2, 7];
+
+/// Runs every production path for `case` at the default shard counts,
+/// returning all disagreements (empty = the case is clean).
+/// `purge_skew > 0` sabotages purge in every engine under test (but never
+/// the oracle), which a correct harness must report as mismatches.
 pub fn check_case(case: &CaseData, purge_skew: u64) -> Vec<Mismatch> {
+    check_case_sharded(case, purge_skew, DEFAULT_SHARD_COUNTS)
+}
+
+/// [`check_case`] with the sharded paths pinned to `shard_counts` worker
+/// pools (the `sequin sim --shards` knob). The sharded crash+resume path
+/// checkpoints at the first count and resumes at the last (bumped when
+/// they coincide, so the shard count always *changes* across the crash).
+pub fn check_case_sharded(
+    case: &CaseData,
+    purge_skew: u64,
+    shard_counts: &[usize],
+) -> Vec<Mismatch> {
     let mut mismatches = Vec::new();
     let registry = sim_registry();
     let cfg = engine_config(case, purge_skew);
@@ -250,8 +276,10 @@ pub fn check_case(case: &CaseData, purge_skew: u64) -> Vec<Mismatch> {
         });
     }
 
-    // sharded pools: identical output, including emission bookkeeping
-    for shards in [2usize, 7] {
+    // routed sharded pools: identical output, including emission
+    // bookkeeping
+    for &shards in shard_counts {
+        let shards = shards.max(1);
         let mut eng = ShardedEngine::new(Arc::clone(&query), cfg, shards);
         let out = drive(&mut eng, &items);
         let r = reprs(&out);
@@ -302,6 +330,44 @@ pub fn check_case(case: &CaseData, purge_skew: u64) -> Vec<Mismatch> {
                 path: Path::CrashResume,
                 detail: format!(
                     "crash at item {crash_at} (resume from {replay_from}): {} deliveries vs {} canonical",
+                    delivered.len(),
+                    canonical.len()
+                ),
+            });
+        }
+    }
+
+    // sharded crash + resume with a shard-count change: a `from`-worker
+    // pool writes the checkpoints and a `to`-worker pool resumes them —
+    // the shard-count-agnostic snapshot guarantee, end to end
+    {
+        let from = shard_counts.first().copied().unwrap_or(2).max(1);
+        let mut to = shard_counts.last().copied().unwrap_or(7).max(1);
+        if to == from {
+            to = from + 3; // always actually change the count
+        }
+        let policy = CheckpointPolicy::every(case.config.ckpt_every.max(1));
+        let pool = |n: usize| -> Box<dyn Engine> {
+            Box::new(ShardedEngine::new(Arc::clone(&query), cfg, n))
+        };
+        let mut ck = Checkpointer::new(pool(from), policy);
+        let crash_at = (case.config.crash_at as usize).min(items.len());
+        let mut delivered = Vec::new();
+        for item in &items[..crash_at] {
+            delivered.extend(ck.ingest(item));
+        }
+        let saved = ck.store().clone();
+        drop(ck); // crash: only the persisted store survives
+        let (mut ck, replay_from) = Checkpointer::resume(pool(to), policy, saved);
+        for item in &items[replay_from as usize..] {
+            delivered.extend(ck.ingest(item));
+        }
+        delivered.extend(ck.finish());
+        if delivery_multiset(&delivered) != delivery_multiset(&canonical) {
+            mismatches.push(Mismatch {
+                path: Path::ShardedResume(from, to),
+                detail: format!(
+                    "crash at item {crash_at} on {from} shards (resume from {replay_from} on {to}): {} deliveries vs {} canonical",
                     delivered.len(),
                     canonical.len()
                 ),

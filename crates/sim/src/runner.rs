@@ -5,7 +5,7 @@
 use std::time::{Duration, Instant};
 
 use crate::case::CaseData;
-use crate::diff::{check_case, Mismatch};
+use crate::diff::{check_case_sharded, Mismatch};
 use crate::repro::emit_test;
 use crate::shrink::{describe, shrink};
 
@@ -29,6 +29,10 @@ pub struct SimOptions {
     pub no_loopback: bool,
     /// Stop after this many failures (shrinking is expensive).
     pub max_failures: usize,
+    /// Worker counts the routed-sharded paths run at (the `--shards`
+    /// knob); the sharded crash+resume path checkpoints at the first and
+    /// resumes at the last.
+    pub shard_counts: Vec<usize>,
 }
 
 impl Default for SimOptions {
@@ -41,6 +45,7 @@ impl Default for SimOptions {
             purge_skew: 0,
             no_loopback: false,
             max_failures: 3,
+            shard_counts: crate::diff::DEFAULT_SHARD_COUNTS.to_vec(),
         }
     }
 }
@@ -112,12 +117,12 @@ pub fn materialize(seed: u64, case_ix: u64, opts: &SimOptions) -> CaseData {
 /// it. Returns `None` when the case is clean.
 pub fn replay(seed: u64, case_ix: u64, opts: &SimOptions) -> Option<Failure> {
     let case = materialize(seed, case_ix, opts);
-    let original = check_case(&case, opts.purge_skew);
+    let original = check_case_sharded(&case, opts.purge_skew, &opts.shard_counts);
     if original.is_empty() {
         return None;
     }
     let (shrunk, mismatches) = if opts.shrink {
-        let s = shrink(&case, opts.purge_skew);
+        let s = shrink(&case, opts.purge_skew, &opts.shard_counts);
         (s.case, s.mismatches)
     } else {
         (case, original.clone())

@@ -16,7 +16,7 @@
 //! through exactly the same [`check_case`] entry point as the original.
 
 use crate::case::{CaseData, QueryPlan, SimItem};
-use crate::diff::{check_case, Mismatch};
+use crate::diff::{check_case_sharded, Mismatch};
 
 /// Hard ceiling on [`check_case`] invocations per shrink, so shrinking a
 /// pathological case cannot stall the run.
@@ -35,6 +35,7 @@ pub struct Shrunk {
 
 struct Shrinker {
     purge_skew: u64,
+    shard_counts: Vec<usize>,
     checks: usize,
 }
 
@@ -50,7 +51,7 @@ impl Shrinker {
             return None; // ill-formed candidate; not a real reduction
         }
         self.checks += 1;
-        let m = check_case(candidate, self.purge_skew);
+        let m = check_case_sharded(candidate, self.purge_skew, &self.shard_counts);
         if m.is_empty() {
             None
         } else {
@@ -63,13 +64,14 @@ impl Shrinker {
 /// smallest still-failing case found within the check budget. If the
 /// input does not actually fail, it is returned unshrunk with its (empty)
 /// mismatch list.
-pub fn shrink(case: &CaseData, purge_skew: u64) -> Shrunk {
+pub fn shrink(case: &CaseData, purge_skew: u64, shard_counts: &[usize]) -> Shrunk {
     let mut sh = Shrinker {
         purge_skew,
+        shard_counts: shard_counts.to_vec(),
         checks: 1,
     };
     let mut best = case.clone();
-    let mut mismatches = check_case(&best, purge_skew);
+    let mut mismatches = check_case_sharded(&best, purge_skew, shard_counts);
     if mismatches.is_empty() {
         return Shrunk {
             case: best,

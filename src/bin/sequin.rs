@@ -44,7 +44,7 @@ const USAGE: &str = "usage:
   sequin sim      [--ci] [--multi] [--seeds 1,2,3 | --seed S] [--cases N]
                   [--case N] [--time-budget SECS] [--shrink yes|no]
                   [--emit-repro DIR] [--purge-skew N] [--no-loopback]
-                  [--json FILE]
+                  [--shards 2,7] [--json FILE]
 
 options:
   --events N        events to generate (default 50000; networked 10000)
@@ -71,10 +71,13 @@ options:
   --store FILE      serve: checkpoint-store path (with --checkpoint-every,
                     enables exactly-once restart; clients replay from the
                     HELLO_ACK resume cursor)
-  --shards N        Native-engine worker shards (default 1; bench takes a
-                    comma-separated list of counts to measure)
+  --shards N        Native-engine worker shards (default 1; bench and sim
+                    take a comma-separated list of counts — bench measures
+                    each, sim pins the routed-sharded differential paths,
+                    with crash+resume changing from the first count to
+                    the last)
   --ci              bench: fixed CI preset (100k events, 30% ooo, shards
-                    1 and 4, BENCH_ci.json, gate vs bench/baseline.json)
+                    1,2,4,8, BENCH_ci.json, gate vs bench/baseline.json)
   --refresh-baseline  bench: rewrite the baseline from this run
   --min-speedup F   bench: require max-shards throughput >= F x shards=1
   --cases N         sim: cases generated per seed (default 100)
@@ -164,8 +167,8 @@ fn run(args: &[String]) -> Result<String, String> {
             })
             .transpose()?,
         resume_from: flags.get("resume-from").cloned(),
-        // bench reads --shards itself (as a comma-separated list)
-        shards: if command == "bench" {
+        // bench and sim read --shards themselves (as comma-separated lists)
+        shards: if command == "bench" || command == "sim" {
             1
         } else {
             (get_num(&flags, "shards", 1.0)? as usize).max(1)
@@ -370,6 +373,19 @@ fn run(args: &[String]) -> Result<String, String> {
                     .map_err(|_| "--purge-skew expects ticks".to_owned())?;
             }
             s.opts.no_loopback = flags.contains_key("no-loopback");
+            if let Some(list) = flags.get("shards") {
+                s.opts.shard_counts = list
+                    .split(',')
+                    .map(|p| {
+                        p.trim().parse::<usize>().map_err(|_| {
+                            format!("--shards expects counts like `2,7`, got `{list}`")
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if s.opts.shard_counts.is_empty() {
+                    return Err("--shards expects at least one count".to_owned());
+                }
+            }
             s.multi = flags.contains_key("multi");
             if let Some(p) = flags.get("json") {
                 s.json_out = Some(p.clone());

@@ -815,7 +815,11 @@ pub struct BenchOptions {
     /// Rewrite the baseline from this run instead of gating against it.
     pub refresh_baseline: bool,
     /// Require `throughput(max shards) >= F * throughput(shards=1)`.
-    /// CI passes 2.0; leave `None` on machines without spare cores.
+    /// CI passes 2.0. The floor is hardware-aware: on machines with fewer
+    /// than `2F` cores it is clamped to `max(cores / 2, 0.5)` — a parallel
+    /// speedup the hardware cannot express must not fail the gate, but
+    /// routed sharding regressing to the old lockstep slowdown (0.33x)
+    /// still does, even single-core.
     pub min_speedup: Option<f64>,
     /// Allowed per-config throughput regression vs the baseline, percent.
     pub regression_pct: f64,
@@ -860,12 +864,13 @@ impl Default for BenchOptions {
 }
 
 impl BenchOptions {
-    /// The CI preset: ~100k events at 30% disorder, shards {1, 4},
-    /// `BENCH_ci.json` artifact, gated against `bench/baseline.json`.
+    /// The CI preset: ~100k events at 30% disorder, the full
+    /// shard-scaling axis {1, 2, 4, 8}, `BENCH_ci.json` artifact, gated
+    /// against `bench/baseline.json`.
     pub fn ci() -> BenchOptions {
         BenchOptions {
             events: 100_000,
-            shard_counts: vec![1, 4],
+            shard_counts: vec![1, 2, 4, 8],
             json_out: Some("BENCH_ci.json".to_owned()),
             baseline: Some("bench/baseline.json".to_owned()),
             obs_out: Some("BENCH_obs.json".to_owned()),
@@ -880,8 +885,16 @@ impl BenchOptions {
 struct BenchConfigReport {
     shards: usize,
     throughput_eps: f64,
-    p50_latency: u64,
-    p95_latency: u64,
+    /// Median per-output detection latency in event-time ticks
+    /// (`emit_clock - last constituent ts` — how long disorder deferred
+    /// the result past the point it became true; the same quantity the
+    /// sequin-obs `sequin_deferral_time` histogram samples). The
+    /// previously reported arrival-sequence latency is identically zero
+    /// for this negation-free workload, which is why the baseline showed
+    /// p50/p95 = 0.
+    p50_detection_ticks: u64,
+    /// 95th percentile of the same distribution.
+    p95_detection_ticks: u64,
     outputs: usize,
 }
 
@@ -896,12 +909,12 @@ fn bench_json(opts: &BenchOptions, configs: &[BenchConfigReport]) -> String {
     s.push_str("  \"configs\": [\n");
     for (ix, c) in configs.iter().enumerate() {
         s.push_str(&format!(
-            "    {{ \"shards\": {}, \"throughput_eps\": {:.1}, \"p50_latency\": {}, \
-             \"p95_latency\": {}, \"outputs\": {} }}{}\n",
+            "    {{ \"shards\": {}, \"throughput_eps\": {:.1}, \"p50_detection_ticks\": {}, \
+             \"p95_detection_ticks\": {}, \"outputs\": {} }}{}\n",
             c.shards,
             c.throughput_eps,
-            c.p50_latency,
-            c.p95_latency,
+            c.p50_detection_ticks,
+            c.p95_detection_ticks,
             c.outputs,
             if ix + 1 < configs.len() { "," } else { "" }
         ));
@@ -1016,8 +1029,8 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     let mut configs = vec![BenchConfigReport {
         shards: 1,
         throughput_eps: oracle.throughput_eps,
-        p50_latency: oracle.arrival_latency.p50(),
-        p95_latency: oracle.arrival_latency.p95(),
+        p50_detection_ticks: oracle.event_time_latency.p50(),
+        p95_detection_ticks: oracle.event_time_latency.p95(),
         outputs: oracle.outputs.len(),
     }];
     for &n in &shard_counts[1..] {
@@ -1033,8 +1046,8 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
         configs.push(BenchConfigReport {
             shards: n,
             throughput_eps: report.throughput_eps,
-            p50_latency: report.arrival_latency.p50(),
-            p95_latency: report.arrival_latency.p95(),
+            p50_detection_ticks: report.event_time_latency.p50(),
+            p95_detection_ticks: report.event_time_latency.p95(),
             outputs: report.outputs.len(),
         });
     }
@@ -1051,16 +1064,16 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     let mut table = sequin_metrics::Table::new(&[
         "shards",
         "throughput_eps",
-        "p50_latency",
-        "p95_latency",
+        "p50_detection",
+        "p95_detection",
         "outputs",
     ]);
     for c in &configs {
         table.row(&[
             c.shards.to_string(),
             format!("{:.0}", c.throughput_eps),
-            c.p50_latency.to_string(),
-            c.p95_latency.to_string(),
+            c.p50_detection_ticks.to_string(),
+            c.p95_detection_ticks.to_string(),
             c.outputs.to_string(),
         ]);
     }
@@ -1080,13 +1093,23 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             .map(|c| c.throughput_eps)
             .fold(0.0f64, f64::max);
         let speedup = if base > 0.0 { best / base } else { 0.0 };
-        if speedup < f {
+        // a parallel speedup needs cores to run on: clamp the requested
+        // floor to what this machine can express (CI's 4-core runners
+        // keep the full 2.0x; a 1-core sandbox still must clear 0.5x,
+        // which the old lockstep fan-out's 0.33x would fail)
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let floor = f.min((cores as f64 / 2.0).max(0.5));
+        if speedup < floor {
             return Err(format!(
-                "speedup floor breached: best/shards=1 = {speedup:.2}x < required {f:.2}x"
+                "speedup floor breached: best/shards=1 = {speedup:.2}x < required {floor:.2}x \
+                 ({f:.2}x requested, clamped for {cores} core(s))"
             ));
         }
         out.push_str(&format!(
-            "speedup      : {speedup:.2}x over shards=1 (floor {f:.2}x)\n"
+            "speedup      : {speedup:.2}x over shards=1 (floor {floor:.2}x from {f:.2}x \
+             requested on {cores} core(s))\n"
         ));
     }
 
@@ -1547,9 +1570,17 @@ pub fn run_sim(o: &SimCliOptions) -> Result<String, String> {
             ""
         }
     ));
-    out.push_str(
-        "paths        : oracle, builder-vs-parser, sharded{2,7}, batched, crash-resume, loopback\n",
-    );
+    let counts = o
+        .opts
+        .shard_counts
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&format!(
+        "paths        : oracle, builder-vs-parser, routed-sharded{{{counts}}}, batched, \
+         crash-resume, sharded-resume, loopback\n"
+    ));
     if o.opts.purge_skew > 0 {
         out.push_str(&format!(
             "sabotage     : purge horizon skewed by {} tick(s); mismatches expected\n",
@@ -1959,15 +1990,15 @@ mod tests {
             BenchConfigReport {
                 shards: 1,
                 throughput_eps: 1234.5,
-                p50_latency: 0,
-                p95_latency: 2,
+                p50_detection_ticks: 0,
+                p95_detection_ticks: 2,
                 outputs: 99,
             },
             BenchConfigReport {
                 shards: 4,
                 throughput_eps: 4321.0,
-                p50_latency: 1,
-                p95_latency: 3,
+                p50_detection_ticks: 1,
+                p95_detection_ticks: 3,
                 outputs: 99,
             },
         ];

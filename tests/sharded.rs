@@ -151,6 +151,188 @@ fn sharded_batched_ingestion_is_byte_identical_too() {
     }
 }
 
+/// Adversarial key skew: a prefix in which *every* event carries the
+/// same partition key (so the router must funnel the whole stream to
+/// one worker) followed by a uniformly keyed suffix. Output must stay
+/// byte-identical to the single-threaded engine at every shard count
+/// under both emission policies, per-item and batched.
+#[test]
+fn routed_ingestion_survives_adversarial_key_skew() {
+    let reg = registry();
+    const Q: &str =
+        "PATTERN SEQ(T0 a, T1 b, T2 c) WHERE a.tag == b.tag AND b.tag == c.tag WITHIN 60";
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(0x5EED_0014 + case);
+        let hot = rng.gen_range(0u8..3);
+        let skewed: Vec<(u8, u8, u8, u8)> = (0..50)
+            .map(|_| {
+                (
+                    rng.gen_range(0u8..3),
+                    rng.gen_range(1u8..4),
+                    rng.gen_range(0u8..5),
+                    hot,
+                )
+            })
+            .collect();
+        let uniform: Vec<(u8, u8, u8, u8)> = (0..50)
+            .map(|_| {
+                (
+                    rng.gen_range(0u8..3),
+                    rng.gen_range(1u8..4),
+                    rng.gen_range(0u8..5),
+                    rng.gen_range(0u8..3),
+                )
+            })
+            .collect();
+        let raw: Vec<_> = skewed.iter().chain(&uniform).copied().collect();
+        let events = build_events(&reg, &raw);
+        let query = parse(Q, &reg).unwrap();
+        let stream = delay_shuffle(&events, 0.35, 50, rng.gen_range(0u64..1000));
+        let k = measure_disorder(&stream).max_lateness.ticks().max(1);
+
+        for policy in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+            let mut cfg = EngineConfig::with_k(Duration::new(k));
+            cfg.emission = policy;
+
+            let mut native = NativeEngine::new(Arc::clone(&query), cfg);
+            let want: Vec<OutputItem> = drive(&mut native, &stream);
+
+            for shards in [2usize, 4, 7] {
+                let mut pool = ShardedEngine::new(Arc::clone(&query), cfg, shards);
+                let got = drive(&mut pool, &stream);
+                assert_eq!(got, want, "case {case}: shards={shards} policy={policy:?}");
+
+                let mut pool = ShardedEngine::new(Arc::clone(&query), cfg, shards);
+                let mut got: Vec<OutputItem> = Vec::new();
+                for chunk in stream.chunks(13) {
+                    got.extend(
+                        sequin::engine::Engine::ingest_batch(&mut pool, chunk)
+                            .into_iter()
+                            .map(|(_, o)| o),
+                    );
+                }
+                got.extend(sequin::engine::Engine::finish(&mut pool));
+                assert_eq!(
+                    got, want,
+                    "case {case}: batched shards={shards} policy={policy:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Routing accounting under total skew: with one hot key and no
+/// negation, every keyed event must land fully on exactly one shard,
+/// every other shard sees only watermark advances, and nothing is
+/// broadcast — i.e. the router does not silently fall back to fan-out.
+#[test]
+fn single_hot_key_routes_every_event_to_one_shard() {
+    let reg = registry();
+    let query = parse(
+        "PATTERN SEQ(T0 a, T1 b, T2 c) WHERE a.tag == b.tag AND b.tag == c.tag WITHIN 60",
+        &reg,
+    )
+    .unwrap();
+    let mut rng = Rng::seed_from_u64(0x5EED_0015);
+    let raw: Vec<(u8, u8, u8, u8)> = (0..64)
+        .map(|_| {
+            (
+                rng.gen_range(0u8..3),
+                rng.gen_range(1u8..4),
+                rng.gen_range(0u8..5),
+                7,
+            )
+        })
+        .collect();
+    let events = build_events(&reg, &raw);
+    let stream = delay_shuffle(&events, 0.3, 40, 99);
+    let k = measure_disorder(&stream).max_lateness.ticks().max(1);
+
+    const SHARDS: usize = 4;
+    let mut pool = ShardedEngine::new(
+        Arc::clone(&query),
+        EngineConfig::with_k(Duration::new(k)),
+        SHARDS,
+    );
+    let _ = drive(&mut pool, &stream);
+
+    let rs = pool.route_stats();
+    let total = raw.len() as u64;
+    assert_eq!(rs.broadcast_events, 0, "no negation, no broadcast");
+    let owners: Vec<usize> = (0..SHARDS).filter(|&i| rs.full_events[i] > 0).collect();
+    assert_eq!(owners.len(), 1, "one hot key concentrates on one shard");
+    assert_eq!(rs.full_events[owners[0]], total);
+    for i in 0..SHARDS {
+        assert_eq!(
+            rs.full_events[i] + rs.advances[i],
+            total,
+            "shard {i}: every event arrives exactly once (full or advance)"
+        );
+    }
+}
+
+/// Negation-flank broadcast: every event of a negated type must reach
+/// *every* shard exactly once as a full event (any shard might host a
+/// partial match the flank invalidates), and each worker's negative
+/// index must end up identical to the single-shard engine's.
+#[test]
+fn negation_flank_broadcast_reaches_every_shard_exactly_once() {
+    let reg = registry();
+    const Q: &str = "PATTERN SEQ(T0 a, !T1 n, T2 c) WHERE a.tag == c.tag WITHIN 30";
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(0x5EED_0016 + case);
+        let raw: Vec<(u8, u8, u8, u8)> = (0..48)
+            .map(|_| {
+                (
+                    rng.gen_range(0u8..3),
+                    rng.gen_range(1u8..4),
+                    rng.gen_range(0u8..5),
+                    rng.gen_range(0u8..3),
+                )
+            })
+            .collect();
+        let flank = raw.iter().filter(|r| r.0 == 1).count() as u64;
+        let events = build_events(&reg, &raw);
+        let query = parse(Q, &reg).unwrap();
+        let stream = delay_shuffle(&events, 0.3, 40, rng.gen_range(0u64..1000));
+        let k = measure_disorder(&stream).max_lateness.ticks().max(1);
+        let cfg = EngineConfig::with_k(Duration::new(k));
+
+        let mut native = NativeEngine::new(Arc::clone(&query), cfg);
+        let want = drive(&mut native, &stream);
+
+        for shards in [2usize, 5] {
+            let mut pool = ShardedEngine::new(Arc::clone(&query), cfg, shards);
+            let got = drive(&mut pool, &stream);
+            assert_eq!(got, want, "case {case}: shards={shards}");
+
+            let rs = pool.route_stats();
+            assert_eq!(
+                rs.broadcast_events, flank,
+                "case {case}: shards={shards}: each flank event broadcast once"
+            );
+            for i in 0..shards {
+                assert_eq!(
+                    rs.full_events[i] + rs.advances[i],
+                    raw.len() as u64,
+                    "case {case}: shard {i}: exactly one message per event"
+                );
+                assert!(
+                    rs.full_events[i] >= flank,
+                    "case {case}: shard {i}: received every flank event in full"
+                );
+            }
+            let lens = pool.worker_negative_lens();
+            assert!(
+                lens.iter().all(|&l| l == native.negative_index_len()),
+                "case {case}: shards={shards}: negative indexes diverge \
+                 ({lens:?} vs native {})",
+                native.negative_index_len()
+            );
+        }
+    }
+}
+
 fn net(out: &[(sequin::engine::QueryId, OutputItem)]) -> Vec<(usize, bool, Vec<u64>)> {
     let mut v: Vec<(usize, bool, Vec<u64>)> = out
         .iter()
