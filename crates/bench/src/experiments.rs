@@ -5,7 +5,7 @@
 //! match density stays moderate (the correlated `tag` chain bounds output
 //! size) and sweeps finish in seconds at [`crate::Scale::full`].
 
-use sequin_engine::{EmissionPolicy, EngineConfig, OutputKind, Strategy, WatermarkSource};
+use sequin_engine::{DisorderPolicy, EngineConfig, OutputKind, Strategy, WatermarkSource};
 use sequin_metrics::{compare_outputs, Table};
 use sequin_netsim::{
     delay_shuffle, measure_disorder, punctuate, DelayModel, Network, Outage, Source,
@@ -239,7 +239,7 @@ pub fn e7(scale: Scale) -> String {
     )
 }
 
-/// E8 — negation under disorder: conservative vs. aggressive emission.
+/// E8 — negation under disorder: the disorder-policy spectrum.
 pub fn e8(scale: Scale) -> String {
     let w = workload(4);
     let events = w.generate(scale.events / 2, scale.seed);
@@ -255,11 +255,16 @@ pub fn e8(scale: Scale) -> String {
     ]);
     let mut nets = Vec::new();
     for (name, policy) in [
-        ("conservative", EmissionPolicy::Conservative),
-        ("aggressive", EmissionPolicy::Aggressive),
+        ("conservative", DisorderPolicy::Conservative),
+        ("speculative", DisorderPolicy::Speculative),
+        ("lazy", DisorderPolicy::Lazy),
+        (
+            "adaptive:90",
+            DisorderPolicy::AdaptiveSlack { accuracy: 90 },
+        ),
     ] {
         let mut cfg = EngineConfig::with_k(Duration::new(K));
-        cfg.emission = policy;
+        cfg.policy = policy;
         let r = run_with(Strategy::Native, &q, cfg, &stream);
         let inserts = r
             .outputs
@@ -285,8 +290,9 @@ pub fn e8(scale: Scale) -> String {
     format!(
         "E8  negation under disorder: SEQ(T0, !T1, T2), 20% late, W={W}, K={K}\n\n{t}\n\
          net outputs agree: {agree}\n\
-         shape: conservative pays seal latency on every result;\n\
-         aggressive emits immediately and repairs with retractions.\n"
+         shape: conservative and lazy pay seal latency on every result;\n\
+         speculative emits immediately and repairs with retractions;\n\
+         adaptive holds results behind a learned lateness bound.\n"
     )
 }
 

@@ -10,7 +10,7 @@
 //! as a dedup filter: outputs the pre-crash process already delivered are
 //! suppressed exactly once each, so the union of pre- and post-crash output
 //! is the exactly-once match set — including paired `Insert`/`Retract`
-//! items under [`crate::EmissionPolicy::Aggressive`].
+//! items under [`crate::DisorderPolicy::Speculative`].
 //!
 //! Every artifact (checkpoints, log records, the store file) is wrapped in
 //! the checksummed envelope from [`sequin_types::codec`]; a corrupted or
@@ -445,6 +445,10 @@ impl Engine for Checkpointer {
 
     fn clock(&self) -> Option<Timestamp> {
         self.inner.clock()
+    }
+
+    fn slack_bound(&self) -> Option<sequin_types::Duration> {
+        self.inner.slack_bound()
     }
 
     fn per_shard_stats(&self) -> Vec<RuntimeStats> {

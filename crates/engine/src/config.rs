@@ -4,9 +4,16 @@ use sequin_runtime::purge::PurgePolicy;
 use sequin_runtime::ConstructOpts;
 use sequin_types::Duration;
 
-/// How matches involving negation leave the engine.
+/// Per-query disorder-handling policy: when matches leave the engine and
+/// how the slack bound that gates them is chosen.
+///
+/// Every mode's *settled* output — what remains after all retractions once
+/// the stream is drained — is identical to [`DisorderPolicy::Conservative`];
+/// the modes trade latency, retraction traffic, and buffer depth against
+/// each other on the way there. `sequin sim --policy` differentially
+/// verifies that equivalence against the naive oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EmissionPolicy {
+pub enum DisorderPolicy {
     /// Hold a match until all of its negation regions are **sealed** by the
     /// watermark, re-validate, then emit. Output is exactly the correct
     /// match set, at the cost of up to `K + region` latency.
@@ -17,7 +24,53 @@ pub enum EmissionPolicy {
     /// invalidates an already-emitted match. Minimal latency; consumers
     /// must handle retractions. (The direction the authors' follow-up
     /// ICDE'09 work formalized as the *aggressive* strategy.)
-    Aggressive,
+    Speculative,
+    /// Defer every match — negation or not — until its window closes under
+    /// the watermark or a consumer drains. Cheapest possible consumer
+    /// contract: output arrives late but coalesced and never retracted.
+    Lazy,
+    /// Conservative emission under a slack bound that is a control loop
+    /// over *observed* disorder instead of a fixed `K`: the engine keeps a
+    /// decayed power-of-two histogram of arrival lateness and sets
+    /// `K̂ = max(k_slack, quantile(q) · safety)`, where `q` and `safety`
+    /// are derived from `accuracy`.
+    ///
+    /// `accuracy` is the per-query latency-vs-accuracy knob (`0..=100`,
+    /// negotiated at SUBSCRIBE time): higher values track a higher
+    /// lateness quantile with more safety margin — fewer late drops, more
+    /// buffering latency. `accuracy >= 90` tracks at least the p99.
+    AdaptiveSlack {
+        /// Latency-vs-accuracy knob, `0..=100`.
+        accuracy: u8,
+    },
+}
+
+impl DisorderPolicy {
+    /// Whether this policy can emit [`crate::OutputKind::Retract`] items
+    /// for its *own* speculatively-emitted matches. (Any policy will still
+    /// retract matches inherited unsealed across a policy-changing
+    /// checkpoint resume.)
+    pub fn speculates(self) -> bool {
+        self == DisorderPolicy::Speculative
+    }
+
+    /// The accuracy knob, when the policy is adaptive.
+    pub fn adaptive_accuracy(self) -> Option<u8> {
+        match self {
+            DisorderPolicy::AdaptiveSlack { accuracy } => Some(accuracy),
+            _ => None,
+        }
+    }
+
+    /// The quantile of observed lateness the adaptive bound tracks, and
+    /// the safety multiplier applied on top. `accuracy = 0` → (p90, 1.0);
+    /// `accuracy = 100` → (max, 2.0); linear in between.
+    pub fn adaptive_params(self) -> Option<(f64, f64)> {
+        self.adaptive_accuracy().map(|a| {
+            let a = f64::from(a.min(100));
+            (0.90 + 0.001 * a, 1.0 + a / 100.0)
+        })
+    }
 }
 
 /// Where the stream's low-watermark comes from.
@@ -72,8 +125,8 @@ pub struct EngineConfig {
     pub purge: PurgePolicy,
     /// Construction optimizations.
     pub construct: ConstructOpts,
-    /// Negation emission policy.
-    pub emission: EmissionPolicy,
+    /// Disorder-handling policy (emission timing + slack-bound source).
+    pub policy: DisorderPolicy,
     /// Watermark mechanism.
     pub watermark: WatermarkSource,
     /// Shard state by the query's partition scheme when one exists.
@@ -84,6 +137,13 @@ pub struct EngineConfig {
     /// detects purge bugs; must stay `0` in any real configuration.
     #[doc(hidden)]
     pub purge_horizon_skew: u64,
+    /// Fault injection: silently swallow the first retraction the engine
+    /// would emit, leaving a speculative insert standing that the settled
+    /// output should not contain. Exists so the differential simulator
+    /// (`sequin sim --retraction-drop 1`) can prove it detects speculative
+    /// unsoundness; must stay `0` in any real configuration.
+    #[doc(hidden)]
+    pub retraction_drop: u64,
 }
 
 impl EngineConfig {
@@ -113,10 +173,11 @@ impl Default for EngineConfig {
             adaptive_k: None,
             purge: PurgePolicy::default(),
             construct: ConstructOpts::default(),
-            emission: EmissionPolicy::Conservative,
+            policy: DisorderPolicy::Conservative,
             watermark: WatermarkSource::KSlack,
             partitioned: true,
             purge_horizon_skew: 0,
+            retraction_drop: 0,
         }
     }
 }
@@ -128,11 +189,38 @@ mod tests {
     #[test]
     fn defaults_are_paper_recommended() {
         let c = EngineConfig::default();
-        assert_eq!(c.emission, EmissionPolicy::Conservative);
+        assert_eq!(c.policy, DisorderPolicy::Conservative);
         assert_eq!(c.watermark, WatermarkSource::KSlack);
         assert!(c.partitioned);
         assert!(c.construct.window_cutoff);
         assert!(c.purge.every_n.is_some());
+        assert_eq!(c.retraction_drop, 0);
+    }
+
+    #[test]
+    fn adaptive_params_scale_with_accuracy() {
+        assert_eq!(DisorderPolicy::Conservative.adaptive_params(), None);
+        assert_eq!(DisorderPolicy::Speculative.adaptive_accuracy(), None);
+        let (q0, s0) = DisorderPolicy::AdaptiveSlack { accuracy: 0 }
+            .adaptive_params()
+            .unwrap();
+        let (q90, s90) = DisorderPolicy::AdaptiveSlack { accuracy: 90 }
+            .adaptive_params()
+            .unwrap();
+        let (q100, s100) = DisorderPolicy::AdaptiveSlack { accuracy: 100 }
+            .adaptive_params()
+            .unwrap();
+        assert!((q0 - 0.90).abs() < 1e-9 && (s0 - 1.0).abs() < 1e-9);
+        assert!(q90 >= 0.99, "accuracy 90 must track at least the p99");
+        assert!((q100 - 1.0).abs() < 1e-9 && (s100 - 2.0).abs() < 1e-9);
+        assert!(q0 < q90 && q90 < q100 && s0 < s90 && s90 < s100);
+        // out-of-range knobs clamp instead of overshooting
+        let (qbig, _) = DisorderPolicy::AdaptiveSlack { accuracy: 255 }
+            .adaptive_params()
+            .unwrap();
+        assert!((qbig - 1.0).abs() < 1e-9);
+        assert!(DisorderPolicy::Speculative.speculates());
+        assert!(!DisorderPolicy::Lazy.speculates());
     }
 
     #[test]
@@ -148,6 +236,6 @@ mod tests {
     fn with_k_overrides_only_k() {
         let c = EngineConfig::with_k(Duration::new(7));
         assert_eq!(c.k_slack, Duration::new(7));
-        assert_eq!(c.emission, EngineConfig::default().emission);
+        assert_eq!(c.policy, EngineConfig::default().policy);
     }
 }

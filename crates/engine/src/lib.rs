@@ -17,10 +17,11 @@
 //!   its last constituent arrives, at bounded state.
 //!
 //! All strategies implement the [`Engine`] trait and emit
-//! [`OutputItem`]s; negation handling is governed by [`EmissionPolicy`]
-//! (conservative sealed emission vs. aggressive emission with
-//! retraction). Watermarks advance by K-slack, by punctuation, or both —
-//! see [`EngineConfig`].
+//! [`OutputItem`]s; emission timing and the slack bound are governed by
+//! the per-query [`DisorderPolicy`] (conservative sealed emission,
+//! speculative emission with retraction, lazy coalesced emission, or an
+//! adaptive slack bound driven by observed disorder). Watermarks advance
+//! by K-slack, by punctuation, or both — see [`EngineConfig`].
 //!
 //! ```
 //! use sequin_engine::{Engine, EngineConfig, NativeEngine};
@@ -59,7 +60,7 @@ mod watermark;
 
 pub use buffer::{BufferedEngine, KSlackBuffer};
 pub use checkpoint::{CheckpointPolicy, CheckpointStore, Checkpointer};
-pub use config::{AdaptiveK, EmissionPolicy, EngineConfig, WatermarkSource};
+pub use config::{AdaptiveK, DisorderPolicy, EngineConfig, WatermarkSource};
 pub use inorder::InOrderEngine;
 pub use multi::{MultiEngine, QueryId};
 pub use native::NativeEngine;

@@ -39,7 +39,7 @@ impl QueryId {
 ///
 /// Monitoring deployments routinely run dozens of patterns over one feed;
 /// this wrapper gives them a single ingestion point with per-query
-/// configuration (different strategies, bounds, or emission policies may
+/// configuration (different strategies, bounds, or disorder policies may
 /// be mixed freely).
 ///
 /// ```

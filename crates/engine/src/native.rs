@@ -14,7 +14,7 @@ use sequin_types::{
     ArrivalSeq, CodecError, Decode, Encode, EventRef, Reader, StreamItem, Timestamp, Writer,
 };
 
-use crate::config::{EmissionPolicy, EngineConfig};
+use crate::config::{DisorderPolicy, EngineConfig};
 use crate::output::{OutputItem, OutputKind};
 use crate::traits::Engine;
 use crate::watermark::WatermarkTracker;
@@ -49,7 +49,7 @@ impl Ord for Pending {
 }
 
 /// A match already emitted whose negation regions were not yet sealed
-/// (aggressive emission): a late negative may still retract it.
+/// (speculative emission): a late negative may still retract it.
 #[derive(Debug, Clone)]
 pub(crate) struct EmittedUnsealed {
     pub(crate) deadline: Timestamp,
@@ -125,7 +125,7 @@ pub(crate) fn key_hash(key: &PartitionKey) -> u64 {
 /// seal-time emissions (by deadline, then match identity).
 #[derive(Debug, Default)]
 pub(crate) struct PhasedOutput {
-    /// Aggressive-mode retractions, keyed by the match's seal deadline.
+    /// Speculative-mode retractions, keyed by the match's seal deadline.
     pub(crate) retracts: Vec<(Timestamp, OutputItem)>,
     /// Construction-time emissions, keyed by the arrival's positive slot.
     pub(crate) constructed: Vec<(usize, OutputItem)>,
@@ -206,10 +206,13 @@ impl PhasedOutput {
 /// watermark-safe purge.
 ///
 /// * Negation-free matches are emitted the instant their last-arriving
-///   constituent is ingested (zero arrival latency, exactly once).
-/// * Negation is handled per [`EmissionPolicy`]: conservatively (held
-///   until the negation regions seal, then re-validated) or aggressively
-///   (emitted immediately, retracted if a late negative lands).
+///   constituent is ingested (zero arrival latency, exactly once) — except
+///   under [`DisorderPolicy::Lazy`], which defers every emission to the
+///   seal drain.
+/// * Negation is handled per [`DisorderPolicy`]: conservatively (held
+///   until the negation regions seal, then re-validated), speculatively
+///   (emitted immediately, retracted if a late negative lands), lazily,
+///   or conservatively under an adaptive slack bound.
 /// * State is purged against the watermark (`clock − K`, punctuation, or
 ///   both) using the thresholds derived in [`sequin_runtime::purge`].
 /// * With [`EngineConfig::partitioned`] and a query-level equality chain,
@@ -229,6 +232,10 @@ pub struct NativeEngine {
     stats: RuntimeStats,
     scratch: Vec<Vec<EventRef>>,
     slice: Option<ShardSlice>,
+    /// Sabotage bookkeeping for [`EngineConfig::retraction_drop`]: how
+    /// many retractions this instance has already swallowed. Not part of
+    /// snapshots — the knob only exists for the differential simulator.
+    retractions_dropped: u64,
 }
 
 impl NativeEngine {
@@ -255,6 +262,7 @@ impl NativeEngine {
             stats: RuntimeStats::default(),
             scratch: Vec::new(),
             slice: None,
+            retractions_dropped: 0,
         }
     }
 
@@ -382,7 +390,11 @@ impl NativeEngine {
                 let mut lockstep = RuntimeStats::default();
                 self.negatives.offer(event, &mut lockstep);
             }
-            if self.config.emission == EmissionPolicy::Aggressive {
+            // Speculative emission leaves unsealed matches standing that a
+            // late negative must retract. Other policies may still carry
+            // unsealed records inherited through a policy-changing restore,
+            // which they retract the same way rather than double-count.
+            if self.config.policy.speculates() || !self.emitted_unsealed.is_empty() {
                 self.retract_invalidated(event, out);
             }
         }
@@ -474,15 +486,29 @@ impl NativeEngine {
     /// Decides what to do with a freshly constructed match (`slot` is the
     /// arriving event's positive slot, the construction-phase merge key).
     fn route_match(&mut self, slot: usize, events: Vec<EventRef>, out: &mut PhasedOutput) {
+        let policy = self.config.policy;
         if !self.query.has_negation() {
-            let o = self.make_output(events, OutputKind::Insert);
-            out.constructed.push((slot, o));
+            if policy == DisorderPolicy::Lazy {
+                // Defer to the seal drain: the deadline is the match's own
+                // maximum timestamp, so it emits once the watermark passes
+                // the match (or a drain/finish seals the stream).
+                let deadline = events.last().expect("match has events").ts();
+                self.pending.push(Reverse(Pending { deadline, events }));
+            } else {
+                let o = self.make_output(events, OutputKind::Insert);
+                out.constructed.push((slot, o));
+            }
             return;
         }
         let deadline = seal_deadline(&self.query, &events).expect("query has negation");
         let watermark = self.watermark();
-        match self.config.emission {
-            EmissionPolicy::Conservative => {
+        match policy {
+            DisorderPolicy::Lazy => {
+                // Even already-sealed matches go through the pending heap,
+                // so every lazy emission leaves via the seal drain.
+                self.pending.push(Reverse(Pending { deadline, events }));
+            }
+            DisorderPolicy::Conservative | DisorderPolicy::AdaptiveSlack { .. } => {
                 if deadline <= watermark {
                     if !self.negatives.violates(&events, &mut self.stats) {
                         let o = self.make_output(events, OutputKind::Insert);
@@ -492,7 +518,7 @@ impl NativeEngine {
                     self.pending.push(Reverse(Pending { deadline, events }));
                 }
             }
-            EmissionPolicy::Aggressive => {
+            DisorderPolicy::Speculative => {
                 if self.negatives.violates(&events, &mut self.stats) {
                     return;
                 }
@@ -508,7 +534,7 @@ impl NativeEngine {
         }
     }
 
-    /// Aggressive mode: a just-arrived negative retracts any emitted,
+    /// Speculative mode: a just-arrived negative retracts any emitted,
     /// still-unsealed match it invalidates.
     fn retract_invalidated(&mut self, negative: &EventRef, out: &mut PhasedOutput) {
         let query = Arc::clone(&self.query);
@@ -539,13 +565,20 @@ impl NativeEngine {
         });
         for (deadline, events) in retracted {
             self.stats.negated_matches += 1;
+            // sabotage knob: swallow the retraction (the unsealed record is
+            // already gone) so the settled output keeps a match the oracle
+            // rejects — the differential harness must flag this
+            if self.retractions_dropped < self.config.retraction_drop {
+                self.retractions_dropped += 1;
+                continue;
+            }
             let o = self.make_output(events, OutputKind::Retract);
             out.retracts.push((deadline, o));
         }
     }
 
     /// Emits pending matches whose regions sealed, and forgets sealed
-    /// aggressive records.
+    /// speculative records.
     fn drain_sealed(&mut self, out: &mut PhasedOutput) {
         let watermark = self.watermark();
         while let Some(Reverse(top)) = self.pending.peek() {
@@ -564,11 +597,14 @@ impl NativeEngine {
     /// A fingerprint of the query and the semantics-relevant configuration,
     /// embedded in snapshots so state is never restored into an engine
     /// evaluating a different query (or the same query under incompatible
-    /// settings).
+    /// settings). The disorder policy is deliberately *not* part of it:
+    /// snapshots are policy-portable, so a subscription can change policy
+    /// across a checkpoint resume (the carried pending/unsealed records
+    /// drain correctly under any policy).
     fn fingerprint(&self) -> u64 {
         let desc = format!(
-            "{}|{:?}|{:?}|{}",
-            self.query, self.config.emission, self.config.watermark, self.config.partitioned
+            "{}|{:?}|{}",
+            self.query, self.config.watermark, self.config.partitioned
         );
         fnv1a64(desc.as_bytes())
     }
@@ -971,6 +1007,10 @@ impl Engine for NativeEngine {
         Some(self.wm.clock())
     }
 
+    fn slack_bound(&self) -> Option<sequin_types::Duration> {
+        Some(self.wm.k_hat())
+    }
+
     fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
         Ok(self.snapshot_bytes())
     }
@@ -1078,7 +1118,7 @@ mod tests {
         let reg = registry();
         let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
         let mut cfg = EngineConfig::with_k(Duration::new(10));
-        cfg.emission = EmissionPolicy::Conservative;
+        cfg.policy = DisorderPolicy::Conservative;
         let mut eng = NativeEngine::new(q, cfg);
         let mut out = Vec::new();
         out.extend(eng.ingest(&item(&reg, "A", 1, 10, 0)));
@@ -1108,11 +1148,11 @@ mod tests {
     }
 
     #[test]
-    fn aggressive_negation_emits_then_retracts() {
+    fn speculative_negation_emits_then_retracts() {
         let reg = registry();
         let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
         let mut cfg = EngineConfig::with_k(Duration::new(50));
-        cfg.emission = EmissionPolicy::Aggressive;
+        cfg.policy = DisorderPolicy::Speculative;
         let mut eng = NativeEngine::new(q, cfg);
         let mut out = Vec::new();
         out.extend(eng.ingest(&item(&reg, "A", 1, 10, 0)));
@@ -1126,7 +1166,7 @@ mod tests {
     }
 
     #[test]
-    fn aggressive_insert_minus_retract_equals_conservative() {
+    fn speculative_insert_minus_retract_equals_conservative() {
         let reg = registry();
         let text = "PATTERN SEQ(A a, !N n, B b) WHERE a.tag == b.tag WITHIN 50";
         let q = parse(text, &reg).unwrap();
@@ -1140,17 +1180,17 @@ mod tests {
         ];
         let mut cons = NativeEngine::new(Arc::clone(&q), {
             let mut c = EngineConfig::with_k(Duration::new(30));
-            c.emission = EmissionPolicy::Conservative;
+            c.policy = DisorderPolicy::Conservative;
             c
         });
         let mut aggr = NativeEngine::new(q, {
             let mut c = EngineConfig::with_k(Duration::new(30));
-            c.emission = EmissionPolicy::Aggressive;
+            c.policy = DisorderPolicy::Speculative;
             c
         });
         let out_c = run_to_end(&mut cons, &items);
         let out_a = run_to_end(&mut aggr, &items);
-        // net aggressive output (inserts minus retracts) == conservative
+        // net speculative output (inserts minus retracts) == conservative
         let mut net: std::collections::BTreeMap<Vec<u64>, i64> = Default::default();
         for o in &out_a {
             let k: Vec<u64> = o.m.events().iter().map(|e| e.id().get()).collect();
@@ -1301,5 +1341,148 @@ mod tests {
         eng.ingest(&item(&reg, "A", 1, 10, 0));
         eng.ingest(&item(&reg, "B", 2, 20, 0));
         assert_eq!(eng.state_size(), 3); // 2 stack instances + 1 pending
+    }
+
+    fn policy_cfg(k: u64, policy: DisorderPolicy) -> EngineConfig {
+        let mut c = EngineConfig::with_k(Duration::new(k));
+        c.policy = policy;
+        c
+    }
+
+    /// A disordered mixed stream exercising negation, retraction windows,
+    /// and plain matches.
+    fn mixed_stream(reg: &TypeRegistry) -> Vec<StreamItem> {
+        vec![
+            item(reg, "A", 1, 10, 1),
+            item(reg, "B", 2, 30, 1),
+            item(reg, "N", 3, 20, 0), // late negative kills (1,2)
+            item(reg, "A", 4, 40, 2),
+            item(reg, "B", 5, 60, 2),
+            item(reg, "B", 6, 55, 2), // late positive
+            item(reg, "A", 7, 200, 3),
+            item(reg, "B", 8, 230, 3),
+        ]
+    }
+
+    fn settled(out: &[OutputItem]) -> Vec<Vec<u64>> {
+        let mut net: std::collections::BTreeMap<Vec<u64>, i64> = Default::default();
+        for o in out {
+            let k: Vec<u64> = o.m.events().iter().map(|e| e.id().get()).collect();
+            *net.entry(k).or_default() += if o.kind == OutputKind::Insert { 1 } else { -1 };
+        }
+        net.retain(|_, v| *v != 0);
+        assert!(net.values().all(|v| *v == 1), "no duplicate settles");
+        net.into_keys().collect()
+    }
+
+    #[test]
+    fn every_policy_settles_to_the_conservative_output() {
+        let reg = registry();
+        for text in [
+            "PATTERN SEQ(A a, !N n, B b) WHERE a.tag == b.tag WITHIN 50",
+            "PATTERN SEQ(A a, B b) WITHIN 50",
+        ] {
+            let q = parse(text, &reg).unwrap();
+            let items = mixed_stream(&reg);
+            let mut cons =
+                NativeEngine::new(Arc::clone(&q), policy_cfg(30, DisorderPolicy::Conservative));
+            let oracle = settled(&run_to_end(&mut cons, &items));
+            for policy in [
+                DisorderPolicy::Speculative,
+                DisorderPolicy::Lazy,
+                DisorderPolicy::AdaptiveSlack { accuracy: 0 },
+                DisorderPolicy::AdaptiveSlack { accuracy: 100 },
+            ] {
+                let mut eng = NativeEngine::new(Arc::clone(&q), policy_cfg(30, policy));
+                let got = settled(&run_to_end(&mut eng, &items));
+                assert_eq!(got, oracle, "{text} under {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_defers_negation_free_matches_to_the_seal_drain() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, B b) WITHIN 100", &reg).unwrap();
+        let mut eng = NativeEngine::new(q, policy_cfg(10, DisorderPolicy::Lazy));
+        let mut out = Vec::new();
+        out.extend(eng.ingest(&item(&reg, "A", 1, 10, 0)));
+        out.extend(eng.ingest(&item(&reg, "B", 2, 20, 0)));
+        assert!(out.is_empty(), "lazy holds the match while it is unsealed");
+        assert_eq!(eng.state_size(), 3, "2 stack instances + 1 deferred");
+        // watermark passes the match's max timestamp: it emits coalesced
+        out.extend(eng.ingest(&item(&reg, "A", 3, 40, 0)));
+        assert_eq!(keys(&out), vec![(true, vec![1, 2])]);
+        // and never a retraction
+        assert!(out.iter().all(|o| o.kind == OutputKind::Insert));
+    }
+
+    #[test]
+    fn retraction_drop_knob_swallows_exactly_one_retraction() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let mut cfg = policy_cfg(50, DisorderPolicy::Speculative);
+        cfg.retraction_drop = 1;
+        let mut sabotaged = NativeEngine::new(Arc::clone(&q), cfg);
+        let mut honest = NativeEngine::new(q, policy_cfg(50, DisorderPolicy::Speculative));
+        let items = [
+            item(&reg, "A", 1, 10, 0),
+            item(&reg, "B", 2, 20, 0),
+            item(&reg, "N", 3, 15, 0), // retracts (1,2)
+            item(&reg, "A", 4, 30, 0),
+            item(&reg, "B", 5, 40, 0),
+            item(&reg, "N", 6, 35, 0), // retracts (4,5)
+        ];
+        let out_s = run_to_end(&mut sabotaged, &items);
+        let out_h = run_to_end(&mut honest, &items);
+        let retracts =
+            |out: &[OutputItem]| out.iter().filter(|o| o.kind == OutputKind::Retract).count();
+        assert_eq!(retracts(&out_h), 2);
+        assert_eq!(retracts(&out_s), 1, "first retraction silently dropped");
+        // the sabotaged settled output keeps a match the honest one drops
+        assert_eq!(settled(&out_s).len(), settled(&out_h).len() + 1);
+    }
+
+    #[test]
+    fn policy_change_across_snapshot_restores_and_settles_once() {
+        let reg = registry();
+        let q = parse("PATTERN SEQ(A a, !N n, B b) WITHIN 100", &reg).unwrap();
+        let prefix = [
+            item(&reg, "A", 1, 10, 0),
+            item(&reg, "B", 2, 20, 0), // speculative: emitted unsealed
+        ];
+        let suffix = [
+            item(&reg, "N", 3, 15, 0), // invalidates (1,2) after the switch
+            item(&reg, "A", 4, 200, 0),
+            item(&reg, "B", 5, 220, 0),
+        ];
+        let mut spec =
+            NativeEngine::new(Arc::clone(&q), policy_cfg(50, DisorderPolicy::Speculative));
+        let mut out = Vec::new();
+        for it in &prefix {
+            out.extend(spec.ingest(it));
+        }
+        assert_eq!(keys(&out), vec![(true, vec![1, 2])], "emitted unsealed");
+        let snap = spec.snapshot().unwrap();
+        // resume the same state under every other policy: the inherited
+        // unsealed record must still be retracted by the late negative
+        for policy in [
+            DisorderPolicy::Conservative,
+            DisorderPolicy::Lazy,
+            DisorderPolicy::AdaptiveSlack { accuracy: 90 },
+        ] {
+            let mut resumed = NativeEngine::new(Arc::clone(&q), policy_cfg(50, policy));
+            resumed.restore(&snap).unwrap();
+            let mut tail = out.clone();
+            for it in &suffix {
+                tail.extend(resumed.ingest(it));
+            }
+            tail.extend(resumed.finish());
+            assert_eq!(
+                settled(&tail),
+                vec![vec![4, 5]],
+                "resume under {policy:?}: (1,2) retracted exactly once, (4,5) kept"
+            );
+        }
     }
 }

@@ -10,7 +10,7 @@ use sequin_types::{ArrivalSeq, Timestamp};
 pub enum OutputKind {
     /// A (believed-)valid match.
     Insert,
-    /// Withdrawal of a previously inserted match (aggressive negation
+    /// Withdrawal of a previously inserted match (speculative negation
     /// emission only).
     Retract,
 }

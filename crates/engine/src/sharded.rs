@@ -480,6 +480,12 @@ impl Engine for ShardedEngine {
         self.workers.first().map(|w| w.lock().clock())
     }
 
+    fn slack_bound(&self) -> Option<sequin_types::Duration> {
+        // watermark state is lockstep across workers, so any worker's
+        // disorder-bound estimate is the pool's
+        self.workers.first().map(|w| w.lock().k_hat())
+    }
+
     fn per_shard_stats(&self) -> Vec<RuntimeStats> {
         ShardedEngine::per_shard_stats(self)
     }
@@ -536,7 +542,7 @@ impl Drop for ShardedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EmissionPolicy;
+    use crate::config::DisorderPolicy;
     use crate::traits::run_to_end;
     use sequin_query::parse;
     use sequin_types::{Duration, Event, EventId, TypeRegistry, Value, ValueKind};
@@ -592,20 +598,25 @@ mod tests {
     }
 
     #[test]
-    fn sharded_outputs_equal_single_threaded_both_policies() {
+    fn sharded_outputs_equal_single_threaded_all_policies() {
         let reg = registry();
         let q = partitioned_query(&reg);
         let items = stream(&reg);
-        for emission in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+        for policy in [
+            DisorderPolicy::Conservative,
+            DisorderPolicy::Speculative,
+            DisorderPolicy::Lazy,
+            DisorderPolicy::AdaptiveSlack { accuracy: 90 },
+        ] {
             let mut cfg = EngineConfig::with_k(Duration::new(20));
-            cfg.emission = emission;
+            cfg.policy = policy;
             let mut oracle = NativeEngine::new(Arc::clone(&q), cfg);
             let want = run_to_end(&mut oracle, &items);
             assert!(!want.is_empty());
             for n in [1usize, 2, 3, 5] {
                 let mut pool = ShardedEngine::new(Arc::clone(&q), cfg, n);
                 let got = run_to_end(&mut pool, &items);
-                assert_eq!(got, want, "shards={n} {emission:?}");
+                assert_eq!(got, want, "shards={n} {policy:?}");
             }
         }
     }

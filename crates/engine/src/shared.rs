@@ -32,6 +32,13 @@
 //! mid-stream starts a fresh epoch, so it observes exactly the arrivals
 //! a newly constructed independent engine would — stacks never pool
 //! across epochs (the epoch is part of the plan's slot signature).
+//!
+//! Epochs are additionally split by *watermark class*: queries under a
+//! fixed disorder bound (conservative, speculative, lazy) pool freely,
+//! while each [`DisorderPolicy::AdaptiveSlack`] accuracy level gets its
+//! own epoch — an adaptive query's watermark is driven by its lateness
+//! sketch and must never be shared with a fixed-bound query (the pooling
+//! compatibility rule).
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -48,7 +55,7 @@ use sequin_types::{
     Writer,
 };
 
-use crate::config::{EmissionPolicy, EngineConfig};
+use crate::config::{DisorderPolicy, EngineConfig};
 use crate::multi::QueryId;
 use crate::native::{EmittedUnsealed, NativeEngine, Pending, PhasedOutput};
 use crate::output::{OutputItem, OutputKind};
@@ -79,8 +86,37 @@ pub struct PlanMetrics {
     pub fanout_outputs: u64,
 }
 
+/// The watermark-compatibility class of a [`DisorderPolicy`]: fixed-bound
+/// policies share one tracker per registration position; each adaptive
+/// accuracy level tracks its own (the sketch-driven bound must not leak
+/// between queries with different knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WmClass {
+    Fixed,
+    Adaptive(u8),
+}
+
+impl WmClass {
+    fn of(policy: DisorderPolicy) -> WmClass {
+        match policy.adaptive_accuracy() {
+            Some(accuracy) => WmClass::Adaptive(accuracy),
+            None => WmClass::Fixed,
+        }
+    }
+
+    /// A representative policy for constructing this class's watermark
+    /// tracker (the tracker only consults [`DisorderPolicy::adaptive_params`]).
+    fn tracker_policy(self) -> DisorderPolicy {
+        match self {
+            WmClass::Fixed => DisorderPolicy::Conservative,
+            WmClass::Adaptive(accuracy) => DisorderPolicy::AdaptiveSlack { accuracy },
+        }
+    }
+}
+
 /// Per-registration-epoch stream state: one watermark tracker and one
-/// arrival sequence shared by every query registered at that position.
+/// arrival sequence shared by every query registered at that position
+/// with a compatible watermark class.
 struct EpochState {
     wm: WatermarkTracker,
     seq: ArrivalSeq,
@@ -89,9 +125,11 @@ struct EpochState {
 }
 
 impl EpochState {
-    fn new(config: &EngineConfig) -> EpochState {
+    fn new(config: &EngineConfig, class: WmClass) -> EpochState {
+        let mut c = *config;
+        c.policy = class.tracker_policy();
         EpochState {
-            wm: WatermarkTracker::new(config),
+            wm: WatermarkTracker::new(&c),
             seq: ArrivalSeq::default(),
             queries: Vec::new(),
         }
@@ -102,6 +140,9 @@ impl EpochState {
 struct QueryState {
     query: Arc<Query>,
     epoch: usize,
+    /// This query's disorder-handling policy (emission timing; the
+    /// watermark side lives in the epoch's class).
+    policy: DisorderPolicy,
     negatives: NegationIndex,
     pending: BinaryHeap<Reverse<Pending>>,
     emitted_unsealed: Vec<EmittedUnsealed>,
@@ -114,11 +155,12 @@ struct QueryState {
 }
 
 impl QueryState {
-    fn new(query: Arc<Query>, epoch: usize) -> QueryState {
+    fn new(query: Arc<Query>, epoch: usize, policy: DisorderPolicy) -> QueryState {
         QueryState {
             negatives: NegationIndex::new(Arc::clone(&query)),
             query,
             epoch,
+            policy,
             pending: BinaryHeap::new(),
             emitted_unsealed: Vec::new(),
             stats: RuntimeStats::default(),
@@ -132,7 +174,8 @@ impl QueryState {
 /// Multi-query evaluation over one shared plan (see module docs).
 ///
 /// Drop-in for [`crate::MultiEngine`] when every query runs the native
-/// strategy under one shared [`EngineConfig`]: registration returns
+/// strategy under one shared [`EngineConfig`] (with an optional per-query
+/// [`DisorderPolicy`] override): registration returns
 /// [`QueryId`]s compatible with `MultiEngine`'s, outputs carry the same
 /// tags in the same order, and snapshots use the `MultiEngine` envelope
 /// of per-query native-engine blobs — a checkpoint taken by either
@@ -145,9 +188,13 @@ pub struct SharedMultiEngine {
     stacks: Vec<AisStack>,
     states: Vec<QueryState>,
     epochs: Vec<EpochState>,
-    /// Epoch accepting same-position registrations (None once an item has
-    /// been ingested since the last registration).
-    open_epoch: Option<usize>,
+    /// Epochs accepting same-position registrations, one per watermark
+    /// class (cleared once an item has been ingested since the last
+    /// registration).
+    open_epochs: Vec<(WmClass, usize)>,
+    /// Sabotage bookkeeping for [`EngineConfig::retraction_drop`]. Not
+    /// part of snapshots.
+    retractions_dropped: u64,
     counters: PlanMetrics,
     scratch_marked: Vec<usize>,
 }
@@ -165,10 +212,7 @@ impl std::fmt::Debug for SharedMultiEngine {
 /// The native engine's snapshot fingerprint for `query` under `config`
 /// (shared-plan blobs must interchange with [`NativeEngine`] blobs).
 fn engine_fingerprint(query: &Query, config: &EngineConfig) -> u64 {
-    let desc = format!(
-        "{}|{:?}|{:?}|{}",
-        query, config.emission, config.watermark, config.partitioned
-    );
+    let desc = format!("{}|{:?}|{}", query, config.watermark, config.partitioned);
     fnv1a64(desc.as_bytes())
 }
 
@@ -183,7 +227,8 @@ impl SharedMultiEngine {
             stacks: Vec::new(),
             states: Vec::new(),
             epochs: Vec::new(),
-            open_epoch: None,
+            open_epochs: Vec::new(),
+            retractions_dropped: 0,
             counters: PlanMetrics::default(),
             scratch_marked: Vec::new(),
         }
@@ -210,17 +255,27 @@ impl SharedMultiEngine {
         &self.states[id.index()].query
     }
 
-    /// Registers a query; incremental recompile carries all pooled stack
-    /// contents over by signature equality. Queries registered at the
-    /// same stream position share an epoch; a query registered after any
-    /// ingestion starts a fresh one (it must not see earlier arrivals).
+    /// Registers a query under the shared configuration's policy;
+    /// incremental recompile carries all pooled stack contents over by
+    /// signature equality. Queries registered at the same stream position
+    /// with a compatible watermark class share an epoch; a query
+    /// registered after any ingestion starts a fresh one (it must not see
+    /// earlier arrivals).
     pub fn register(&mut self, query: Arc<Query>) -> QueryId {
-        let epoch = match self.open_epoch {
-            Some(e) => e,
+        let policy = self.config.policy;
+        self.register_with_policy(query, policy)
+    }
+
+    /// Like [`SharedMultiEngine::register`], with a per-query
+    /// [`DisorderPolicy`] overriding the shared configuration's.
+    pub fn register_with_policy(&mut self, query: Arc<Query>, policy: DisorderPolicy) -> QueryId {
+        let class = WmClass::of(policy);
+        let epoch = match self.open_epochs.iter().find(|(c, _)| *c == class) {
+            Some(&(_, e)) => e,
             None => {
-                self.epochs.push(EpochState::new(&self.config));
+                self.epochs.push(EpochState::new(&self.config, class));
                 let e = self.epochs.len() - 1;
-                self.open_epoch = Some(e);
+                self.open_epochs.push((class, e));
                 e
             }
         };
@@ -229,9 +284,20 @@ impl SharedMultiEngine {
             epoch,
             active: true,
         });
-        self.states.push(QueryState::new(query, epoch));
+        self.states.push(QueryState::new(query, epoch, policy));
         self.recompile();
         QueryId::new(self.specs.len() - 1)
+    }
+
+    /// The policy a query was registered under.
+    pub fn query_policy(&self, id: QueryId) -> DisorderPolicy {
+        self.states[id.index()].policy
+    }
+
+    /// One query's current disorder-bound estimate (`K`, or the adaptive
+    /// `K̂` of its epoch's slack control loop).
+    pub fn query_slack(&self, id: QueryId) -> Duration {
+        self.epochs[self.states[id.index()].epoch].wm.k_hat()
     }
 
     /// Unregisters a query. The dense id stays allocated (output tags and
@@ -380,7 +446,7 @@ impl SharedMultiEngine {
     // ------------------------------------------------------------------
 
     fn ingest_one(&mut self, item: &StreamItem) {
-        self.open_epoch = None;
+        self.open_epochs.clear();
         match item {
             StreamItem::Event(event) => {
                 // one stamped arrival per epoch: each epoch's sequence
@@ -435,11 +501,14 @@ impl SharedMultiEngine {
         // arrival must be visible to validation during this call
         for &qix in &entry.neg_queries {
             let ev = Arc::clone(&stamped[self.states[qix].epoch]);
-            {
+            let must_retract = {
                 let st = &mut self.states[qix];
                 st.negatives.offer(&ev, &mut st.stats);
-            }
-            if self.config.emission == EmissionPolicy::Aggressive {
+                // non-speculative queries can still inherit unsealed
+                // records from a speculative snapshot; those must retract
+                st.policy.speculates() || !st.emitted_unsealed.is_empty()
+            };
+            if must_retract {
                 self.retract_invalidated(qix, &ev);
             }
         }
@@ -614,16 +683,16 @@ impl SharedMultiEngine {
     }
 
     /// Native `route_match`: decide whether a freshly constructed match
-    /// emits now, waits for its negation regions to seal, or (aggressive)
-    /// emits optimistically.
+    /// emits now, waits for its negation regions to seal, is deferred
+    /// wholesale (lazy), or (speculative) emits optimistically.
     fn route_match(&mut self, qix: usize, slot: usize, events: Vec<EventRef>) {
         let eix = self.states[qix].epoch;
         let (seq, clock, wm) = {
             let ep = &self.epochs[eix];
             (ep.seq, ep.wm.clock(), ep.wm.current())
         };
-        let emission = self.config.emission;
         let st = &mut self.states[qix];
+        let policy = st.policy;
         let make = |st: &QueryState, events: Vec<EventRef>, kind: OutputKind| OutputItem {
             kind,
             m: Match::new(&st.query, events),
@@ -631,13 +700,23 @@ impl SharedMultiEngine {
             emit_clock: clock,
         };
         if !st.query.has_negation() {
-            let o = make(st, events, OutputKind::Insert);
-            st.phased.constructed.push((slot, o));
+            if policy == DisorderPolicy::Lazy {
+                // defer delivery until the match's newest constituent is
+                // below the watermark (identical to the native engine)
+                let deadline = events.last().expect("match has events").ts();
+                st.pending.push(Reverse(Pending { deadline, events }));
+            } else {
+                let o = make(st, events, OutputKind::Insert);
+                st.phased.constructed.push((slot, o));
+            }
             return;
         }
         let deadline = seal_deadline(&st.query, &events).expect("query has negation");
-        match emission {
-            EmissionPolicy::Conservative => {
+        match policy {
+            DisorderPolicy::Lazy => {
+                st.pending.push(Reverse(Pending { deadline, events }));
+            }
+            DisorderPolicy::Conservative | DisorderPolicy::AdaptiveSlack { .. } => {
                 if deadline <= wm {
                     if !st.negatives.violates(&events, &mut st.stats) {
                         let o = make(st, events, OutputKind::Insert);
@@ -647,7 +726,7 @@ impl SharedMultiEngine {
                     st.pending.push(Reverse(Pending { deadline, events }));
                 }
             }
-            EmissionPolicy::Aggressive => {
+            DisorderPolicy::Speculative => {
                 if st.negatives.violates(&events, &mut st.stats) {
                     return;
                 }
@@ -663,7 +742,7 @@ impl SharedMultiEngine {
         }
     }
 
-    /// Aggressive mode: a just-arrived negative retracts any emitted,
+    /// Speculative mode: a just-arrived negative retracts any emitted,
     /// still-unsealed match of `qix` it invalidates.
     fn retract_invalidated(&mut self, qix: usize, negative: &EventRef) {
         let eix = self.states[qix].epoch;
@@ -699,7 +778,13 @@ impl SharedMultiEngine {
             true
         });
         for (deadline, events) in retracted {
+            let st = &mut self.states[qix];
             st.stats.negated_matches += 1;
+            if self.retractions_dropped < self.config.retraction_drop {
+                self.retractions_dropped += 1;
+                continue;
+            }
+            let st = &mut self.states[qix];
             let o = OutputItem {
                 kind: OutputKind::Retract,
                 m: Match::new(&st.query, events),
@@ -711,7 +796,7 @@ impl SharedMultiEngine {
     }
 
     /// Emits pending matches whose regions sealed; forgets sealed
-    /// aggressive records.
+    /// speculative records.
     fn drain_sealed(&mut self, qix: usize) {
         let eix = self.states[qix].epoch;
         let (seq, clock, wm) = {
@@ -940,7 +1025,12 @@ impl SharedMultiEngine {
                     "query/configuration fingerprint",
                 ));
             }
-            let wm = WatermarkTracker::restore_from(&self.config, &mut r)?;
+            // the tracker's slack parameters derive from the query's
+            // *current* policy, not the snapshot (policy changes across a
+            // checkpoint take effect on restore, as in the native engine)
+            let mut qconfig = self.config;
+            qconfig.policy = self.states[qix].policy;
+            let wm = WatermarkTracker::restore_from(&qconfig, &mut r)?;
             let mut wb = Writer::new();
             wm.snapshot_into(&mut wb);
             let seq = ArrivalSeq::decode(&mut r)?;
@@ -1003,11 +1093,13 @@ impl SharedMultiEngine {
                 emitted_unsealed,
             });
         }
-        // regroup epochs: queries at identical stream positions share one
-        let mut keys: Vec<(Vec<u8>, u64)> = Vec::new();
+        // regroup epochs: queries at identical stream positions with a
+        // compatible watermark class share one
+        let mut keys: Vec<(Vec<u8>, u64, WmClass)> = Vec::new();
         let mut epoch_of: Vec<usize> = Vec::with_capacity(restored.len());
-        for rq in &restored {
-            let key = (rq.wm_bytes.clone(), rq.seq.get());
+        for (qix, rq) in restored.iter().enumerate() {
+            let class = WmClass::of(self.states[qix].policy);
+            let key = (rq.wm_bytes.clone(), rq.seq.get(), class);
             let eix = match keys.iter().position(|k| *k == key) {
                 Some(i) => i,
                 None => {
@@ -1055,7 +1147,7 @@ impl SharedMultiEngine {
         self.plan = plan;
         self.stacks = stacks;
         self.epochs = epochs;
-        self.open_epoch = None;
+        self.open_epochs.clear();
         for (qix, rq) in restored.into_iter().enumerate() {
             let st = &mut self.states[qix];
             st.epoch = epoch_of[qix];
@@ -1553,13 +1645,70 @@ mod tests {
     }
 
     #[test]
-    fn matches_independent_evaluation_aggressive() {
+    fn matches_independent_evaluation_speculative() {
         let cfg = EngineConfig {
-            emission: EmissionPolicy::Aggressive,
+            policy: DisorderPolicy::Speculative,
             ..EngineConfig::default()
         };
         for seed in 4..=6 {
             run_differential(cfg, seed);
+        }
+    }
+
+    #[test]
+    fn matches_independent_evaluation_lazy() {
+        let cfg = EngineConfig {
+            policy: DisorderPolicy::Lazy,
+            ..EngineConfig::default()
+        };
+        run_differential(cfg, 4);
+    }
+
+    #[test]
+    fn matches_independent_evaluation_adaptive() {
+        let cfg = EngineConfig {
+            policy: DisorderPolicy::AdaptiveSlack { accuracy: 90 },
+            ..EngineConfig::default()
+        };
+        run_differential(cfg, 5);
+    }
+
+    /// Per-query policies in one shared plan: every query's output stays
+    /// byte-identical to its own independent engine running the same
+    /// policy, and fixed-bound queries still pool while adaptive ones get
+    /// their own watermark epoch.
+    #[test]
+    fn mixed_policies_match_independent_evaluation() {
+        let reg = registry();
+        let queries = query_set(&reg);
+        let base = EngineConfig::default();
+        let policies = [
+            DisorderPolicy::Conservative,
+            DisorderPolicy::Speculative,
+            DisorderPolicy::Lazy,
+            DisorderPolicy::AdaptiveSlack { accuracy: 90 },
+        ];
+        let mut shared = SharedMultiEngine::new(base);
+        let mut multi = MultiEngine::new();
+        for (ix, q) in queries.iter().enumerate() {
+            let policy = policies[ix % policies.len()];
+            shared.register_with_policy(Arc::clone(q), policy);
+            let cfg = EngineConfig { policy, ..base };
+            multi.register(Arc::clone(q), Strategy::Native, cfg);
+        }
+        assert_eq!(
+            shared.plan_metrics().epochs,
+            2,
+            "one fixed-bound epoch, one adaptive epoch"
+        );
+        let items = gen_stream(&reg, 12, 400, 90);
+        for (ix, it) in items.iter().enumerate() {
+            outputs_eq(&shared.ingest(it), &multi.ingest(it), &format!("item {ix}"));
+        }
+        outputs_eq(&shared.finish(), &multi.finish(), "finish");
+        for (ix, _) in queries.iter().enumerate() {
+            let id = QueryId::new(ix);
+            assert_eq!(shared.query_policy(id), policies[ix % policies.len()]);
         }
     }
 

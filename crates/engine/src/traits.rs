@@ -92,6 +92,14 @@ pub trait Engine: Send {
         None
     }
 
+    /// The engine's current disorder-bound estimate (`K`, or the adaptive
+    /// `K̂`), when it tracks one. Exposed as the `sequin_slack_bound`
+    /// gauge; under [`crate::DisorderPolicy::AdaptiveSlack`] this is the
+    /// live output of the slack control loop.
+    fn slack_bound(&self) -> Option<sequin_types::Duration> {
+        None
+    }
+
     /// Operator cost counters broken out per parallel worker, for
     /// per-shard metrics exposition. Single-threaded engines (the default)
     /// report one entry equal to [`Engine::stats`].

@@ -5,24 +5,142 @@ use sequin_types::{Duration, Timestamp};
 
 use crate::config::{EngineConfig, WatermarkSource};
 
+/// Number of power-of-two lateness buckets: bucket `0` holds in-order
+/// arrivals (lateness 0), bucket `i` holds lateness in `[2^(i-1), 2^i)`.
+const SKETCH_BUCKETS: usize = 64;
+/// Halve every bucket after this many recorded arrivals, so the quantile
+/// estimate tracks *recent* disorder (exponential decay with a
+/// deterministic, replay-stable schedule).
+const SKETCH_DECAY_EVERY: u64 = 256;
+
+/// A decayed power-of-two histogram of arrival lateness.
+///
+/// This is the sensor of the [`crate::DisorderPolicy::AdaptiveSlack`]
+/// control loop: `quantile(q)` returns the **upper edge** of the bucket
+/// containing the `q`-quantile, so the reported bound never under-states
+/// any recorded sample at or below that rank — the cost of the compact
+/// representation is overestimation (at most 2×), never underestimation.
+///
+/// The sketch is maintained for every policy (one branch per arrival) so
+/// engine snapshots are policy-agnostic: a checkpoint taken under a fixed
+/// bound carries the disorder history an adaptive resume needs.
+#[derive(Debug, Clone)]
+pub(crate) struct LatenessSketch {
+    counts: [u64; SKETCH_BUCKETS],
+    total: u64,
+    since_decay: u64,
+}
+
+impl LatenessSketch {
+    fn new() -> LatenessSketch {
+        LatenessSketch {
+            counts: [0; SKETCH_BUCKETS],
+            total: 0,
+            since_decay: 0,
+        }
+    }
+
+    fn bucket(lateness: Duration) -> usize {
+        let t = lateness.ticks();
+        if t == 0 {
+            0
+        } else {
+            (64 - t.leading_zeros() as usize).min(SKETCH_BUCKETS - 1)
+        }
+    }
+
+    /// Upper edge of bucket `i`: the largest lateness it can hold.
+    fn upper_edge(i: usize) -> Duration {
+        if i == 0 {
+            Duration::ZERO
+        } else if i >= 63 {
+            Duration::MAX
+        } else {
+            Duration::new((1u64 << i) - 1)
+        }
+    }
+
+    pub fn record(&mut self, lateness: Duration) {
+        self.counts[Self::bucket(lateness)] += 1;
+        self.total += 1;
+        self.since_decay += 1;
+        if self.since_decay >= SKETCH_DECAY_EVERY {
+            self.since_decay = 0;
+            self.total = 0;
+            for c in self.counts.iter_mut() {
+                *c >>= 1;
+                self.total += *c;
+            }
+        }
+    }
+
+    /// The smallest bucket upper-edge at or above the `q`-quantile of the
+    /// recorded (decayed) samples; `ZERO` when nothing is recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::upper_edge(i);
+            }
+        }
+        Self::upper_edge(SKETCH_BUCKETS - 1)
+    }
+
+    pub fn snapshot_into(&self, w: &mut sequin_types::Writer) {
+        for &c in &self.counts {
+            w.put_u64(c);
+        }
+        w.put_u64(self.since_decay);
+    }
+
+    pub fn restore_from(
+        r: &mut sequin_types::Reader<'_>,
+    ) -> Result<LatenessSketch, sequin_types::CodecError> {
+        let mut s = LatenessSketch::new();
+        for c in s.counts.iter_mut() {
+            *c = r.get_u64()?;
+        }
+        s.total = s.counts.iter().sum();
+        s.since_decay = r.get_u64()?;
+        Ok(s)
+    }
+}
+
 /// Tracks the stream clock (max occurrence timestamp seen), punctuation
 /// assertions, the disorder-bound estimate `K̂`, and the resulting
 /// **monotone** low-watermark.
 ///
 /// With a fixed bound, `K̂ = K` always. With [`crate::AdaptiveK`],
-/// `K̂ = max(floor, ceil(observed_max_lateness · safety))`; because a
-/// growing `K̂` would otherwise pull `clock − K̂` backwards, the published
-/// watermark is the running maximum — purge and seal decisions already
-/// taken stay valid.
+/// `K̂ = max(floor, ceil(observed_max_lateness · safety))`. With
+/// [`crate::DisorderPolicy::AdaptiveSlack`], `K̂` additionally tracks a
+/// decayed lateness quantile: `max(floor, ceil(quantile(q) · safety))`.
+///
+/// **Shrink safety (purge audit):** the adaptive estimates can *shrink* —
+/// decay forgets an old disorder burst, so `clock − K̂` can jump forward,
+/// and a growing `K̂` would pull it backwards. Both directions are
+/// absorbed here: the published watermark is the running maximum of every
+/// candidate ever computed ([`WatermarkTracker::republish`]), and every
+/// purge/seal threshold in the engine derives from that published value —
+/// never from the instantaneous `clock − K̂(t)`. State admitted under a
+/// larger bound therefore cannot be evicted before its matches settle,
+/// and decisions already taken stay valid.
 #[derive(Debug, Clone)]
 pub(crate) struct WatermarkTracker {
     source: WatermarkSource,
     k_floor: Duration,
     safety: Option<f64>,
+    slack: Option<(f64, f64)>,
     clock: Timestamp,
     punct: Timestamp,
     observed_max_lateness: Duration,
     high: Timestamp,
+    sketch: LatenessSketch,
 }
 
 impl WatermarkTracker {
@@ -31,10 +149,12 @@ impl WatermarkTracker {
             source: config.watermark,
             k_floor: config.k_slack,
             safety: config.adaptive_k.map(|a| a.safety),
+            slack: config.policy.adaptive_params(),
             clock: Timestamp::MIN,
             punct: Timestamp::MIN,
             observed_max_lateness: Duration::ZERO,
             high: Timestamp::MIN,
+            sketch: LatenessSketch::new(),
         }
     }
 
@@ -45,18 +165,16 @@ impl WatermarkTracker {
 
     /// The current disorder-bound estimate.
     pub fn k_hat(&self) -> Duration {
-        match self.safety {
+        let mut k = match self.safety {
             None => self.k_floor,
-            Some(safety) => {
-                let scaled = (self.observed_max_lateness.ticks() as f64 * safety).ceil();
-                let scaled = if scaled.is_finite() && scaled >= 0.0 {
-                    Duration::new(scaled.min(u64::MAX as f64) as u64)
-                } else {
-                    Duration::MAX
-                };
-                self.k_floor.max(scaled)
-            }
+            Some(safety) => self
+                .k_floor
+                .max(scale_ticks(self.observed_max_lateness, safety)),
+        };
+        if let Some((q, safety)) = self.slack {
+            k = k.max(scale_ticks(self.sketch.quantile(q), safety));
         }
+        k
     }
 
     /// The published (monotone) low-watermark.
@@ -71,6 +189,9 @@ impl WatermarkTracker {
         let was_late = ts < self.high;
         if ts < self.clock {
             self.observed_max_lateness = self.observed_max_lateness.max(self.clock - ts);
+            self.sketch.record(self.clock - ts);
+        } else {
+            self.sketch.record(Duration::ZERO);
         }
         self.clock = self.clock.max(ts);
         self.republish();
@@ -99,14 +220,18 @@ impl WatermarkTracker {
         }
     }
 
-    /// Serializes the mutable scalars (the config-derived fields are
-    /// reconstructed from the [`EngineConfig`] at restore time).
+    /// Serializes the mutable scalars plus the lateness sketch (the
+    /// config-derived fields are reconstructed from the [`EngineConfig`]
+    /// at restore time). The sketch is written unconditionally so the
+    /// format — and the disorder history it carries — is the same no
+    /// matter which [`crate::DisorderPolicy`] took the checkpoint.
     pub fn snapshot_into(&self, w: &mut sequin_types::Writer) {
         use sequin_types::Encode as _;
         self.clock.encode(w);
         self.punct.encode(w);
         self.observed_max_lateness.encode(w);
         self.high.encode(w);
+        self.sketch.snapshot_into(w);
     }
 
     /// Rebuilds a tracker from `config` plus the scalars written by
@@ -121,6 +246,7 @@ impl WatermarkTracker {
         wm.punct = Timestamp::decode(r)?;
         wm.observed_max_lateness = Duration::decode(r)?;
         wm.high = Timestamp::decode(r)?;
+        wm.sketch = LatenessSketch::restore_from(r)?;
         Ok(wm)
     }
 
@@ -131,7 +257,19 @@ impl WatermarkTracker {
             WatermarkSource::Punctuation => self.punct,
             WatermarkSource::Both => slack.max(self.punct),
         };
+        // Running max: `candidate` may move backwards when K̂ grows, and
+        // jumps forwards when decay shrinks K̂ — publication absorbs both.
         self.high = self.high.max(candidate);
+    }
+}
+
+/// `ceil(d · f)` saturating at `Duration::MAX`.
+fn scale_ticks(d: Duration, f: f64) -> Duration {
+    let scaled = (d.ticks() as f64 * f).ceil();
+    if scaled.is_finite() && scaled >= 0.0 {
+        Duration::new(scaled.min(u64::MAX as f64) as u64)
+    } else {
+        Duration::MAX
     }
 }
 
@@ -239,5 +377,104 @@ mod tests {
         w.observe_event(Timestamp::new(7));
         w.seal();
         assert_eq!(w.current(), Timestamp::MAX);
+    }
+
+    fn adaptive_slack(k_floor: u64, accuracy: u8) -> WatermarkTracker {
+        let mut cfg = EngineConfig::with_k(Duration::new(k_floor));
+        cfg.policy = crate::DisorderPolicy::AdaptiveSlack { accuracy };
+        WatermarkTracker::new(&cfg)
+    }
+
+    #[test]
+    fn sketch_quantile_never_understates_samples() {
+        let mut s = LatenessSketch::new();
+        for late in [0u64, 0, 1, 3, 3, 7, 12, 40, 100, 900] {
+            s.record(Duration::new(late));
+        }
+        assert!(s.quantile(1.0) >= Duration::new(900), "max covered");
+        assert!(s.quantile(0.5) >= Duration::new(3), "median covered");
+        assert_eq!(LatenessSketch::new().quantile(0.99), Duration::ZERO);
+        // monotone in q
+        assert!(s.quantile(0.9) <= s.quantile(0.99));
+    }
+
+    #[test]
+    fn sketch_decay_forgets_old_bursts() {
+        let mut s = LatenessSketch::new();
+        for _ in 0..10 {
+            s.record(Duration::new(1_000));
+        }
+        let burst = s.quantile(0.99);
+        assert!(burst >= Duration::new(1_000));
+        // a long in-order run decays the burst out of the p99
+        for _ in 0..4 * SKETCH_DECAY_EVERY {
+            s.record(Duration::ZERO);
+        }
+        assert!(
+            s.quantile(0.99) < burst,
+            "decay must shrink the tracked quantile"
+        );
+    }
+
+    #[test]
+    fn adaptive_slack_bound_tracks_quantile_and_respects_floor() {
+        let mut w = adaptive_slack(5, 100);
+        assert_eq!(w.k_hat(), Duration::new(5), "floor before any lateness");
+        w.observe_event(Timestamp::new(1_000));
+        w.observe_event(Timestamp::new(900)); // 100 late
+        assert!(
+            w.k_hat() >= Duration::new(100),
+            "accuracy=100 covers the max observed lateness, got {:?}",
+            w.k_hat()
+        );
+        // watermark still published monotonically from the clock
+        let before = w.current();
+        w.observe_event(Timestamp::new(950));
+        assert!(w.current() >= before);
+    }
+
+    #[test]
+    fn adaptive_slack_shrink_never_retreats_watermark() {
+        let mut w = adaptive_slack(2, 95);
+        let mut clock = 10_000u64;
+        w.observe_event(Timestamp::new(clock));
+        w.observe_event(Timestamp::new(clock - 2_000)); // huge burst
+        let k_burst = w.k_hat();
+        assert!(k_burst >= Duration::new(2_000));
+        let mut last = w.current();
+        // in-order run: decay shrinks K̂; watermark must stay monotone
+        for _ in 0..6 * SKETCH_DECAY_EVERY {
+            clock += 1;
+            w.observe_event(Timestamp::new(clock));
+            assert!(w.current() >= last, "watermark retreated");
+            last = w.current();
+        }
+        assert!(w.k_hat() < k_burst, "decay should have shrunk the bound");
+    }
+
+    #[test]
+    fn sketch_survives_snapshot_round_trip() {
+        let mut cfg = EngineConfig::with_k(Duration::new(3));
+        cfg.policy = crate::DisorderPolicy::AdaptiveSlack { accuracy: 90 };
+        let mut w = WatermarkTracker::new(&cfg);
+        w.observe_event(Timestamp::new(500));
+        for late in [10u64, 20, 30, 40, 450] {
+            w.observe_event(Timestamp::new(500 - late));
+        }
+        let mut buf = sequin_types::Writer::new();
+        w.snapshot_into(&mut buf);
+        let bytes = buf.into_bytes();
+        let mut r = sequin_types::Reader::new(&bytes);
+        let restored = WatermarkTracker::restore_from(&cfg, &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.k_hat(), w.k_hat());
+        assert_eq!(restored.current(), w.current());
+        // a fixed-policy restore of the same bytes also succeeds (the
+        // sketch is policy-agnostic in the format)
+        let fixed_cfg = EngineConfig::with_k(Duration::new(3));
+        let mut r = sequin_types::Reader::new(&bytes);
+        let fixed = WatermarkTracker::restore_from(&fixed_cfg, &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fixed.k_hat(), Duration::new(3));
     }
 }

@@ -56,7 +56,7 @@ impl Accuracy {
 
 /// Reduces an output stream to its **net** inserted match keys: every
 /// `Insert` counts +1 and every `Retract` −1 per key; keys with a positive
-/// net count survive (aggressive emission nets out its own corrections).
+/// net count survive (speculative emission nets out its own corrections).
 pub fn net_inserts(outputs: &[OutputItem]) -> Vec<MatchKey> {
     let mut net: BTreeMap<MatchKey, i64> = BTreeMap::new();
     for o in outputs {

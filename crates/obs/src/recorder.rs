@@ -54,7 +54,7 @@ pub struct QueryObs {
     pub deferral: FixedHistogram,
     /// Insert outputs emitted.
     pub emitted: u64,
-    /// Retract outputs emitted (aggressive negation emission only).
+    /// Retract outputs emitted (speculative disorder policy only).
     pub retracted: u64,
 }
 

@@ -8,7 +8,7 @@ use sequin_types::{EventId, EventRef, Timestamp, Value};
 /// The identity of a match: the event ids of its positive components, in
 /// positive order. Two emissions with equal keys denote the same match
 /// (used for deduplication in tests and for pairing `Insert`/`Retract`
-/// items under aggressive emission).
+/// items under the speculative disorder policy).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MatchKey(Vec<EventId>);
 

@@ -15,6 +15,7 @@ use std::sync::mpsc::{self, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use sequin_engine::DisorderPolicy;
 use sequin_runtime::RuntimeStats;
 use sequin_types::{EventRef, StreamItem, Timestamp};
 
@@ -174,14 +175,28 @@ impl Client {
         }
     }
 
-    /// Registers (or reattaches to) a query; returns its id. Outputs for
-    /// it stream to this connection from now on.
+    /// Registers (or reattaches to) a query under the server's default
+    /// disorder policy; returns its id. Outputs for it stream to this
+    /// connection from now on.
     pub fn subscribe(&mut self, query: &str) -> Result<u64, ClientError> {
+        self.subscribe_with_policy(query, None).map(|(id, _)| id)
+    }
+
+    /// [`Client::subscribe`] with an explicit [`DisorderPolicy`] request
+    /// (`None` accepts the server default). Returns the query id and the
+    /// *effective* policy from SUB_ACK — when the query was already
+    /// registered, the existing policy wins over the request.
+    pub fn subscribe_with_policy(
+        &mut self,
+        query: &str,
+        policy: Option<DisorderPolicy>,
+    ) -> Result<(u64, DisorderPolicy), ClientError> {
         self.send(&Frame::Subscribe {
             query: query.to_owned(),
+            policy,
         })?;
         match self.wait_for(|f| matches!(f, Frame::SubAck { .. }))? {
-            Frame::SubAck { query_id } => Ok(query_id),
+            Frame::SubAck { query_id, policy } => Ok((query_id, policy)),
             _ => unreachable!("wait_for matched SubAck"),
         }
     }

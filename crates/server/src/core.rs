@@ -61,8 +61,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sequin_engine::{
-    stable_query_id, CheckpointStore, EngineConfig, MultiEngine, OutputItem, OutputKind,
-    PlanMetrics, QueryId, SharedMultiEngine, Strategy,
+    stable_query_id, CheckpointStore, DisorderPolicy, EngineConfig, MultiEngine, OutputItem,
+    OutputKind, PlanMetrics, QueryId, SharedMultiEngine, Strategy,
 };
 use sequin_obs::{MetricsSnapshot, ObsConfig, Recorder, SpanKind};
 use sequin_query::{parse, Query, QueryError};
@@ -72,7 +72,7 @@ use sequin_types::{
     CodecError, Decode, Encode, Reader, StreamItem, Timestamp, TypeRegistry, Writer,
 };
 
-use crate::frame::{kind_tag, ErrorCode};
+use crate::frame::{kind_tag, policy_from_wire, policy_to_wire, ErrorCode};
 use crate::stats::ServerStats;
 
 /// Evaluation settings shared by every query the core registers.
@@ -167,10 +167,17 @@ impl std::fmt::Display for SubscribeError {
 
 impl std::error::Error for SubscribeError {}
 
-/// Builds one query engine per `cfg`: a sharded pool when `cfg.shards > 1`
-/// asks for one (and the strategy supports it), a plain engine otherwise.
-fn build_engine(cfg: &CoreConfig, q: Arc<sequin_query::Query>) -> Box<dyn sequin_engine::Engine> {
-    sequin_engine::make_sharded_engine(cfg.strategy, q, cfg.engine, cfg.shards)
+/// Builds one query engine per `cfg` with the query's negotiated disorder
+/// policy: a sharded pool when `cfg.shards > 1` asks for one (and the
+/// strategy supports it), a plain engine otherwise.
+fn build_engine(
+    cfg: &CoreConfig,
+    q: Arc<sequin_query::Query>,
+    policy: DisorderPolicy,
+) -> Box<dyn sequin_engine::Engine> {
+    let mut engine_cfg = cfg.engine;
+    engine_cfg.policy = policy;
+    sequin_engine::make_sharded_engine(cfg.strategy, q, engine_cfg, cfg.shards)
 }
 
 fn encode_log_record(qid: QueryId, kind_tag: u8, key: &MatchKey) -> Vec<u8> {
@@ -274,10 +281,10 @@ impl Eval {
         }
     }
 
-    fn register(&mut self, cfg: &CoreConfig, q: Arc<Query>) -> QueryId {
+    fn register(&mut self, cfg: &CoreConfig, q: Arc<Query>, policy: DisorderPolicy) -> QueryId {
         match self {
-            Eval::Independent(m) => m.register_engine(build_engine(cfg, q)),
-            Eval::Shared(s) => s.register(q),
+            Eval::Independent(m) => m.register_engine(build_engine(cfg, q, policy)),
+            Eval::Shared(s) => s.register_with_policy(q, policy),
             Eval::Hybrid {
                 shared,
                 sharded,
@@ -287,9 +294,9 @@ impl Eval {
                 // (both persisted), so a resume rebuilds the same split
                 let partitionable = cfg.engine.partitioned && q.partition().is_some();
                 let host = if partitionable {
-                    HybridHost::Sharded(sharded.register_engine(build_engine(cfg, q)))
+                    HybridHost::Sharded(sharded.register_engine(build_engine(cfg, q, policy)))
                 } else {
-                    HybridHost::Shared(shared.register(q))
+                    HybridHost::Shared(shared.register_with_policy(q, policy))
                 };
                 hosts.push(host);
                 QueryId::from_index(hosts.len() - 1)
@@ -485,6 +492,25 @@ impl Eval {
         }
     }
 
+    /// One query's live disorder slack bound `k̂` — fixed for the
+    /// conservative/speculative/lazy policies, the control loop's current
+    /// estimate under adaptive slack. `None` when the hosting engine does
+    /// not expose one.
+    fn query_slack(&self, qid: QueryId) -> Option<sequin_types::Duration> {
+        match self {
+            Eval::Independent(m) => m.engine(qid).slack_bound(),
+            Eval::Shared(s) => Some(s.query_slack(qid)),
+            Eval::Hybrid {
+                shared,
+                sharded,
+                hosts,
+            } => match Self::hybrid_host(hosts, qid) {
+                HybridHost::Shared(l) => Some(shared.query_slack(l)),
+                HybridHost::Sharded(l) => sharded.engine(l).slack_bound(),
+            },
+        }
+    }
+
     /// One query's logical state size — what its isolated engine reports,
     /// or the shared plan's per-query attribution.
     fn query_state_size(&self, qid: QueryId) -> usize {
@@ -552,6 +578,13 @@ pub struct EngineCore {
     /// Analyzed form of each logical query (same indexing as `queries`) —
     /// the structural-dedup comparison key and the stable-id source.
     parsed: Vec<Arc<Query>>,
+    /// Effective disorder policy per logical query (same indexing as
+    /// `queries`) — whatever the first subscriber negotiated, persisted in
+    /// checkpoints so a resume rebuilds identical engines.
+    policies: Vec<DisorderPolicy>,
+    /// Retractions delivered per query by *this* process (replayed
+    /// duplicates excluded) — the `sequin_retraction_emitted` series.
+    retractions: Vec<u64>,
     /// Texts that deduplicated onto an existing logical query. Not
     /// persisted in checkpoints; rebuilt lazily as clients re-subscribe.
     aliases: Vec<(String, QueryId)>,
@@ -595,6 +628,8 @@ impl EngineCore {
             eval,
             queries: Vec::new(),
             parsed: Vec::new(),
+            policies: Vec::new(),
+            retractions: Vec::new(),
             aliases: Vec::new(),
             store: CheckpointStore::new(),
             position: 0,
@@ -628,8 +663,8 @@ impl EngineCore {
                 Err(_) => rejected += 1,
             }
         }
-        let (position, log_mark, eval, queries, parsed) =
-            accepted.unwrap_or_else(|| (0, 0, Eval::new(&cfg), Vec::new(), Vec::new()));
+        let (position, log_mark, eval, queries, parsed, policies) =
+            accepted.unwrap_or_else(|| (0, 0, Eval::new(&cfg), Vec::new(), Vec::new(), Vec::new()));
         let mut suppress: BTreeMap<(u64, u8, MatchKey), u64> = BTreeMap::new();
         for rec in store.log_records().skip(log_mark) {
             match decode_log_record(rec) {
@@ -643,6 +678,8 @@ impl EngineCore {
             eval,
             queries,
             parsed,
+            policies,
+            retractions: Vec::new(),
             aliases: Vec::new(),
             store,
             position,
@@ -664,7 +701,17 @@ impl EngineCore {
         cfg: &CoreConfig,
         bytes: &[u8],
         log_len: usize,
-    ) -> Result<(u64, usize, Eval, Vec<(String, QueryId)>, Vec<Arc<Query>>), CodecError> {
+    ) -> Result<
+        (
+            u64,
+            usize,
+            Eval,
+            Vec<(String, QueryId)>,
+            Vec<Arc<Query>>,
+            Vec<DisorderPolicy>,
+        ),
+        CodecError,
+    > {
         let payload = open_envelope(bytes)?;
         let mut r = Reader::new(payload);
         let position = r.get_u64()?;
@@ -678,7 +725,12 @@ impl EngineCore {
         }
         let mut texts = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            texts.push(r.get_str()?);
+            let text = r.get_str()?;
+            // the effective policy rides along as the same (mode, knob)
+            // pair SUBSCRIBE carries; mode 0 never reaches a checkpoint
+            let policy = policy_from_wire(r.get_u8()?, r.get_u8()?)?
+                .ok_or(CodecError::SnapshotMismatch("persisted query policy"))?;
+            texts.push((text, policy));
         }
         let blob = r.get_bytes()?;
         r.finish()?;
@@ -689,15 +741,17 @@ impl EngineCore {
         let mut eval = Eval::new(cfg);
         let mut queries = Vec::with_capacity(texts.len());
         let mut parsed = Vec::with_capacity(texts.len());
-        for text in texts {
+        let mut policies = Vec::with_capacity(texts.len());
+        for (text, policy) in texts {
             let q = parse(&text, &cfg.registry)
                 .map_err(|_| CodecError::SnapshotMismatch("persisted query text"))?;
-            let id = eval.register(cfg, q.clone());
+            let id = eval.register(cfg, q.clone(), policy);
             queries.push((text, id));
             parsed.push(q);
+            policies.push(policy);
         }
         eval.restore(&blob)?;
-        Ok((position, log_mark, eval, queries, parsed))
+        Ok((position, log_mark, eval, queries, parsed, policies))
     }
 
     fn durable(&self) -> bool {
@@ -722,26 +776,48 @@ impl EngineCore {
     /// or [`ErrorCode::BadAnalysis`] on a semantic one; the message embeds
     /// the byte offset of the offending construct when known.
     pub fn subscribe(&mut self, text: &str) -> Result<QueryId, SubscribeError> {
+        self.subscribe_with_policy(text, None).map(|(id, _)| id)
+    }
+
+    /// [`EngineCore::subscribe`] with an explicit disorder-policy request:
+    /// `None` accepts the server's configured default. Returns the id
+    /// *and* the effective policy — when the text lands on an already
+    /// registered query (textually, as an alias, or structurally), that
+    /// query's policy wins regardless of what was requested, and the
+    /// caller learns which one it got. Only a genuinely new registration
+    /// binds the requested policy.
+    pub fn subscribe_with_policy(
+        &mut self,
+        text: &str,
+        policy: Option<DisorderPolicy>,
+    ) -> Result<(QueryId, DisorderPolicy), SubscribeError> {
         if let Some((_, id)) = self.queries.iter().find(|(t, _)| t == text) {
-            return Ok(*id);
+            return Ok((*id, self.policies[id.index()]));
         }
         if let Some((_, id)) = self.aliases.iter().find(|(t, _)| t == text) {
-            return Ok(*id);
+            return Ok((*id, self.policies[id.index()]));
         }
         let q = parse(text, &self.cfg.registry)?;
         if let Some(ix) = self.parsed.iter().position(|p| **p == *q) {
             let id = self.queries[ix].1;
             self.aliases.push((text.to_owned(), id));
-            return Ok(id);
+            return Ok((id, self.policies[ix]));
         }
-        let id = self.eval.register(&self.cfg, q.clone());
+        let policy = policy.unwrap_or(self.cfg.engine.policy);
+        let id = self.eval.register(&self.cfg, q.clone(), policy);
         self.queries.push((text.to_owned(), id));
         self.parsed.push(q);
+        self.policies.push(policy);
         if self.durable() {
             // make the registration itself crash-safe
             self.checkpoint_now();
         }
-        Ok(id)
+        Ok((id, policy))
+    }
+
+    /// The effective disorder policy of a registered query.
+    pub fn query_policy(&self, id: QueryId) -> DisorderPolicy {
+        self.policies[id.index()]
     }
 
     /// Ingests one arrival into every query; returns the outputs to
@@ -824,6 +900,11 @@ impl EngineCore {
 
     fn filter_and_log(&mut self, raw: Vec<(QueryId, OutputItem)>) -> Vec<(QueryId, OutputItem)> {
         if !self.durable() {
+            for (qid, o) in &raw {
+                if o.kind == OutputKind::Retract {
+                    self.bump_retraction(*qid);
+                }
+            }
             return raw;
         }
         let mut out = Vec::with_capacity(raw.len());
@@ -838,11 +919,22 @@ impl EngineCore {
                 self.extra.replayed_suppressed += 1;
                 continue;
             }
+            if o.kind == OutputKind::Retract {
+                self.bump_retraction(qid);
+            }
             self.store.append_log(encode_log_record(qid, tag, &key.2));
             self.dirty = true;
             out.push((qid, o));
         }
         out
+    }
+
+    fn bump_retraction(&mut self, qid: QueryId) {
+        let ix = qid.index();
+        if self.retractions.len() <= ix {
+            self.retractions.resize(ix + 1, 0);
+        }
+        self.retractions[ix] += 1;
     }
 
     /// Takes a checkpoint immediately (no-op when any engine lacks
@@ -855,8 +947,11 @@ impl EngineCore {
         w.put_u64(self.position);
         w.put_u64(self.store.log_len() as u64);
         w.put_u64(self.queries.len() as u64);
-        for (text, _) in &self.queries {
+        for ((text, _), policy) in self.queries.iter().zip(&self.policies) {
             w.put_str(text);
+            let (mode, knob) = policy_to_wire(Some(*policy));
+            w.put_u8(mode);
+            w.put_u8(knob);
         }
         w.put_bytes(&blob);
         self.store.push_checkpoint(seal_envelope(&w.into_bytes()));
@@ -1081,6 +1176,18 @@ impl EngineCore {
                 &labels,
                 stats.purged * std::mem::size_of::<sequin_types::Event>() as u64,
             );
+            // disorder-policy series: retractions this process delivered
+            // and the live slack bound k̂ (fixed for conservative /
+            // speculative / lazy, the control-loop estimate under
+            // adaptive slack)
+            b.counter(
+                "sequin_retraction_emitted",
+                &labels,
+                self.retractions.get(i).copied().unwrap_or(0),
+            );
+            if let Some(k) = self.eval.query_slack(*qid) {
+                b.gauge("sequin_slack_bound", &labels, k.ticks());
+            }
             let shards = self.eval.per_shard_stats(*qid);
             if shards.len() > 1 {
                 for (s_ix, s) in shards.iter().enumerate() {
@@ -1145,6 +1252,11 @@ impl EngineCore {
             b.counter("sequin_plan_shared_partials", &[], pm.shared_partials);
             b.counter("sequin_plan_fanout_outputs", &[], pm.fanout_outputs);
         }
+        b.counter(
+            "sequin_retraction_emitted_total",
+            &[],
+            self.retractions.iter().sum(),
+        );
         b.counter("sequin_ingest_position", &[], self.position);
         b.gauge("sequin_queries", &[], self.query_count());
         b.gauge(

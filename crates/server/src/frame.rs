@@ -37,7 +37,7 @@
 
 use std::io::{self, Read, Write};
 
-use sequin_engine::OutputKind;
+use sequin_engine::{DisorderPolicy, OutputKind};
 use sequin_runtime::RuntimeStats;
 use sequin_types::codec::{open_envelope, seal_envelope};
 use sequin_types::{ArrivalSeq, CodecError, Decode, Encode, EventRef, Reader, Timestamp, Writer};
@@ -217,11 +217,18 @@ pub enum Frame {
     Subscribe {
         /// Query text in the PATTERN language, parsed server-side.
         query: String,
+        /// Requested [`DisorderPolicy`] for this query; `None` accepts
+        /// whatever the server is configured with. The effective policy
+        /// comes back in SUB_ACK (a text that deduplicated onto an
+        /// existing query keeps that query's policy, whatever was asked).
+        policy: Option<DisorderPolicy>,
     },
     /// Subscription acknowledgement.
     SubAck {
         /// Dense id assigned to (or reused for) the query.
         query_id: u64,
+        /// The policy the query actually runs under.
+        policy: DisorderPolicy,
     },
     /// One streamed result.
     Output(OutputFrame),
@@ -290,6 +297,44 @@ fn kind_from_tag(tag: u8) -> Result<OutputKind, CodecError> {
     }
 }
 
+/// Wire form of a policy request: a mode byte (0 = server default,
+/// 1 = conservative, 2 = speculative, 3 = lazy, 4 = adaptive) and a knob
+/// byte (the adaptive accuracy, 0 otherwise).
+pub(crate) fn policy_to_wire(policy: Option<DisorderPolicy>) -> (u8, u8) {
+    match policy {
+        None => (0, 0),
+        Some(DisorderPolicy::Conservative) => (1, 0),
+        Some(DisorderPolicy::Speculative) => (2, 0),
+        Some(DisorderPolicy::Lazy) => (3, 0),
+        Some(DisorderPolicy::AdaptiveSlack { accuracy }) => (4, accuracy),
+    }
+}
+
+/// Inverse of [`policy_to_wire`]. A knob byte is only meaningful on the
+/// adaptive mode; anywhere else a nonzero knob is a typed rejection, so
+/// every wire byte stays fully validated.
+pub(crate) fn policy_from_wire(mode: u8, knob: u8) -> Result<Option<DisorderPolicy>, CodecError> {
+    if mode != 4 && knob != 0 {
+        return Err(CodecError::InvalidTag {
+            what: "DisorderPolicy knob",
+            tag: knob,
+        });
+    }
+    Ok(match mode {
+        0 => None,
+        1 => Some(DisorderPolicy::Conservative),
+        2 => Some(DisorderPolicy::Speculative),
+        3 => Some(DisorderPolicy::Lazy),
+        4 => Some(DisorderPolicy::AdaptiveSlack { accuracy: knob }),
+        tag => {
+            return Err(CodecError::InvalidTag {
+                what: "DisorderPolicy",
+                tag,
+            })
+        }
+    })
+}
+
 /// Encodes a frame into its sealed envelope (the bytes a transport
 /// carries, *without* the `u32` length prefix).
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
@@ -325,13 +370,19 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.put_u8(4);
             t.encode(&mut w);
         }
-        Frame::Subscribe { query } => {
+        Frame::Subscribe { query, policy } => {
             w.put_u8(5);
             w.put_str(query);
+            let (mode, knob) = policy_to_wire(*policy);
+            w.put_u8(mode);
+            w.put_u8(knob);
         }
-        Frame::SubAck { query_id } => {
+        Frame::SubAck { query_id, policy } => {
             w.put_u8(6);
             w.put_u64(*query_id);
+            let (mode, knob) = policy_to_wire(Some(*policy));
+            w.put_u8(mode);
+            w.put_u8(knob);
         }
         Frame::Output(o) => {
             w.put_u8(7);
@@ -403,9 +454,14 @@ pub fn decode_frame(sealed: &[u8]) -> Result<Frame, CodecError> {
         4 => Frame::Punctuation(Timestamp::decode(&mut r)?),
         5 => Frame::Subscribe {
             query: r.get_str()?,
+            policy: policy_from_wire(r.get_u8()?, r.get_u8()?)?,
         },
         6 => Frame::SubAck {
             query_id: r.get_u64()?,
+            policy: policy_from_wire(r.get_u8()?, r.get_u8()?)?.ok_or(CodecError::InvalidTag {
+                what: "SubAck DisorderPolicy",
+                tag: 0,
+            })?,
         },
         7 => Frame::Output(OutputFrame {
             query_id: r.get_u64()?,
@@ -519,8 +575,24 @@ mod tests {
             Frame::Punctuation(Timestamp::new(77)),
             Frame::Subscribe {
                 query: "PATTERN SEQ(A a, B b) WITHIN 10".into(),
+                policy: None,
             },
-            Frame::SubAck { query_id: 2 },
+            Frame::Subscribe {
+                query: "PATTERN SEQ(A a, B b) WITHIN 10".into(),
+                policy: Some(DisorderPolicy::Speculative),
+            },
+            Frame::Subscribe {
+                query: "PATTERN SEQ(A a, !B b, A c) WITHIN 10".into(),
+                policy: Some(DisorderPolicy::AdaptiveSlack { accuracy: 90 }),
+            },
+            Frame::SubAck {
+                query_id: 2,
+                policy: DisorderPolicy::Conservative,
+            },
+            Frame::SubAck {
+                query_id: 3,
+                policy: DisorderPolicy::Lazy,
+            },
             Frame::Output(OutputFrame {
                 query_id: 1,
                 kind: OutputKind::Insert,
@@ -734,6 +806,117 @@ mod tests {
                 "merge_buffer_peak",
             ]
         );
+    }
+
+    /// Pins the SUBSCRIBE wire layout: frame tag 5, a length-prefixed
+    /// query string, then the two policy-negotiation bytes (mode, knob)
+    /// appended when per-query disorder policies landed. Old captures
+    /// without the policy bytes are rejected (the codec demands an exact
+    /// payload length), so there is no silent misparse — a failure here
+    /// means a wire-breaking change that needs a protocol version bump.
+    #[test]
+    fn subscribe_wire_layout_is_pinned() {
+        let query = "PATTERN SEQ(A a, B b) WITHIN 10";
+        let cases: [(Option<DisorderPolicy>, u8, u8); 5] = [
+            (None, 0, 0),
+            (Some(DisorderPolicy::Conservative), 1, 0),
+            (Some(DisorderPolicy::Speculative), 2, 0),
+            (Some(DisorderPolicy::Lazy), 3, 0),
+            (Some(DisorderPolicy::AdaptiveSlack { accuracy: 90 }), 4, 90),
+        ];
+        for (policy, mode, knob) in cases {
+            let sealed = encode_frame(&Frame::Subscribe {
+                query: query.into(),
+                policy,
+            });
+            let payload = open_envelope(&sealed).unwrap();
+            let mut want = vec![5u8];
+            want.extend_from_slice(&(query.len() as u64).to_le_bytes());
+            want.extend_from_slice(query.as_bytes());
+            want.push(mode);
+            want.push(knob);
+            assert_eq!(payload, &want[..], "SUBSCRIBE bytes for {policy:?}");
+        }
+        // a nonzero knob outside adaptive mode is a typed rejection
+        let mut w = Writer::new();
+        w.put_u8(5);
+        w.put_str(query);
+        w.put_u8(2);
+        w.put_u8(7);
+        assert!(matches!(
+            decode_frame(&seal_envelope(&w.into_bytes())),
+            Err(CodecError::InvalidTag {
+                what: "DisorderPolicy knob",
+                ..
+            })
+        ));
+    }
+
+    /// Pins the SUB_ACK wire layout: frame tag 6, the `u64` query id,
+    /// then the effective policy's (mode, knob) bytes. Mode 0 ("server
+    /// default") is a request-only value and must be rejected in an ack.
+    #[test]
+    fn sub_ack_wire_layout_is_pinned() {
+        let sealed = encode_frame(&Frame::SubAck {
+            query_id: 7,
+            policy: DisorderPolicy::AdaptiveSlack { accuracy: 50 },
+        });
+        let payload = open_envelope(&sealed).unwrap();
+        let mut want = vec![6u8];
+        want.extend_from_slice(&7u64.to_le_bytes());
+        want.push(4);
+        want.push(50);
+        assert_eq!(payload, &want[..], "SUB_ACK bytes");
+
+        let mut w = Writer::new();
+        w.put_u8(6);
+        w.put_u64(7);
+        w.put_u8(0);
+        w.put_u8(0);
+        assert!(matches!(
+            decode_frame(&seal_envelope(&w.into_bytes())),
+            Err(CodecError::InvalidTag {
+                what: "SubAck DisorderPolicy",
+                ..
+            })
+        ));
+    }
+
+    /// Pins the OUTPUT wire layout for retractions: frame tag 7, the
+    /// `u64` query id, kind byte **1** (retract; inserts are 0), then the
+    /// matched events, emit sequence, and emit clock in that order.
+    /// Retractions are first-class outputs — the speculative policy's
+    /// compensations ride the same frame as inserts, distinguished only
+    /// by this kind byte — so the byte positions here are load-bearing
+    /// for every client that nets inserts against retracts.
+    #[test]
+    fn retract_output_wire_layout_is_pinned() {
+        let events = vec![sample_event(3, 50), sample_event(4, 60)];
+        let sealed = encode_frame(&Frame::Output(OutputFrame {
+            query_id: 9,
+            kind: OutputKind::Retract,
+            events: events.clone(),
+            emit_seq: ArrivalSeq::new(12),
+            emit_clock: Timestamp::new(65),
+        }));
+        let payload = open_envelope(&sealed).unwrap();
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u64(9);
+        w.put_u8(1);
+        events.encode(&mut w);
+        ArrivalSeq::new(12).encode(&mut w);
+        Timestamp::new(65).encode(&mut w);
+        assert_eq!(payload, &w.into_bytes()[..], "RETRACT OUTPUT bytes");
+        // and the insert kind byte stays 0
+        let sealed = encode_frame(&Frame::Output(OutputFrame {
+            query_id: 9,
+            kind: OutputKind::Insert,
+            events,
+            emit_seq: ArrivalSeq::new(12),
+            emit_clock: Timestamp::new(65),
+        }));
+        assert_eq!(open_envelope(&sealed).unwrap()[9], 0, "insert kind tag");
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use core::{CoreConfig, EngineCore, SubscribeError};
 pub use frame::{
     decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame, MAX_FRAME_LEN,
 };
-pub use loadgen::{loopback_run, NetBenchReport};
+pub use loadgen::{loopback_run, loopback_run_with_policies, NetBenchReport};
 pub use server::{Server, ServerConfig};
 pub use stats::ServerStats;
 pub use transport::{mem_pair, FrameSink, MemTransport, TcpTransport, Transport};

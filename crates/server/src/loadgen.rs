@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use sequin_engine::DisorderPolicy;
 use sequin_runtime::RuntimeStats;
 use sequin_types::StreamItem;
 
@@ -40,15 +41,17 @@ pub struct NetBenchReport {
 
 fn oracle_frames(
     core: &CoreConfig,
-    queries: &[String],
+    queries: &[(String, Option<DisorderPolicy>)],
     stream: &[StreamItem],
 ) -> Result<Vec<Vec<u8>>, String> {
     let mut cfg = core.clone();
     cfg.checkpoint_every = None; // durability must not affect output
     cfg.shards = 1; // the oracle is single-threaded by construction
     let mut oracle = EngineCore::new(cfg);
-    for q in queries {
-        oracle.subscribe(q).map_err(|e| e.to_string())?;
+    for (q, policy) in queries {
+        oracle
+            .subscribe_with_policy(q, *policy)
+            .map_err(|e| e.to_string())?;
     }
     let mut out = Vec::new();
     for item in stream {
@@ -70,20 +73,40 @@ fn oracle_frames(
 }
 
 /// Replays `stream` through a loopback TCP server evaluating `queries`
-/// and verifies the streamed outputs byte-for-byte against the in-process
-/// oracle. Consecutive events are shipped in EVENT_BATCH frames of up to
-/// `batch` events (`batch <= 1` sends singletons); punctuations flush.
+/// under the server's default disorder policy. See
+/// [`loopback_run_with_policies`] for the full-fat entry point.
 pub fn loopback_run(
     core: CoreConfig,
     queries: &[String],
     stream: &[StreamItem],
     batch: usize,
 ) -> Result<NetBenchReport, String> {
+    let with_policies: Vec<(String, Option<DisorderPolicy>)> =
+        queries.iter().map(|q| (q.clone(), None)).collect();
+    loopback_run_with_policies(core, &with_policies, stream, batch)
+}
+
+/// Replays `stream` through a loopback TCP server evaluating `queries`
+/// (each with an optional per-query [`DisorderPolicy`] request, `None`
+/// meaning the server default) and verifies the streamed outputs
+/// byte-for-byte against the in-process oracle. Every SUB_ACK's effective
+/// policy is checked against the request, so the negotiation round-trip
+/// itself is under test. Consecutive events are shipped in EVENT_BATCH
+/// frames of up to `batch` events (`batch <= 1` sends singletons);
+/// punctuations flush.
+pub fn loopback_run_with_policies(
+    core: CoreConfig,
+    queries: &[(String, Option<DisorderPolicy>)],
+    stream: &[StreamItem],
+    batch: usize,
+) -> Result<NetBenchReport, String> {
     let expected = oracle_frames(&core, queries, stream)?;
 
     let fingerprint = core.registry.fingerprint();
-    let mut server_cfg = ServerConfig::new(core);
-    server_cfg.queries = queries.to_vec();
+    let default_policy = core.engine.policy;
+    let server_cfg = ServerConfig::new(core);
+    // queries register through SUBSCRIBE (not pre-registration) so each
+    // one's policy request actually reaches the negotiation path
     let mut server = Server::start(server_cfg)?;
     let addr = server.listen("127.0.0.1:0").map_err(|e| e.to_string())?;
 
@@ -95,8 +118,16 @@ pub fn loopback_run(
         if resume_from != 0 {
             return Err(format!("fresh server reported resume_from {resume_from}"));
         }
-        for q in queries {
-            client.subscribe(q).map_err(|e| e.to_string())?;
+        for (q, policy) in queries {
+            let (_, effective) = client
+                .subscribe_with_policy(q, *policy)
+                .map_err(|e| e.to_string())?;
+            let want = policy.unwrap_or(default_policy);
+            if effective != want {
+                return Err(format!(
+                    "SUB_ACK policy {effective:?} != negotiated {want:?} for {q:?}"
+                ));
+            }
         }
 
         let started = Instant::now();

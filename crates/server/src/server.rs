@@ -82,6 +82,7 @@ enum EngineMsg {
     Subscribe {
         conn: u64,
         query: String,
+        policy: Option<sequin_engine::DisorderPolicy>,
         sink: Arc<dyn FrameSink>,
     },
     Stats {
@@ -356,8 +357,13 @@ fn engine_loop(
                 deliver(&subscribers, &shared, outputs);
                 persist_if_dirty(&mut core, &store_path);
             }
-            EngineMsg::Subscribe { conn, query, sink } => match core.subscribe(&query) {
-                Ok(qid) => {
+            EngineMsg::Subscribe {
+                conn,
+                query,
+                policy,
+                sink,
+            } => match core.subscribe_with_policy(&query, policy) {
+                Ok((qid, effective)) => {
                     shared
                         .query_count
                         .store(core.query_count(), Ordering::SeqCst);
@@ -372,6 +378,7 @@ fn engine_loop(
                         &sink,
                         &Frame::SubAck {
                             query_id: qid.index() as u64,
+                            policy: effective,
                         },
                     );
                     persist_if_dirty(&mut core, &store_path);
@@ -593,12 +600,13 @@ fn run_session(shared: Arc<Shared>, conn: u64, mut transport: Box<dyn Transport>
                     break;
                 }
             }
-            Frame::Subscribe { query } => {
+            Frame::Subscribe { query, policy } => {
                 if shared
                     .tx
                     .send(EngineMsg::Subscribe {
                         conn,
                         query,
+                        policy,
                         sink: sink.clone(),
                     })
                     .is_err()

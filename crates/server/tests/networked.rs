@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
-use sequin_engine::{EmissionPolicy, EngineConfig, Strategy};
+use sequin_engine::{DisorderPolicy, EngineConfig, Strategy};
 use sequin_netsim::{delay_shuffle, punctuate, FramePlan};
 use sequin_server::{
     loopback_run, mem_pair, Client, ClientError, CoreConfig, EngineCore, ErrorCode, Server,
@@ -23,9 +23,9 @@ fn workload(n: usize, seed: u64) -> (Arc<TypeRegistry>, Vec<StreamItem>) {
     (synth.registry().clone(), stream)
 }
 
-fn core_config(reg: &Arc<TypeRegistry>, policy: EmissionPolicy) -> CoreConfig {
+fn core_config(reg: &Arc<TypeRegistry>, policy: DisorderPolicy) -> CoreConfig {
     let mut engine = EngineConfig::with_k(Duration::new(40));
-    engine.emission = policy;
+    engine.policy = policy;
     CoreConfig::new(reg.clone(), Strategy::Native, engine)
 }
 
@@ -84,8 +84,13 @@ fn temp_store(tag: &str) -> PathBuf {
 }
 
 #[test]
-fn tcp_loopback_is_byte_identical_under_both_emission_policies() {
-    for policy in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+fn tcp_loopback_is_byte_identical_under_every_disorder_policy() {
+    for policy in [
+        DisorderPolicy::Conservative,
+        DisorderPolicy::Speculative,
+        DisorderPolicy::Lazy,
+        DisorderPolicy::AdaptiveSlack { accuracy: 90 },
+    ] {
         let (reg, stream) = workload(400, 11);
         let stream = punctuate(&stream, 50);
         let queries = vec![Q01.to_owned(), Q12.to_owned()];
@@ -107,7 +112,7 @@ fn schema_mismatch_and_missing_hello_close_the_session_cleanly() {
     let (reg, _) = workload(1, 1);
     let mut server = Server::start(ServerConfig::new(core_config(
         &reg,
-        EmissionPolicy::Conservative,
+        DisorderPolicy::Conservative,
     )))
     .unwrap();
     let addr = server.listen("127.0.0.1:0").unwrap().to_string();
@@ -156,7 +161,7 @@ fn corrupted_frame_is_rejected_and_kills_only_that_session() {
     let (reg, stream) = workload(50, 7);
     let server = Server::start(ServerConfig::new(core_config(
         &reg,
-        EmissionPolicy::Conservative,
+        DisorderPolicy::Conservative,
     )))
     .unwrap();
 
@@ -220,7 +225,7 @@ fn link_reordering_is_absorbed_like_any_other_disorder() {
         .delay_frame(3, 5)
         .delay_frame(10, 9)
         .delay_frame(40, 3);
-    let core = core_config(&reg, EmissionPolicy::Conservative);
+    let core = core_config(&reg, DisorderPolicy::Conservative);
     let expected = oracle_net(core.clone(), &[Q01], &stream);
 
     let server = Server::start(ServerConfig::new(core)).unwrap();
@@ -244,7 +249,7 @@ fn link_reordering_is_absorbed_like_any_other_disorder() {
 #[test]
 fn busy_advisory_fires_at_the_high_water_mark() {
     let (reg, stream) = workload(300, 31);
-    let core = core_config(&reg, EmissionPolicy::Conservative);
+    let core = core_config(&reg, DisorderPolicy::Conservative);
     let expected = oracle_net(core.clone(), &[Q01], &stream);
 
     let mut cfg = ServerConfig::new(core);
@@ -276,7 +281,7 @@ fn crash_restart_resumes_exactly_once_over_tcp() {
     let store = temp_store("crash-restart");
     let mk_core = || CoreConfig {
         checkpoint_every: Some(25),
-        ..core_config(&reg, EmissionPolicy::Conservative)
+        ..core_config(&reg, DisorderPolicy::Conservative)
     };
     let mk_config = || {
         let mut c = ServerConfig::new(mk_core());
@@ -332,4 +337,57 @@ fn crash_restart_resumes_exactly_once_over_tcp() {
         expected,
         "union of both incarnations' outputs must be the exactly-once set"
     );
+}
+
+#[test]
+fn mixed_per_query_policies_negotiate_and_verify_over_loopback() {
+    let (reg, stream) = workload(400, 59);
+    let stream = punctuate(&stream, 50);
+    let queries = vec![
+        (Q01.to_owned(), Some(DisorderPolicy::Speculative)),
+        (Q12.to_owned(), None), // server default (conservative)
+        (
+            "PATTERN SEQ(T0 a, T2 b) WITHIN 20".to_owned(),
+            Some(DisorderPolicy::AdaptiveSlack { accuracy: 90 }),
+        ),
+    ];
+    let report = sequin_server::loopback_run_with_policies(
+        core_config(&reg, DisorderPolicy::Conservative),
+        &queries,
+        &stream,
+        16,
+    )
+    .unwrap();
+    assert!(report.outputs > 0, "vacuous comparison");
+}
+
+#[test]
+fn resubscribing_a_query_keeps_its_original_policy() {
+    let (reg, _) = workload(1, 1);
+    let server = Server::start(ServerConfig::new(core_config(
+        &reg,
+        DisorderPolicy::Conservative,
+    )))
+    .unwrap();
+    let (client_side, server_side) = mem_pair(FramePlan::clean(), FramePlan::clean());
+    server.attach(Box::new(server_side));
+    let mut client = Client::over(Box::new(client_side));
+    client.hello(reg.fingerprint(), "negotiate").unwrap();
+
+    let (qid, effective) = client
+        .subscribe_with_policy(Q01, Some(DisorderPolicy::Lazy))
+        .unwrap();
+    assert_eq!(effective, DisorderPolicy::Lazy, "first subscriber binds");
+
+    // a second request for the same text cannot flip the policy: the
+    // existing query's policy wins and the ack says so
+    let (qid2, effective) = client
+        .subscribe_with_policy(Q01, Some(DisorderPolicy::Speculative))
+        .unwrap();
+    assert_eq!(qid2, qid, "same text reattaches");
+    assert_eq!(effective, DisorderPolicy::Lazy, "existing policy wins");
+
+    // and a default-policy request on a fresh text binds the server's
+    let (_, effective) = client.subscribe_with_policy(Q12, None).unwrap();
+    assert_eq!(effective, DisorderPolicy::Conservative);
 }

@@ -261,3 +261,54 @@ fn sharded_server_serves_shard_labelled_series() {
     client.bye();
     server.shutdown();
 }
+
+/// Pins the disorder-policy metric names: `sequin_retraction_emitted`
+/// (per query, plus `sequin_retraction_emitted_total`) and
+/// `sequin_slack_bound`. Dashboards and the bench gate key on these
+/// exact strings — renaming one is a breaking change, not cosmetics.
+#[test]
+fn retraction_and_slack_bound_series_are_pinned() {
+    use sequin_engine::DisorderPolicy;
+    let (reg, stream) = workload(800, 13);
+    let mut cfg = core_config(&reg);
+    cfg.engine.policy = DisorderPolicy::Speculative;
+    let mut core = EngineCore::new(cfg);
+    let spec = core
+        .subscribe("PATTERN SEQ(T0 a, !T1 b, T2 c) WITHIN 20")
+        .unwrap();
+    let (adaptive, effective) = core
+        .subscribe_with_policy(
+            "PATTERN SEQ(T1 a, T2 b) WITHIN 20",
+            Some(DisorderPolicy::AdaptiveSlack { accuracy: 90 }),
+        )
+        .unwrap();
+    assert_eq!(effective, DisorderPolicy::AdaptiveSlack { accuracy: 90 });
+    for chunk in stream.chunks(64) {
+        core.ingest_batch(chunk);
+    }
+    core.finish();
+    let prom = core.metrics_snapshot(None).to_prometheus();
+    for needle in [
+        "sequin_retraction_emitted{",
+        "sequin_retraction_emitted_total",
+        "sequin_slack_bound{",
+    ] {
+        assert!(prom.contains(needle), "missing `{needle}` in:\n{prom}");
+    }
+    // the speculative negation query actually retracted something...
+    let spec_series = format!("sequin_retraction_emitted{{query=\"{}\"}}", spec.index());
+    let retracted = prom
+        .lines()
+        .find(|l| l.starts_with(&spec_series))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no `{spec_series}` series in:\n{prom}"));
+    assert!(retracted > 0, "speculation never retracted:\n{prom}");
+    // ...and the adaptive query exposes a live slack-bound gauge
+    let slack_series = format!("sequin_slack_bound{{query=\"{}\"}}", adaptive.index());
+    assert!(
+        prom.lines().any(|l| l.starts_with(&slack_series)),
+        "no `{slack_series}` series in:\n{prom}"
+    );
+    assert_prometheus_parses(&prom);
+}

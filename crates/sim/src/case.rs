@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+pub use sequin_engine::DisorderPolicy;
 use sequin_netsim::{delay_shuffle, measure_disorder, punctuate, Crash};
 use sequin_prng::Rng;
 use sequin_query::{pred, AnalyzeError, Query, QueryBuilder};
@@ -224,8 +225,8 @@ pub struct CaseConfig {
     /// Disorder bound `K` (always at least the stream's measured maximum
     /// lateness, so the run is K-slack valid).
     pub k: u64,
-    /// `true` = [`sequin_engine::EmissionPolicy::Aggressive`].
-    pub aggressive: bool,
+    /// Disorder-handling policy the case runs under.
+    pub policy: DisorderPolicy,
     /// Purge cadence (`None` = never purge).
     pub purge_every: Option<u32>,
     /// Watermark source: 0 = K-slack, 1 = punctuation, 2 = both.
@@ -313,7 +314,7 @@ pub(crate) fn gen_config(rng: &mut Rng, items: &[SimItem], measured_lateness: u6
     let crash_at = gen_crash_point(rng, items);
     CaseConfig {
         k: measured_lateness + rng.gen_range(0..=3u64),
-        aggressive: rng.gen_bool(0.5),
+        policy: gen_policy(rng),
         purge_every,
         watermark,
         batch: *[1usize, 2, 3, 5, 8, 64]
@@ -323,6 +324,21 @@ pub(crate) fn gen_config(rng: &mut Rng, items: &[SimItem], measured_lateness: u6
         crash_at,
         loopback: rng.gen_bool(0.25),
         loopback_shards: if rng.gen_bool(0.5) { 1 } else { 2 },
+    }
+}
+
+/// Draws a [`DisorderPolicy`], covering all four modes (a few adaptive
+/// accuracy levels included) with conservative as the most common.
+pub(crate) fn gen_policy(rng: &mut Rng) -> DisorderPolicy {
+    match rng.gen_range(0..8u32) {
+        0..=2 => DisorderPolicy::Conservative,
+        3 | 4 => DisorderPolicy::Speculative,
+        5 => DisorderPolicy::Lazy,
+        _ => DisorderPolicy::AdaptiveSlack {
+            accuracy: *[0u8, 50, 90, 100]
+                .get(rng.gen_range(0..4usize))
+                .expect("in range"),
+        },
     }
 }
 

@@ -26,8 +26,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use sequin_engine::{
-    make_engine, CheckpointPolicy, Checkpointer, EmissionPolicy, Engine, EngineConfig,
-    NativeEngine, OutputItem, OutputKind, ShardedEngine, Strategy, WatermarkSource,
+    make_engine, CheckpointPolicy, Checkpointer, Engine, EngineConfig, NativeEngine, OutputItem,
+    OutputKind, ShardedEngine, Strategy, WatermarkSource,
 };
 use sequin_query::parse;
 use sequin_server::{loopback_run, CoreConfig};
@@ -96,32 +96,50 @@ pub struct Mismatch {
     pub detail: String,
 }
 
-/// The engine configuration a case prescribes, with the purge-sabotage
-/// skew applied (zero for honest runs).
-pub fn engine_config(case: &CaseData, purge_skew: u64) -> EngineConfig {
-    engine_config_from(&case.config, purge_skew)
+/// Deliberate engine defects injected into the paths under test (never
+/// the oracle or the honest reference). A healthy harness must report
+/// mismatches whenever any knob is non-zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sabotage {
+    /// Widen every purge threshold by this many ticks.
+    pub purge_skew: u64,
+    /// Silently swallow this many speculative retractions.
+    pub retraction_drop: u64,
+}
+
+impl Sabotage {
+    /// The purge-skew-only sabotage (the original fault knob).
+    pub fn purge_skew(ticks: u64) -> Sabotage {
+        Sabotage {
+            purge_skew: ticks,
+            ..Sabotage::default()
+        }
+    }
+}
+
+/// The engine configuration a case prescribes, with the sabotage knobs
+/// applied (all-zero for honest runs).
+pub fn engine_config(case: &CaseData, sabotage: Sabotage) -> EngineConfig {
+    engine_config_from(&case.config, sabotage)
 }
 
 /// [`engine_config`] from the bare knobs (the multi-query mode has no
 /// single [`CaseData`]).
-pub fn engine_config_from(config: &crate::case::CaseConfig, purge_skew: u64) -> EngineConfig {
+pub fn engine_config_from(config: &crate::case::CaseConfig, sabotage: Sabotage) -> EngineConfig {
     EngineConfig {
         k_slack: Duration::new(config.k),
         purge: match config.purge_every {
             Some(n) => sequin_runtime::purge::PurgePolicy::batched(n),
             None => sequin_runtime::purge::PurgePolicy::NEVER,
         },
-        emission: if config.aggressive {
-            EmissionPolicy::Aggressive
-        } else {
-            EmissionPolicy::Conservative
-        },
+        policy: config.policy,
         watermark: match config.watermark {
             1 => WatermarkSource::Punctuation,
             2 => WatermarkSource::Both,
             _ => WatermarkSource::KSlack,
         },
-        purge_horizon_skew: purge_skew,
+        purge_horizon_skew: sabotage.purge_skew,
+        retraction_drop: sabotage.retraction_drop,
         ..EngineConfig::default()
     }
 }
@@ -200,21 +218,22 @@ pub const DEFAULT_SHARD_COUNTS: &[usize] = &[2, 7];
 /// `purge_skew > 0` sabotages purge in every engine under test (but never
 /// the oracle), which a correct harness must report as mismatches.
 pub fn check_case(case: &CaseData, purge_skew: u64) -> Vec<Mismatch> {
-    check_case_sharded(case, purge_skew, DEFAULT_SHARD_COUNTS)
+    check_case_sharded(case, Sabotage::purge_skew(purge_skew), DEFAULT_SHARD_COUNTS)
 }
 
-/// [`check_case`] with the sharded paths pinned to `shard_counts` worker
-/// pools (the `sequin sim --shards` knob). The sharded crash+resume path
-/// checkpoints at the first count and resumes at the last (bumped when
-/// they coincide, so the shard count always *changes* across the crash).
+/// [`check_case`] with the full [`Sabotage`] bundle and the sharded paths
+/// pinned to `shard_counts` worker pools (the `sequin sim --shards`
+/// knob). The sharded crash+resume path checkpoints at the first count
+/// and resumes at the last (bumped when they coincide, so the shard count
+/// always *changes* across the crash).
 pub fn check_case_sharded(
     case: &CaseData,
-    purge_skew: u64,
+    sabotage: Sabotage,
     shard_counts: &[usize],
 ) -> Vec<Mismatch> {
     let mut mismatches = Vec::new();
     let registry = sim_registry();
-    let cfg = engine_config(case, purge_skew);
+    let cfg = engine_config(case, sabotage);
 
     // front-end cross-check: builder and parser must agree
     let text = case.query.text();

@@ -26,7 +26,7 @@ pub mod runner;
 pub mod shrink;
 
 pub use case::{CaseConfig, CaseData, QueryPlan, SimEvent, SimItem};
-pub use diff::{check_case, check_case_sharded, Mismatch, Path, DEFAULT_SHARD_COUNTS};
+pub use diff::{check_case, check_case_sharded, Mismatch, Path, Sabotage, DEFAULT_SHARD_COUNTS};
 pub use multi::{
     check_multi_case, materialize_multi, replay_multi, run_multi, MultiCase, MultiFailure,
     MultiReport,

@@ -11,41 +11,51 @@
 //! queries are siblings of an earlier one, differing only in their final
 //! component, a local predicate, or the projection — so the shared plan
 //! actually pools stacks and forms prefix groups instead of degenerating
-//! into disjoint per-query state.
+//! into disjoint per-query state. Every query additionally draws its own
+//! [`DisorderPolicy`], so mixed-policy sets exercise the policy-class
+//! pooling rules (fixed-bound queries share a watermark epoch; each
+//! adaptive accuracy gets its own).
 //!
 //! Checked paths, all against the per-query independent reference:
 //!
 //! * shared-plan item-by-item ingestion — **identical** output per
-//!   query, including emission bookkeeping;
+//!   query, including emission bookkeeping and retractions;
 //! * shared-plan batched ingestion — identical output;
 //! * a durable shared-plan server core crashed mid-stream and resumed as
 //!   an *independent sharded* core (the checkpoint interchange contract)
-//!   — exactly-once deliveries per query;
+//!   — exactly-once deliveries per query, with every per-query policy
+//!   surviving the restart through the checkpoint envelope;
 //! * an independent sharded server core — identical output (ties the
 //!   two backends together end to end);
-//! * the networked loopback with the full query set — byte-identical
-//!   frames, verified inside [`sequin_server::loopback_run`].
+//! * the networked loopback with the full query set, each query carrying
+//!   its policy request through SUBSCRIBE negotiation — byte-identical
+//!   frames, verified inside [`sequin_server::loopback_run_with_policies`].
 //!
-//! The `purge_skew` fault knob sabotages every engine under test but
-//! never the reference, so a healthy harness must report mismatches —
-//! the same honesty check the single-query mode carries. Multi-query
-//! failures are reported unshrunk: the replay pair (`--multi --seed S
-//! --case N`) regenerates the exact case.
+//! The [`Sabotage`] knobs hit every engine under test but never the
+//! reference, so a healthy harness must report mismatches — the same
+//! honesty check the single-query mode carries. Multi-query failures are
+//! reported unshrunk: the replay pair (`--multi --seed S --case N`)
+//! regenerates the exact case.
 
 use std::time::{Duration, Instant};
 
-use sequin_engine::{Engine, NativeEngine, OutputItem, QueryId, SharedMultiEngine, Strategy};
+use sequin_engine::{
+    DisorderPolicy, Engine, EngineConfig, NativeEngine, OutputItem, QueryId, SharedMultiEngine,
+    Strategy,
+};
 use sequin_prng::Rng;
 use sequin_query::Query;
-use sequin_server::{loopback_run, CoreConfig, EngineCore};
+use sequin_server::{loopback_run_with_policies, CoreConfig, EngineCore};
 use sequin_types::{StreamItem, TypeRegistry};
 use std::sync::Arc;
 
 use crate::case::{
-    case_seed, gen_config, gen_items, gen_query, items_to_stream, sim_registry, CaseConfig,
-    LocalPred, PredOp, QueryPlan, SimItem, TYPE_NAMES,
+    case_seed, gen_config, gen_items, gen_policy, gen_query, items_to_stream, sim_registry,
+    CaseConfig, LocalPred, PredOp, QueryPlan, SimItem, TYPE_NAMES,
 };
-use crate::diff::{delivery_multiset, engine_config_from, first_diff, repr, Mismatch, Path};
+use crate::diff::{
+    delivery_multiset, engine_config_from, first_diff, repr, Mismatch, Path, Sabotage,
+};
 use crate::runner::SimOptions;
 
 /// Salt mixed into the case seed so multi-query cases draw from a
@@ -58,10 +68,16 @@ pub struct MultiCase {
     /// The generated query set (textually distinct; most entries are
     /// prefix siblings of an earlier one).
     pub queries: Vec<QueryPlan>,
+    /// Per-query disorder policies, parallel to `queries`. Drawn
+    /// independently so most cases mix policy classes within one shared
+    /// plan.
+    pub policies: Vec<DisorderPolicy>,
     /// The arrival-ordered stream (disorder, duplicates and
     /// punctuations already applied), shared by every query.
     pub items: Vec<SimItem>,
-    /// Engine knobs, shared by every path.
+    /// Engine knobs, shared by every path. `config.policy` is the
+    /// server *default* policy; the per-query [`MultiCase::policies`]
+    /// override it query by query.
     pub config: CaseConfig,
 }
 
@@ -93,9 +109,11 @@ impl MultiCase {
                 queries.push(candidate);
             }
         }
+        let policies = queries.iter().map(|_| gen_policy(&mut rng)).collect();
         let config = gen_config(&mut rng, &items, measured_lateness);
         MultiCase {
             queries,
+            policies,
             items,
             config,
         }
@@ -149,14 +167,14 @@ fn split_outputs(
 }
 
 /// Runs every shared-plan path for `case`, returning all disagreements
-/// against the independent per-query reference (empty = clean).
-/// `purge_skew > 0` sabotages the engines under test (never the
+/// against the independent per-query reference (empty = clean). A
+/// non-default `sabotage` hits the engines under test (never the
 /// reference), which a correct harness must report as mismatches.
-pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
+pub fn check_multi_case(case: &MultiCase, sabotage: Sabotage) -> Vec<Mismatch> {
     let mut mismatches = Vec::new();
     let registry = sim_registry();
-    let honest = engine_config_from(&case.config, 0);
-    let sut = engine_config_from(&case.config, purge_skew);
+    let honest = engine_config_from(&case.config, Sabotage::default());
+    let sut = engine_config_from(&case.config, sabotage);
     let items = case.stream(&registry);
 
     let queries: Vec<Arc<Query>> = match case
@@ -177,10 +195,14 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
     let nq = queries.len();
 
     // the reference: each query alone on an independent single-threaded
-    // engine with the honest configuration
+    // engine with the honest configuration and its own policy
     let mut reference: Vec<Vec<OutputItem>> = Vec::with_capacity(nq);
-    for q in &queries {
-        let mut eng = NativeEngine::new(Arc::clone(q), honest);
+    for (qx, q) in queries.iter().enumerate() {
+        let cfg = EngineConfig {
+            policy: case.policies[qx],
+            ..honest
+        };
+        let mut eng = NativeEngine::new(Arc::clone(q), cfg);
         let mut out = Vec::new();
         for it in &items {
             out.extend(eng.ingest(it));
@@ -200,8 +222,9 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
                 mismatches.push(Mismatch {
                     path,
                     detail: format!(
-                        "query {qx} (`{}`): {}",
+                        "query {qx} (`{}`, {:?}): {}",
                         case.queries[qx].text(),
+                        case.policies[qx],
                         first_diff(&ref_reprs[qx], &r)
                     ),
                 });
@@ -209,12 +232,16 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
         }
     };
 
+    let register_shared = |shared: &mut SharedMultiEngine| {
+        for (qx, q) in queries.iter().enumerate() {
+            shared.register_with_policy(Arc::clone(q), case.policies[qx]);
+        }
+    };
+
     // shared plan, item by item: identical per-query output
     {
         let mut shared = SharedMultiEngine::new(sut);
-        for q in &queries {
-            shared.register(Arc::clone(q));
-        }
+        register_shared(&mut shared);
         let mut out = Vec::new();
         for it in &items {
             out.extend(shared.ingest(it));
@@ -227,9 +254,7 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
     // shared plan, batched ingestion: identical per-query output
     {
         let mut shared = SharedMultiEngine::new(sut);
-        for q in &queries {
-            shared.register(Arc::clone(q));
-        }
+        register_shared(&mut shared);
         let mut out = Vec::new();
         for chunk in items.chunks(case.config.batch.max(1)) {
             out.extend(shared.ingest_batch(chunk).into_iter().flatten());
@@ -240,18 +265,27 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
     }
 
     // subscribe order == query order, so QueryId indexes line up with
-    // the reference (the generated texts are distinct by construction)
+    // the reference (the generated texts are distinct by construction);
+    // each subscription carries its query's policy request
     let texts: Vec<String> = case.queries.iter().map(|p| p.text()).collect();
     let subscribe_all = |core: &mut EngineCore| -> Result<(), String> {
-        for t in &texts {
-            core.subscribe(t).map_err(|e| format!("`{t}`: {e}"))?;
+        for (qx, t) in texts.iter().enumerate() {
+            let (_, effective) = core
+                .subscribe_with_policy(t, Some(case.policies[qx]))
+                .map_err(|e| format!("`{t}`: {e}"))?;
+            if effective != case.policies[qx] {
+                return Err(format!(
+                    "`{t}`: negotiated {effective:?}, requested {:?}",
+                    case.policies[qx]
+                ));
+            }
         }
         Ok(())
     };
 
     // durable shared-plan core, crash mid-stream, resumed as an
     // independent *sharded* core: exactly-once deliveries per query
-    // across the backend switch
+    // across the backend switch (policies ride the checkpoint envelope)
     {
         let mut core_cfg = CoreConfig::new(Arc::clone(&registry), Strategy::Native, sut);
         core_cfg.checkpoint_every = Some(case.config.ckpt_every.max(1));
@@ -273,6 +307,18 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
                 resumed_cfg.shared_plan = false;
                 resumed_cfg.shards = 2;
                 let (mut core, replay_from) = EngineCore::resume(resumed_cfg, saved);
+                for (qx, (text, want)) in texts.iter().zip(&case.policies).enumerate() {
+                    let restored = core.query_policy(QueryId::from_index(qx));
+                    if restored != *want {
+                        mismatches.push(Mismatch {
+                            path: Path::SharedCrashResume,
+                            detail: format!(
+                                "query {qx} (`{text}`): policy {restored:?} after resume, \
+                                 subscribed {want:?}"
+                            ),
+                        });
+                    }
+                }
                 for it in &items[(replay_from as usize).min(items.len())..] {
                     delivered.extend(core.ingest(it));
                 }
@@ -283,9 +329,10 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
                         mismatches.push(Mismatch {
                             path: Path::SharedCrashResume,
                             detail: format!(
-                                "query {qx} (`{}`): {} deliveries vs {} reference \
+                                "query {qx} (`{}`, {:?}): {} deliveries vs {} reference \
                                  (crash at item {crash_at}, resumed from {replay_from})",
                                 texts[qx],
+                                case.policies[qx],
                                 per[qx].len(),
                                 reference[qx].len()
                             ),
@@ -319,13 +366,19 @@ pub fn check_multi_case(case: &MultiCase, purge_skew: u64) -> Vec<Mismatch> {
         }
     }
 
-    // networked loopback with the full query set: byte-identical frames
-    // (verified inside loopback_run); gated per case — it boots a real
-    // TCP server
+    // networked loopback with the full query set, each query requesting
+    // its policy at SUBSCRIBE time: byte-identical frames (verified
+    // inside loopback_run_with_policies); gated per case — it boots a
+    // real TCP server
     if case.config.loopback {
         let mut core = CoreConfig::new(Arc::clone(&registry), Strategy::Native, sut);
         core.shards = case.config.loopback_shards;
-        if let Err(e) = loopback_run(core, &texts, &items, case.config.batch) {
+        let pairs: Vec<(String, Option<DisorderPolicy>)> = texts
+            .iter()
+            .zip(&case.policies)
+            .map(|(t, &p)| (t.clone(), Some(p)))
+            .collect();
+        if let Err(e) = loopback_run_with_policies(core, &pairs, &items, case.config.batch) {
             mismatches.push(Mismatch {
                 path: Path::SharedLoopback,
                 detail: e,
@@ -373,11 +426,19 @@ impl MultiReport {
 }
 
 /// Generates the multi-query case for `(seed, case_ix)` with run
-/// options applied.
+/// options applied. A `--policy` pin overrides every query's drawn
+/// policy (and the server default), so pinned sweeps stay meaningful in
+/// multi mode.
 pub fn materialize_multi(seed: u64, case_ix: u64, opts: &SimOptions) -> MultiCase {
     let mut case = MultiCase::generate(seed, case_ix);
     if opts.no_loopback {
         case.config.loopback = false;
+    }
+    if let Some(policy) = opts.policy {
+        case.config.policy = policy;
+        for p in &mut case.policies {
+            *p = policy;
+        }
     }
     case
 }
@@ -386,7 +447,7 @@ pub fn materialize_multi(seed: u64, case_ix: u64, opts: &SimOptions) -> MultiCas
 /// case is clean.
 pub fn replay_multi(seed: u64, case_ix: u64, opts: &SimOptions) -> Option<MultiFailure> {
     let case = materialize_multi(seed, case_ix, opts);
-    let mismatches = check_multi_case(&case, opts.purge_skew);
+    let mismatches = check_multi_case(&case, opts.sabotage());
     if mismatches.is_empty() {
         return None;
     }
@@ -400,18 +461,18 @@ pub fn replay_multi(seed: u64, case_ix: u64, opts: &SimOptions) -> Option<MultiF
 
 /// One-line description of a multi-query case.
 pub fn describe_multi(case: &MultiCase) -> String {
-    let texts: Vec<String> = case.queries.iter().map(|q| q.text()).collect();
+    let texts: Vec<String> = case
+        .queries
+        .iter()
+        .zip(&case.policies)
+        .map(|(q, p)| format!("{} [{p:?}]", q.text()))
+        .collect();
     format!(
-        "{} queries [{}], {} items, K={}, {}",
+        "{} queries [{}], {} items, K={}",
         case.queries.len(),
         texts.join(" ; "),
         case.items.len(),
         case.config.k,
-        if case.config.aggressive {
-            "aggressive"
-        } else {
-            "conservative"
-        }
     )
 }
 
@@ -477,6 +538,7 @@ mod tests {
         for case_ix in 0..40 {
             let case = MultiCase::generate(9, case_ix);
             assert!(case.queries.len() >= 2, "case {case_ix} degenerated");
+            assert_eq!(case.policies.len(), case.queries.len());
             let texts: std::collections::BTreeSet<String> =
                 case.queries.iter().map(|q| q.text()).collect();
             assert_eq!(
@@ -488,6 +550,23 @@ mod tests {
     }
 
     #[test]
+    fn generated_sets_mix_disorder_policies() {
+        // per-query draws must actually produce mixed-policy sets (the
+        // point of the multi-mode policy axis); a handful of cases with
+        // at least two distinct policies in one set is enough evidence
+        let mut mixed = 0u32;
+        for case_ix in 0..40 {
+            let case = MultiCase::generate(9, case_ix);
+            let distinct: std::collections::BTreeSet<String> =
+                case.policies.iter().map(|p| format!("{p:?}")).collect();
+            if distinct.len() >= 2 {
+                mixed += 1;
+            }
+        }
+        assert!(mixed >= 10, "only {mixed}/40 cases mixed policies");
+    }
+
+    #[test]
     fn generated_sets_actually_form_prefix_groups() {
         // sibling derivation must produce query sets the shared plan can
         // pool — otherwise this mode tests nothing the single-query
@@ -496,7 +575,8 @@ mod tests {
         let mut grouped = 0u32;
         for case_ix in 0..30 {
             let case = MultiCase::generate(3, case_ix);
-            let mut shared = SharedMultiEngine::new(engine_config_from(&case.config, 0));
+            let mut shared =
+                SharedMultiEngine::new(engine_config_from(&case.config, Sabotage::default()));
             for p in &case.queries {
                 shared.register(p.build(&registry).expect("generated queries are valid"));
             }
@@ -554,6 +634,40 @@ mod tests {
         let again = replay_multi(f.seed, f.case_ix, &opts).expect("replay reproduces");
         assert_eq!(again.mismatches.len(), f.mismatches.len());
         // ... and the honest engine passes the same case
-        assert!(check_multi_case(&materialize_multi(f.seed, f.case_ix, &opts), 0).is_empty());
+        assert!(check_multi_case(
+            &materialize_multi(f.seed, f.case_ix, &opts),
+            Sabotage::default()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn retraction_drop_sabotage_is_detected_in_multi_mode() {
+        // the speculative mirror of the purge honesty check: silently
+        // swallowing one retraction in the engines under test (never
+        // the reference) must surface as a mismatch
+        let opts = SimOptions {
+            seeds: vec![1, 2],
+            cases_per_seed: 60,
+            retraction_drop: 1,
+            policy: Some(DisorderPolicy::Speculative),
+            no_loopback: true,
+            max_failures: 1,
+            ..SimOptions::default()
+        };
+        let report = run_multi(&opts, |_| {});
+        assert!(
+            !report.failures.is_empty(),
+            "a dropped retraction went undetected across {} multi-query cases",
+            report.cases_run
+        );
+        let f = &report.failures[0];
+        // replayable, and the honest engine passes the same case
+        assert!(replay_multi(f.seed, f.case_ix, &opts).is_some());
+        assert!(check_multi_case(
+            &materialize_multi(f.seed, f.case_ix, &opts),
+            Sabotage::default()
+        )
+        .is_empty());
     }
 }

@@ -70,7 +70,10 @@ pub fn emit_test(
     let c = &case.config;
     s.push_str("        config: CaseConfig {\n");
     s.push_str(&format!("            k: {},\n", c.k));
-    s.push_str(&format!("            aggressive: {},\n", c.aggressive));
+    s.push_str(&format!(
+        "            policy: DisorderPolicy::{:?},\n",
+        c.policy
+    ));
     s.push_str(&format!("            purge_every: {:?},\n", c.purge_every));
     s.push_str(&format!("            watermark: {},\n", c.watermark));
     s.push_str(&format!("            batch: {},\n", c.batch));

@@ -4,8 +4,8 @@
 
 use std::time::{Duration, Instant};
 
-use crate::case::CaseData;
-use crate::diff::{check_case_sharded, Mismatch};
+use crate::case::{CaseData, DisorderPolicy};
+use crate::diff::{check_case_sharded, Mismatch, Sabotage};
 use crate::repro::emit_test;
 use crate::shrink::{describe, shrink};
 
@@ -24,6 +24,13 @@ pub struct SimOptions {
     /// Non-zero values sabotage the engines under test (never the
     /// oracle); a healthy harness must then report mismatches.
     pub purge_skew: u64,
+    /// Fault injection: silently drop this many speculative retractions
+    /// in every engine under test (never the oracle or the reference);
+    /// a healthy harness must then report mismatches.
+    pub retraction_drop: u64,
+    /// Pin every case to one [`DisorderPolicy`] (the `--policy` knob);
+    /// `None` lets each case draw its own (the `--policy all` sweep).
+    pub policy: Option<DisorderPolicy>,
     /// Skip the networked loopback path (debug builds, sandboxes
     /// without TCP).
     pub no_loopback: bool,
@@ -43,6 +50,8 @@ impl Default for SimOptions {
             time_budget: None,
             shrink: true,
             purge_skew: 0,
+            retraction_drop: 0,
+            policy: None,
             no_loopback: false,
             max_failures: 3,
             shard_counts: crate::diff::DEFAULT_SHARD_COUNTS.to_vec(),
@@ -59,6 +68,14 @@ impl SimOptions {
             cases_per_seed: 140,
             time_budget: Some(Duration::from_secs(80)),
             ..SimOptions::default()
+        }
+    }
+
+    /// The fault-injection knobs as one [`Sabotage`] bundle.
+    pub fn sabotage(&self) -> Sabotage {
+        Sabotage {
+            purge_skew: self.purge_skew,
+            retraction_drop: self.retraction_drop,
         }
     }
 }
@@ -110,6 +127,9 @@ pub fn materialize(seed: u64, case_ix: u64, opts: &SimOptions) -> CaseData {
     if opts.no_loopback {
         case.config.loopback = false;
     }
+    if let Some(policy) = opts.policy {
+        case.config.policy = policy;
+    }
     case
 }
 
@@ -117,12 +137,12 @@ pub fn materialize(seed: u64, case_ix: u64, opts: &SimOptions) -> CaseData {
 /// it. Returns `None` when the case is clean.
 pub fn replay(seed: u64, case_ix: u64, opts: &SimOptions) -> Option<Failure> {
     let case = materialize(seed, case_ix, opts);
-    let original = check_case_sharded(&case, opts.purge_skew, &opts.shard_counts);
+    let original = check_case_sharded(&case, opts.sabotage(), &opts.shard_counts);
     if original.is_empty() {
         return None;
     }
     let (shrunk, mismatches) = if opts.shrink {
-        let s = shrink(&case, opts.purge_skew, &opts.shard_counts);
+        let s = shrink(&case, opts.sabotage(), &opts.shard_counts);
         (s.case, s.mismatches)
     } else {
         (case, original.clone())

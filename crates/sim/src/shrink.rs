@@ -16,7 +16,7 @@
 //! through exactly the same [`check_case`] entry point as the original.
 
 use crate::case::{CaseData, QueryPlan, SimItem};
-use crate::diff::{check_case_sharded, Mismatch};
+use crate::diff::{check_case_sharded, Mismatch, Sabotage};
 
 /// Hard ceiling on [`check_case`] invocations per shrink, so shrinking a
 /// pathological case cannot stall the run.
@@ -34,7 +34,7 @@ pub struct Shrunk {
 }
 
 struct Shrinker {
-    purge_skew: u64,
+    sabotage: Sabotage,
     shard_counts: Vec<usize>,
     checks: usize,
 }
@@ -51,7 +51,7 @@ impl Shrinker {
             return None; // ill-formed candidate; not a real reduction
         }
         self.checks += 1;
-        let m = check_case_sharded(candidate, self.purge_skew, &self.shard_counts);
+        let m = check_case_sharded(candidate, self.sabotage, &self.shard_counts);
         if m.is_empty() {
             None
         } else {
@@ -60,18 +60,18 @@ impl Shrinker {
     }
 }
 
-/// Minimizes `case` (which must fail under `purge_skew`) and returns the
+/// Minimizes `case` (which must fail under `sabotage`) and returns the
 /// smallest still-failing case found within the check budget. If the
 /// input does not actually fail, it is returned unshrunk with its (empty)
 /// mismatch list.
-pub fn shrink(case: &CaseData, purge_skew: u64, shard_counts: &[usize]) -> Shrunk {
+pub fn shrink(case: &CaseData, sabotage: Sabotage, shard_counts: &[usize]) -> Shrunk {
     let mut sh = Shrinker {
-        purge_skew,
+        sabotage,
         shard_counts: shard_counts.to_vec(),
         checks: 1,
     };
     let mut best = case.clone();
-    let mut mismatches = check_case_sharded(&best, purge_skew, shard_counts);
+    let mut mismatches = check_case_sharded(&best, sabotage, shard_counts);
     if mismatches.is_empty() {
         return Shrunk {
             case: best,
@@ -194,8 +194,8 @@ fn shrink_query(sh: &mut Shrinker, best: &mut CaseData, mismatches: &mut Vec<Mis
     }
 }
 
-/// Simplifies the configuration: single-item batches, no loopback, a
-/// smaller `K`, eager checkpoints.
+/// Simplifies the configuration: single-item batches, no loopback, the
+/// conservative policy, a smaller `K`, eager checkpoints.
 fn shrink_config(sh: &mut Shrinker, best: &mut CaseData, mismatches: &mut Vec<Mismatch>) {
     let try_cfg = |sh: &mut Shrinker,
                    best: &mut CaseData,
@@ -211,6 +211,9 @@ fn shrink_config(sh: &mut Shrinker, best: &mut CaseData, mismatches: &mut Vec<Mi
         }
     };
     try_cfg(sh, best, mismatches, &|c| c.config.loopback = false);
+    try_cfg(sh, best, mismatches, &|c| {
+        c.config.policy = crate::case::DisorderPolicy::Conservative;
+    });
     try_cfg(sh, best, mismatches, &|c| c.config.batch = 1);
     try_cfg(sh, best, mismatches, &|c| c.config.ckpt_every = 1);
     try_cfg(sh, best, mismatches, &|c| {

@@ -1,22 +1,24 @@
-//! Stock-tick monitoring: immediate signals, aggressive retraction, and
+//! Stock-tick monitoring: immediate signals, speculative retraction, and
 //! punctuation-sealed conservative alerts.
 //!
-//! A momentum desk wants signals with minimal delay. Three queries show
-//! the emission spectrum:
+//! A momentum desk wants signals with minimal delay. Four queries show
+//! the disorder-policy spectrum:
 //!
 //! 1. rising-price streaks (no negation) — fired the instant the third
 //!    tick arrives, even when ticks arrive out of order;
-//! 2. uncorrected spikes (trailing negation), **aggressive**: fired
+//! 2. uncorrected spikes (trailing negation), **speculative**: fired
 //!    optimistically, retracted when a late correction tick lands;
 //! 3. the same spikes, **conservative** with punctuation-driven sealing:
-//!    only confirmed alerts, a little later.
+//!    only confirmed alerts, a little later;
+//! 4. the same spikes, **adaptive slack**: the engine learns a lateness
+//!    bound from the stream and holds alerts only that long.
 //!
 //! ```sh
 //! cargo run --example stock_monitoring
 //! ```
 
 use sequin::engine::{
-    EmissionPolicy, Engine, EngineConfig, NativeEngine, OutputKind, WatermarkSource,
+    DisorderPolicy, Engine, EngineConfig, NativeEngine, OutputKind, WatermarkSource,
 };
 use sequin::netsim::{delay_shuffle, punctuate};
 use sequin::types::Duration;
@@ -41,10 +43,10 @@ fn main() {
     signals += engine.finish().len();
     println!("rising-streak signals: {signals} (all emitted at completion, no delay)");
 
-    // --- 2. uncorrected spikes, aggressive: emit now, retract if wrong ---
+    // --- 2. uncorrected spikes, speculative: emit now, retract if wrong --
     let spike = market.uncorrected_spike_query(30);
     let mut cfg = EngineConfig::with_k(Duration::new(40));
-    cfg.emission = EmissionPolicy::Aggressive;
+    cfg.policy = DisorderPolicy::Speculative;
     let mut engine = NativeEngine::new(spike.clone(), cfg);
     let (mut fired, mut retracted) = (0usize, 0usize);
     for item in &stream {
@@ -61,7 +63,7 @@ fn main() {
         }
     }
     println!(
-        "spike alerts (aggressive):  {fired} fired immediately, {retracted} retracted \
+        "spike alerts (speculative):  {fired} fired immediately, {retracted} retracted \
          by late corrections, {} stand",
         fired - retracted
     );
@@ -69,9 +71,9 @@ fn main() {
     // --- 3. same spikes, conservative + punctuations ----------------------
     let punctuated = punctuate(&stream, 500);
     let mut cfg = EngineConfig::with_k(Duration::new(40));
-    cfg.emission = EmissionPolicy::Conservative;
+    cfg.policy = DisorderPolicy::Conservative;
     cfg.watermark = WatermarkSource::Both;
-    let mut engine = NativeEngine::new(spike, cfg);
+    let mut engine = NativeEngine::new(spike.clone(), cfg);
     let mut alerts = 0usize;
     let mut held = 0u64;
     let mut emitted = 0u64;
@@ -91,6 +93,21 @@ fn main() {
     println!(
         "spike alerts (conservative): {alerts} confirmed alerts, held {mean_hold:.1} \
          arrivals on average until their negation region sealed"
+    );
+
+    // --- 4. same spikes, adaptive slack: learn the lateness bound ---------
+    let mut cfg = EngineConfig::with_k(Duration::new(40));
+    cfg.policy = DisorderPolicy::AdaptiveSlack { accuracy: 90 };
+    let mut engine = NativeEngine::new(spike, cfg);
+    let mut alerts = 0usize;
+    for item in &stream {
+        alerts += engine.ingest(item).len();
+    }
+    alerts += engine.finish().len();
+    println!(
+        "spike alerts (adaptive):     {alerts} alerts held behind a learned slack \
+         bound of {} ticks",
+        engine.slack_bound().map_or(0, |d| d.ticks())
     );
     println!(
         "\nengine state stayed at {} events ({} purge passes)",

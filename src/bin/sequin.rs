@@ -7,7 +7,7 @@
 //! sequin replay --types 'A(x:int) B(x:int)' --trace events.txt 'PATTERN SEQ(A a, B b) WITHIN 10'
 //! sequin serve --addr 127.0.0.1:7070 --workload synthetic --checkpoint-every 500 --store srv.ckpt
 //! sequin send --addr 127.0.0.1:7070 --events 10000 --ooo 0.3
-//! sequin netbench --events 20000 --policy aggressive
+//! sequin netbench --events 20000 --policy speculative
 //! sequin stats --addr 127.0.0.1:7070 --format prom
 //! sequin stats --addr 127.0.0.1:7070 --watch --interval 2
 //! ```
@@ -41,9 +41,11 @@ const USAGE: &str = "usage:
   sequin bench    [--ci] [--shards 1,4] [--json FILE] [--baseline FILE]
                   [--refresh-baseline] [--min-speedup F] [options]
                   [--queries 1,64,1024] [--min-multi-speedup F]
+                  [--policy-axis] [--policy-gate]
   sequin sim      [--ci] [--multi] [--seeds 1,2,3 | --seed S] [--cases N]
                   [--case N] [--time-budget SECS] [--shrink yes|no]
-                  [--emit-repro DIR] [--purge-skew N] [--no-loopback]
+                  [--emit-repro DIR] [--purge-skew N] [--retraction-drop N]
+                  [--policy NAME|mixed] [--no-loopback]
                   [--shards 2,7] [--json FILE]
 
 options:
@@ -55,7 +57,10 @@ options:
   --k K             disorder bound / adaptive floor (default 100)
   --adaptive F      estimate K from observed lateness, safety factor F
   --punctuate N     inject a punctuation every N events
-  --policy NAME     negation emission: conservative|aggressive
+  --policy NAME     disorder policy: conservative|speculative|lazy|
+                    adaptive[:ACCURACY] (accuracy 0-100, default 90;
+                    `aggressive` is kept as an alias for speculative;
+                    sim also accepts `mixed` to draw one per query)
   --batch N         events per EVENT_BATCH frame (default 64)
   --obs on|off      serve/netbench: engine observability recorder
                     (default on; off removes all instrumentation cost)
@@ -87,6 +92,8 @@ options:
   --emit-repro DIR  sim: write failure repros as .rs files into DIR
   --purge-skew N    sim: sabotage purge thresholds by N ticks (the
                     harness must then report mismatches)
+  --retraction-drop N  sim: sabotage by silently dropping the Nth
+                    speculative retraction (the harness must catch it)
   --no-loopback     sim: skip the networked loopback path
   --ci              sim: fixed CI preset (seeds 1-4, 560 cases, 80s
                     budget, SIM_ci.json, repros into sim-repros/)
@@ -108,7 +115,12 @@ fn run(args: &[String]) -> Result<String, String> {
             // boolean flags take no value
             if matches!(
                 name,
-                "ci" | "refresh-baseline" | "no-loopback" | "watch" | "multi"
+                "ci" | "refresh-baseline"
+                    | "no-loopback"
+                    | "watch"
+                    | "multi"
+                    | "policy-axis"
+                    | "policy-gate"
             ) {
                 flags.insert(name.to_owned(), "true".to_owned());
                 ix += 1;
@@ -167,6 +179,12 @@ fn run(args: &[String]) -> Result<String, String> {
             })
             .transpose()?,
         resume_from: flags.get("resume-from").cloned(),
+        policy: cli::parse_policy(
+            flags
+                .get("policy")
+                .map(String::as_str)
+                .unwrap_or("conservative"),
+        )?,
         // bench and sim read --shards themselves (as comma-separated lists)
         shards: if command == "bench" || command == "sim" {
             1
@@ -321,6 +339,12 @@ fn run(args: &[String]) -> Result<String, String> {
                         .map_err(|_| "--min-multi-speedup expects a factor".to_owned())
                 })
                 .transpose()?;
+            if flags.contains_key("policy-axis") {
+                b.policy_axis = true;
+            }
+            if flags.contains_key("policy-gate") {
+                b.policy_gate = true;
+            }
             cli::run_bench(&b)
         }
         "sim" => {
@@ -371,6 +395,17 @@ fn run(args: &[String]) -> Result<String, String> {
                 s.opts.purge_skew = n
                     .parse::<u64>()
                     .map_err(|_| "--purge-skew expects ticks".to_owned())?;
+            }
+            if let Some(n) = flags.get("retraction-drop") {
+                s.opts.retraction_drop = n
+                    .parse::<u64>()
+                    .map_err(|_| "--retraction-drop expects a count".to_owned())?;
+            }
+            if let Some(name) = flags.get("policy") {
+                s.opts.policy = match name.as_str() {
+                    "all" | "mixed" => None, // per-query mix (the default)
+                    other => Some(cli::parse_policy(other)?),
+                };
             }
             s.opts.no_loopback = flags.contains_key("no-loopback");
             if let Some(list) = flags.get("shards") {

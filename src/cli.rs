@@ -5,8 +5,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use sequin_engine::{
-    make_sharded_engine, CheckpointPolicy, CheckpointStore, Checkpointer, EmissionPolicy,
-    EngineConfig, MultiEngine, ShardedEngine, SharedMultiEngine, Strategy,
+    make_sharded_engine, CheckpointPolicy, CheckpointStore, Checkpointer, DisorderPolicy,
+    EngineConfig, MultiEngine, NativeEngine, OutputKind, ShardedEngine, SharedMultiEngine,
+    Strategy,
 };
 use sequin_metrics::{pairs_table, run_engine, run_engine_batched, shard_table, RunReport};
 use sequin_netsim::{delay_shuffle, measure_disorder, punctuate};
@@ -170,6 +171,8 @@ pub struct RunOptions {
     /// checkpoints into. Resuming replays the regenerated stream suffix
     /// with exactly-once dedup, so the same seed/workload must be used.
     pub resume_from: Option<String>,
+    /// Per-query disorder policy (latency vs retraction-noise knob).
+    pub policy: DisorderPolicy,
     /// Worker shards for Native evaluation (1 = single-threaded; other
     /// strategies ignore the setting).
     pub shards: usize,
@@ -184,6 +187,7 @@ impl Default for RunOptions {
             punctuate_every: None,
             checkpoint_every: None,
             resume_from: None,
+            policy: DisorderPolicy::default(),
             shards: 1,
         }
     }
@@ -322,6 +326,7 @@ fn run_stream(
         Some(safety) => EngineConfig::with_adaptive_k(Duration::new(opts.k), safety),
         None => EngineConfig::with_k(Duration::new(opts.k)),
     };
+    config.policy = opts.policy;
     if opts.punctuate_every.is_some() {
         config.watermark = sequin_engine::WatermarkSource::Both;
     }
@@ -461,8 +466,8 @@ pub struct NetOptions {
     pub k: u64,
     /// Evaluation strategy.
     pub strategy: Strategy,
-    /// Negation emission policy.
-    pub policy: EmissionPolicy,
+    /// Disorder-handling policy for server-side evaluation.
+    pub policy: DisorderPolicy,
     /// Events per EVENT_BATCH frame (`<= 1` sends singletons).
     pub batch: usize,
     /// Inject a punctuation every `n` events before shipping.
@@ -479,7 +484,7 @@ impl Default for NetOptions {
         NetOptions {
             k: 100,
             strategy: Strategy::Native,
-            policy: EmissionPolicy::Conservative,
+            policy: DisorderPolicy::Conservative,
             batch: 64,
             punctuate_every: None,
             shards: 1,
@@ -488,25 +493,47 @@ impl Default for NetOptions {
     }
 }
 
-/// Parses an emission-policy name.
+/// Parses a disorder-policy name: `conservative`, `speculative`
+/// (`aggressive` is accepted as a legacy alias), `lazy`, or
+/// `adaptive[:ACCURACY]` with accuracy in `0..=100` (default 90).
 ///
 /// # Errors
 ///
 /// Lists the accepted names when `name` matches none.
-pub fn parse_policy(name: &str) -> Result<EmissionPolicy, String> {
+pub fn parse_policy(name: &str) -> Result<DisorderPolicy, String> {
+    if let Some(rest) = name.strip_prefix("adaptive") {
+        let accuracy = match rest.strip_prefix(':') {
+            Some(n) => n
+                .parse::<u8>()
+                .ok()
+                .filter(|&a| a <= 100)
+                .ok_or_else(|| format!("adaptive accuracy must be 0..=100, got `{n}`"))?,
+            None if rest.is_empty() => 90,
+            None => {
+                return Err(format!(
+                    "unknown disorder policy `{name}` (try `adaptive` or `adaptive:90`)"
+                ))
+            }
+        };
+        return Ok(DisorderPolicy::AdaptiveSlack { accuracy });
+    }
     match name {
-        "conservative" => Ok(EmissionPolicy::Conservative),
-        "aggressive" => Ok(EmissionPolicy::Aggressive),
+        "conservative" => Ok(DisorderPolicy::Conservative),
+        "speculative" | "aggressive" => Ok(DisorderPolicy::Speculative),
+        "lazy" => Ok(DisorderPolicy::Lazy),
         other => Err(format!(
-            "unknown emission policy `{other}` (conservative|aggressive)"
+            "unknown disorder policy `{other}` \
+             (conservative|speculative|lazy|adaptive[:N])"
         )),
     }
 }
 
-fn policy_name(policy: EmissionPolicy) -> &'static str {
+fn policy_name(policy: DisorderPolicy) -> String {
     match policy {
-        EmissionPolicy::Conservative => "conservative",
-        EmissionPolicy::Aggressive => "aggressive",
+        DisorderPolicy::Conservative => "conservative".to_owned(),
+        DisorderPolicy::Speculative => "speculative".to_owned(),
+        DisorderPolicy::Lazy => "lazy".to_owned(),
+        DisorderPolicy::AdaptiveSlack { accuracy } => format!("adaptive:{accuracy}"),
     }
 }
 
@@ -532,7 +559,7 @@ fn prepared_stream(
 
 fn net_core(registry: Arc<TypeRegistry>, net: &NetOptions) -> CoreConfig {
     let mut engine = EngineConfig::with_k(Duration::new(net.k));
-    engine.emission = net.policy;
+    engine.policy = net.policy;
     if net.punctuate_every.is_some() {
         engine.watermark = sequin_engine::WatermarkSource::Both;
     }
@@ -562,7 +589,7 @@ pub fn run_netbench(spec: &StreamSpec, net: &NetOptions) -> Result<String, Strin
         net.batch.max(1)
     ));
     out.push_str(&format!(
-        "evaluation   : {} strategy, {} emission, K={}, {} shard(s)\n",
+        "evaluation   : {} strategy, {} policy, K={}, {} shard(s)\n",
         net.strategy,
         policy_name(net.policy),
         net.k,
@@ -644,7 +671,7 @@ pub fn start_server(
     banner.push_str(&format!("listening    : {addr}\n"));
     banner.push_str(&format!("schema       : fingerprint {fingerprint:#018x}\n"));
     banner.push_str(&format!(
-        "evaluation   : {} strategy, {} emission, K={}\n",
+        "evaluation   : {} strategy, {} policy, K={}\n",
         opts.net.strategy,
         policy_name(opts.net.policy),
         opts.net.k
@@ -838,6 +865,17 @@ pub struct BenchOptions {
     /// Require `shared throughput >= F * independent throughput` at the
     /// largest entry of `query_counts`. CI passes 5.0.
     pub min_multi_speedup: Option<f64>,
+    /// Measure the disorder-policy latency axis: conservative vs
+    /// speculative evaluation of a negation query over the same
+    /// disordered stream, reporting per-policy p50 detection latency
+    /// and the speculative retraction rate in the JSON report. Set by
+    /// the CI preset.
+    pub policy_axis: bool,
+    /// Gate the axis: require speculative p50 detection latency
+    /// strictly below conservative p50. Enforced only at `ooo >= 0.2`,
+    /// where disorder makes conservative deferral visible; implies
+    /// `policy_axis`. Set by the CI preset.
+    pub policy_gate: bool,
 }
 
 impl Default for BenchOptions {
@@ -859,6 +897,8 @@ impl Default for BenchOptions {
             max_obs_overhead_pct: None,
             query_counts: Vec::new(),
             min_multi_speedup: None,
+            policy_axis: false,
+            policy_gate: false,
         }
     }
 }
@@ -875,6 +915,8 @@ impl BenchOptions {
             baseline: Some("bench/baseline.json".to_owned()),
             obs_out: Some("BENCH_obs.json".to_owned()),
             max_obs_overhead_pct: Some(5.0),
+            policy_axis: true,
+            policy_gate: true,
             ..BenchOptions::default()
         }
     }
@@ -898,7 +940,77 @@ struct BenchConfigReport {
     outputs: usize,
 }
 
-fn bench_json(opts: &BenchOptions, configs: &[BenchConfigReport]) -> String {
+/// The disorder-policy axis of `sequin bench`: one negation query (whose
+/// conservative evaluation must defer emission until the watermark seals
+/// the negated window) evaluated twice over the same disordered stream,
+/// once per policy. Detection latency is *event time* — emission clock
+/// minus the match's last constituent timestamp — so the comparison is
+/// deterministic for a fixed seed, not a wall-clock measurement.
+#[derive(Debug, Clone)]
+struct PolicyAxisReport {
+    conservative_p50: u64,
+    speculative_p50: u64,
+    inserts: usize,
+    retracts: usize,
+}
+
+impl PolicyAxisReport {
+    /// Retractions per speculative insert (the accuracy price of the
+    /// latency win).
+    fn retraction_rate(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.retracts as f64 / self.inserts as f64
+        }
+    }
+}
+
+/// The negation query the policy axis measures: trailing-window sealing
+/// is exactly where conservative deferral costs latency and speculation
+/// risks retractions.
+const POLICY_AXIS_QUERY: &str = "PATTERN SEQ(T0 a, !T1 b, T2 c) WITHIN 100";
+
+fn measure_policy_axis(
+    registry: &Arc<TypeRegistry>,
+    stream: &[StreamItem],
+    k: u64,
+) -> Result<PolicyAxisReport, String> {
+    let query = parse(POLICY_AXIS_QUERY, registry).map_err(|e| e.to_string())?;
+    let run_policy = |policy: DisorderPolicy| -> RunReport {
+        let mut cfg = EngineConfig::with_k(Duration::new(k));
+        cfg.policy = policy;
+        let mut engine = NativeEngine::new(Arc::clone(&query), cfg);
+        run_engine(&mut engine, stream, 64)
+    };
+    let conservative = run_policy(DisorderPolicy::Conservative);
+    let speculative = run_policy(DisorderPolicy::Speculative);
+    if sequin_metrics::net_inserts(&conservative.outputs)
+        != sequin_metrics::net_inserts(&speculative.outputs)
+    {
+        return Err(
+            "policy axis: speculative settled output diverged from the conservative oracle"
+                .to_owned(),
+        );
+    }
+    let inserts = speculative
+        .outputs
+        .iter()
+        .filter(|o| o.kind == OutputKind::Insert)
+        .count();
+    Ok(PolicyAxisReport {
+        conservative_p50: conservative.event_time_latency.p50(),
+        speculative_p50: speculative.event_time_latency.p50(),
+        inserts,
+        retracts: speculative.outputs.len() - inserts,
+    })
+}
+
+fn bench_json(
+    opts: &BenchOptions,
+    configs: &[BenchConfigReport],
+    policy: Option<&PolicyAxisReport>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"sequin\",\n");
@@ -919,7 +1031,23 @@ fn bench_json(opts: &BenchOptions, configs: &[BenchConfigReport]) -> String {
             if ix + 1 < configs.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    match policy {
+        None => s.push_str("  ]\n}\n"),
+        Some(p) => {
+            s.push_str("  ],\n");
+            s.push_str(&format!(
+                "  \"disorder_policy\": {{ \"query\": {:?}, \
+                 \"conservative_p50_ticks\": {}, \"speculative_p50_ticks\": {}, \
+                 \"inserts\": {}, \"retracts\": {}, \"retraction_rate\": {:.4} }}\n}}\n",
+                POLICY_AXIS_QUERY,
+                p.conservative_p50,
+                p.speculative_p50,
+                p.inserts,
+                p.retracts,
+                p.retraction_rate()
+            ));
+        }
+    }
     s
 }
 
@@ -1080,7 +1208,24 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     out.push_str(&table.to_string());
     out.push_str("outputs      : all shard counts byte-identical to shards=1\n");
 
-    let json = bench_json(opts, &configs);
+    let policy_axis = if opts.policy_axis || opts.policy_gate {
+        Some(measure_policy_axis(&registry, &stream, opts.k)?)
+    } else {
+        None
+    };
+    if let Some(p) = &policy_axis {
+        out.push_str(&format!(
+            "policy axis  : p50 detection conservative {} vs speculative {} ticks, \
+             {} retraction(s) over {} insert(s) ({:.1}%), settled outputs identical\n",
+            p.conservative_p50,
+            p.speculative_p50,
+            p.retracts,
+            p.inserts,
+            p.retraction_rate() * 100.0
+        ));
+    }
+
+    let json = bench_json(opts, &configs, policy_axis.as_ref());
     if let Some(path) = &opts.json_out {
         std::fs::write(path, &json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         out.push_str(&format!("report       : wrote {path}\n"));
@@ -1148,6 +1293,36 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             out.push_str(&format!(
                 "baseline     : {gated} config(s) within {:.0}% of {path}\n",
                 opts.regression_pct
+            ));
+        }
+    }
+
+    if opts.policy_gate {
+        let p = policy_axis
+            .as_ref()
+            .expect("policy_gate implies the axis was measured");
+        // below 20% disorder the negated window often seals before the
+        // watermark would have held it back, so the two policies can
+        // legitimately tie — the latency gate is only meaningful once
+        // disorder is heavy enough to separate them
+        if opts.ooo >= 0.2 {
+            if p.speculative_p50 >= p.conservative_p50 {
+                return Err(format!(
+                    "disorder-policy gate breached: speculative p50 {} ticks is not below \
+                     conservative p50 {} ticks at {:.0}% disorder",
+                    p.speculative_p50,
+                    p.conservative_p50,
+                    opts.ooo * 100.0
+                ));
+            }
+            out.push_str(&format!(
+                "policy gate  : speculative p50 {} < conservative p50 {} ticks\n",
+                p.speculative_p50, p.conservative_p50
+            ));
+        } else {
+            out.push_str(&format!(
+                "policy gate  : skipped (disorder {:.0}% < 20% threshold)\n",
+                opts.ooo * 100.0
             ));
         }
     }
@@ -1477,6 +1652,16 @@ fn sim_json(o: &SimCliOptions, report: &sequin_sim::SimReport) -> String {
         o.opts.cases_per_seed
     ));
     s.push_str(&format!("  \"purge_skew\": {},\n", o.opts.purge_skew));
+    s.push_str(&format!(
+        "  \"retraction_drop\": {},\n",
+        o.opts.retraction_drop
+    ));
+    s.push_str(&format!(
+        "  \"policy\": {:?},\n",
+        o.opts
+            .policy
+            .map_or_else(|| "mixed".to_owned(), policy_name)
+    ));
     s.push_str(&format!("  \"cases_run\": {},\n", report.cases_run));
     s.push_str(&format!(
         "  \"elapsed_secs\": {:.1},\n",
@@ -1587,6 +1772,20 @@ pub fn run_sim(o: &SimCliOptions) -> Result<String, String> {
             o.opts.purge_skew
         ));
     }
+    if o.opts.retraction_drop > 0 {
+        out.push_str(&format!(
+            "sabotage     : dropping retraction #{} silently; mismatches expected\n",
+            o.opts.retraction_drop
+        ));
+    }
+    if let Some(p) = o.opts.policy {
+        out.push_str(&format!(
+            "policy       : all queries pinned to {}\n",
+            policy_name(p)
+        ));
+    } else {
+        out.push_str("policy       : mixed per query (conservative/speculative/lazy/adaptive)\n");
+    }
     if !progress.is_empty() {
         out.push_str(&progress);
     }
@@ -1653,6 +1852,16 @@ fn sim_multi_json(o: &SimCliOptions, report: &sequin_sim::MultiReport) -> String
         o.opts.cases_per_seed
     ));
     s.push_str(&format!("  \"purge_skew\": {},\n", o.opts.purge_skew));
+    s.push_str(&format!(
+        "  \"retraction_drop\": {},\n",
+        o.opts.retraction_drop
+    ));
+    s.push_str(&format!(
+        "  \"policy\": {:?},\n",
+        o.opts
+            .policy
+            .map_or_else(|| "mixed".to_owned(), policy_name)
+    ));
     s.push_str(&format!("  \"cases_run\": {},\n", report.cases_run));
     s.push_str(&format!(
         "  \"elapsed_secs\": {:.1},\n",
@@ -1746,6 +1955,20 @@ fn run_sim_multi(o: &SimCliOptions) -> Result<String, String> {
             "sabotage     : purge horizon skewed by {} tick(s); mismatches expected\n",
             o.opts.purge_skew
         ));
+    }
+    if o.opts.retraction_drop > 0 {
+        out.push_str(&format!(
+            "sabotage     : dropping retraction #{} silently; mismatches expected\n",
+            o.opts.retraction_drop
+        ));
+    }
+    if let Some(p) = o.opts.policy {
+        out.push_str(&format!(
+            "policy       : all queries pinned to {}\n",
+            policy_name(p)
+        ));
+    } else {
+        out.push_str("policy       : mixed per query (conservative/speculative/lazy/adaptive)\n");
     }
     if !progress.is_empty() {
         out.push_str(&progress);
@@ -1919,18 +2142,45 @@ mod tests {
     fn policy_names() {
         assert_eq!(
             parse_policy("conservative").unwrap(),
-            EmissionPolicy::Conservative
+            DisorderPolicy::Conservative
         );
         assert_eq!(
-            parse_policy("aggressive").unwrap(),
-            EmissionPolicy::Aggressive
+            parse_policy("speculative").unwrap(),
+            DisorderPolicy::Speculative
         );
+        // legacy alias kept for existing scripts and CI configs
+        assert_eq!(
+            parse_policy("aggressive").unwrap(),
+            DisorderPolicy::Speculative
+        );
+        assert_eq!(parse_policy("lazy").unwrap(), DisorderPolicy::Lazy);
+        assert_eq!(
+            parse_policy("adaptive").unwrap(),
+            DisorderPolicy::AdaptiveSlack { accuracy: 90 }
+        );
+        assert_eq!(
+            parse_policy("adaptive:50").unwrap(),
+            DisorderPolicy::AdaptiveSlack { accuracy: 50 }
+        );
+        assert!(parse_policy("adaptive:101").is_err());
+        assert!(parse_policy("adaptive:x").is_err());
         assert!(parse_policy("eager").is_err());
+
+        assert_eq!(policy_name(DisorderPolicy::Conservative), "conservative");
+        assert_eq!(
+            policy_name(DisorderPolicy::AdaptiveSlack { accuracy: 75 }),
+            "adaptive:75"
+        );
     }
 
     #[test]
-    fn netbench_verifies_both_policies_against_the_oracle() {
-        for policy in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+    fn netbench_verifies_every_policy_against_the_oracle() {
+        for policy in [
+            DisorderPolicy::Conservative,
+            DisorderPolicy::Speculative,
+            DisorderPolicy::Lazy,
+            DisorderPolicy::AdaptiveSlack { accuracy: 90 },
+        ] {
             let spec = StreamSpec {
                 events: 600,
                 ..StreamSpec::default()
@@ -2002,10 +2252,49 @@ mod tests {
                 outputs: 99,
             },
         ];
-        let json = bench_json(&opts, &configs);
+        let json = bench_json(&opts, &configs, None);
         let parsed = parse_baseline(&json);
         assert_eq!(parsed, vec![(1, 1234.5), (4, 4321.0)]);
         assert!(parse_baseline("not json at all").is_empty());
+
+        // the disorder-policy block must not confuse the baseline parser
+        let axis = PolicyAxisReport {
+            conservative_p50: 40,
+            speculative_p50: 3,
+            inserts: 80,
+            retracts: 8,
+        };
+        let json = bench_json(&opts, &configs, Some(&axis));
+        assert_eq!(parse_baseline(&json), vec![(1, 1234.5), (4, 4321.0)]);
+        assert!(json.contains("\"retraction_rate\": 0.1000"), "{json}");
+    }
+
+    #[test]
+    fn bench_policy_axis_measures_and_gates() {
+        let opts = BenchOptions {
+            events: 4000,
+            ooo: 0.3,
+            policy_axis: true,
+            policy_gate: true,
+            ..BenchOptions::default()
+        };
+        let out = run_bench(&opts).unwrap();
+        assert!(out.contains("policy axis  :"), "{out}");
+        assert!(out.contains("settled outputs identical"), "{out}");
+        assert!(
+            out.contains("policy gate  : speculative p50"),
+            "speculative must beat conservative at 30% disorder: {out}"
+        );
+
+        // below the disorder threshold the latency gate is advisory only
+        let calm = BenchOptions {
+            events: 4000,
+            ooo: 0.0,
+            policy_gate: true,
+            ..BenchOptions::default()
+        };
+        let out = run_bench(&calm).unwrap();
+        assert!(out.contains("policy gate  : skipped"), "{out}");
     }
 
     #[test]

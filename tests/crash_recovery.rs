@@ -2,7 +2,7 @@
 //! watermark advance of a disordered synthetic stream, resume from the
 //! persisted [`CheckpointStore`], and require that the union of pre- and
 //! post-crash deliveries equals the in-order oracle *exactly once* — no
-//! lost matches, no duplicates — under both emission policies. Plus
+//! lost matches, no duplicates — under every disorder policy. Plus
 //! storage-fault injection: corrupted checkpoints must be detected and
 //! recovery must degrade gracefully (older checkpoint, then cold start),
 //! never restore silently-wrong state.
@@ -11,7 +11,7 @@ mod common;
 
 use common::{net_keys, reference_matches};
 use sequin::engine::{
-    make_engine, CheckpointPolicy, CheckpointStore, Checkpointer, EmissionPolicy, Engine,
+    make_engine, CheckpointPolicy, CheckpointStore, Checkpointer, DisorderPolicy, Engine,
     EngineConfig, OutputItem, OutputKind, Strategy,
 };
 use sequin::netsim::fault::{bit_flip, truncate};
@@ -38,7 +38,7 @@ struct Scenario {
     oracle: std::collections::BTreeSet<Vec<u64>>,
 }
 
-fn scenario(emission: EmissionPolicy, seed: u64) -> Scenario {
+fn scenario(policy: DisorderPolicy, seed: u64) -> Scenario {
     let w = synthetic();
     let events = w.generate(120, seed);
     let query = w.negation_query(40);
@@ -54,7 +54,7 @@ fn scenario(emission: EmissionPolicy, seed: u64) -> Scenario {
         "stream must actually be disordered (seed {seed})"
     );
     let mut config = EngineConfig::with_k(Duration::new(disorder.max_lateness.ticks().max(1)));
-    config.emission = emission;
+    config.policy = policy;
     Scenario {
         query,
         config,
@@ -130,8 +130,8 @@ fn crash_and_recover(
     (delivered, ck.stats())
 }
 
-fn crash_at_every_watermark_advance(emission: EmissionPolicy, seed: u64) {
-    let s = scenario(emission, seed);
+fn crash_at_every_watermark_advance(policy: DisorderPolicy, seed: u64) {
+    let s = scenario(policy, seed);
     let points = watermark_advance_points(&s);
     assert!(
         points.len() > 10,
@@ -139,13 +139,13 @@ fn crash_at_every_watermark_advance(emission: EmissionPolicy, seed: u64) {
         points.len()
     );
     for &p in &points {
-        let ctx = format!("{emission:?} seed {seed} crash after item {p}");
+        let ctx = format!("{policy:?} seed {seed} crash after item {p}");
         let (delivered, _) = crash_and_recover(&s, Crash::AfterEvents(p), |_| {});
         assert_no_duplicate_deliveries(&delivered, &ctx);
-        if emission == EmissionPolicy::Conservative {
+        if policy == DisorderPolicy::Conservative {
             assert!(
                 delivered.iter().all(|o| o.kind == OutputKind::Insert),
-                "{ctx}: conservative emission never retracts"
+                "{ctx}: conservative policy never retracts"
             );
         }
         assert_eq!(
@@ -159,20 +159,20 @@ fn crash_at_every_watermark_advance(emission: EmissionPolicy, seed: u64) {
 #[test]
 fn crash_at_every_watermark_advance_is_exactly_once_conservative() {
     for seed in [41, 42] {
-        crash_at_every_watermark_advance(EmissionPolicy::Conservative, seed);
+        crash_at_every_watermark_advance(DisorderPolicy::Conservative, seed);
     }
 }
 
 #[test]
-fn crash_at_every_watermark_advance_is_exactly_once_aggressive() {
+fn crash_at_every_watermark_advance_is_exactly_once_speculative() {
     for seed in [43, 44] {
-        crash_at_every_watermark_advance(EmissionPolicy::Aggressive, seed);
+        crash_at_every_watermark_advance(DisorderPolicy::Speculative, seed);
     }
 }
 
 #[test]
 fn crash_at_watermark_trigger_matches_oracle() {
-    let s = scenario(EmissionPolicy::Conservative, 45);
+    let s = scenario(DisorderPolicy::Conservative, 45);
     // crash the moment the stream clock reaches the middle of the history
     let mid = match &s.stream[s.stream.len() / 2] {
         StreamItem::Event(e) => e.ts(),
@@ -186,7 +186,7 @@ fn crash_at_watermark_trigger_matches_oracle() {
 
 #[test]
 fn bit_flipped_checkpoint_is_rejected_and_recovery_falls_back() {
-    let s = scenario(EmissionPolicy::Conservative, 46);
+    let s = scenario(DisorderPolicy::Conservative, 46);
     let crash = Crash::AfterEvents(s.stream.len() as u64 * 2 / 3);
     let (delivered, stats) = crash_and_recover(&s, crash, |store| {
         assert!(store.checkpoint_count() >= 2, "need a fallback checkpoint");
@@ -203,7 +203,7 @@ fn bit_flipped_checkpoint_is_rejected_and_recovery_falls_back() {
 
 #[test]
 fn truncating_every_checkpoint_degrades_to_cold_start() {
-    let s = scenario(EmissionPolicy::Aggressive, 47);
+    let s = scenario(DisorderPolicy::Speculative, 47);
     let crash = Crash::AfterEvents(s.stream.len() as u64 * 2 / 3);
     let mut corrupted = 0u64;
     let (delivered, stats) = crash_and_recover(&s, crash, |store| {
@@ -229,7 +229,7 @@ fn truncating_every_checkpoint_degrades_to_cold_start() {
 
 #[test]
 fn checkpoint_file_survives_a_process_boundary() {
-    let s = scenario(EmissionPolicy::Conservative, 48);
+    let s = scenario(DisorderPolicy::Conservative, 48);
     let crash = Crash::AfterEvents(80);
     let (pre_items, _) = crash.split(&s.stream);
     let mut ck = Checkpointer::new(fresh(&s), CheckpointPolicy::default());

@@ -7,7 +7,7 @@
 mod common;
 
 use common::{drive, net_keys, reference_matches, stream_of};
-use sequin::engine::{make_engine, EmissionPolicy, EngineConfig, Strategy};
+use sequin::engine::{make_engine, DisorderPolicy, EngineConfig, Strategy};
 use sequin::netsim::{delay_shuffle, measure_disorder};
 use sequin::query::Query;
 use sequin::types::{sort_by_timestamp, Duration, EventRef};
@@ -40,12 +40,12 @@ fn check_equivalence(query: &Arc<Query>, events: &[EventRef], tag: &str) {
             );
         }
 
-        // aggressive emission nets out to the same set
+        // speculative policy nets out to the same set
         let mut cfg = config;
-        cfg.emission = EmissionPolicy::Aggressive;
+        cfg.policy = DisorderPolicy::Speculative;
         let mut engine = make_engine(Strategy::Native, Arc::clone(query), cfg);
         let got = net_keys(&drive(engine.as_mut(), &stream));
-        assert_eq!(got, oracle, "{tag}: aggressive net diverged at ooo={ooo}");
+        assert_eq!(got, oracle, "{tag}: speculative net diverged at ooo={ooo}");
     }
 
     // the classic engine is correct on sorted input

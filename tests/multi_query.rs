@@ -4,7 +4,7 @@
 mod common;
 
 use common::{drive, net_keys};
-use sequin::engine::{make_engine, EmissionPolicy, EngineConfig, MultiEngine, Strategy};
+use sequin::engine::{make_engine, DisorderPolicy, EngineConfig, MultiEngine, Strategy};
 use sequin::netsim::{delay_shuffle, measure_disorder};
 use sequin::types::Duration;
 use sequin::workload::Rfid;
@@ -70,9 +70,9 @@ fn mixed_strategies_and_policies_coexist() {
         Strategy::Native,
         EngineConfig::with_k(Duration::new(k)),
     );
-    let aggressive = multi.register(rfid.skipped_scan_query(100), Strategy::Native, {
+    let speculative = multi.register(rfid.skipped_scan_query(100), Strategy::Native, {
         let mut c = EngineConfig::with_k(Duration::new(k));
-        c.emission = EmissionPolicy::Aggressive;
+        c.policy = DisorderPolicy::Speculative;
         c
     });
     let buffered = multi.register(
@@ -95,8 +95,8 @@ fn mixed_strategies_and_policies_coexist() {
             .collect();
         net_keys(&outputs)
     };
-    // both emission policies agree on the net skipped-scan alerts
-    assert_eq!(per(conservative), per(aggressive));
+    // both disorder policies agree on the net skipped-scan alerts
+    assert_eq!(per(conservative), per(speculative));
     assert!(!per(buffered).is_empty());
     assert_eq!(multi.stats().len(), 3);
     assert!(multi.state_size() > 0);

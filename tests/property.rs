@@ -6,7 +6,7 @@
 //! 2. output is invariant under the arrival permutation (same history,
 //!    different shuffles, adequate K);
 //! 3. purging never changes output, only state size;
-//! 4. aggressive emission nets out to conservative emission;
+//! 4. speculative policy nets out to conservative emission;
 //! 5. the K-slack reorder buffer releases in timestamp order and loses
 //!    nothing;
 //! 6. stack insertion keeps instances sorted for any insertion order.
@@ -20,7 +20,7 @@ mod common;
 
 use common::{drive, net_keys, reference_matches};
 use sequin::engine::{
-    make_engine, EmissionPolicy, EngineConfig, KSlackBuffer, Strategy as EngineStrategy,
+    make_engine, DisorderPolicy, EngineConfig, KSlackBuffer, Strategy as EngineStrategy,
 };
 use sequin::netsim::{delay_shuffle, measure_disorder};
 use sequin::prng::Rng;
@@ -173,7 +173,7 @@ fn purge_never_changes_output() {
 }
 
 #[test]
-fn aggressive_nets_to_conservative() {
+fn speculative_nets_to_conservative() {
     let reg = registry();
     for case in 0..CASES {
         let mut rng = Rng::seed_from_u64(0x5EED_0004 + case);
@@ -183,9 +183,9 @@ fn aggressive_nets_to_conservative() {
         let stream = delay_shuffle(&events, 0.3, 60, rng.gen_range(0u64..1000));
         let k = measure_disorder(&stream).max_lateness.ticks().max(1);
         let mut results = Vec::new();
-        for emission in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+        for policy in [DisorderPolicy::Conservative, DisorderPolicy::Speculative] {
             let mut cfg = EngineConfig::with_k(Duration::new(k));
-            cfg.emission = emission;
+            cfg.policy = policy;
             let mut engine = make_engine(EngineStrategy::Native, Arc::clone(&query), cfg);
             results.push(net_keys(&drive(engine.as_mut(), &stream)));
         }

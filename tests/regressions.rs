@@ -10,6 +10,7 @@
 //! boundary cases promoted from sabotage runs: cases a one-tick purge
 //! skew flips, i.e. the tightest inputs the purge rules must survive.
 
+use sequin::engine::DisorderPolicy;
 use sequin::sim::case::*;
 
 /// Shrunk from `sequin sim --seed 1 --cases 174` (case 173), run with
@@ -57,7 +58,7 @@ fn sim_seed_1_case_173_purge_boundary() {
         ],
         config: CaseConfig {
             k: 0,
-            aggressive: false,
+            policy: DisorderPolicy::Conservative,
             purge_every: Some(1),
             watermark: 1,
             batch: 1,

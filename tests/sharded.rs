@@ -3,7 +3,7 @@
 //! 1. `ShardedEngine` with N ∈ {1, 2, 7} workers produces *byte-identical*
 //!    output (same items, kinds, and emission bookkeeping, in the same
 //!    order) to the single-threaded `NativeEngine` on any bounded shuffle
-//!    of any history, under both emission policies;
+//!    of any history, under every disorder policy;
 //! 2. a durable `EngineCore` checkpointed while evaluating on 2 shards
 //!    can crash and resume on 4 shards, exactly-once — the checkpoint
 //!    format is shard-count-agnostic.
@@ -15,7 +15,7 @@ mod common;
 
 use common::drive;
 use sequin::engine::{
-    EmissionPolicy, EngineConfig, NativeEngine, OutputItem, ShardedEngine,
+    DisorderPolicy, EngineConfig, NativeEngine, OutputItem, ShardedEngine,
     Strategy as EngineStrategy,
 };
 use sequin::netsim::{delay_shuffle, measure_disorder};
@@ -102,9 +102,9 @@ fn sharded_pool_is_byte_identical_to_native_for_any_shard_count() {
         let stream = delay_shuffle(&events, ooo, delay, seed);
         let k = measure_disorder(&stream).max_lateness.ticks().max(1);
 
-        for policy in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+        for policy in [DisorderPolicy::Conservative, DisorderPolicy::Speculative] {
             let mut cfg = EngineConfig::with_k(Duration::new(k));
-            cfg.emission = policy;
+            cfg.policy = policy;
 
             let mut native = NativeEngine::new(Arc::clone(&query), cfg);
             let want: Vec<OutputItem> = drive(&mut native, &stream);
@@ -155,7 +155,7 @@ fn sharded_batched_ingestion_is_byte_identical_too() {
 /// same partition key (so the router must funnel the whole stream to
 /// one worker) followed by a uniformly keyed suffix. Output must stay
 /// byte-identical to the single-threaded engine at every shard count
-/// under both emission policies, per-item and batched.
+/// under both disorder policies, per-item and batched.
 #[test]
 fn routed_ingestion_survives_adversarial_key_skew() {
     let reg = registry();
@@ -190,9 +190,9 @@ fn routed_ingestion_survives_adversarial_key_skew() {
         let stream = delay_shuffle(&events, 0.35, 50, rng.gen_range(0u64..1000));
         let k = measure_disorder(&stream).max_lateness.ticks().max(1);
 
-        for policy in [EmissionPolicy::Conservative, EmissionPolicy::Aggressive] {
+        for policy in [DisorderPolicy::Conservative, DisorderPolicy::Speculative] {
             let mut cfg = EngineConfig::with_k(Duration::new(k));
-            cfg.emission = policy;
+            cfg.policy = policy;
 
             let mut native = NativeEngine::new(Arc::clone(&query), cfg);
             let want: Vec<OutputItem> = drive(&mut native, &stream);

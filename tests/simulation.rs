@@ -7,8 +7,11 @@
 //! The loopback path is exercised sparsely here (debug builds); the CI
 //! `sim-smoke` job runs the full release-mode matrix via `sequin sim --ci`.
 
+use sequin::engine::DisorderPolicy;
 use sequin::sim::case::CaseData;
-use sequin::sim::{check_case, replay, run, SimOptions};
+use sequin::sim::{
+    check_case, check_case_sharded, replay, run, Sabotage, SimOptions, DEFAULT_SHARD_COUNTS,
+};
 
 #[test]
 fn generated_cases_are_clean_on_every_path() {
@@ -99,6 +102,39 @@ fn purge_sabotage_is_detected_and_shrunk() {
         "{}",
         f.repro
     );
+}
+
+/// The retraction-drop mirror of the purge test: a speculative engine
+/// that silently swallows one RETRACT (the `retraction_drop` fault knob)
+/// leaves a phantom match in its settled output, and the oracle diff
+/// must catch it. Every query is pinned to the speculative policy so
+/// retractions are guaranteed to exist to drop.
+#[test]
+fn retraction_drop_sabotage_is_detected_and_shrunk() {
+    let opts = SimOptions {
+        seeds: vec![1, 2],
+        cases_per_seed: 60,
+        retraction_drop: 1,
+        policy: Some(DisorderPolicy::Speculative),
+        no_loopback: true,
+        max_failures: 1,
+        ..SimOptions::default()
+    };
+    let report = run(&opts, |_| {});
+    assert!(
+        !report.failures.is_empty(),
+        "a dropped retraction went undetected across {} cases",
+        report.cases_run
+    );
+    let f = &report.failures[0];
+
+    // replayable: the same (seed, case) pair reproduces the failure
+    let again = replay(f.seed, f.case_ix, &opts).expect("replay reproduces the mismatch");
+    assert_eq!(again.original.len(), f.original.len());
+
+    // the shrunk case still fails under sabotage and passes honestly
+    assert!(!check_case_sharded(&f.shrunk, opts.sabotage(), DEFAULT_SHARD_COUNTS).is_empty());
+    assert!(check_case_sharded(&f.shrunk, Sabotage::default(), DEFAULT_SHARD_COUNTS).is_empty());
 }
 
 #[test]
