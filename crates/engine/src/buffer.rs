@@ -150,6 +150,8 @@ impl BufferedEngine {
                     m: Match::new(&self.query, events),
                     emit_seq: self.next_seq,
                     emit_clock: self.buffer.clock(),
+                    // released by the slack bound, not an arriving event
+                    cause: None,
                 });
             }
         }
@@ -182,6 +184,7 @@ impl Engine for BufferedEngine {
                     m: Match::new(&self.query, events),
                     emit_seq: self.next_seq,
                     emit_clock: self.buffer.clock(),
+                    cause: None,
                 });
             }
         }

@@ -56,6 +56,7 @@ impl Engine for InOrderEngine {
                 m: Match::new(&self.query, events),
                 emit_seq: self.next_seq,
                 emit_clock: self.clock,
+                cause: Some(stamped.id()),
             })
             .collect()
     }

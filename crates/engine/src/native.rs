@@ -11,7 +11,8 @@ use sequin_runtime::{
 };
 use sequin_types::codec::{fnv1a64, open_envelope, seal_envelope};
 use sequin_types::{
-    ArrivalSeq, CodecError, Decode, Encode, EventRef, Reader, StreamItem, Timestamp, Writer,
+    ArrivalSeq, CodecError, Decode, Encode, EventId, EventRef, Reader, StreamItem, Timestamp,
+    Writer,
 };
 
 use crate::config::{DisorderPolicy, EngineConfig};
@@ -331,12 +332,18 @@ impl NativeEngine {
         oldest
     }
 
-    fn make_output(&self, events: Vec<EventRef>, kind: OutputKind) -> OutputItem {
+    fn make_output(
+        &self,
+        events: Vec<EventRef>,
+        kind: OutputKind,
+        cause: Option<EventId>,
+    ) -> OutputItem {
         OutputItem {
             kind,
             m: Match::new(&self.query, events),
             emit_seq: self.next_seq,
             emit_clock: self.wm.clock(),
+            cause,
         }
     }
 
@@ -442,7 +449,7 @@ impl NativeEngine {
                 }
             }
             for events in raw.drain(..) {
-                self.route_match(slot, events, out);
+                self.route_match(slot, events, event.id(), out);
             }
             self.scratch = raw;
         }
@@ -484,8 +491,16 @@ impl NativeEngine {
     }
 
     /// Decides what to do with a freshly constructed match (`slot` is the
-    /// arriving event's positive slot, the construction-phase merge key).
-    fn route_match(&mut self, slot: usize, events: Vec<EventRef>, out: &mut PhasedOutput) {
+    /// arriving event's positive slot, the construction-phase merge key;
+    /// `trigger` is the arriving event whose ingestion constructed the
+    /// match — the causal link recorded on immediate emissions).
+    fn route_match(
+        &mut self,
+        slot: usize,
+        events: Vec<EventRef>,
+        trigger: EventId,
+        out: &mut PhasedOutput,
+    ) {
         let policy = self.config.policy;
         if !self.query.has_negation() {
             if policy == DisorderPolicy::Lazy {
@@ -495,7 +510,7 @@ impl NativeEngine {
                 let deadline = events.last().expect("match has events").ts();
                 self.pending.push(Reverse(Pending { deadline, events }));
             } else {
-                let o = self.make_output(events, OutputKind::Insert);
+                let o = self.make_output(events, OutputKind::Insert, Some(trigger));
                 out.constructed.push((slot, o));
             }
             return;
@@ -511,7 +526,7 @@ impl NativeEngine {
             DisorderPolicy::Conservative | DisorderPolicy::AdaptiveSlack { .. } => {
                 if deadline <= watermark {
                     if !self.negatives.violates(&events, &mut self.stats) {
-                        let o = self.make_output(events, OutputKind::Insert);
+                        let o = self.make_output(events, OutputKind::Insert, Some(trigger));
                         out.constructed.push((slot, o));
                     }
                 } else {
@@ -528,7 +543,7 @@ impl NativeEngine {
                         events: events.clone(),
                     });
                 }
-                let o = self.make_output(events, OutputKind::Insert);
+                let o = self.make_output(events, OutputKind::Insert, Some(trigger));
                 out.constructed.push((slot, o));
             }
         }
@@ -572,7 +587,7 @@ impl NativeEngine {
                 self.retractions_dropped += 1;
                 continue;
             }
-            let o = self.make_output(events, OutputKind::Retract);
+            let o = self.make_output(events, OutputKind::Retract, Some(negative.id()));
             out.retracts.push((deadline, o));
         }
     }
@@ -587,7 +602,7 @@ impl NativeEngine {
             }
             let Reverse(p) = self.pending.pop().expect("peeked");
             if !self.negatives.violates(&p.events, &mut self.stats) {
-                let o = self.make_output(p.events, OutputKind::Insert);
+                let o = self.make_output(p.events, OutputKind::Insert, None);
                 out.sealed.push((p.deadline, o));
             }
         }

@@ -3,7 +3,8 @@
 use std::fmt;
 
 use sequin_runtime::Match;
-use sequin_types::{ArrivalSeq, Timestamp};
+use sequin_types::codec::{fnv1a64, Encode, Writer};
+use sequin_types::{ArrivalSeq, EventId, Timestamp};
 
 /// Whether an output item asserts or withdraws a match.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,13 @@ pub struct OutputItem {
     pub emit_seq: ArrivalSeq,
     /// The engine clock (max timestamp seen) at emission.
     pub emit_clock: Timestamp,
+    /// Causal trigger: the arriving event whose ingestion directly forced
+    /// this emission — the match-completing event for an immediate
+    /// (non-deferred) insert, or the late negative that contradicted a
+    /// speculative insert for a retract. `None` when the release was
+    /// decided by the watermark/slack bound alone (sealed drains, lazy
+    /// construction, end-of-stream flushes).
+    pub cause: Option<EventId>,
 }
 
 impl OutputItem {
@@ -49,6 +57,19 @@ impl OutputItem {
         self.emit_clock
             .ticks()
             .saturating_sub(self.m.last_ts().ticks())
+    }
+
+    /// Stable provenance id: FNV-1a over the query's stable id and the
+    /// match-key encoding. Kind-independent, so an insert and its later
+    /// retraction share an id (that shared id *is* the parent link
+    /// between them), and derived purely from the output itself, so it is
+    /// identical across backends and shard counts. Never 0 — lineage
+    /// consumers use 0 as "no provenance".
+    pub fn provenance_id(&self, stable_query: u64) -> u64 {
+        let mut w = Writer::new();
+        w.put_u64(stable_query);
+        self.m.key().encode(&mut w);
+        fnv1a64(&w.into_bytes()).max(1)
     }
 }
 
@@ -86,9 +107,17 @@ mod tests {
             m: Match::new(&q, vec![ev]),
             emit_seq: ArrivalSeq::new(14),
             emit_clock: Timestamp::new(65),
+            cause: Some(EventId::new(1)),
         };
         assert_eq!(item.arrival_latency(), 4);
         assert_eq!(item.event_time_latency(), 15);
         assert!(item.to_string().starts_with('+'));
+        // Kind-independent and stable-query-scoped.
+        let mut retract = item.clone();
+        retract.kind = OutputKind::Retract;
+        retract.cause = None;
+        assert_eq!(item.provenance_id(7), retract.provenance_id(7));
+        assert_ne!(item.provenance_id(7), item.provenance_id(8));
+        assert_ne!(item.provenance_id(7), 0);
     }
 }

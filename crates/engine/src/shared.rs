@@ -51,8 +51,8 @@ use sequin_runtime::{
 };
 use sequin_types::codec::{fnv1a64, open_envelope, seal_envelope};
 use sequin_types::{
-    ArrivalSeq, CodecError, Decode, Duration, Encode, EventRef, Reader, StreamItem, Timestamp,
-    Writer,
+    ArrivalSeq, CodecError, Decode, Duration, Encode, EventId, EventRef, Reader, StreamItem,
+    Timestamp, Writer,
 };
 
 use crate::config::{DisorderPolicy, EngineConfig};
@@ -623,7 +623,7 @@ impl SharedMultiEngine {
             walker.run(anchor);
         }
         for events in raw {
-            self.route_match(qix, anchor_slot, events);
+            self.route_match(qix, anchor_slot, events, anchor.id());
         }
     }
 
@@ -678,14 +678,14 @@ impl SharedMultiEngine {
             st.matches_constructed += member_constructed[mx];
         }
         for (mx, events) in forked {
-            self.route_match(g.members[mx].query, anchor_pos, events);
+            self.route_match(g.members[mx].query, anchor_pos, events, anchor.id());
         }
     }
 
     /// Native `route_match`: decide whether a freshly constructed match
     /// emits now, waits for its negation regions to seal, is deferred
     /// wholesale (lazy), or (speculative) emits optimistically.
-    fn route_match(&mut self, qix: usize, slot: usize, events: Vec<EventRef>) {
+    fn route_match(&mut self, qix: usize, slot: usize, events: Vec<EventRef>, trigger: EventId) {
         let eix = self.states[qix].epoch;
         let (seq, clock, wm) = {
             let ep = &self.epochs[eix];
@@ -698,6 +698,7 @@ impl SharedMultiEngine {
             m: Match::new(&st.query, events),
             emit_seq: seq,
             emit_clock: clock,
+            cause: Some(trigger),
         };
         if !st.query.has_negation() {
             if policy == DisorderPolicy::Lazy {
@@ -790,6 +791,7 @@ impl SharedMultiEngine {
                 m: Match::new(&st.query, events),
                 emit_seq: seq,
                 emit_clock: clock,
+                cause: Some(negative.id()),
             };
             st.phased.retracts.push((deadline, o));
         }
@@ -815,6 +817,7 @@ impl SharedMultiEngine {
                     m: Match::new(&st.query, p.events),
                     emit_seq: seq,
                     emit_clock: clock,
+                    cause: None,
                 };
                 st.phased.sealed.push((p.deadline, o));
             }

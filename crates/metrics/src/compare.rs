@@ -145,6 +145,7 @@ mod tests {
                     m: Match::new(&q, events),
                     emit_seq: ArrivalSeq::new(99),
                     emit_clock: Timestamp::new(99),
+                    cause: None,
                 }
             })
             .collect()

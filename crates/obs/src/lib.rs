@@ -32,12 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bundle;
 mod hist;
+mod lineage;
 mod recorder;
 mod registry;
 mod trace;
 
+pub use bundle::{Bundle, BUNDLE_MAGIC, BUNDLE_VERSION};
 pub use hist::{FixedHistogram, BUCKET_BOUNDS};
+pub use lineage::{filter_outputs, lineage_json, lineage_text};
 pub use recorder::{ObsConfig, QueryObs, Recorder};
 pub use registry::{MetricsSnapshot, Series, SeriesValue};
 pub use trace::{Span, SpanKind, TraceRing, NO_QUERY};

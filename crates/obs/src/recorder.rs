@@ -24,6 +24,12 @@ pub struct ObsConfig {
     /// Trace ring capacity in spans (0 disables tracing while keeping
     /// metrics).
     pub trace_capacity: usize,
+    /// Per-output causal provenance: when true, every emitted/retracted
+    /// output gets a provenance-id-stamped `Seal`/`Retract`/`Emit` span
+    /// with event ids, arrival seqs, and the sealing/contradicting
+    /// decision context. When false, outputs record plain `Emit` spans
+    /// (the pre-0.10 behaviour).
+    pub provenance: bool,
 }
 
 impl Default for ObsConfig {
@@ -31,6 +37,7 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: true,
             trace_capacity: 256,
+            provenance: true,
         }
     }
 }
@@ -41,6 +48,15 @@ impl ObsConfig {
         ObsConfig {
             enabled: false,
             trace_capacity: 0,
+            provenance: false,
+        }
+    }
+
+    /// Metrics and plain spans on, causal provenance off.
+    pub fn without_provenance() -> ObsConfig {
+        ObsConfig {
+            provenance: false,
+            ..ObsConfig::default()
         }
     }
 }
@@ -81,6 +97,12 @@ impl Recorder {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.cfg.enabled
+    }
+
+    /// Whether per-output causal provenance is on.
+    #[inline]
+    pub fn provenance(&self) -> bool {
+        self.cfg.enabled && self.cfg.provenance
     }
 
     /// The configuration this recorder was built with.
@@ -128,6 +150,10 @@ impl Recorder {
             watermark,
             events: Vec::new(),
             held: 0,
+            pid: 0,
+            cause: 0,
+            bound: 0,
+            arrivals: Vec::new(),
         });
     }
 
@@ -155,7 +181,22 @@ impl Recorder {
             watermark,
             events,
             held,
+            pid: 0,
+            cause: 0,
+            bound: 0,
+            arrivals: Vec::new(),
         });
+    }
+
+    /// Records a fully-populated output span (`Emit`/`Seal`/`Retract`)
+    /// carrying causal provenance. The caller builds the [`Span`]; the
+    /// ring assigns `seq`.
+    #[inline]
+    pub fn output_span(&mut self, span: Span) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.ring.push(span);
     }
 
     /// Per-query observations recorded so far (index = query registration
@@ -223,8 +264,8 @@ mod tests {
     #[test]
     fn trace_capacity_zero_keeps_metrics_but_no_spans() {
         let mut r = Recorder::new(ObsConfig {
-            enabled: true,
             trace_capacity: 0,
+            ..ObsConfig::default()
         });
         r.record_output(0, true, 1, 1);
         r.span(SpanKind::Route, 0, 1, 1, 0);

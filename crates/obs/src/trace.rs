@@ -30,6 +30,13 @@ pub enum SpanKind {
     Emit,
     /// Watermark-safe purge reclaimed state (count = purged instances).
     Purge,
+    /// A held match was sealed and released once the watermark (or the
+    /// adaptive slack bound) passed its deadline (`bound` = the deadline,
+    /// `watermark` = the value that released it).
+    Seal,
+    /// A speculative insert was contradicted and retracted (`cause` = the
+    /// late event that invalidated it).
+    Retract,
 }
 
 impl SpanKind {
@@ -43,7 +50,15 @@ impl SpanKind {
             SpanKind::Negate => "negate",
             SpanKind::Emit => "emit",
             SpanKind::Purge => "purge",
+            SpanKind::Seal => "seal",
+            SpanKind::Retract => "retract",
         }
+    }
+
+    /// True for the per-output kinds (`Emit`, `Seal`, `Retract`) that carry
+    /// full causal provenance.
+    pub fn is_output(self) -> bool {
+        matches!(self, SpanKind::Emit | SpanKind::Seal | SpanKind::Retract)
     }
 }
 
@@ -66,11 +81,25 @@ pub struct Span {
     pub clock: u64,
     /// Published watermark, in ticks.
     pub watermark: u64,
-    /// `Emit` provenance: ids of the matched events, in positive order.
+    /// Output provenance: ids of the matched events, in positive order.
     pub events: Vec<u64>,
-    /// `Emit` only: how long the match was held due to disorder —
+    /// Output spans only: how long the match was held due to disorder —
     /// event-time ticks between the match's own span and its emission.
     pub held: u64,
+    /// Stable provenance id of the output this span describes (0 = none).
+    /// An insert and its later retraction share a `pid`, which is the
+    /// parent link between them.
+    pub pid: u64,
+    /// Causal link (0 = none): the arriving event id that triggered an
+    /// immediate emission, or — for `Retract` — the late event that
+    /// contradicted the speculative insert.
+    pub cause: u64,
+    /// `Seal` only: the deadline in ticks the match had to wait out
+    /// before the watermark/slack bound released it.
+    pub bound: u64,
+    /// Output provenance: arrival sequence numbers of the matched events,
+    /// parallel to `events`.
+    pub arrivals: Vec<u64>,
 }
 
 impl Span {
@@ -89,7 +118,7 @@ impl Span {
             self.clock,
             self.watermark,
         );
-        if !self.events.is_empty() || self.kind == SpanKind::Emit {
+        if !self.events.is_empty() || self.kind.is_output() {
             s.push_str(",\"events\":[");
             for (i, id) in self.events.iter().enumerate() {
                 if i > 0 {
@@ -98,7 +127,26 @@ impl Span {
                 s.push_str(&id.to_string());
             }
             s.push(']');
+            if !self.arrivals.is_empty() {
+                s.push_str(",\"arrivals\":[");
+                for (i, a) in self.arrivals.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&a.to_string());
+                }
+                s.push(']');
+            }
             s.push_str(&format!(",\"held\":{}", self.held));
+        }
+        if self.pid != 0 {
+            s.push_str(&format!(",\"pid\":\"{:016x}\"", self.pid));
+        }
+        if self.cause != 0 {
+            s.push_str(&format!(",\"cause\":{}", self.cause));
+        }
+        if self.kind == SpanKind::Seal {
+            s.push_str(&format!(",\"bound\":{}", self.bound));
         }
         s.push('}');
         s
@@ -198,6 +246,10 @@ mod tests {
             watermark: 5,
             events: Vec::new(),
             held: 0,
+            pid: 0,
+            cause: 0,
+            bound: 0,
+            arrivals: Vec::new(),
         }
     }
 
@@ -240,12 +292,41 @@ mod tests {
             watermark: 30,
             events: vec![3, 7, 9],
             held: 12,
+            pid: 0xABCD,
+            cause: 7,
+            bound: 0,
+            arrivals: vec![1, 4, 6],
         });
         let json = ring.to_json();
         assert!(json.contains("\"kind\":\"emit\""));
         assert!(json.contains("\"events\":[3,7,9]"));
+        assert!(json.contains("\"arrivals\":[1,4,6]"));
         assert!(json.contains("\"held\":12"));
         assert!(json.contains("\"query\":2"));
+        assert!(json.contains("\"pid\":\"000000000000abcd\""));
+        assert!(json.contains("\"cause\":7"));
+    }
+
+    #[test]
+    fn seal_and_retract_spans_carry_decision_context() {
+        let mut ring = TraceRing::new(8);
+        let mut seal = span(SpanKind::Seal, 1);
+        seal.bound = 42;
+        seal.watermark = 45;
+        seal.pid = 1;
+        ring.push(seal);
+        let mut retract = span(SpanKind::Retract, 1);
+        retract.cause = 99;
+        retract.pid = 1;
+        ring.push(retract);
+        let json = ring.to_json();
+        assert!(json.contains("\"kind\":\"seal\""));
+        assert!(json.contains("\"bound\":42"));
+        assert!(json.contains("\"kind\":\"retract\""));
+        assert!(json.contains("\"cause\":99"));
+        assert!(SpanKind::Seal.is_output());
+        assert!(SpanKind::Retract.is_output());
+        assert!(!SpanKind::Purge.is_output());
     }
 
     #[test]

@@ -19,7 +19,9 @@ use sequin_engine::DisorderPolicy;
 use sequin_runtime::RuntimeStats;
 use sequin_types::{EventRef, StreamItem, Timestamp};
 
-use crate::frame::{decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame};
+use crate::frame::{
+    decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame, TraceFormat,
+};
 use crate::stats::ServerStats;
 use crate::transport::{FrameSink, TcpTransport, Transport};
 
@@ -244,6 +246,25 @@ impl Client {
         match self.wait_for(|f| matches!(f, Frame::MetricsReply { .. }))? {
             Frame::MetricsReply { body, .. } => Ok(body),
             _ => unreachable!("wait_for matched MetricsReply"),
+        }
+    }
+
+    /// Fetches rendered causal lineage for recent outputs. `query` narrows
+    /// to one query id ([`crate::frame::TRACE_ALL_QUERIES`] for all);
+    /// `pid` narrows to one provenance id
+    /// ([`crate::frame::TRACE_ALL_OUTPUTS`] for all). Like
+    /// [`Client::metrics`], observer connections may hello with
+    /// fingerprint `0` first.
+    pub fn trace(
+        &mut self,
+        format: TraceFormat,
+        query: u64,
+        pid: u64,
+    ) -> Result<String, ClientError> {
+        self.send(&Frame::TraceReq { format, query, pid })?;
+        match self.wait_for(|f| matches!(f, Frame::TraceReply { .. }))? {
+            Frame::TraceReply { body, .. } => Ok(body),
+            _ => unreachable!("wait_for matched TraceReply"),
         }
     }
 

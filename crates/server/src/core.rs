@@ -64,9 +64,9 @@ use sequin_engine::{
     stable_query_id, CheckpointStore, DisorderPolicy, EngineConfig, MultiEngine, OutputItem,
     OutputKind, PlanMetrics, QueryId, SharedMultiEngine, Strategy,
 };
-use sequin_obs::{MetricsSnapshot, ObsConfig, Recorder, SpanKind};
+use sequin_obs::{Bundle, MetricsSnapshot, ObsConfig, Recorder, Span, SpanKind};
 use sequin_query::{parse, Query, QueryError};
-use sequin_runtime::{MatchKey, RuntimeStats};
+use sequin_runtime::{seal_deadline, MatchKey, RuntimeStats};
 use sequin_types::codec::{open_envelope, seal_envelope};
 use sequin_types::{
     CodecError, Decode, Encode, Reader, StreamItem, Timestamp, TypeRegistry, Writer,
@@ -1096,13 +1096,52 @@ impl EngineCore {
                 .query_watermark(*qid)
                 .map(|t| t.ticks())
                 .unwrap_or(core_wm);
-            self.obs.emit_span(
-                i as u64,
+            if !self.obs.provenance() {
+                self.obs.emit_span(
+                    i as u64,
+                    events,
+                    o.event_time_latency(),
+                    o.emit_clock.ticks(),
+                    wm,
+                );
+                continue;
+            }
+            // Full causal provenance. Every field below is derived from
+            // the output itself (or from the query text), so the recorded
+            // span is byte-identical across backends and shard counts —
+            // only the ring-global `seq` may differ, and the lineage
+            // renderers drop it.
+            let pid = o.provenance_id(stable_query_id(&self.parsed[i]));
+            let arrivals: Vec<u64> = o.m.events().iter().map(|e| e.arrival().get()).collect();
+            let (kind, cause, bound) = match (o.kind, o.cause) {
+                (OutputKind::Retract, c) => {
+                    (SpanKind::Retract, c.map(|id| id.get()).unwrap_or(0), 0)
+                }
+                (OutputKind::Insert, Some(c)) => (SpanKind::Emit, c.get(), 0),
+                (OutputKind::Insert, None) => {
+                    // Sealed release: record the deadline the watermark (or
+                    // adaptive slack bound) had to pass — the negation
+                    // region's seal for guarded queries, the match's own
+                    // span otherwise.
+                    let deadline = seal_deadline(&self.parsed[i], o.m.events())
+                        .unwrap_or_else(|| o.m.last_ts());
+                    (SpanKind::Seal, 0, deadline.ticks())
+                }
+            };
+            self.obs.output_span(Span {
+                seq: 0,
+                kind,
+                query: i as u64,
+                count: 1,
+                clock: o.emit_clock.ticks(),
+                watermark: wm,
                 events,
-                o.event_time_latency(),
-                o.emit_clock.ticks(),
-                wm,
-            );
+                held: o.event_time_latency(),
+                pid,
+                cause,
+                bound,
+                arrivals,
+            });
         }
     }
 
@@ -1110,6 +1149,52 @@ impl EngineCore {
     /// tracing is disabled).
     pub fn trace_json(&self) -> String {
         self.obs.trace_json()
+    }
+
+    /// Renders the causal lineage of the ring's output spans, optionally
+    /// filtered by query index and/or provenance id. `json` selects the
+    /// machine rendering; text otherwise. Both renderings omit the
+    /// ring-global span `seq`, so a fixed-seed run renders byte-identically
+    /// across backends and shard counts.
+    pub fn lineage(&self, query: Option<u64>, pid: Option<u64>, json: bool) -> String {
+        let spans = sequin_obs::filter_outputs(self.obs.trace().spans(), query, pid);
+        if json {
+            sequin_obs::lineage_json(&spans)
+        } else {
+            sequin_obs::lineage_text(&spans)
+        }
+    }
+
+    /// Captures a self-contained postmortem [`Bundle`]: the current
+    /// lineage slice, the rendered metrics snapshot, a description of the
+    /// registered queries/policies, and replay parameters (the stream
+    /// cursor, shard count, query count) merged with whatever
+    /// caller-specific `params` the capturing site supplies (sim seed,
+    /// case index, sabotage knobs, …).
+    pub fn postmortem_bundle(&self, reason: &str, params: Vec<(String, u64)>) -> Bundle {
+        let mut config = String::new();
+        for ((text, qid), policy) in self.queries.iter().zip(&self.policies) {
+            config.push_str(&format!("q{}: {} policy={:?}\n", qid.index(), text, policy));
+        }
+        config.push_str(&format!(
+            "strategy={:?} shards={} checkpoint_every={:?}",
+            self.cfg.strategy, self.cfg.shards, self.cfg.checkpoint_every
+        ));
+        let mut all_params = vec![
+            ("cursor".to_string(), self.position),
+            ("shards".to_string(), self.shards()),
+            ("queries".to_string(), self.query_count()),
+        ];
+        all_params.extend(params);
+        Bundle {
+            reason: reason.to_string(),
+            config,
+            params: all_params,
+            metrics_json: self.metrics_snapshot(None).to_json(),
+            spans: self.obs.trace().spans().cloned().collect(),
+            recorded: self.obs.trace().recorded(),
+            dropped: self.obs.trace().dropped(),
+        }
     }
 
     /// Whether latency/trace recording is on.
@@ -1272,6 +1357,11 @@ impl EngineCore {
             );
             b.counter(
                 "sequin_trace_spans_dropped",
+                &[],
+                self.obs.trace().dropped(),
+            );
+            b.counter(
+                "sequin_trace_evicted_total",
                 &[],
                 self.obs.trace().dropped(),
             );

@@ -163,6 +163,52 @@ impl std::fmt::Display for MetricsFormat {
     }
 }
 
+/// Rendering of a [`Frame::TraceReq`] lineage query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Human-readable per-output causal timeline.
+    Text,
+    /// JSON array of lineage records.
+    Json,
+}
+
+impl TraceFormat {
+    fn tag(self) -> u8 {
+        match self {
+            TraceFormat::Text => 0,
+            TraceFormat::Json => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<TraceFormat, CodecError> {
+        Ok(match tag {
+            0 => TraceFormat::Text,
+            1 => TraceFormat::Json,
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    what: "TraceFormat",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Json => "json",
+        })
+    }
+}
+
+/// "All queries" sentinel for [`Frame::TraceReq`]'s query filter.
+pub const TRACE_ALL_QUERIES: u64 = u64::MAX;
+/// "All outputs" sentinel for [`Frame::TraceReq`]'s provenance-id filter
+/// (provenance ids are never 0).
+pub const TRACE_ALL_OUTPUTS: u64 = 0;
+
 /// One streamed result: a match (or retraction) produced by the query the
 /// subscriber registered, with the same latency bookkeeping the in-process
 /// [`sequin_engine::OutputItem`] carries. Deterministic ingestion order
@@ -275,6 +321,24 @@ pub enum Frame {
         /// Format of `body` (echoes the request).
         format: MetricsFormat,
         /// Prometheus text, metrics JSON, or trace JSON.
+        body: String,
+    },
+    /// Ask for the causal lineage of recent outputs, rendered server-side
+    /// from the trace ring's output spans.
+    TraceReq {
+        /// Requested rendering.
+        format: TraceFormat,
+        /// Restrict to one query's outputs ([`TRACE_ALL_QUERIES`] = all).
+        query: u64,
+        /// Restrict to one output's lineage by provenance id
+        /// ([`TRACE_ALL_OUTPUTS`] = all).
+        pid: u64,
+    },
+    /// The rendered lineage.
+    TraceReply {
+        /// Format of `body` (echoes the request).
+        format: TraceFormat,
+        /// Per-output causal timeline (text) or lineage records (JSON).
         body: String,
     },
 }
@@ -427,6 +491,17 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.put_u8(format.tag());
             w.put_str(body);
         }
+        Frame::TraceReq { format, query, pid } => {
+            w.put_u8(17);
+            w.put_u8(format.tag());
+            w.put_u64(*query);
+            w.put_u64(*pid);
+        }
+        Frame::TraceReply { format, body } => {
+            w.put_u8(18);
+            w.put_u8(format.tag());
+            w.put_str(body);
+        }
     }
     seal_envelope(&w.into_bytes())
 }
@@ -490,6 +565,15 @@ pub fn decode_frame(sealed: &[u8]) -> Result<Frame, CodecError> {
         },
         16 => Frame::MetricsReply {
             format: MetricsFormat::from_tag(r.get_u8()?)?,
+            body: r.get_str()?,
+        },
+        17 => Frame::TraceReq {
+            format: TraceFormat::from_tag(r.get_u8()?)?,
+            query: r.get_u64()?,
+            pid: r.get_u64()?,
+        },
+        18 => Frame::TraceReply {
+            format: TraceFormat::from_tag(r.get_u8()?)?,
             body: r.get_str()?,
         },
         tag => return Err(CodecError::InvalidTag { what: "Frame", tag }),
@@ -633,6 +717,20 @@ mod tests {
             Frame::MetricsReply {
                 format: MetricsFormat::Json,
                 body: "[{\"name\":\"sequin_outputs_emitted\",\"value\":3}]".into(),
+            },
+            Frame::TraceReq {
+                format: TraceFormat::Text,
+                query: TRACE_ALL_QUERIES,
+                pid: TRACE_ALL_OUTPUTS,
+            },
+            Frame::TraceReq {
+                format: TraceFormat::Json,
+                query: 2,
+                pid: 0xFEED_FACE,
+            },
+            Frame::TraceReply {
+                format: TraceFormat::Json,
+                body: "[{\"output\":0,\"kind\":\"seal\",\"pid\":\"00000000feedface\"}]".into(),
             },
         ]
     }
@@ -917,6 +1015,51 @@ mod tests {
             emit_clock: Timestamp::new(65),
         }));
         assert_eq!(open_envelope(&sealed).unwrap()[9], 0, "insert kind tag");
+    }
+
+    /// Pins the TRACE_REQ/TRACE_REPLY wire layout: tag 17 is a format
+    /// byte (0 = text, 1 = json), the `u64` query filter (`u64::MAX` =
+    /// all queries), and the `u64` provenance-id filter (0 = all
+    /// outputs); tag 18 is the format byte followed by a length-prefixed
+    /// body string. A failure here is a wire-breaking change that needs a
+    /// protocol version bump, not a test update.
+    #[test]
+    fn trace_frames_wire_layout_is_pinned() {
+        let sealed = encode_frame(&Frame::TraceReq {
+            format: TraceFormat::Json,
+            query: 3,
+            pid: 0xABCD,
+        });
+        let payload = open_envelope(&sealed).unwrap();
+        let mut want = vec![17u8, 1u8];
+        want.extend_from_slice(&3u64.to_le_bytes());
+        want.extend_from_slice(&0xABCDu64.to_le_bytes());
+        assert_eq!(payload, &want[..], "TRACE_REQ bytes");
+
+        let body = "#0 seal query=0 pid=0000000000001234";
+        let sealed = encode_frame(&Frame::TraceReply {
+            format: TraceFormat::Text,
+            body: body.into(),
+        });
+        let payload = open_envelope(&sealed).unwrap();
+        let mut want = vec![18u8, 0u8];
+        want.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        want.extend_from_slice(body.as_bytes());
+        assert_eq!(payload, &want[..], "TRACE_REPLY bytes");
+
+        // unknown trace format tag is a typed rejection
+        let mut w = Writer::new();
+        w.put_u8(17);
+        w.put_u8(7);
+        w.put_u64(0);
+        w.put_u64(0);
+        assert!(matches!(
+            decode_frame(&seal_envelope(&w.into_bytes())),
+            Err(CodecError::InvalidTag {
+                what: "TraceFormat",
+                ..
+            })
+        ));
     }
 
     #[test]

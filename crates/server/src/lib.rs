@@ -48,7 +48,8 @@ pub mod transport;
 pub use client::{Client, ClientError};
 pub use core::{CoreConfig, EngineCore, SubscribeError};
 pub use frame::{
-    decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame, MAX_FRAME_LEN,
+    decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame, TraceFormat,
+    MAX_FRAME_LEN, TRACE_ALL_OUTPUTS, TRACE_ALL_QUERIES,
 };
 pub use loadgen::{loopback_run, loopback_run_with_policies, NetBenchReport};
 pub use server::{Server, ServerConfig};

@@ -43,7 +43,10 @@ use sequin_engine::CheckpointStore;
 use sequin_types::StreamItem;
 
 use crate::core::{CoreConfig, EngineCore};
-use crate::frame::{decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame};
+use crate::frame::{
+    decode_frame, encode_frame, ErrorCode, Frame, MetricsFormat, OutputFrame, TraceFormat,
+    TRACE_ALL_OUTPUTS, TRACE_ALL_QUERIES,
+};
 use crate::stats::ServerStats;
 use crate::transport::{FrameSink, TcpTransport, Transport};
 
@@ -62,6 +65,11 @@ pub struct ServerConfig {
     /// startup, resuming a previous incarnation). `None` keeps durability
     /// artifacts in memory only.
     pub store_path: Option<PathBuf>,
+    /// Flight recorder: when a startup resume has to reject checkpoints
+    /// (corrupt or version-skewed snapshots — the recovery fallback
+    /// ladder), a `recovery-fallback.sqpm` postmortem bundle is written
+    /// here, best-effort. `None` disables the capture.
+    pub bundle_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -73,6 +81,7 @@ impl ServerConfig {
             queue_capacity: 1024,
             busy_high_water: 768,
             store_path: None,
+            bundle_dir: None,
         }
     }
 }
@@ -90,6 +99,12 @@ enum EngineMsg {
     },
     Metrics {
         format: MetricsFormat,
+        sink: Arc<dyn FrameSink>,
+    },
+    Trace {
+        format: TraceFormat,
+        query: u64,
+        pid: u64,
         sink: Arc<dyn FrameSink>,
     },
     Drain {
@@ -156,6 +171,22 @@ impl Server {
             Some(path) if path.exists() => {
                 let store = CheckpointStore::load(path).map_err(|e| e.to_string())?;
                 let (core, _replay_from) = EngineCore::resume(config.core.clone(), store);
+                // flight recorder: a resume that rejected checkpoints took
+                // the recovery fallback ladder — freeze what the degraded
+                // core knows into a postmortem bundle (never fail startup
+                // over it)
+                let rejected = core.stats().checkpoints_rejected;
+                if rejected > 0 {
+                    if let Some(dir) = &config.bundle_dir {
+                        let bundle = core.postmortem_bundle(
+                            "recovery-fallback",
+                            vec![("checkpoints_rejected".to_owned(), rejected)],
+                        );
+                        let _ = std::fs::create_dir_all(dir).and_then(|_| {
+                            std::fs::write(dir.join("recovery-fallback.sqpm"), bundle.encode())
+                        });
+                    }
+                }
                 core
             }
             _ => EngineCore::new(config.core.clone()),
@@ -419,6 +450,17 @@ fn engine_loop(
                 };
                 shared.send(&sink, &Frame::MetricsReply { format, body });
             }
+            EngineMsg::Trace {
+                format,
+                query,
+                pid,
+                sink,
+            } => {
+                let query = (query != TRACE_ALL_QUERIES).then_some(query);
+                let pid = (pid != TRACE_ALL_OUTPUTS).then_some(pid);
+                let body = core.lineage(query, pid, format == TraceFormat::Json);
+                shared.send(&sink, &Frame::TraceReply { format, body });
+            }
             EngineMsg::Drain { sink } => {
                 if core.drained() {
                     shared.send(
@@ -623,6 +665,20 @@ fn run_session(shared: Arc<Shared>, conn: u64, mut transport: Box<dyn Transport>
                     break;
                 }
             }
+            Frame::TraceReq { format, query, pid } => {
+                if shared
+                    .tx
+                    .send(EngineMsg::Trace {
+                        format,
+                        query,
+                        pid,
+                        sink: sink.clone(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
             Frame::MetricsReq { format } => {
                 if shared
                     .tx
@@ -652,6 +708,7 @@ fn run_session(shared: Arc<Shared>, conn: u64, mut transport: Box<dyn Transport>
             | Frame::Output(_)
             | Frame::StatsReply { .. }
             | Frame::MetricsReply { .. }
+            | Frame::TraceReply { .. }
             | Frame::DrainAck
             | Frame::Busy { .. }
             | Frame::Error { .. }) => {

@@ -340,6 +340,60 @@ fn crash_restart_resumes_exactly_once_over_tcp() {
 }
 
 #[test]
+fn recovery_fallback_drops_a_postmortem_bundle() {
+    let (reg, stream) = workload(300, 53);
+    let store = temp_store("recovery-bundle");
+    let bundle_dir = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sequin-test-bundles-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    };
+    let mk_config = || {
+        let mut c = ServerConfig::new(CoreConfig {
+            checkpoint_every: Some(25),
+            ..core_config(&reg, DisorderPolicy::Conservative)
+        });
+        c.queries = vec![Q01.to_owned()];
+        c.store_path = Some(store.clone());
+        c.bundle_dir = Some(bundle_dir.clone());
+        c
+    };
+
+    // incarnation 1: ingest enough to persist checkpoints, then die
+    let mut server = Server::start(mk_config()).unwrap();
+    let addr = server.listen("127.0.0.1:0").unwrap().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    client.hello(reg.fingerprint(), "bundle-phase-1").unwrap();
+    client.subscribe(Q01).unwrap();
+    for item in &stream[..160] {
+        client.send_item(item).unwrap();
+    }
+    client.stats().unwrap(); // flush the FIFO so checkpoints land
+    drop(client);
+    server.crash();
+
+    // flip one byte inside the newest checkpoint (store container stays
+    // valid): resume must take the fallback ladder, not fail startup
+    let mut saved = sequin_engine::CheckpointStore::load(&store).unwrap();
+    saved.checkpoint_mut(0).unwrap()[25] ^= 0x10;
+    saved.save(&store).unwrap();
+
+    let mut server = Server::start(mk_config()).unwrap();
+    let bundle_path = bundle_dir.join("recovery-fallback.sqpm");
+    let bytes = std::fs::read(&bundle_path).expect("fallback must freeze a bundle");
+    let bundle = sequin_obs::Bundle::decode(&bytes).unwrap();
+    assert_eq!(bundle.reason, "recovery-fallback");
+    assert!(
+        bundle.param("checkpoints_rejected").unwrap_or(0) >= 1,
+        "the rejected-checkpoint count is the bundle's headline param"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&store);
+    let _ = std::fs::remove_dir_all(&bundle_dir);
+}
+
+#[test]
 fn mixed_per_query_policies_negotiate_and_verify_over_loopback() {
     let (reg, stream) = workload(400, 59);
     let stream = punctuate(&stream, 50);

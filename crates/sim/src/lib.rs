@@ -21,6 +21,7 @@ pub mod case;
 pub mod diff;
 pub mod multi;
 pub mod oracle;
+pub mod postmortem;
 pub mod repro;
 pub mod runner;
 pub mod shrink;
@@ -32,5 +33,6 @@ pub use multi::{
     MultiReport,
 };
 pub use oracle::reference_matches;
+pub use postmortem::{capture_bundle, read_bundle, replay_bundle, write_bundle};
 pub use runner::{replay, run, Failure, SimOptions, SimReport};
 pub use shrink::{shrink, Shrunk};

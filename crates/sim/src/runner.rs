@@ -2,10 +2,14 @@
 //! budget, checks each generated case across every production path, and
 //! shrinks + renders any failure into a replayable repro.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use sequin_obs::Bundle;
 
 use crate::case::{CaseData, DisorderPolicy};
 use crate::diff::{check_case_sharded, Mismatch, Sabotage};
+use crate::postmortem::{bundle_filename, capture_bundle, write_bundle};
 use crate::repro::emit_test;
 use crate::shrink::{describe, shrink};
 
@@ -40,6 +44,10 @@ pub struct SimOptions {
     /// knob); the sharded crash+resume path checkpoints at the first and
     /// resumes at the last.
     pub shard_counts: Vec<usize>,
+    /// Flight recorder: write each failure's postmortem bundle under
+    /// this directory (`--bundle-dir`). `None` still captures bundles
+    /// in-memory (they ride on [`Failure`]) but writes nothing.
+    pub bundle_dir: Option<PathBuf>,
 }
 
 impl Default for SimOptions {
@@ -55,6 +63,7 @@ impl Default for SimOptions {
             no_loopback: false,
             max_failures: 3,
             shard_counts: crate::diff::DEFAULT_SHARD_COUNTS.to_vec(),
+            bundle_dir: None,
         }
     }
 }
@@ -97,6 +106,11 @@ pub struct Failure {
     pub summary: String,
     /// Self-contained `#[test]` snippet reproducing the failure.
     pub repro: String,
+    /// Flight-recorder capture of the *original* failing case: lineage,
+    /// metrics, config, and replay parameters
+    /// ([`crate::postmortem::replay_bundle`] re-derives the mismatch from
+    /// it alone).
+    pub bundle: Bundle,
 }
 
 /// Outcome of a simulation run.
@@ -149,6 +163,7 @@ pub fn replay(seed: u64, case_ix: u64, opts: &SimOptions) -> Option<Failure> {
     };
     let name = format!("sim_seed_{seed}_case_{case_ix}");
     let repro = emit_test(&name, seed, case_ix, &shrunk, &mismatches);
+    let bundle = capture_bundle(seed, case_ix, opts, &original);
     Some(Failure {
         seed,
         case_ix,
@@ -157,6 +172,7 @@ pub fn replay(seed: u64, case_ix: u64, opts: &SimOptions) -> Option<Failure> {
         shrunk,
         mismatches,
         repro,
+        bundle,
     })
 }
 
@@ -189,6 +205,12 @@ pub fn run(opts: &SimOptions, mut progress: impl FnMut(&str)) -> SimReport {
                         .join(", "),
                     failure.summary
                 ));
+                if let Some(dir) = &opts.bundle_dir {
+                    match write_bundle(dir, &bundle_filename(seed, case_ix), &failure.bundle) {
+                        Ok(path) => progress(&format!("bundle written: {}", path.display())),
+                        Err(e) => progress(&format!("bundle write failed: {e}")),
+                    }
+                }
                 report.failures.push(failure);
                 if report.failures.len() >= opts.max_failures {
                     report.failure_capped = true;

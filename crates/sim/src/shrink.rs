@@ -1,6 +1,6 @@
 //! Failing-case minimization.
 //!
-//! Given a case on which [`check_case`] reports mismatches, the shrinker
+//! Given a case on which [`check_case`](crate::check_case) reports mismatches, the shrinker
 //! searches for a smaller case that *still* mismatches: it drops stream
 //! items (ddmin-style chunk removal, then singles), strips query terms
 //! (predicates, projections, tag joins, negations, alternation arms),
@@ -13,12 +13,12 @@
 //! events only raises the true suffix-minimum, so existing punctuations
 //! remain safe, and the measured lateness can only decrease, so the
 //! stored `K` stays sufficient. The shrunk case therefore replays
-//! through exactly the same [`check_case`] entry point as the original.
+//! through exactly the same [`check_case`](crate::check_case) entry point as the original.
 
 use crate::case::{CaseData, QueryPlan, SimItem};
 use crate::diff::{check_case_sharded, Mismatch, Sabotage};
 
-/// Hard ceiling on [`check_case`] invocations per shrink, so shrinking a
+/// Hard ceiling on [`check_case`](crate::check_case) invocations per shrink, so shrinking a
 /// pathological case cannot stall the run.
 const MAX_CHECKS: usize = 500;
 
@@ -29,7 +29,7 @@ pub struct Shrunk {
     pub case: CaseData,
     /// The mismatches the minimized case produces.
     pub mismatches: Vec<Mismatch>,
-    /// How many [`check_case`] calls the search spent.
+    /// How many [`check_case`](crate::check_case) calls the search spent.
     pub checks: usize,
 }
 

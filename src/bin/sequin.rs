@@ -38,6 +38,8 @@ const USAGE: &str = "usage:
   sequin netbench [--workload NAME] [options] ['<query>']
   sequin stats    --addr HOST:PORT [--format prom|json|trace]
                   [--watch] [--interval SECS]
+  sequin trace    (--addr HOST:PORT | --bundle FILE) [--query N]
+                  [--pid HEX] [--format text|json]
   sequin bench    [--ci] [--shards 1,4] [--json FILE] [--baseline FILE]
                   [--refresh-baseline] [--min-speedup F] [options]
                   [--queries 1,64,1024] [--min-multi-speedup F]
@@ -46,7 +48,7 @@ const USAGE: &str = "usage:
                   [--case N] [--time-budget SECS] [--shrink yes|no]
                   [--emit-repro DIR] [--purge-skew N] [--retraction-drop N]
                   [--policy NAME|mixed] [--no-loopback]
-                  [--shards 2,7] [--json FILE]
+                  [--shards 2,7] [--json FILE] [--bundle-dir DIR]
 
 options:
   --events N        events to generate (default 50000; networked 10000)
@@ -65,8 +67,9 @@ options:
   --obs on|off      serve/netbench: engine observability recorder
                     (default on; off removes all instrumentation cost)
   --format NAME     stats: exposition format prom|json|trace
-                    (default prom)
-  --watch           stats: redraw continuously instead of printing once
+                    (default prom); trace: text|json (default text)
+  --watch           stats: redraw a curated series table continuously
+                    instead of printing the raw exposition once
   --interval S      stats: refresh period in seconds for --watch
                     (default 2)
   --checkpoint-every N  checkpoint engine state every N events
@@ -95,8 +98,15 @@ options:
   --retraction-drop N  sim: sabotage by silently dropping the Nth
                     speculative retraction (the harness must catch it)
   --no-loopback     sim: skip the networked loopback path
+  --bundle-dir DIR  sim: write each mismatch's postmortem bundle here;
+                    serve: where recovery-fallback bundles land (default:
+                    the store file's directory)
   --ci              sim: fixed CI preset (seeds 1-4, 560 cases, 80s
-                    budget, SIM_ci.json, repros into sim-repros/)
+                    budget, SIM_ci.json, repros into sim-repros/,
+                    bundles into sim-bundles/)
+  --bundle FILE     trace: render an on-disk postmortem bundle (.sqpm)
+  --query N         trace: restrict lineage to one query id
+  --pid HEX         trace: restrict lineage to one provenance id
 
 schema DSL: 'TYPE(field:kind,...) ...' with kinds int|float|str|bool";
 
@@ -237,6 +247,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 queries: positional.clone(),
                 checkpoint_every: opts.checkpoint_every,
                 store: flags.get("store").cloned(),
+                bundle_dir: flags.get("bundle-dir").cloned(),
                 net: net_options(&flags, &opts)?,
             };
             let (_server, _addr, banner) = cli::start_server(registry, &serve_opts)?;
@@ -268,8 +279,18 @@ fn run(args: &[String]) -> Result<String, String> {
             )?;
             if flags.contains_key("watch") {
                 let interval = get_num(&flags, "interval", 2.0)?.max(0.1);
+                let curated = !flags.contains_key("format");
                 loop {
-                    let body = cli::fetch_stats(addr, format)?;
+                    // the curated table always renders from the prom
+                    // scrape; an explicit --format keeps the raw body
+                    let body = if curated {
+                        cli::watch_table(&cli::fetch_stats(
+                            addr,
+                            cli::parse_metrics_format("prom")?,
+                        )?)
+                    } else {
+                        cli::fetch_stats(addr, format)?
+                    };
                     // clear screen + home, like `watch(1)`
                     print!("\x1b[2J\x1b[H{body}");
                     use std::io::Write as _;
@@ -428,7 +449,32 @@ fn run(args: &[String]) -> Result<String, String> {
             if let Some(p) = flags.get("emit-repro") {
                 s.emit_repro = Some(p.clone());
             }
+            if let Some(dir) = flags.get("bundle-dir") {
+                s.opts.bundle_dir = Some(std::path::PathBuf::from(dir));
+            }
             cli::run_sim(&s)
+        }
+        "trace" => {
+            let t = cli::TraceOptions {
+                bundle: flags.get("bundle").cloned(),
+                addr: flags.get("addr").cloned(),
+                query: flags
+                    .get("query")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| "--query expects a query id".to_owned())
+                    })
+                    .transpose()?,
+                pid: flags.get("pid").map(|v| cli::parse_pid(v)).transpose()?,
+                json: match flags.get("format").map(String::as_str) {
+                    None | Some("text") => false,
+                    Some("json") => true,
+                    Some(other) => {
+                        return Err(format!("trace --format expects text|json, got `{other}`"))
+                    }
+                },
+            };
+            cli::run_trace(&t)
         }
         "help" | "--help" | "-h" => Ok(format!("{USAGE}\n")),
         other => Err(format!("unknown subcommand `{other}`")),

@@ -11,10 +11,11 @@ use sequin_engine::{
 };
 use sequin_metrics::{pairs_table, run_engine, run_engine_batched, shard_table, RunReport};
 use sequin_netsim::{delay_shuffle, measure_disorder, punctuate};
-use sequin_obs::ObsConfig;
+use sequin_obs::{filter_outputs, lineage_json, lineage_text, Bundle, ObsConfig};
 use sequin_query::{parse, Query};
 use sequin_server::{
-    loopback_run, Client, CoreConfig, EngineCore, MetricsFormat, Server, ServerConfig,
+    loopback_run, Client, CoreConfig, EngineCore, MetricsFormat, Server, ServerConfig, TraceFormat,
+    TRACE_ALL_OUTPUTS, TRACE_ALL_QUERIES,
 };
 use sequin_types::{Duration, EventRef, StreamItem, TypeRegistry, ValueKind};
 use sequin_workload::{read_trace, Intrusion, Rfid, Stock, Synthetic, SyntheticConfig};
@@ -625,6 +626,11 @@ pub struct ServeOptions {
     /// Checkpoint-store file: loaded at startup to resume a previous
     /// incarnation, saved on every dirty message.
     pub store: Option<String>,
+    /// Flight recorder directory (`--bundle-dir`): where a
+    /// `recovery-fallback.sqpm` postmortem bundle lands when a startup
+    /// resume rejects checkpoints. Defaults to the store file's directory
+    /// when durability is on.
+    pub bundle_dir: Option<String>,
     /// Evaluation settings shared by every registered query.
     pub net: NetOptions,
 }
@@ -665,6 +671,18 @@ pub fn start_server(
     let mut config = ServerConfig::new(core);
     config.queries = opts.queries.clone();
     config.store_path = opts.store.as_ref().map(PathBuf::from);
+    config.bundle_dir = match (&opts.bundle_dir, &opts.store) {
+        (Some(dir), _) => Some(PathBuf::from(dir)),
+        // durable servers default the flight recorder next to the store
+        (None, Some(store)) => Some(
+            Path::new(store)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+                .unwrap_or(Path::new("."))
+                .to_path_buf(),
+        ),
+        (None, None) => None,
+    };
     let mut server = Server::start(config)?;
     let addr = server.listen(&opts.addr).map_err(|e| e.to_string())?;
     let mut banner = String::new();
@@ -810,6 +828,157 @@ pub fn fetch_stats(addr: &str, format: MetricsFormat) -> Result<String, String> 
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     client.hello(0, "sequin-stats").map_err(|e| e.to_string())?;
     let body = client.metrics(format).map_err(|e| e.to_string())?;
+    client.bye();
+    Ok(body)
+}
+
+/// Renders one `--watch` refresh: every sample of the scraped Prometheus
+/// exposition as a `series | labels | value` table, histogram buckets
+/// folded away (their `_sum`/`_count` rows stay). Because it is built
+/// from the full snapshot rather than a hand-picked allowlist, every
+/// series the core exports — including `sequin_retraction_emitted`,
+/// `sequin_slack_bound`, and `sequin_trace_evicted_total` — shows up the
+/// moment the engine starts reporting it.
+pub fn watch_table(prom: &str) -> String {
+    let mut table = sequin_metrics::Table::new(&["series", "labels", "value"]);
+    let mut rows = 0usize;
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => (n, rest.trim_end_matches('}')),
+            None => (series, ""),
+        };
+        if name.ends_with("_bucket") {
+            continue;
+        }
+        table.row(&[name.to_owned(), labels.to_owned(), value.to_owned()]);
+        rows += 1;
+    }
+    if rows == 0 {
+        return "no series exported yet\n".to_owned();
+    }
+    table.to_string()
+}
+
+// ----------------------------------------------------------------- trace --
+
+/// Settings for `sequin trace`: render causal lineage either live from a
+/// running server (TRACE_REQ/TRACE_REPLY) or from an on-disk postmortem
+/// bundle.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOptions {
+    /// Render an on-disk postmortem bundle instead of querying a server.
+    pub bundle: Option<String>,
+    /// Server to query live (`--addr`); ignored when `bundle` is set.
+    pub addr: Option<String>,
+    /// Restrict to one query id.
+    pub query: Option<u64>,
+    /// Restrict to one provenance id (the 16-hex-digit `pid` stamped on
+    /// every output span).
+    pub pid: Option<u64>,
+    /// Emit JSON instead of the text renderer.
+    pub json: bool,
+}
+
+/// Parses a provenance id: 16 hex digits, with or without `0x`.
+pub fn parse_pid(text: &str) -> Result<u64, String> {
+    let hex = text.strip_prefix("0x").unwrap_or(text);
+    u64::from_str_radix(hex, 16)
+        .map_err(|_| format!("--pid expects a hex provenance id, got `{text}`"))
+}
+
+/// Renders a decoded postmortem bundle: capture context (reason, config,
+/// replay parameters) followed by the lineage of every output span it
+/// froze, through the same renderers the live path uses.
+pub fn render_bundle(bundle: &Bundle, query: Option<u64>, pid: Option<u64>, json: bool) -> String {
+    let outputs = filter_outputs(&bundle.spans, query, pid);
+    if json {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"reason\": {:?},\n", bundle.reason));
+        s.push_str(&format!("  \"config\": {:?},\n", bundle.config));
+        s.push_str("  \"params\": {");
+        for (i, (k, v)) in bundle.params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{k:?}: {v}"));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!(
+            "  \"spans_recorded\": {},\n  \"spans_dropped\": {},\n",
+            bundle.recorded, bundle.dropped
+        ));
+        s.push_str(&format!("  \"lineage\": {},\n", lineage_json(&outputs)));
+        s.push_str(&format!(
+            "  \"metrics\": {}\n}}\n",
+            if bundle.metrics_json.is_empty() {
+                "[]"
+            } else {
+                &bundle.metrics_json
+            }
+        ));
+        return s;
+    }
+    let mut out = String::new();
+    out.push_str(&format!("reason       : {}\n", bundle.reason));
+    for line in bundle.config.lines() {
+        out.push_str(&format!("config       : {line}\n"));
+    }
+    let params = bundle
+        .params
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    out.push_str(&format!("params       : {params}\n"));
+    out.push_str(&format!(
+        "trace ring   : {} span(s) recorded, {} evicted\n",
+        bundle.recorded, bundle.dropped
+    ));
+    out.push('\n');
+    out.push_str(&lineage_text(&outputs));
+    out
+}
+
+/// `sequin trace`: reconstructs the causal lineage of emitted (and
+/// retracted) outputs — which events constitute each match, what arrival
+/// triggered or what watermark sealed it, and for retractions which late
+/// event contradicted it. Reads either a live server (observer HELLO,
+/// then TRACE_REQ) or an on-disk postmortem bundle.
+///
+/// # Errors
+///
+/// Reports missing sources, unreadable/corrupt bundles, and protocol
+/// failures as display strings.
+pub fn run_trace(o: &TraceOptions) -> Result<String, String> {
+    if let Some(path) = &o.bundle {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read bundle `{path}`: {e}"))?;
+        let bundle = Bundle::decode(&bytes).map_err(|e| format!("corrupt bundle `{path}`: {e}"))?;
+        return Ok(render_bundle(&bundle, o.query, o.pid, o.json));
+    }
+    let addr = o
+        .addr
+        .as_deref()
+        .ok_or("trace needs --bundle <path> or --addr <host:port>")?;
+    let format = if o.json {
+        TraceFormat::Json
+    } else {
+        TraceFormat::Text
+    };
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    client.hello(0, "sequin-trace").map_err(|e| e.to_string())?;
+    let body = client
+        .trace(
+            format,
+            o.query.unwrap_or(TRACE_ALL_QUERIES),
+            o.pid.unwrap_or(TRACE_ALL_OUTPUTS),
+        )
+        .map_err(|e| e.to_string())?;
     client.bye();
     Ok(body)
 }
@@ -1336,6 +1505,14 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             batch,
             ObsConfig::disabled(),
         )?;
+        let eps_noprov = obs_bench_eps(
+            &registry,
+            &text,
+            &stream,
+            opts.k,
+            batch,
+            ObsConfig::without_provenance(),
+        )?;
         let eps_on = obs_bench_eps(
             &registry,
             &text,
@@ -1344,20 +1521,31 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             batch,
             ObsConfig::default(),
         )?;
-        let overhead_pct = if eps_off > 0.0 {
-            ((eps_off - eps_on) / eps_off * 100.0).max(0.0)
-        } else {
-            0.0
+        let pct = |base: f64, measured: f64| {
+            if base > 0.0 {
+                ((base - measured) / base * 100.0).max(0.0)
+            } else {
+                0.0
+            }
         };
+        // the whole recorder vs nothing, and provenance stamping alone vs
+        // the same recorder with plain emit spans
+        let overhead_pct = pct(eps_off, eps_on);
+        let provenance_pct = pct(eps_noprov, eps_on);
         if let Some(path) = &opts.obs_out {
             let obs_json = format!(
                 "{{\n  \"bench\": \"sequin-obs-overhead\",\n  \"events\": {},\n  \
-                 \"throughput_obs_off_eps\": {:.1},\n  \"throughput_obs_on_eps\": {:.1},\n  \
-                 \"overhead_pct\": {:.2},\n  \"max_overhead_pct\": {}\n}}\n",
+                 \"throughput_obs_off_eps\": {:.1},\n  \
+                 \"throughput_provenance_off_eps\": {:.1},\n  \
+                 \"throughput_obs_on_eps\": {:.1},\n  \
+                 \"overhead_pct\": {:.2},\n  \"provenance_overhead_pct\": {:.2},\n  \
+                 \"max_overhead_pct\": {}\n}}\n",
                 opts.events,
                 eps_off,
+                eps_noprov,
                 eps_on,
                 overhead_pct,
+                provenance_pct,
                 opts.max_obs_overhead_pct
                     .map_or("null".to_owned(), |f| format!("{f:.1}")),
             );
@@ -1368,17 +1556,91 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             "obs overhead : {overhead_pct:.2}% ({eps_on:.0} eps instrumented vs {eps_off:.0} \
              eps off)\n"
         ));
+        out.push_str(&format!(
+            "provenance   : {provenance_pct:.2}% over plain emit spans ({eps_noprov:.0} eps \
+             without lineage)\n"
+        ));
         if let Some(limit) = opts.max_obs_overhead_pct {
-            if overhead_pct > limit {
-                return Err(format!(
+            let breach = if overhead_pct > limit {
+                Some(format!(
                     "instrumentation overhead gate breached: {overhead_pct:.2}% > \
                      allowed {limit:.2}%"
-                ));
+                ))
+            } else if provenance_pct > limit {
+                Some(format!(
+                    "provenance overhead gate breached: {provenance_pct:.2}% over \
+                     provenance-off > allowed {limit:.2}%"
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = breach {
+                // flight recorder: freeze the instrumented run that blew
+                // the budget so the failure is inspectable offline
+                let bundle_path = bench_gate_bundle(
+                    &registry,
+                    &text,
+                    &stream,
+                    opts,
+                    batch,
+                    &[
+                        (
+                            "overhead_pct_x100".to_owned(),
+                            (overhead_pct * 100.0) as u64,
+                        ),
+                        (
+                            "provenance_pct_x100".to_owned(),
+                            (provenance_pct * 100.0) as u64,
+                        ),
+                        ("limit_pct_x100".to_owned(), (limit * 100.0) as u64),
+                    ],
+                );
+                return Err(match bundle_path {
+                    Some(p) => format!("{message} (postmortem bundle: {p})"),
+                    None => message,
+                });
             }
             out.push_str(&format!("obs gate     : within {limit:.1}% budget\n"));
         }
     }
     Ok(out)
+}
+
+/// Captures a `bench-gate` postmortem bundle: re-drives the benchmark
+/// stream through a provenance-enabled core and writes the resulting
+/// lineage + metrics capture next to the obs report. Best-effort — a
+/// failed capture never masks the gate error itself.
+fn bench_gate_bundle(
+    registry: &Arc<TypeRegistry>,
+    text: &str,
+    stream: &[StreamItem],
+    opts: &BenchOptions,
+    batch: usize,
+    extra: &[(String, u64)],
+) -> Option<String> {
+    let mut cfg = CoreConfig::new(
+        Arc::clone(registry),
+        Strategy::Native,
+        EngineConfig::with_k(Duration::new(opts.k)),
+    );
+    cfg.obs = ObsConfig::default();
+    let mut core = EngineCore::new(cfg);
+    core.subscribe(text).ok()?;
+    for chunk in stream.chunks(batch) {
+        core.ingest_batch(chunk);
+    }
+    core.finish();
+    let mut params = vec![
+        ("events".to_owned(), opts.events as u64),
+        ("seed".to_owned(), opts.seed),
+        ("k".to_owned(), opts.k),
+        ("batch".to_owned(), batch as u64),
+    ];
+    params.extend(extra.iter().cloned());
+    let bundle = core.postmortem_bundle("bench-gate", params);
+    let path = "BENCH_obs_failure.sqpm";
+    std::fs::write(path, bundle.encode()).ok()?;
+    Some(path.to_owned())
 }
 
 /// One measured query count of the multi-query bench axis.
@@ -1622,10 +1884,13 @@ pub struct SimCliOptions {
 
 impl SimCliOptions {
     /// The CI preset: pinned seeds 1–4, 560 cases, 80 s budget,
-    /// `SIM_ci.json` artifact, repros into `sim-repros/`.
+    /// `SIM_ci.json` artifact, repros into `sim-repros/`, postmortem
+    /// bundles into `sim-bundles/`.
     pub fn ci() -> SimCliOptions {
+        let mut opts = sequin_sim::SimOptions::ci();
+        opts.bundle_dir = Some(PathBuf::from("sim-bundles"));
         SimCliOptions {
-            opts: sequin_sim::SimOptions::ci(),
+            opts,
             replay_case: None,
             json_out: Some("SIM_ci.json".to_owned()),
             emit_repro: Some("sim-repros".to_owned()),
@@ -2079,6 +2344,37 @@ mod tests {
     }
 
     #[test]
+    fn watch_table_surfaces_retraction_and_slack_series() {
+        let prom = "\
+# HELP sequin_retraction_emitted retractions\n\
+# TYPE sequin_retraction_emitted counter\n\
+sequin_retraction_emitted{query=\"0\"} 3\n\
+sequin_slack_bound{query=\"0\"} 17\n\
+sequin_trace_evicted_total 2\n\
+sequin_ingest_latency_ticks_bucket{le=\"1\"} 5\n\
+sequin_ingest_latency_ticks_count 5\n";
+        let table = watch_table(prom);
+        assert!(table.contains("sequin_retraction_emitted"), "{table}");
+        assert!(table.contains("sequin_slack_bound"), "{table}");
+        assert!(table.contains("sequin_trace_evicted_total"), "{table}");
+        assert!(table.contains("query=\"0\""), "{table}");
+        // histogram buckets fold away; their _count rows stay
+        assert!(!table.contains("_bucket"), "{table}");
+        assert!(
+            table.contains("sequin_ingest_latency_ticks_count"),
+            "{table}"
+        );
+        assert_eq!(watch_table("# only comments\n"), "no series exported yet\n");
+    }
+
+    #[test]
+    fn parse_pid_accepts_hex_with_or_without_prefix() {
+        assert_eq!(parse_pid("00000000000000ff"), Ok(0xff));
+        assert_eq!(parse_pid("0xff"), Ok(0xff));
+        assert!(parse_pid("zzz").is_err());
+    }
+
+    #[test]
     fn trace_replay_end_to_end() {
         let schema = "A(x:int) B(x:int)";
         let trace = "10 A 1\n30 B 1\n20 A 2\n";
@@ -2346,6 +2642,7 @@ mod tests {
             queries: Vec::new(),
             checkpoint_every: None,
             store: None,
+            bundle_dir: None,
             net: NetOptions::default(),
         };
         let (mut server, addr, banner) = start_server(registry, &serve_opts).unwrap();

@@ -16,6 +16,7 @@ pub mod cli;
 pub use sequin_engine as engine;
 pub use sequin_metrics as metrics;
 pub use sequin_netsim as netsim;
+pub use sequin_obs as obs;
 pub use sequin_prng as prng;
 pub use sequin_query as query;
 pub use sequin_runtime as runtime;
